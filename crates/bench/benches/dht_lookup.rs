@@ -1,0 +1,50 @@
+//! DHT routing cost: Chord lookups at increasing ring sizes.
+//!
+//! The real-time double-spending detection extension (§5.1) puts a DHT
+//! read on the payee's critical path and a DHT write on the owner's. This
+//! bench measures lookup latency and (via the reported hop statistics)
+//! confirms O(log n) routing — the property that keeps the extension
+//! scalable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::testing::{test_rng, tiny_group};
+use whopay_dht::{Dht, DhtConfig, RingId};
+
+fn build(nodes: usize) -> Dht {
+    let group = tiny_group().clone();
+    let mut rng = test_rng(0xD47);
+    let broker = DsaKeyPair::generate(&group, &mut rng);
+    let mut dht = Dht::new(group, broker.public().clone(), DhtConfig::default());
+    // Join in bulk, then one stabilization pass (join() stabilizes each
+    // time, which is O(n² log n) for the build; fine at bench sizes).
+    for _ in 0..nodes {
+        dht.join(RingId::random(&mut rng));
+    }
+    dht
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht_lookup");
+    for nodes in [16usize, 64, 256] {
+        let mut dht = build(nodes);
+        let entries = dht.node_ids();
+        let mut rng = test_rng(7);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = RingId::random(&mut rng);
+                let entry = entries[i % entries.len()];
+                i += 1;
+                black_box(dht.lookup_from(entry, key))
+            });
+        });
+        let stats = dht.stats();
+        eprintln!("nodes={nodes}: mean hops {:.2} over {} lookups", stats.mean_hops(), stats.lookups);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

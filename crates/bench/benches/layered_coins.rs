@@ -1,0 +1,70 @@
+//! Layered coins (§7): verification cost vs chain depth.
+//!
+//! "Coins grow in size after each transfer" and every verification walks
+//! the whole chain — the trade the paper cites for capping the number of
+//! layers. This bench measures chain verification at depths 1–16.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whopay_bench::bench_group;
+use whopay_core::layered::LayeredCoin;
+use whopay_core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::testing::test_rng;
+
+fn build_chain(depth: usize) -> (LayeredCoin, SystemParams, whopay_crypto::dsa::DsaPublicKey, whopay_crypto::group_sig::GroupPublicKey) {
+    let mut rng = test_rng(depth as u64);
+    let params = SystemParams::new(bench_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let gk = judge.enroll(PeerId(0), &mut rng);
+    let mut owner = Peer::new(
+        PeerId(0),
+        params.clone(),
+        broker.public_key().clone(),
+        judge.public_key().clone(),
+        gk,
+        &mut rng,
+    );
+    broker.register_peer(owner.id(), owner.public_key().clone());
+    let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+    let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+    let coin = owner.complete_purchase(minted, pending, Timestamp(0), &mut rng).unwrap();
+
+    let gk1 = judge.enroll(PeerId(1), &mut rng);
+    let group = params.group().clone();
+    let gpk = judge.public_key().clone();
+    // First holder receives by issue, then the chain grows offline.
+    let (invite, session) = {
+        let p = Peer::new(PeerId(1), params.clone(), broker.public_key().clone(), gpk.clone(), gk1.clone(), &mut rng);
+        p.begin_receive(&mut rng)
+    };
+    let grant = owner.issue_coin(coin, &invite, Timestamp(0), &mut rng).unwrap();
+    let mut layered = LayeredCoin::new(grant);
+    let mut holder_keys = session.holder_keys;
+    for _ in 0..depth {
+        let next = DsaKeyPair::generate(&group, &mut rng);
+        layered
+            .add_layer(&group, &gpk, &holder_keys, &gk1, next.public().element().clone(), depth + 1, &mut rng)
+            .unwrap();
+        holder_keys = next;
+    }
+    (layered, params, broker.public_key().clone(), gpk)
+}
+
+fn bench_layered(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layered_coin_verify");
+    g.sample_size(20);
+    for depth in [1usize, 4, 16] {
+        let (coin, params, broker_pk, gpk) = build_chain(depth);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                black_box(coin.verify(params.group(), &broker_pk, &gpk, depth + 1).unwrap());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_layered);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 2 reproduction: DSA-1024 key generation, signature generation,
+//! and signature verification.
+//!
+//! Paper values (3.06 GHz Xeon, Bouncy Castle, 2005): keygen 7.8 ms,
+//! sign 13.9 ms, verify 12.3 ms. Absolute numbers differ with hardware
+//! and implementation; the keygen : sign : verify shape (~1 : 2 : 2 in
+//! Table 3's rounding) is what feeds the paper's cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whopay_bench::dsa_1024_group;
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::testing::test_rng;
+
+fn bench_table2(c: &mut Criterion) {
+    let group = dsa_1024_group();
+    let mut g = c.benchmark_group("table2_dsa_1024");
+    g.sample_size(20);
+
+    g.bench_function("keygen", |b| {
+        let mut rng = test_rng(1);
+        b.iter(|| black_box(DsaKeyPair::generate(group, &mut rng)));
+    });
+
+    let mut rng = test_rng(2);
+    let kp = DsaKeyPair::generate(group, &mut rng);
+    let msg = b"table 2 benchmark message";
+    g.bench_function("sign", |b| {
+        let mut rng = test_rng(3);
+        b.iter(|| black_box(kp.sign(group, msg, &mut rng)));
+    });
+
+    let sig = kp.sign(group, msg, &mut rng);
+    g.bench_function("verify", |b| {
+        b.iter(|| black_box(kp.public().verify(group, msg, &sig)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

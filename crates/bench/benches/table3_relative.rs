@@ -1,0 +1,51 @@
+//! Table 3 reproduction: the five micro-operations the cost model weighs —
+//! key generation, regular sign/verify, group sign/verify — at DSA-1024.
+//!
+//! The paper *guesses* group operations cost 2× regular signatures
+//! (weights 1:2:2:4:4); this bench measures our concrete group-signature
+//! scheme so EXPERIMENTS.md can report the real ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whopay_bench::dsa_1024_group;
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::group_sig::GroupManager;
+use whopay_crypto::testing::test_rng;
+
+fn bench_table3(c: &mut Criterion) {
+    let group = dsa_1024_group();
+    let mut g = c.benchmark_group("table3_micro_ops");
+    g.sample_size(20);
+
+    g.bench_function("keygen", |b| {
+        let mut rng = test_rng(1);
+        b.iter(|| black_box(DsaKeyPair::generate(group, &mut rng)));
+    });
+
+    let mut rng = test_rng(2);
+    let kp = DsaKeyPair::generate(group, &mut rng);
+    let msg = b"table 3 benchmark message";
+    g.bench_function("sign", |b| {
+        let mut rng = test_rng(3);
+        b.iter(|| black_box(kp.sign(group, msg, &mut rng)));
+    });
+    let sig = kp.sign(group, msg, &mut rng);
+    g.bench_function("verify", |b| {
+        b.iter(|| black_box(kp.public().verify(group, msg, &sig)));
+    });
+
+    let mut judge: GroupManager<u32> = GroupManager::new(group.clone(), &mut rng);
+    let member = judge.enroll(1, &mut rng);
+    g.bench_function("group_sign", |b| {
+        let mut rng = test_rng(4);
+        b.iter(|| black_box(member.sign(group, judge.public_key(), msg, &mut rng)));
+    });
+    let gsig = member.sign(group, judge.public_key(), msg, &mut rng);
+    g.bench_function("group_verify", |b| {
+        b.iter(|| black_box(judge.public_key().verify(group, msg, &gsig)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

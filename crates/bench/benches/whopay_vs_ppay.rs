@@ -1,0 +1,106 @@
+//! WhoPay vs PPay head-to-head: the price of anonymity.
+//!
+//! PPay transfers carry two plain signatures and reveal every identity;
+//! WhoPay transfers add a fresh holder key pair and group signatures to
+//! hide them. §4.1 claims WhoPay keeps PPay's scalability while adding
+//! anonymity — this bench quantifies the added CPU cost per transfer on
+//! identical substrates. Each iteration performs a *round trip* (two full
+//! transfers via the owner) so wallet state is identical at every
+//! iteration boundary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use whopay_bench::bench_group;
+use whopay_crypto::testing::test_rng;
+
+fn bench_ppay(c: &mut Criterion) {
+    use whopay_ppay::{Broker, User, UserId};
+    let group = bench_group().clone();
+    let mut rng = test_rng(1);
+    let mut broker = Broker::new(group.clone(), &mut rng);
+    let mut owner = User::new(UserId(0), group.clone(), &mut rng);
+    let mut holder = User::new(UserId(1), group.clone(), &mut rng);
+    let mut carol = User::new(UserId(2), group.clone(), &mut rng);
+    broker.register(&owner);
+    broker.register(&holder);
+    broker.register(&carol);
+    let coin = broker.sell_coin(owner.id(), &mut rng);
+    let sn = coin.serial();
+    owner.receive_purchased_coin(coin, &mut rng);
+    let issued = owner.issue(sn, holder.id(), &mut rng).unwrap();
+    holder.receive_issued_coin(&broker, issued).unwrap();
+    let holder_key = holder.public_key().clone();
+    let carol_key = carol.public_key().clone();
+
+    let mut g = c.benchmark_group("transfer_comparison");
+    g.sample_size(20);
+    g.bench_function("ppay_transfer_round_trip", |b| {
+        b.iter(|| {
+            // holder -> carol via owner
+            let req = holder.request_transfer(sn, UserId(2), &mut rng).unwrap();
+            let a = owner.handle_transfer(req, &holder_key, &mut rng).unwrap();
+            carol.receive_issued_coin(&broker, a).unwrap();
+            // carol -> holder via owner (restores the invariant)
+            let req2 = carol.request_transfer(sn, UserId(1), &mut rng).unwrap();
+            let a2 = owner.handle_transfer(req2, &carol_key, &mut rng).unwrap();
+            black_box(holder.receive_issued_coin(&broker, a2).unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_whopay(c: &mut Criterion) {
+    use whopay_core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+    let mut rng = test_rng(2);
+    let params = SystemParams::new(bench_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let mk = |id: u64, judge: &mut Judge, broker: &Broker, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        Peer::new(
+            PeerId(id),
+            params.clone(),
+            broker.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        )
+    };
+    let mut owner = mk(0, &mut judge, &broker, &mut rng);
+    let mut holder = mk(1, &mut judge, &broker, &mut rng);
+    let mut carol = mk(2, &mut judge, &broker, &mut rng);
+    broker.register_peer(owner.id(), owner.public_key().clone());
+    broker.register_peer(holder.id(), holder.public_key().clone());
+    broker.register_peer(carol.id(), carol.public_key().clone());
+
+    let t0 = Timestamp(0);
+    let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+    let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+    let coin = owner.complete_purchase(minted, pending, t0, &mut rng).unwrap();
+    let (invite, session) = holder.begin_receive(&mut rng);
+    let grant = owner.issue_coin(coin, &invite, t0, &mut rng).unwrap();
+    holder.accept_grant(grant, session, t0).unwrap();
+
+    let mut g = c.benchmark_group("transfer_comparison");
+    g.sample_size(20);
+    g.bench_function("whopay_transfer_round_trip", |b| {
+        b.iter(|| {
+            // holder -> carol via owner (fresh holder key + group sigs)
+            let (invite, session) = carol.begin_receive(&mut rng);
+            let treq = holder.request_transfer(coin, &invite, &mut rng).unwrap();
+            let grant = owner.handle_transfer(treq, t0, &mut rng).unwrap();
+            carol.accept_grant(grant, session, t0).unwrap();
+            holder.complete_transfer(coin);
+            // carol -> holder via owner
+            let (invite2, session2) = holder.begin_receive(&mut rng);
+            let treq2 = carol.request_transfer(coin, &invite2, &mut rng).unwrap();
+            let grant2 = owner.handle_transfer(treq2, t0, &mut rng).unwrap();
+            black_box(holder.accept_grant(grant2, session2, t0).unwrap());
+            carol.complete_transfer(coin);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ppay, bench_whopay);
+criterion_main!(benches);

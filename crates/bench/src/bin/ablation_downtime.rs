@@ -1,0 +1,34 @@
+//! Ablation: short vs median vs long downtime (ν ∈ {1, 2, 4} h).
+//!
+//! The paper ran all three and reported only the median because "the
+//! results … are pretty similar to each other" (§6.1). This binary
+//! regenerates the Figure 2 broker series at each ν so that claim can be
+//! checked directly.
+
+use whopay_bench::print_setup_banner;
+use whopay_eval::report::sweep_setup_a_nu;
+use whopay_eval::{Op, Policy, SyncStrategy};
+use whopay_sim::SimTime;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, policy I + proactive sync, ν sweep");
+    for nu_h in [1u64, 2, 4] {
+        println!("\nν = {nu_h} h:");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12}",
+            "mu(h)", "purchases", "dtransfer", "drenewal", "syncs"
+        );
+        let sweep =
+            sweep_setup_a_nu(Policy::I, SyncStrategy::Proactive, SimTime::from_hours(nu_h));
+        for p in sweep {
+            println!(
+                "{:>8.2} {:>12} {:>12} {:>12} {:>12}",
+                p.mu_hours,
+                p.result.counts.get(Op::Purchase),
+                p.result.counts.get(Op::DowntimeTransfer),
+                p.result.counts.get(Op::DowntimeRenewal),
+                p.result.counts.get(Op::Sync)
+            );
+        }
+    }
+}

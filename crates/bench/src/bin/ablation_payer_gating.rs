@@ -1,0 +1,33 @@
+//! Ablation: gate candidate payments on the *payer* being online too.
+//!
+//! The paper's text says candidate payments are thinned only by payee
+//! availability (actual rate α per 5 minutes), which is the simulator's
+//! default. This ablation additionally requires the payer online (actual
+//! rate ≈ α²) — the physically natural model — and reprints the Figure 2
+//! series for comparison. See EXPERIMENTS.md for the discussion.
+
+use whopay_eval::config::setup_a;
+use whopay_eval::{loadsim, Op, Policy, SyncStrategy};
+use whopay_sim::SimTime;
+
+fn main() {
+    for gated in [false, true] {
+        println!(
+            "\npolicy I + proactive sync, ν = 2 h, payer gating: {}",
+            if gated { "ON (rate ~ α²)" } else { "OFF (paper text, rate α)" }
+        );
+        println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "mu(h)", "purchases", "dtransfer", "drenewal", "syncs");
+        for mut cfg in setup_a(Policy::I, SyncStrategy::Proactive, SimTime::from_hours(2)) {
+            cfg.payer_must_be_online = gated;
+            let r = loadsim::run(&cfg);
+            println!(
+                "{:>8.2} {:>10} {:>10} {:>10} {:>10}",
+                cfg.mu.as_hours_f64(),
+                r.counts.get(Op::Purchase),
+                r.counts.get(Op::DowntimeTransfer),
+                r.counts.get(Op::DowntimeRenewal),
+                r.counts.get(Op::Sync)
+            );
+        }
+    }
+}

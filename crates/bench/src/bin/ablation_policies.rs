@@ -1,0 +1,36 @@
+//! Ablation: all four spending policies, including the middle-ground
+//! policy II variants the paper left unspecified ("the results for
+//! policy II were less interesting").
+//!
+//! Prints broker CPU load (Table 3 weights) across the availability sweep
+//! for policies I, II.a, II.b, and III under both sync strategies.
+
+use whopay_bench::print_setup_banner;
+use whopay_eval::report::sweep_setup_a;
+use whopay_eval::{MicroWeights, Policy, SyncStrategy};
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, all policies");
+    let w = MicroWeights::TABLE3;
+    for sync in [SyncStrategy::Proactive, SyncStrategy::Lazy] {
+        println!("\nbroker CPU load, {}:", sync.label());
+        print!("{:>8}", "mu(h)");
+        for p in [Policy::I, Policy::IIa, Policy::IIb, Policy::III] {
+            print!(" {:>14}", p.label());
+        }
+        println!();
+        let sweeps: Vec<_> = [Policy::I, Policy::IIa, Policy::IIb, Policy::III]
+            .iter()
+            .map(|&p| sweep_setup_a(p, sync))
+            .collect();
+        for i in 0..sweeps[0].len() {
+            print!("{:>8.2}", sweeps[0][i].mu_hours);
+            for sweep in &sweeps {
+                print!(" {:>14.0}", sweep[i].result.broker_cpu(w));
+            }
+            println!();
+        }
+    }
+    println!("\n(II.a/II.b are this reproduction's documented interpretations of the
+paper's unspecified middle-ground policy; see whopay_eval::policy.)");
+}

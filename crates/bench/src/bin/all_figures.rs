@@ -1,0 +1,25 @@
+//! Regenerates every figure (2–11) in one pass and writes CSVs to
+//! `target/figures/`.
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::policy::SyncStrategy;
+use whopay_eval::report::{
+    fig_broker_comm, fig_broker_cpu, fig_broker_ops, fig_comm_ratio, fig_comm_scaling,
+    fig_cpu_ratio, fig_cpu_scaling, fig_peer_ops,
+};
+use whopay_eval::MicroWeights;
+
+fn main() {
+    let w = MicroWeights::TABLE3;
+    print_setup_banner("all figures; Setup A (ν = 2 h) and Setup B");
+    emit_figure("fig02_broker_ops_pro", "mu (hours)", &fig_broker_ops(SyncStrategy::Proactive));
+    emit_figure("fig03_broker_ops_lazy", "mu (hours)", &fig_broker_ops(SyncStrategy::Lazy));
+    emit_figure("fig04_peer_ops_pro", "mu (hours)", &fig_peer_ops(SyncStrategy::Proactive));
+    emit_figure("fig05_peer_ops_lazy", "mu (hours)", &fig_peer_ops(SyncStrategy::Lazy));
+    emit_figure("fig06_broker_cpu", "mu (hours)", &fig_broker_cpu(w));
+    emit_figure("fig07_broker_comm", "mu (hours)", &fig_broker_comm());
+    emit_figure("fig08_cpu_ratio", "mu (hours)", &fig_cpu_ratio(w));
+    emit_figure("fig09_comm_ratio", "mu (hours)", &fig_comm_ratio());
+    emit_figure("fig10_cpu_scaling", "peers", &fig_cpu_scaling(w));
+    emit_figure("fig11_comm_scaling", "peers", &fig_comm_scaling());
+}

@@ -1,0 +1,15 @@
+//! Figure 2: broker load in operations vs mean online session length,
+//! policy I + proactive synchronization (Setup A, ν = 2 h).
+//!
+//! Expected shape (§6.2): purchases rise monotonically with availability;
+//! downtime transfers/renewals rise then fall; syncs fall monotonically.
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::policy::SyncStrategy;
+use whopay_eval::report::fig_broker_ops;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, policy I + proactive sync");
+    let series = fig_broker_ops(SyncStrategy::Proactive);
+    emit_figure("fig02_broker_ops_pro", "mu (hours)", &series);
+}

@@ -1,0 +1,12 @@
+//! Figure 3: broker load in operations vs mean online session length,
+//! policy I + lazy synchronization (no syncs reach the broker).
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::policy::SyncStrategy;
+use whopay_eval::report::fig_broker_ops;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, policy I + lazy sync");
+    let series = fig_broker_ops(SyncStrategy::Lazy);
+    emit_figure("fig03_broker_ops_lazy", "mu (hours)", &series);
+}

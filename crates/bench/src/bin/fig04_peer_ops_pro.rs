@@ -1,0 +1,12 @@
+//! Figure 4: average peer load in operations vs mean online session
+//! length, policy I + proactive sync. Transfers dominate everywhere.
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::policy::SyncStrategy;
+use whopay_eval::report::fig_peer_ops;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, policy I + proactive sync");
+    let series = fig_peer_ops(SyncStrategy::Proactive);
+    emit_figure("fig04_peer_ops_pro", "mu (hours)", &series);
+}

@@ -1,0 +1,12 @@
+//! Figure 5: average peer load in operations vs mean online session
+//! length, policy I + lazy sync (includes the owners' checks).
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::policy::SyncStrategy;
+use whopay_eval::report::fig_peer_ops;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, policy I + lazy sync");
+    let series = fig_peer_ops(SyncStrategy::Lazy);
+    emit_figure("fig05_peer_ops_lazy", "mu (hours)", &series);
+}

@@ -1,0 +1,26 @@
+//! Figure 6: broker CPU load vs mean online session length for the four
+//! configurations (policy I/III × proactive/lazy sync), under the Table 3
+//! cost model.
+//!
+//! Pass `--measured-costs` to replace Table 3's guessed weights with
+//! weights measured from this machine's actual crypto primitives (an
+//! ablation of the paper's "wild guess" about group-signature cost).
+
+use whopay_bench::{emit_figure, print_setup_banner, MeasuredMicro};
+use whopay_eval::report::fig_broker_cpu;
+use whopay_eval::MicroWeights;
+
+fn main() {
+    let measured = std::env::args().any(|a| a == "--measured-costs");
+    let weights = if measured {
+        let m = MeasuredMicro::measure(whopay_bench::bench_group(), 30);
+        println!("measured weights: {:?}", m.weights());
+        m.weights()
+    } else {
+        MicroWeights::TABLE3
+    };
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, four configurations");
+    let series = fig_broker_cpu(weights);
+    let name = if measured { "fig06_broker_cpu_measured" } else { "fig06_broker_cpu" };
+    emit_figure(name, "mu (hours)", &series);
+}

@@ -1,0 +1,11 @@
+//! Figure 7: broker communication load (messages on broker links) vs mean
+//! online session length for the four configurations.
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::report::fig_broker_comm;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, four configurations");
+    let series = fig_broker_comm();
+    emit_figure("fig07_broker_comm", "mu (hours)", &series);
+}

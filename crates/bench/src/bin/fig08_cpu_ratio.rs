@@ -1,0 +1,14 @@
+//! Figure 8: broker-to-average-peer CPU load ratio in the low-availability
+//! region (µ ≤ 6 h). With very low availability the ratio is ~2 orders of
+//! magnitude; at moderate availability ~1 order — so with 1000 peers the
+//! majority of load is on the peers.
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::report::fig_cpu_ratio;
+use whopay_eval::MicroWeights;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, four configurations, µ ≤ 6 h");
+    let series = fig_cpu_ratio(MicroWeights::TABLE3);
+    emit_figure("fig08_cpu_ratio", "mu (hours)", &series);
+}

@@ -1,0 +1,11 @@
+//! Figure 9: broker-to-average-peer communication load ratio in the
+//! low-availability region (µ ≤ 6 h).
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::report::fig_comm_ratio;
+
+fn main() {
+    print_setup_banner("Setup A: 1000 peers, ν = 2 h, four configurations, µ ≤ 6 h");
+    let series = fig_comm_ratio();
+    emit_figure("fig09_comm_ratio", "mu (hours)", &series);
+}

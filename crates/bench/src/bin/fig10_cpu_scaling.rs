@@ -1,0 +1,15 @@
+//! Figure 10: broker share of total CPU load vs system size (Setup B:
+//! 100–1000 peers at 50% availability). The paper's (initially
+//! unexpected) result: the share is flat — broker load grows linearly
+//! with total load under the uniform-peer model — but stays ≈5%,
+//! "relieving the broker of around 95% of the system load".
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::report::fig_cpu_scaling;
+use whopay_eval::MicroWeights;
+
+fn main() {
+    print_setup_banner("Setup B: 100–1000 peers, µ = ν = 2 h, four configurations");
+    let series = fig_cpu_scaling(MicroWeights::TABLE3);
+    emit_figure("fig10_cpu_scaling", "peers", &series);
+}

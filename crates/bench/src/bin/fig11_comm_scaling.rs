@@ -1,0 +1,11 @@
+//! Figure 11: broker share of total communication load vs system size
+//! (Setup B).
+
+use whopay_bench::{emit_figure, print_setup_banner};
+use whopay_eval::report::fig_comm_scaling;
+
+fn main() {
+    print_setup_banner("Setup B: 100–1000 peers, µ = ν = 2 h, four configurations");
+    let series = fig_comm_scaling();
+    emit_figure("fig11_comm_scaling", "peers", &series);
+}

@@ -1,0 +1,180 @@
+//! A minimal, self-describing binary codec.
+//!
+//! Coin bindings must cross trust boundaries as bytes (they are stored in
+//! the DHT and compared bit-for-bit by the broker), and the allowed
+//! dependency set contains no serde *format* crate. This module provides
+//! the small length-prefixed encoding the protocol needs: `u64`s,
+//! byte strings, and big integers, written and read in a fixed field
+//! order by each message type.
+
+use whopay_num::BigUint;
+
+/// Encoding buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a fixed-width u64 (big-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends a big integer (length-prefixed big-endian magnitude).
+    pub fn int(&mut self, v: &BigUint) -> &mut Self {
+        self.bytes(&v.to_be_bytes())
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decoding error: the input was truncated or malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("truncated or malformed encoding")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decoding cursor.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Reads a fixed-width u64.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        if self.buf.len() < 8 {
+            return Err(DecodeError);
+        }
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        Ok(u64::from_be_bytes(head.try_into().expect("eight bytes")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u64()? as usize;
+        if self.buf.len() < len {
+            return Err(DecodeError);
+        }
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Reads a big integer.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation.
+    pub fn int(&mut self) -> Result<BigUint, DecodeError> {
+        Ok(BigUint::from_be_bytes(self.bytes()?))
+    }
+
+    /// Asserts the input is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if trailing bytes remain (rejects padded forgeries).
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_fields() {
+        let mut w = Writer::new();
+        w.u64(7).bytes(b"hello").int(&BigUint::from(1u128 << 100)).u64(0);
+        let enc = w.finish();
+
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.int().unwrap(), BigUint::from(1u128 << 100));
+        assert_eq!(r.u64().unwrap(), 0);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.bytes(b"abc");
+        let mut enc = w.finish();
+        enc.pop();
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.bytes(), Err(DecodeError));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let mut enc = w.finish();
+        enc.push(0xff);
+        let mut r = Reader::new(&enc);
+        r.u64().unwrap();
+        assert_eq!(r.finish(), Err(DecodeError));
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let mut enc = Vec::new();
+        enc.extend_from_slice(&u64::MAX.to_be_bytes());
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.bytes(), Err(DecodeError));
+    }
+
+    #[test]
+    fn zero_is_encodable() {
+        let mut w = Writer::new();
+        w.int(&BigUint::zero());
+        let enc = w.finish();
+        let mut r = Reader::new(&enc);
+        assert!(r.int().unwrap().is_zero());
+        r.finish().unwrap();
+    }
+}

@@ -1,0 +1,185 @@
+//! Real-time double-spending detection (§5.1).
+//!
+//! "The idea is to make every peer's coin binding list globally readable.
+//! To make sure every coin owner publishes its list faithfully, a peer
+//! does not accept payment until verifying that the relevant public
+//! binding has been properly updated. Each peer constantly monitors the
+//! public bindings for the coins it currently holds, and any unexpected
+//! update can trigger appropriate actions."
+//!
+//! This module wires the protocol entities to the `whopay-dht` cluster:
+//! owners (and the broker) publish bindings under the coin's public key;
+//! payees verify grants against the public list before accepting; holders
+//! subscribe to the coins in their wallet and turn unexpected updates into
+//! double-spend alarms.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_dht::{storage, Dht, Notification, PutError, RingId, SignedRecord, SubscriberId, Writer};
+use whopay_num::BigUint;
+
+use crate::coin::{Binding, PublicBindingState};
+use crate::error::CoreError;
+use crate::messages::CoinGrant;
+use crate::peer::Peer;
+use crate::types::CoinId;
+
+/// The DHT key a coin's public binding lives under.
+pub fn binding_key(coin_pk: &BigUint) -> RingId {
+    storage::key_for_subject(coin_pk)
+}
+
+/// Publishes an owner's current binding for one coin, signing the record
+/// with the coin key (the only key the DHT's access control accepts for
+/// this id, §5.1).
+///
+/// # Errors
+///
+/// [`CoreError::NotOwner`] if the peer does not own the coin; DHT
+/// [`PutError`]s are mapped to [`CoreError::PublicBindingMismatch`] for
+/// stale writes and [`CoreError::Malformed`] otherwise.
+pub fn publish_owner_binding<R: Rng + ?Sized>(
+    peer: &Peer,
+    coin: CoinId,
+    dht: &mut Dht,
+    entry: RingId,
+    rng: &mut R,
+) -> Result<(), CoreError> {
+    let owned = peer.owned_coin(&coin).ok_or(CoreError::NotOwner(coin))?;
+    let record = signed_record_for(&owned.coin_keys, &owned.binding, peer.params().group(), rng);
+    put_record(dht, entry, record)
+}
+
+/// Reads the public binding state for a coin.
+///
+/// # Errors
+///
+/// [`CoreError::PublicBindingMissing`] if no record exists,
+/// [`CoreError::Malformed`] if it does not decode.
+pub fn read_public_state(
+    dht: &mut Dht,
+    entry: RingId,
+    coin_pk: &BigUint,
+) -> Result<PublicBindingState, CoreError> {
+    let record =
+        dht.get(entry, binding_key(coin_pk)).ok_or(CoreError::PublicBindingMissing)?;
+    Binding::decode_public_state(&record.value).map_err(|_| CoreError::Malformed)
+}
+
+/// Payee-side real-time check: "a peer does not accept payment until
+/// verifying that the relevant public binding has been properly updated."
+/// Call between receiving a grant and [`Peer::accept_grant`].
+///
+/// # Errors
+///
+/// [`CoreError::PublicBindingMissing`] or
+/// [`CoreError::PublicBindingMismatch`].
+pub fn verify_grant_published(
+    dht: &mut Dht,
+    entry: RingId,
+    grant: &CoinGrant,
+) -> Result<(), CoreError> {
+    let state = read_public_state(dht, entry, grant.minted.coin_pk())?;
+    if state.holder_pk != *grant.binding.holder_pk() || state.seq != grant.binding.seq() {
+        return Err(CoreError::PublicBindingMismatch);
+    }
+    Ok(())
+}
+
+/// Holder-side monitor: subscribes to the public bindings of held coins
+/// and raises an alarm when a binding moves while we still hold the coin.
+#[derive(Debug)]
+pub struct HoldingMonitor {
+    subscriptions: HashMap<CoinId, (SubscriberId, u64)>,
+}
+
+/// An unexpected rebinding of a coin we hold — someone (the owner, or the
+/// broker on a forged request) moved our coin: a double spend in progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoubleSpendAlarm {
+    /// The coin that moved.
+    pub coin: CoinId,
+    /// The sequence number we hold.
+    pub held_seq: u64,
+    /// The sequence number now public.
+    pub observed_seq: u64,
+}
+
+impl Default for HoldingMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HoldingMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        HoldingMonitor { subscriptions: HashMap::new() }
+    }
+
+    /// Starts watching a held coin at its current sequence number.
+    pub fn watch(&mut self, dht: &mut Dht, coin: CoinId, coin_pk: &BigUint, held_seq: u64) {
+        let sub = dht.subscribe(binding_key(coin_pk));
+        self.subscriptions.insert(coin, (sub, held_seq));
+    }
+
+    /// Stops watching (after spending or depositing the coin).
+    pub fn unwatch(&mut self, dht: &mut Dht, coin: CoinId) {
+        if let Some((sub, _)) = self.subscriptions.remove(&coin) {
+            dht.unsubscribe(sub);
+        }
+    }
+
+    /// Records that we renewed the coin (the expected seq moves up).
+    pub fn update_expected_seq(&mut self, coin: CoinId, new_seq: u64) {
+        if let Some((_, seq)) = self.subscriptions.get_mut(&coin) {
+            *seq = new_seq;
+        }
+    }
+
+    /// Drains notifications and returns alarms for coins whose public
+    /// binding moved past what we hold.
+    pub fn poll(&mut self, dht: &mut Dht) -> Vec<DoubleSpendAlarm> {
+        let mut alarms = Vec::new();
+        for (coin, (sub, held_seq)) in &self.subscriptions {
+            for Notification { record, .. } in dht.drain_notifications(*sub) {
+                if record.version > *held_seq {
+                    alarms.push(DoubleSpendAlarm {
+                        coin: *coin,
+                        held_seq: *held_seq,
+                        observed_seq: record.version,
+                    });
+                }
+            }
+        }
+        alarms
+    }
+}
+
+/// Builds the coin-key-signed DHT record for a binding.
+fn signed_record_for<R: Rng + ?Sized>(
+    coin_keys: &DsaKeyPair,
+    binding: &Binding,
+    group: &whopay_num::SchnorrGroup,
+    rng: &mut R,
+) -> SignedRecord {
+    let value = binding.public_state_bytes();
+    let msg = SignedRecord::signed_bytes(binding.coin_pk(), &value, binding.seq(), Writer::Subject);
+    SignedRecord {
+        subject: binding.coin_pk().clone(),
+        value,
+        version: binding.seq(),
+        writer: Writer::Subject,
+        signature: coin_keys.sign(group, &msg, rng),
+    }
+}
+
+fn put_record(dht: &mut Dht, entry: RingId, record: SignedRecord) -> Result<(), CoreError> {
+    match dht.put(entry, record) {
+        Ok(()) => Ok(()),
+        Err(PutError::StaleVersion { .. }) => Err(CoreError::PublicBindingMismatch),
+        Err(_) => Err(CoreError::Malformed),
+    }
+}

@@ -1,0 +1,88 @@
+//! Protocol errors.
+
+use crate::types::{CoinId, PeerId, Timestamp};
+
+/// Everything that can go wrong in a WhoPay protocol step.
+///
+/// Variants distinguish *dishonest counterparty* signals (bad signatures,
+/// stale bindings, double spends) from plain state errors (unknown coin,
+/// wrong role), because callers punish the former and merely retry or
+/// report the latter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The peer does not own the referenced coin.
+    NotOwner(CoinId),
+    /// The peer does not currently hold the referenced coin.
+    NotHolder(CoinId),
+    /// The broker or peer has no record of this coin.
+    UnknownCoin(CoinId),
+    /// A regular (DSA) signature failed verification.
+    BadSignature,
+    /// A group signature failed verification.
+    BadGroupSignature,
+    /// The ownership challenge response did not verify.
+    BadOwnershipProof,
+    /// The binding presented does not match the authoritative record —
+    /// the request is stale or a replay (the double-spend signal).
+    StaleBinding {
+        /// Sequence number the verifier has on record.
+        expected_seq: u64,
+        /// Sequence number the request presented.
+        presented_seq: u64,
+    },
+    /// The binding's holder key does not match the presented credentials.
+    HolderKeyMismatch,
+    /// The coin's binding expired and must be renewed before use.
+    Expired {
+        /// When the binding expired.
+        expired_at: Timestamp,
+    },
+    /// The coin was already deposited; this is a detected double spend.
+    DoubleSpend(CoinId),
+    /// The coin is not in circulation (never minted here, or redeemed).
+    NotCirculating(CoinId),
+    /// The public (DHT) binding disagrees with the grant being accepted —
+    /// real-time double-spending detection fired.
+    PublicBindingMismatch,
+    /// The DHT has no record where one was required.
+    PublicBindingMissing,
+    /// The peer is not registered with this broker/judge.
+    UnknownPeer(PeerId),
+    /// A layered coin exceeded its maximum layer count.
+    TooManyLayers {
+        /// The configured maximum.
+        max: usize,
+    },
+    /// A received message failed to decode.
+    Malformed,
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::NotOwner(c) => write!(f, "not the owner of {c}"),
+            CoreError::NotHolder(c) => write!(f, "not the holder of {c}"),
+            CoreError::UnknownCoin(c) => write!(f, "unknown coin {c}"),
+            CoreError::BadSignature => f.write_str("signature verification failed"),
+            CoreError::BadGroupSignature => f.write_str("group signature verification failed"),
+            CoreError::BadOwnershipProof => f.write_str("coin ownership proof failed"),
+            CoreError::StaleBinding { expected_seq, presented_seq } => write!(
+                f,
+                "stale binding: presented seq {presented_seq}, authoritative seq {expected_seq}"
+            ),
+            CoreError::HolderKeyMismatch => f.write_str("holder key does not match binding"),
+            CoreError::Expired { expired_at } => write!(f, "binding expired at {expired_at}"),
+            CoreError::DoubleSpend(c) => write!(f, "double spend detected on {c}"),
+            CoreError::NotCirculating(c) => write!(f, "coin {c} is not in circulation"),
+            CoreError::PublicBindingMismatch => {
+                f.write_str("public binding disagrees with presented binding")
+            }
+            CoreError::PublicBindingMissing => f.write_str("public binding not found in DHT"),
+            CoreError::UnknownPeer(p) => write!(f, "unregistered peer {p}"),
+            CoreError::TooManyLayers { max } => write!(f, "layered coin exceeds {max} layers"),
+            CoreError::Malformed => f.write_str("malformed message"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,252 @@
+//! PayWord micropayment aggregation over WhoPay (§7).
+//!
+//! "We can use a scheme such as PayWord to first aggregate small
+//! micropayments into bigger payments and carry out the bigger payments
+//! using WhoPay. That is, each pair of users maintains a soft credit
+//! window between themselves and only makes payments when this window
+//! reaches a threshold value."
+//!
+//! The payer commits to a hash chain (group-signed, so the commitment is
+//! anonymous but judge-openable); each sub-cent payment reveals the next
+//! payword; when the verified total crosses the threshold, one real
+//! WhoPay coin settles the window.
+
+use rand::Rng;
+use whopay_crypto::group_sig::{GroupMemberKey, GroupPublicKey, GroupSignature};
+use whopay_crypto::hashio::Transcript;
+use whopay_crypto::payword::{Payword, PaywordChain, PaywordReceiver};
+use whopay_crypto::sha256::Digest;
+use whopay_num::SchnorrGroup;
+
+use crate::error::CoreError;
+
+/// A group-signed hash-chain commitment: opens a credit window of
+/// `capacity` micropayment units with an anonymous but accountable payer.
+#[derive(Debug, Clone)]
+pub struct ChainCommitment {
+    /// PayWord chain root `w_0`.
+    pub root: Digest,
+    /// Units the chain can carry.
+    pub capacity: u64,
+    /// The payer's group signature over (root, capacity).
+    pub group_sig: GroupSignature,
+}
+
+impl ChainCommitment {
+    /// Canonical bytes the payer group-signs.
+    pub fn signed_bytes(root: &Digest, capacity: u64) -> Vec<u8> {
+        Transcript::new("whopay/micropay-commit/v1").bytes(root).u64(capacity).finish().to_vec()
+    }
+
+    /// Verifies the group signature.
+    pub fn verify(&self, group: &SchnorrGroup, gpk: &GroupPublicKey) -> bool {
+        gpk.verify(group, &Self::signed_bytes(&self.root, self.capacity), &self.group_sig)
+    }
+}
+
+/// The paying side of a micropayment window.
+#[derive(Debug)]
+pub struct MicropaySender {
+    chain: PaywordChain,
+    capacity: u64,
+}
+
+impl MicropaySender {
+    /// Opens a window of `capacity` units, producing the commitment to
+    /// send to the receiver.
+    pub fn open<R: Rng + ?Sized>(
+        group: &SchnorrGroup,
+        gpk: &GroupPublicKey,
+        gk: &GroupMemberKey,
+        capacity: u64,
+        rng: &mut R,
+    ) -> (MicropaySender, ChainCommitment) {
+        let chain = PaywordChain::generate(capacity as usize, rng);
+        let root = chain.root();
+        let group_sig = gk.sign(group, gpk, &ChainCommitment::signed_bytes(&root, capacity), rng);
+        (
+            MicropaySender { chain, capacity },
+            ChainCommitment { root, capacity, group_sig },
+        )
+    }
+
+    /// Units already spent from this window.
+    pub fn spent(&self) -> u64 {
+        self.chain.spent()
+    }
+
+    /// Remaining capacity.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.chain.spent()
+    }
+
+    /// Spends `units` more, producing the payword to send.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] if the window is exhausted or `units` is
+    /// zero.
+    pub fn pay(&mut self, units: u64) -> Result<Payword, CoreError> {
+        self.chain.spend(units).ok_or(CoreError::Malformed)
+    }
+}
+
+/// The receiving side of a micropayment window.
+#[derive(Debug)]
+pub struct MicropayReceiver {
+    receiver: PaywordReceiver,
+    /// Units per settlement (one WhoPay coin's worth).
+    threshold: u64,
+    /// Units already settled with real coins.
+    settled: u64,
+}
+
+impl MicropayReceiver {
+    /// Accepts a commitment after verifying its group signature.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadGroupSignature`] if the commitment is invalid.
+    pub fn accept(
+        group: &SchnorrGroup,
+        gpk: &GroupPublicKey,
+        commitment: &ChainCommitment,
+        threshold: u64,
+    ) -> Result<MicropayReceiver, CoreError> {
+        if threshold == 0 {
+            return Err(CoreError::Malformed);
+        }
+        if !commitment.verify(group, gpk) {
+            return Err(CoreError::BadGroupSignature);
+        }
+        Ok(MicropayReceiver {
+            receiver: PaywordReceiver::new(commitment.root),
+            threshold,
+            settled: 0,
+        })
+    }
+
+    /// Verifies one payword. Returns the newly credited units.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadSignature`] for invalid or stale paywords.
+    pub fn receive(&mut self, payword: Payword) -> Result<u64, CoreError> {
+        self.receiver.receive(payword).ok_or(CoreError::BadSignature)
+    }
+
+    /// Verified units not yet settled with a real coin.
+    pub fn outstanding(&self) -> u64 {
+        self.receiver.best().index - self.settled
+    }
+
+    /// Whether the credit window reached the settlement threshold — time
+    /// to ask the payer for a real WhoPay payment.
+    pub fn settlement_due(&self) -> bool {
+        self.outstanding() >= self.threshold
+    }
+
+    /// Records a completed WhoPay settlement of one threshold's worth.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] if nothing that large is outstanding.
+    pub fn mark_settled(&mut self) -> Result<(), CoreError> {
+        if self.outstanding() < self.threshold {
+            return Err(CoreError::Malformed);
+        }
+        self.settled += self.threshold;
+        Ok(())
+    }
+
+    /// The highest verified payword (redeemable evidence of total volume).
+    pub fn best(&self) -> Payword {
+        self.receiver.best()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whopay_crypto::group_sig::GroupManager;
+    use whopay_crypto::testing::{test_rng, tiny_group};
+
+    fn setup() -> (SchnorrGroup, GroupPublicKey, GroupMemberKey) {
+        let mut rng = test_rng(70);
+        let group = tiny_group().clone();
+        let mut judge: GroupManager<u64> = GroupManager::new(group.clone(), &mut rng);
+        let gk = judge.enroll(1, &mut rng);
+        (group, judge.public_key().clone(), gk)
+    }
+
+    #[test]
+    fn window_accumulates_and_triggers_settlement() {
+        let (group, gpk, gk) = setup();
+        let mut rng = test_rng(71);
+        let (mut sender, commitment) = MicropaySender::open(&group, &gpk, &gk, 100, &mut rng);
+        let mut receiver = MicropayReceiver::accept(&group, &gpk, &commitment, 10).unwrap();
+
+        for _ in 0..9 {
+            let pw = sender.pay(1).unwrap();
+            receiver.receive(pw).unwrap();
+            assert!(!receiver.settlement_due());
+        }
+        let pw = sender.pay(1).unwrap();
+        receiver.receive(pw).unwrap();
+        assert!(receiver.settlement_due());
+        receiver.mark_settled().unwrap();
+        assert_eq!(receiver.outstanding(), 0);
+        assert_eq!(sender.remaining(), 90);
+    }
+
+    #[test]
+    fn forged_commitment_rejected() {
+        let (group, gpk, _) = setup();
+        let mut rng = test_rng(72);
+        // A commitment signed by an unenrolled key still verifies as a
+        // group signature (membership is an open-time property), but a
+        // *tampered* commitment must not.
+        let (_, mut commitment) = {
+            let mut judge: GroupManager<u64> = GroupManager::new(group.clone(), &mut rng);
+            let rogue_gpk = judge.public_key().clone();
+            let gk = judge.enroll(9, &mut rng);
+            MicropaySender::open(&group, &rogue_gpk, &gk, 10, &mut rng)
+        };
+        commitment.capacity += 1;
+        assert!(matches!(
+            MicropayReceiver::accept(&group, &gpk, &commitment, 5),
+            Err(CoreError::BadGroupSignature)
+        ));
+    }
+
+    #[test]
+    fn stale_paywords_rejected() {
+        let (group, gpk, gk) = setup();
+        let mut rng = test_rng(73);
+        let (mut sender, commitment) = MicropaySender::open(&group, &gpk, &gk, 10, &mut rng);
+        let mut receiver = MicropayReceiver::accept(&group, &gpk, &commitment, 5).unwrap();
+        let p1 = sender.pay(2).unwrap();
+        let p2 = sender.pay(3).unwrap();
+        assert_eq!(receiver.receive(p2), Ok(5));
+        assert_eq!(receiver.receive(p1), Err(CoreError::BadSignature));
+    }
+
+    #[test]
+    fn cannot_settle_without_enough_outstanding() {
+        let (group, gpk, gk) = setup();
+        let mut rng = test_rng(74);
+        let (mut sender, commitment) = MicropaySender::open(&group, &gpk, &gk, 10, &mut rng);
+        let mut receiver = MicropayReceiver::accept(&group, &gpk, &commitment, 5).unwrap();
+        receiver.receive(sender.pay(3).unwrap()).unwrap();
+        assert_eq!(receiver.mark_settled(), Err(CoreError::Malformed));
+    }
+
+    #[test]
+    fn exhausted_window_refuses_payment() {
+        let (group, gpk, gk) = setup();
+        let mut rng = test_rng(75);
+        let (mut sender, _) = MicropaySender::open(&group, &gpk, &gk, 3, &mut rng);
+        sender.pay(3).unwrap();
+        assert_eq!(sender.pay(1), Err(CoreError::Malformed));
+    }
+}

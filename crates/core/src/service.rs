@@ -1,0 +1,304 @@
+//! Networked protocol services: WhoPay entities behind byte endpoints.
+//!
+//! The protocol objects ([`Peer`], [`Broker`]) are sans-IO; this module
+//! puts them behind `whopay-net` endpoints speaking the [`crate::wire`]
+//! encoding, so payments run over a (simulated) network with *measured*
+//! message and byte counts — the concrete counterpart of the §6.2
+//! communication cost model, and the basis of the `real message counts`
+//! ablation in `whopay-bench`.
+//!
+//! Entities are shared via `Rc<RefCell<…>>` between the test/driver code
+//! and the endpoint handler closures; the shared [`Clock`] supplies `now`
+//! to request handling.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use rand::SeedableRng;
+use whopay_net::{EndpointId, Network, RequestError};
+
+use crate::broker::Broker;
+use crate::error::CoreError;
+use crate::messages::{CoinGrant, DepositReceipt, PaymentInvite};
+use crate::peer::{Peer, PurchaseMode};
+use crate::types::{CoinId, Timestamp};
+use crate::wire::{Request, Response};
+
+/// A shared protocol clock for networked services.
+pub type Clock = Rc<Cell<Timestamp>>;
+
+/// Creates a clock starting at `t`.
+pub fn clock(t: Timestamp) -> Clock {
+    Rc::new(Cell::new(t))
+}
+
+/// Attaches a broker to the network. All broker-side operations
+/// (purchase, deposit, downtime transfer/renewal, sync) become available
+/// at the returned endpoint.
+pub fn attach_broker(
+    net: &mut Network,
+    broker: Rc<RefCell<Broker>>,
+    clock: Clock,
+    seed: u64,
+) -> EndpointId {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    net.register("broker", move |bytes: &[u8]| {
+        let now = clock.get();
+        let response = match Request::decode(bytes) {
+            Err(e) => Response::Error(e.to_string()),
+            Ok(Request::Purchase(req)) => match broker.borrow_mut().handle_purchase(&req, &mut rng) {
+                Ok(minted) => Response::Minted(minted),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Ok(Request::Deposit(req)) => match broker.borrow_mut().handle_deposit(&req, now) {
+                Ok(receipt) => Response::Receipt(receipt),
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Ok(Request::Transfer { request, downtime: true }) => {
+                match broker.borrow_mut().handle_downtime_transfer(&request, now, &mut rng) {
+                    Ok(grant) => Response::Grant(grant),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(Request::Renewal { request, downtime: true }) => {
+                match broker.borrow_mut().handle_downtime_renewal(&request, now, &mut rng) {
+                    Ok(binding) => Response::Binding(binding),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(Request::Sync { peer, challenge, response }) => {
+                match broker.borrow_mut().sync_for_owner(peer, &challenge, &response) {
+                    Ok(bindings) => Response::Bindings(bindings),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(_) => Response::Error("request not handled by the broker".into()),
+        };
+        response.encode()
+    })
+}
+
+/// Attaches a peer's *owner-side* request loop to the network: issue
+/// requests, transfers, and renewals for coins this peer owns.
+pub fn attach_peer(
+    net: &mut Network,
+    peer: Rc<RefCell<Peer>>,
+    clock: Clock,
+    seed: u64,
+) -> EndpointId {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let name = format!("peer-{}", peer.borrow().id());
+    net.register(&name, move |bytes: &[u8]| {
+        let now = clock.get();
+        let response = match Request::decode(bytes) {
+            Err(e) => Response::Error(e.to_string()),
+            Ok(Request::Issue { coin, invite }) => {
+                match peer.borrow_mut().issue_coin(coin, &invite, now, &mut rng) {
+                    Ok(grant) => Response::Grant(grant),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(Request::Transfer { request, downtime: false }) => {
+                match peer.borrow_mut().handle_transfer(request, now, &mut rng) {
+                    Ok(grant) => Response::Grant(grant),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(Request::Renewal { request, downtime: false }) => {
+                match peer.borrow_mut().handle_renewal(request, now, &mut rng) {
+                    Ok(binding) => Response::Binding(binding),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(_) => Response::Error("request not handled by a peer".into()),
+        };
+        response.encode()
+    })
+}
+
+/// Registers a plain client endpoint (for invite delivery and as the
+/// source address of requests).
+pub fn attach_client(net: &mut Network, name: &str) -> EndpointId {
+    net.register(name, |_bytes: &[u8]| Vec::new())
+}
+
+/// Errors from networked client calls.
+#[derive(Debug)]
+pub enum CallError {
+    /// The network could not deliver (offline/unknown endpoint).
+    Network(RequestError),
+    /// The remote rejected the request.
+    Remote(String),
+    /// The response did not decode or had the wrong variant.
+    Protocol(CoreError),
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Network(e) => write!(f, "network error: {e}"),
+            CallError::Remote(e) => write!(f, "remote error: {e}"),
+            CallError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+fn call(
+    net: &mut Network,
+    from: EndpointId,
+    to: EndpointId,
+    request: &Request,
+) -> Result<Response, CallError> {
+    let bytes = net.request(from, to, request.encode()).map_err(CallError::Network)?;
+    match Response::decode(&bytes).map_err(CallError::Protocol)? {
+        Response::Error(e) => Err(CallError::Remote(e)),
+        other => Ok(other),
+    }
+}
+
+/// Delivers a payment invite from the payee's endpoint to the payer's
+/// (one counted message each way; the reply is empty).
+pub fn send_invite(
+    net: &mut Network,
+    payee: EndpointId,
+    payer: EndpointId,
+    invite: &PaymentInvite,
+) -> Result<(), CallError> {
+    // Reuse the Issue frame purely as an invite container; the receiving
+    // client endpoint ignores payloads.
+    let frame = Request::Issue { coin: CoinId([0; 32]), invite: invite.clone() };
+    net.request(payee, payer, frame.encode()).map_err(CallError::Network)?;
+    Ok(())
+}
+
+/// Purchases a coin over the network.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery, rejection, or verification failure.
+pub fn purchase_via<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    peer: &mut Peer,
+    mode: PurchaseMode,
+    now: Timestamp,
+    rng: &mut R,
+) -> Result<CoinId, CallError> {
+    let (req, pending) = peer.create_purchase_request(mode, rng);
+    match call(net, me, broker_ep, &Request::Purchase(req))? {
+        Response::Minted(minted) => {
+            peer.complete_purchase(minted, pending, now, rng).map_err(CallError::Protocol)
+        }
+        _ => Err(CallError::Protocol(CoreError::Malformed)),
+    }
+}
+
+/// Requests an issue from a (shop or owner) peer endpoint and returns the
+/// grant for the local payee to accept.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection.
+pub fn request_issue_via(
+    net: &mut Network,
+    me: EndpointId,
+    owner_ep: EndpointId,
+    coin: CoinId,
+    invite: &PaymentInvite,
+) -> Result<CoinGrant, CallError> {
+    match call(net, me, owner_ep, &Request::Issue { coin, invite: invite.clone() })? {
+        Response::Grant(grant) => Ok(grant),
+        _ => Err(CallError::Protocol(CoreError::Malformed)),
+    }
+}
+
+/// Sends a transfer request to the owner (or the broker when `downtime`)
+/// and returns the grant destined for the payee.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection.
+pub fn request_transfer_via(
+    net: &mut Network,
+    me: EndpointId,
+    target_ep: EndpointId,
+    request: crate::messages::TransferRequest,
+    downtime: bool,
+) -> Result<CoinGrant, CallError> {
+    match call(net, me, target_ep, &Request::Transfer { request, downtime })? {
+        Response::Grant(grant) => Ok(grant),
+        _ => Err(CallError::Protocol(CoreError::Malformed)),
+    }
+}
+
+/// Sends a renewal request to the owner (or broker) and returns the
+/// renewed binding.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection.
+pub fn request_renewal_via(
+    net: &mut Network,
+    me: EndpointId,
+    target_ep: EndpointId,
+    request: crate::messages::RenewalRequest,
+    downtime: bool,
+) -> Result<crate::coin::Binding, CallError> {
+    match call(net, me, target_ep, &Request::Renewal { request, downtime })? {
+        Response::Binding(binding) => Ok(binding),
+        _ => Err(CallError::Protocol(CoreError::Malformed)),
+    }
+}
+
+/// Deposits a coin over the network.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection.
+pub fn deposit_via(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    request: crate::messages::DepositRequest,
+) -> Result<DepositReceipt, CallError> {
+    match call(net, me, broker_ep, &Request::Deposit(request))? {
+        Response::Receipt(receipt) => Ok(receipt),
+        _ => Err(CallError::Protocol(CoreError::Malformed)),
+    }
+}
+
+/// Proactively synchronizes a peer with the broker over the network,
+/// adopting every returned binding.
+///
+/// Returns the number of bindings adopted.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection.
+pub fn sync_via<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    peer: &mut Peer,
+    rng: &mut R,
+) -> Result<usize, CallError> {
+    let mut challenge = [0u8; 32];
+    rng.fill_bytes(&mut challenge);
+    let response = peer.sign_identity_challenge(&challenge, rng);
+    let req = Request::Sync { peer: peer.id(), challenge: challenge.to_vec(), response };
+    match call(net, me, broker_ep, &req)? {
+        Response::Bindings(bindings) => {
+            let mut adopted = 0;
+            for b in bindings {
+                if peer.adopt_broker_binding(b).map_err(CallError::Protocol)? {
+                    adopted += 1;
+                }
+            }
+            Ok(adopted)
+        }
+        _ => Err(CallError::Protocol(CoreError::Malformed)),
+    }
+}

@@ -1,0 +1,98 @@
+//! Coin shops: the second issuer-anonymity approach (§5.2).
+//!
+//! "Coin shops purchase coins from the broker, and peers purchase coins,
+//! using the issue procedure, from the coin shops. … Coin shops do not
+//! care about anonymity; they are in this business for profit, e.g., by
+//! charging a small fee for each coin issued. Peers do not own, and hence
+//! never issue coins. Peers spend coins only using the transfer
+//! procedure, which is anonymous."
+
+use rand::Rng;
+
+use crate::broker::Broker;
+use crate::error::CoreError;
+use crate::messages::{CoinGrant, PaymentInvite};
+use crate::peer::{Peer, PurchaseMode};
+use crate::types::{CoinId, Timestamp};
+
+/// A coin shop: a peer that stocks coins from the broker and issues them
+/// to anonymous buyers for a fee.
+#[derive(Debug)]
+pub struct CoinShop {
+    /// The shop is protocol-wise an ordinary peer (it owns coins and
+    /// handles their transfers/renewals). Access is public so deployments
+    /// can drive owner-side operations directly.
+    pub peer: Peer,
+    /// Fee charged per coin, in coin-value units of revenue accounting.
+    fee: u64,
+    /// Accumulated fees.
+    earnings: u64,
+}
+
+impl CoinShop {
+    /// Opens a shop around an (already enrolled and registered) peer.
+    pub fn new(peer: Peer, fee: u64) -> Self {
+        CoinShop { peer, fee, earnings: 0 }
+    }
+
+    /// The per-coin fee.
+    pub fn fee(&self) -> u64 {
+        self.fee
+    }
+
+    /// Total fees collected.
+    pub fn earnings(&self) -> u64 {
+        self.earnings
+    }
+
+    /// Coins in stock (purchased but not yet sold).
+    pub fn stock(&self) -> usize {
+        self.peer.unissued_coins().len()
+    }
+
+    /// Buys `count` coins from the broker to sell later.
+    ///
+    /// # Errors
+    ///
+    /// Propagates broker purchase errors.
+    pub fn stock_up<R: Rng + ?Sized>(
+        &mut self,
+        broker: &mut Broker,
+        count: usize,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> Result<Vec<CoinId>, CoreError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (request, pending) = self.peer.create_purchase_request(PurchaseMode::Identified, rng);
+            let minted = broker.handle_purchase(&request, rng)?;
+            out.push(self.peer.complete_purchase(minted, pending, now, rng)?);
+        }
+        Ok(out)
+    }
+
+    /// Sells one stocked coin to the anonymous buyer behind `invite`,
+    /// charging the fee. The buyer's identity never reaches the shop (the
+    /// invite is group-signed), and the buyer never touches the broker.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NotCirculating`]-style errors if the shop is out of
+    /// stock (reported as `NotOwner` of a nil coin), or invite
+    /// verification failures.
+    pub fn sell_coin<R: Rng + ?Sized>(
+        &mut self,
+        invite: &PaymentInvite,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> Result<(CoinGrant, u64), CoreError> {
+        let coin = *self
+            .peer
+            .unissued_coins()
+            .first()
+            .ok_or(CoreError::NotOwner(crate::types::CoinId([0; 32])))?;
+        let grant = self.peer.issue_coin(coin, invite, now, rng)?;
+        self.earnings += self.fee;
+        Ok((grant, self.fee))
+    }
+}

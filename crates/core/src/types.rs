@@ -1,0 +1,103 @@
+//! Shared identifiers and time for the WhoPay protocol.
+
+use std::fmt;
+
+use whopay_crypto::sha256::Sha256;
+use whopay_num::BigUint;
+
+/// A peer's registered identity (the paper's "public key certificate"
+/// identity, abstracted to an id the broker/judge registries key on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct PeerId(pub u64);
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer{}", self.0)
+    }
+}
+
+/// Protocol time in abstract seconds since an epoch. The caller supplies
+/// `now` (wall clock in deployment, simulated time in tests/experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The epoch.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// `self + seconds`.
+    pub fn plus(self, seconds: u64) -> Timestamp {
+        Timestamp(self.0 + seconds)
+    }
+
+    /// Is this timestamp strictly before `other`?
+    pub fn is_before(self, other: Timestamp) -> bool {
+        self < other
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+/// A coin's stable identifier: the hash of its public key `pkC`.
+///
+/// The coin *is* the public key; the hash is a fixed-width map key and the
+/// coin's DHT address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct CoinId(pub [u8; 32]);
+
+impl CoinId {
+    /// Derives the id from the coin public key element.
+    pub fn from_pk(pk: &BigUint) -> Self {
+        CoinId(Sha256::digest(&pk.to_be_bytes()))
+    }
+}
+
+impl fmt::Debug for CoinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "coin:")?;
+        for b in &self.0[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+impl fmt::Display for CoinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coin_id_is_stable_and_distinct() {
+        let a = CoinId::from_pk(&BigUint::from(12345u64));
+        let b = CoinId::from_pk(&BigUint::from(12345u64));
+        let c = CoinId::from_pk(&BigUint::from(54321u64));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timestamp_ordering() {
+        let t0 = Timestamp(100);
+        let t1 = t0.plus(50);
+        assert!(t0.is_before(t1));
+        assert!(!t1.is_before(t0));
+        assert_eq!(t1, Timestamp(150));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PeerId(3).to_string(), "peer3");
+        assert_eq!(Timestamp(9).to_string(), "t+9s");
+        assert!(CoinId::from_pk(&BigUint::one()).to_string().starts_with("coin:"));
+    }
+}

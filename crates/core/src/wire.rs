@@ -1,0 +1,531 @@
+//! Binary wire encoding for the WhoPay protocol messages.
+//!
+//! Everything a peer or the broker sends over the network encodes through
+//! the length-prefixed [`crate::codec`], so the protocol can run over
+//! `whopay-net`'s byte transport (see [`crate::service`]) with real
+//! message and byte accounting. Decoding is strict: trailing bytes,
+//! truncation, or unknown tags yield [`CoreError::Malformed`], never a
+//! panic — wire input is attacker-controlled by definition.
+
+use whopay_crypto::dsa::DsaSignature;
+use whopay_crypto::elgamal::ElGamalCiphertext;
+use whopay_crypto::group_sig::GroupSignature;
+use whopay_net::Handle;
+
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
+use crate::error::CoreError;
+use crate::messages::{
+    CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest,
+    RenewalRequest, TransferRequest,
+};
+use crate::types::{CoinId, PeerId, Timestamp};
+
+/// A request any WhoPay entity can receive over the wire.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Buy a coin (broker).
+    Purchase(PurchaseRequest),
+    /// Issue an owned coin to the enclosed invite (owner).
+    Issue {
+        /// The coin to issue.
+        coin: CoinId,
+        /// The payee's invite.
+        invite: PaymentInvite,
+    },
+    /// Transfer a held coin (owner, or broker when `downtime`).
+    Transfer {
+        /// The holder's signed request.
+        request: TransferRequest,
+        /// Whether this is the broker downtime path.
+        downtime: bool,
+    },
+    /// Renew a held coin (owner, or broker when `downtime`).
+    Renewal {
+        /// The holder's signed request.
+        request: RenewalRequest,
+        /// Whether this is the broker downtime path.
+        downtime: bool,
+    },
+    /// Redeem a coin (broker).
+    Deposit(DepositRequest),
+    /// Proactive synchronization (broker).
+    Sync {
+        /// The rejoining owner.
+        peer: PeerId,
+        /// Challenge bytes chosen by the peer.
+        challenge: Vec<u8>,
+        /// Identity signature over the challenge.
+        response: DsaSignature,
+    },
+}
+
+/// A response to a [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A freshly minted coin.
+    Minted(MintedCoin),
+    /// A coin grant (issue/transfer result).
+    Grant(CoinGrant),
+    /// A renewed binding.
+    Binding(Binding),
+    /// A deposit receipt.
+    Receipt(DepositReceipt),
+    /// Sync result: broker-held bindings.
+    Bindings(Vec<Binding>),
+    /// The request was refused.
+    Error(String),
+}
+
+// --- primitive helpers ---
+
+fn put_sig(w: &mut Writer, sig: &DsaSignature) {
+    w.int(sig.r()).int(sig.s());
+}
+
+fn get_sig(r: &mut Reader<'_>) -> Result<DsaSignature, DecodeError> {
+    Ok(DsaSignature::from_parts(r.int()?, r.int()?))
+}
+
+fn put_gsig(w: &mut Writer, sig: &GroupSignature) {
+    w.int(sig.ciphertext().c1())
+        .int(sig.ciphertext().c2())
+        .int(sig.challenge_scalar())
+        .int(sig.z_r())
+        .int(sig.z_x());
+}
+
+fn get_gsig(r: &mut Reader<'_>) -> Result<GroupSignature, DecodeError> {
+    let ct = ElGamalCiphertext::from_parts(r.int()?, r.int()?);
+    Ok(GroupSignature::from_parts(ct, r.int()?, r.int()?, r.int()?))
+}
+
+fn put_nonce(w: &mut Writer, nonce: &Nonce) {
+    w.bytes(nonce);
+}
+
+fn get_nonce(r: &mut Reader<'_>) -> Result<Nonce, DecodeError> {
+    let b = r.bytes()?;
+    b.try_into().map_err(|_| DecodeError)
+}
+
+fn put_owner_tag(w: &mut Writer, tag: &OwnerTag) {
+    match tag {
+        OwnerTag::Identified(p) => {
+            w.u64(0).u64(p.0);
+        }
+        OwnerTag::Anonymous => {
+            w.u64(1).u64(0);
+        }
+        OwnerTag::AnonymousWithHandle(h) => {
+            w.u64(2).bytes(&h.0);
+        }
+    }
+}
+
+fn get_owner_tag(r: &mut Reader<'_>) -> Result<OwnerTag, DecodeError> {
+    match r.u64()? {
+        0 => Ok(OwnerTag::Identified(PeerId(r.u64()?))),
+        1 => {
+            r.u64()?;
+            Ok(OwnerTag::Anonymous)
+        }
+        2 => {
+            let b = r.bytes()?;
+            let arr: [u8; 32] = b.try_into().map_err(|_| DecodeError)?;
+            Ok(OwnerTag::AnonymousWithHandle(Handle(arr)))
+        }
+        _ => Err(DecodeError),
+    }
+}
+
+fn put_minted(w: &mut Writer, m: &MintedCoin) {
+    put_owner_tag(w, m.owner());
+    w.int(m.coin_pk());
+    put_sig(w, m.broker_sig());
+}
+
+fn get_minted(r: &mut Reader<'_>) -> Result<MintedCoin, DecodeError> {
+    let owner = get_owner_tag(r)?;
+    let pk = r.int()?;
+    let sig = get_sig(r)?;
+    Ok(MintedCoin::from_parts(owner, pk, sig))
+}
+
+fn put_binding(w: &mut Writer, b: &Binding) {
+    w.int(b.coin_pk()).int(b.holder_pk()).u64(b.seq()).u64(b.expires().0);
+    w.u64(match b.signer() {
+        BindingSigner::CoinKey => 0,
+        BindingSigner::Broker => 1,
+    });
+    put_sig(w, b.raw_sig());
+}
+
+fn get_binding(r: &mut Reader<'_>) -> Result<Binding, DecodeError> {
+    let coin_pk = r.int()?;
+    let holder_pk = r.int()?;
+    let seq = r.u64()?;
+    let expires = Timestamp(r.u64()?);
+    let signer = match r.u64()? {
+        0 => BindingSigner::CoinKey,
+        1 => BindingSigner::Broker,
+        _ => return Err(DecodeError),
+    };
+    let sig = get_sig(r)?;
+    Ok(Binding::from_parts(coin_pk, holder_pk, seq, expires, signer, sig))
+}
+
+fn put_invite(w: &mut Writer, i: &PaymentInvite) {
+    w.int(&i.holder_pk);
+    put_nonce(w, &i.nonce);
+    put_gsig(w, &i.group_sig);
+}
+
+fn get_invite(r: &mut Reader<'_>) -> Result<PaymentInvite, DecodeError> {
+    Ok(PaymentInvite { holder_pk: r.int()?, nonce: get_nonce(r)?, group_sig: get_gsig(r)? })
+}
+
+fn put_grant(w: &mut Writer, g: &CoinGrant) {
+    put_minted(w, &g.minted);
+    put_binding(w, &g.binding);
+    put_sig(w, &g.ownership_proof);
+}
+
+fn get_grant(r: &mut Reader<'_>) -> Result<CoinGrant, DecodeError> {
+    Ok(CoinGrant { minted: get_minted(r)?, binding: get_binding(r)?, ownership_proof: get_sig(r)? })
+}
+
+// --- request/response encoding ---
+
+impl Request {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Request::Purchase(p) => {
+                w.u64(0);
+                put_owner_tag(&mut w, &p.owner);
+                w.int(&p.coin_pk);
+                match (&p.identity_sig, &p.group_sig) {
+                    (Some(sig), _) => {
+                        w.u64(0);
+                        put_sig(&mut w, sig);
+                    }
+                    (None, Some(gsig)) => {
+                        w.u64(1);
+                        put_gsig(&mut w, gsig);
+                    }
+                    (None, None) => {
+                        w.u64(2);
+                    }
+                }
+            }
+            Request::Issue { coin, invite } => {
+                w.u64(1).bytes(&coin.0);
+                put_invite(&mut w, invite);
+            }
+            Request::Transfer { request, downtime } => {
+                w.u64(2).u64(*downtime as u64);
+                put_binding(&mut w, &request.current);
+                w.int(&request.new_holder_pk);
+                put_nonce(&mut w, &request.nonce);
+                put_sig(&mut w, &request.holder_sig);
+                put_gsig(&mut w, &request.group_sig);
+            }
+            Request::Renewal { request, downtime } => {
+                w.u64(3).u64(*downtime as u64);
+                put_binding(&mut w, &request.current);
+                put_sig(&mut w, &request.holder_sig);
+                put_gsig(&mut w, &request.group_sig);
+            }
+            Request::Deposit(d) => {
+                w.u64(4);
+                put_minted(&mut w, &d.minted);
+                put_binding(&mut w, &d.binding);
+                put_sig(&mut w, &d.holder_sig);
+                put_gsig(&mut w, &d.group_sig);
+            }
+            Request::Sync { peer, challenge, response } => {
+                w.u64(5).u64(peer.0).bytes(challenge);
+                put_sig(&mut w, response);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] on any structural problem.
+    pub fn decode(bytes: &[u8]) -> Result<Request, CoreError> {
+        let mut r = Reader::new(bytes);
+        let req = Self::decode_inner(&mut r).map_err(|_| CoreError::Malformed)?;
+        r.finish().map_err(|_| CoreError::Malformed)?;
+        Ok(req)
+    }
+
+    fn decode_inner(r: &mut Reader<'_>) -> Result<Request, DecodeError> {
+        Ok(match r.u64()? {
+            0 => {
+                let owner = get_owner_tag(r)?;
+                let coin_pk = r.int()?;
+                let (identity_sig, group_sig) = match r.u64()? {
+                    0 => (Some(get_sig(r)?), None),
+                    1 => (None, Some(get_gsig(r)?)),
+                    2 => (None, None),
+                    _ => return Err(DecodeError),
+                };
+                Request::Purchase(PurchaseRequest { owner, coin_pk, identity_sig, group_sig })
+            }
+            1 => {
+                let id = r.bytes()?;
+                let coin = CoinId(id.try_into().map_err(|_| DecodeError)?);
+                Request::Issue { coin, invite: get_invite(r)? }
+            }
+            2 => {
+                let downtime = r.u64()? != 0;
+                let current = get_binding(r)?;
+                let new_holder_pk = r.int()?;
+                let nonce = get_nonce(r)?;
+                let holder_sig = get_sig(r)?;
+                let group_sig = get_gsig(r)?;
+                Request::Transfer {
+                    request: TransferRequest { current, new_holder_pk, nonce, holder_sig, group_sig },
+                    downtime,
+                }
+            }
+            3 => {
+                let downtime = r.u64()? != 0;
+                let current = get_binding(r)?;
+                let holder_sig = get_sig(r)?;
+                let group_sig = get_gsig(r)?;
+                Request::Renewal {
+                    request: RenewalRequest { current, holder_sig, group_sig },
+                    downtime,
+                }
+            }
+            4 => Request::Deposit(DepositRequest {
+                minted: get_minted(r)?,
+                binding: get_binding(r)?,
+                holder_sig: get_sig(r)?,
+                group_sig: get_gsig(r)?,
+            }),
+            5 => Request::Sync {
+                peer: PeerId(r.u64()?),
+                challenge: r.bytes()?.to_vec(),
+                response: get_sig(r)?,
+            },
+            _ => return Err(DecodeError),
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Response::Minted(m) => {
+                w.u64(0);
+                put_minted(&mut w, m);
+            }
+            Response::Grant(g) => {
+                w.u64(1);
+                put_grant(&mut w, g);
+            }
+            Response::Binding(b) => {
+                w.u64(2);
+                put_binding(&mut w, b);
+            }
+            Response::Receipt(rc) => {
+                w.u64(3).bytes(&rc.coin.0).u64(rc.value);
+            }
+            Response::Bindings(bs) => {
+                w.u64(4).u64(bs.len() as u64);
+                for b in bs {
+                    put_binding(&mut w, b);
+                }
+            }
+            Response::Error(e) => {
+                w.u64(5).bytes(e.as_bytes());
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a response.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] on any structural problem.
+    pub fn decode(bytes: &[u8]) -> Result<Response, CoreError> {
+        let mut r = Reader::new(bytes);
+        let resp = Self::decode_inner(&mut r).map_err(|_| CoreError::Malformed)?;
+        r.finish().map_err(|_| CoreError::Malformed)?;
+        Ok(resp)
+    }
+
+    fn decode_inner(r: &mut Reader<'_>) -> Result<Response, DecodeError> {
+        Ok(match r.u64()? {
+            0 => Response::Minted(get_minted(r)?),
+            1 => Response::Grant(get_grant(r)?),
+            2 => Response::Binding(get_binding(r)?),
+            3 => {
+                let id = r.bytes()?;
+                let coin = CoinId(id.try_into().map_err(|_| DecodeError)?);
+                Response::Receipt(DepositReceipt { coin, value: r.u64()? })
+            }
+            4 => {
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError); // refuse absurd allocations
+                }
+                let mut bs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bs.push(get_binding(r)?);
+                }
+                Response::Bindings(bs)
+            }
+            5 => Response::Error(String::from_utf8_lossy(r.bytes()?).into_owned()),
+            _ => return Err(DecodeError),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whopay_crypto::dsa::DsaKeyPair;
+    use whopay_crypto::group_sig::GroupManager;
+    use whopay_crypto::testing::{test_rng, tiny_group};
+
+    fn sample_parts() -> (MintedCoin, Binding, PaymentInvite, DsaSignature, GroupSignature) {
+        let group = tiny_group();
+        let mut rng = test_rng(55);
+        let broker = DsaKeyPair::generate(group, &mut rng);
+        let coin_keys = DsaKeyPair::generate(group, &mut rng);
+        let pk = coin_keys.public().element().clone();
+        let owner = OwnerTag::Identified(PeerId(9));
+        let mint_sig = broker.sign(group, &MintedCoin::signed_bytes(&owner, &pk), &mut rng);
+        let minted = MintedCoin::from_parts(owner, pk.clone(), mint_sig);
+
+        let holder = DsaKeyPair::generate(group, &mut rng);
+        let msg = Binding::signed_bytes(&pk, holder.public().element(), 3, Timestamp(77), BindingSigner::CoinKey);
+        let bsig = coin_keys.sign(group, &msg, &mut rng);
+        let binding = Binding::from_parts(
+            pk,
+            holder.public().element().clone(),
+            3,
+            Timestamp(77),
+            BindingSigner::CoinKey,
+            bsig,
+        );
+
+        let mut judge: GroupManager<u8> = GroupManager::new(group.clone(), &mut rng);
+        let member = judge.enroll(1, &mut rng);
+        let (invite, _session) =
+            PaymentInvite::create(group, judge.public_key(), &member, &mut rng);
+        let sig = holder.sign(group, b"x", &mut rng);
+        let gsig = member.sign(group, judge.public_key(), b"y", &mut rng);
+        (minted, binding, invite, sig, gsig)
+    }
+
+    #[test]
+    fn purchase_request_round_trips() {
+        let (_, _, _, sig, gsig) = sample_parts();
+        for (ident, grp) in [(Some(sig.clone()), None), (None, Some(gsig.clone())), (None, None)] {
+            let req = Request::Purchase(PurchaseRequest {
+                owner: OwnerTag::Anonymous,
+                coin_pk: whopay_num::BigUint::from(42u64),
+                identity_sig: ident.clone(),
+                group_sig: grp.clone(),
+            });
+            match Request::decode(&req.encode()).unwrap() {
+                Request::Purchase(p) => {
+                    assert_eq!(p.owner, OwnerTag::Anonymous);
+                    assert_eq!(p.identity_sig, ident);
+                    assert!(matches!((&p.group_sig, &grp), (Some(_), Some(_)) | (None, None)));
+                }
+                other => panic!("wrong variant {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_request_round_trips() {
+        let (_, binding, invite, sig, gsig) = sample_parts();
+        let req = Request::Transfer {
+            request: TransferRequest {
+                current: binding.clone(),
+                new_holder_pk: invite.holder_pk.clone(),
+                nonce: invite.nonce,
+                holder_sig: sig,
+                group_sig: gsig,
+            },
+            downtime: true,
+        };
+        match Request::decode(&req.encode()).unwrap() {
+            Request::Transfer { request, downtime } => {
+                assert!(downtime);
+                assert_eq!(request.current, binding);
+                assert_eq!(request.new_holder_pk, invite.holder_pk);
+                assert_eq!(request.nonce, invite.nonce);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grant_response_round_trips_and_still_verifies() {
+        let (minted, binding, invite, sig, _) = sample_parts();
+        let grant = CoinGrant { minted, binding, ownership_proof: sig };
+        let resp = Response::Grant(grant.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Grant(g) => {
+                assert_eq!(g.minted, grant.minted);
+                assert_eq!(g.binding, grant.binding);
+                assert_eq!(g.ownership_proof, grant.ownership_proof);
+                let _ = invite;
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bindings_response_round_trips() {
+        let (_, binding, _, _, _) = sample_parts();
+        let resp = Response::Bindings(vec![binding.clone(), binding.clone()]);
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Bindings(bs) => assert_eq!(bs, vec![binding.clone(), binding]),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_response_round_trips() {
+        let resp = Response::Error("stale binding".into());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Error(e) => assert_eq!(e, "stale binding"),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected_not_panicking() {
+        assert!(matches!(Request::decode(&[]), Err(CoreError::Malformed)));
+        assert!(matches!(Request::decode(&[0xff; 40]), Err(CoreError::Malformed)));
+        assert!(matches!(Response::decode(&[9, 9, 9]), Err(CoreError::Malformed)));
+        // Trailing garbage rejected.
+        let mut ok = Response::Error("x".into()).encode();
+        ok.push(0);
+        assert!(matches!(Response::decode(&ok), Err(CoreError::Malformed)));
+    }
+
+    #[test]
+    fn absurd_bindings_length_rejected() {
+        let mut w = Writer::new();
+        w.u64(4).u64(u64::MAX);
+        assert!(matches!(Response::decode(&w.finish()), Err(CoreError::Malformed)));
+    }
+}

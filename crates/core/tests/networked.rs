@@ -1,0 +1,193 @@
+//! The WhoPay protocol over the wire: entities behind byte endpoints on
+//! the simulated network, with every message encoded, decoded, and
+//! counted.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use whopay_core::service::{
+    attach_broker, attach_client, attach_peer, clock, deposit_via, purchase_via,
+    request_issue_via, request_renewal_via, request_transfer_via, send_invite, sync_via, CallError,
+};
+use whopay_core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+use whopay_crypto::testing::{test_rng, tiny_group};
+use whopay_net::Network;
+
+struct NetWorld {
+    net: Network,
+    broker: Rc<RefCell<Broker>>,
+    broker_ep: whopay_net::EndpointId,
+    owner: Rc<RefCell<Peer>>,
+    owner_ep: whopay_net::EndpointId,
+    payer: Peer,
+    payer_ep: whopay_net::EndpointId,
+    payee: Peer,
+    payee_ep: whopay_net::EndpointId,
+    clk: whopay_core::service::Clock,
+    rng: rand::rngs::StdRng,
+}
+
+fn networld(seed: u64) -> NetWorld {
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let mk = |id: u64, judge: &mut Judge, broker: &mut Broker, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            broker.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        broker.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let owner = mk(0, &mut judge, &mut broker, &mut rng);
+    let payer = mk(1, &mut judge, &mut broker, &mut rng);
+    let payee = mk(2, &mut judge, &mut broker, &mut rng);
+
+    let mut net = Network::new();
+    let clk = clock(Timestamp(0));
+    let broker = Rc::new(RefCell::new(broker));
+    let broker_ep = attach_broker(&mut net, broker.clone(), clk.clone(), 1000 + seed);
+    let owner = Rc::new(RefCell::new(owner));
+    let owner_ep = attach_peer(&mut net, owner.clone(), clk.clone(), 2000 + seed);
+    let payer_ep = attach_client(&mut net, "payer");
+    let payee_ep = attach_client(&mut net, "payee");
+    NetWorld { net, broker, broker_ep, owner, owner_ep, payer, payer_ep, payee, payee_ep, clk, rng }
+}
+
+#[test]
+fn full_lifecycle_over_the_wire() {
+    let mut w = networld(1);
+    let now = Timestamp(0);
+
+    // Owner purchases over the network.
+    let coin = {
+        let mut owner = w.owner.borrow_mut();
+        purchase_via(
+            &mut w.net,
+            w.owner_ep,
+            w.broker_ep,
+            &mut owner,
+            PurchaseMode::Identified,
+            now,
+            &mut w.rng,
+        )
+        .expect("networked purchase")
+    };
+
+    // Payer buys the coin from the owner by issue (invite travels
+    // payee→payer→owner as real bytes).
+    let (invite, session) = w.payer.begin_receive(&mut w.rng);
+    let grant = request_issue_via(&mut w.net, w.payer_ep, w.owner_ep, coin, &invite).unwrap();
+    w.payer.accept_grant(grant, session, now).unwrap();
+
+    // Payer pays payee by transfer via the owner's endpoint.
+    let (invite2, session2) = w.payee.begin_receive(&mut w.rng);
+    send_invite(&mut w.net, w.payee_ep, w.payer_ep, &invite2).unwrap();
+    let treq = w.payer.request_transfer(coin, &invite2, &mut w.rng).unwrap();
+    let grant2 = request_transfer_via(&mut w.net, w.payer_ep, w.owner_ep, treq, false).unwrap();
+    w.payee.accept_grant(grant2, session2, now).unwrap();
+    w.payer.complete_transfer(coin);
+
+    // Payee renews via the owner, then deposits at the broker.
+    w.clk.set(Timestamp(100));
+    let rreq = w.payee.request_renewal(coin, &mut w.rng).unwrap();
+    let renewed = request_renewal_via(&mut w.net, w.payee_ep, w.owner_ep, rreq, false).unwrap();
+    w.payee.apply_renewal(coin, renewed).unwrap();
+
+    let dreq = w.payee.request_deposit(coin, &mut w.rng).unwrap();
+    let receipt = deposit_via(&mut w.net, w.payee_ep, w.broker_ep, dreq).unwrap();
+    w.payee.complete_deposit(coin);
+    assert_eq!(receipt.coin, coin);
+
+    // Every leg was counted.
+    let stats = w.net.stats();
+    assert!(stats.messages >= 12, "messages {}", stats.messages);
+    assert!(stats.bytes > 1000, "bytes {}", stats.bytes);
+    assert!(w.net.endpoint_stats(w.broker_ep).messages >= 4);
+}
+
+#[test]
+fn downtime_path_over_the_wire() {
+    let mut w = networld(2);
+    let now = Timestamp(0);
+    let coin = {
+        let mut owner = w.owner.borrow_mut();
+        purchase_via(
+            &mut w.net,
+            w.owner_ep,
+            w.broker_ep,
+            &mut owner,
+            PurchaseMode::Identified,
+            now,
+            &mut w.rng,
+        )
+        .unwrap()
+    };
+    let (invite, session) = w.payer.begin_receive(&mut w.rng);
+    let grant = request_issue_via(&mut w.net, w.payer_ep, w.owner_ep, coin, &invite).unwrap();
+    w.payer.accept_grant(grant, session, now).unwrap();
+
+    // Owner goes offline: direct transfer fails at the *network* layer,
+    // the payer falls back to the broker's downtime path.
+    w.net.set_online(w.owner_ep, false);
+    let (invite2, session2) = w.payee.begin_receive(&mut w.rng);
+    let treq = w.payer.request_transfer(coin, &invite2, &mut w.rng).unwrap();
+    let direct = request_transfer_via(&mut w.net, w.payer_ep, w.owner_ep, treq.clone(), false);
+    assert!(matches!(direct, Err(CallError::Network(_))), "owner unreachable");
+    let grant2 = request_transfer_via(&mut w.net, w.payer_ep, w.broker_ep, treq, true).unwrap();
+    w.payee.accept_grant(grant2, session2, now).unwrap();
+    w.payer.complete_transfer(coin);
+
+    // Owner rejoins and syncs over the wire; exactly one binding adopted.
+    w.net.set_online(w.owner_ep, true);
+    let adopted = {
+        let mut owner = w.owner.borrow_mut();
+        sync_via(&mut w.net, w.owner_ep, w.broker_ep, &mut owner, &mut w.rng).unwrap()
+    };
+    assert_eq!(adopted, 1);
+
+    // And the owner serves the next renewal correctly.
+    let rreq = w.payee.request_renewal(coin, &mut w.rng).unwrap();
+    let renewed = request_renewal_via(&mut w.net, w.payee_ep, w.owner_ep, rreq, false).unwrap();
+    w.payee.apply_renewal(coin, renewed).unwrap();
+}
+
+#[test]
+fn remote_rejections_surface_as_remote_errors() {
+    let mut w = networld(3);
+    let now = Timestamp(0);
+    let coin = {
+        let mut owner = w.owner.borrow_mut();
+        purchase_via(
+            &mut w.net,
+            w.owner_ep,
+            w.broker_ep,
+            &mut owner,
+            PurchaseMode::Identified,
+            now,
+            &mut w.rng,
+        )
+        .unwrap()
+    };
+    let (invite, session) = w.payer.begin_receive(&mut w.rng);
+    let grant = request_issue_via(&mut w.net, w.payer_ep, w.owner_ep, coin, &invite).unwrap();
+    w.payer.accept_grant(grant, session, now).unwrap();
+
+    // Re-requesting the same issue is refused remotely (already issued).
+    let (invite2, _s2) = w.payee.begin_receive(&mut w.rng);
+    let second = request_issue_via(&mut w.net, w.payee_ep, w.owner_ep, coin, &invite2);
+    assert!(matches!(second, Err(CallError::Remote(_))), "{second:?}");
+
+    // Garbage on the wire is answered with a decode error, not a crash.
+    let raw = w.net.request(w.payer_ep, w.broker_ep, vec![0xde, 0xad]).unwrap();
+    let resp = whopay_core::wire::Response::decode(&raw).unwrap();
+    assert!(matches!(resp, whopay_core::wire::Response::Error(_)));
+
+    let _ = w.broker;
+}

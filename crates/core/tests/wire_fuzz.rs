@@ -1,0 +1,94 @@
+//! Fuzz-style property tests for the wire layer: arbitrary bytes never
+//! panic the decoder, and encode/decode is the identity on the encodable
+//! space.
+
+use proptest::prelude::*;
+use whopay_core::wire::{Request, Response};
+use whopay_core::{CoreError, PeerId, PurchaseRequest};
+use whopay_num::BigUint;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_bytes_never_panic_request_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Either a clean decode or a clean Malformed error; no panics,
+        // no absurd allocations.
+        match Request::decode(&bytes) {
+            Ok(_) | Err(CoreError::Malformed) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_response_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match Response::decode(&bytes) {
+            Ok(_) | Err(CoreError::Malformed) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_never_panic(cut in any::<prop::sample::Index>()) {
+        // Take a real frame and cut it anywhere.
+        let frame = Response::Error("some remote failure description".into()).encode();
+        let i = cut.index(frame.len());
+        match Response::decode(&frame[..i]) {
+            Ok(_) | Err(CoreError::Malformed) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_request_round_trips(peer in any::<u64>(), challenge in proptest::collection::vec(any::<u8>(), 0..64), r in any::<u64>(), s in any::<u64>()) {
+        let req = Request::Sync {
+            peer: PeerId(peer),
+            challenge: challenge.clone(),
+            response: whopay_crypto::dsa::DsaSignature::from_parts(
+                BigUint::from(r),
+                BigUint::from(s),
+            ),
+        };
+        match Request::decode(&req.encode()).unwrap() {
+            Request::Sync { peer: p2, challenge: c2, response } => {
+                prop_assert_eq!(p2, PeerId(peer));
+                prop_assert_eq!(c2, challenge);
+                prop_assert_eq!(response.r(), &BigUint::from(r));
+                prop_assert_eq!(response.s(), &BigUint::from(s));
+            }
+            other => prop_assert!(false, "wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_response_round_trips_any_string(msg in "\\PC{0,100}") {
+        let resp = Response::Error(msg.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Error(e) => prop_assert_eq!(e, msg),
+            other => prop_assert!(false, "wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn purchase_request_tag_space_is_closed(owner_kind in 0u64..3, pk in any::<u64>()) {
+        // Encode each owner mode and ensure the decoder inverts it.
+        let owner = match owner_kind {
+            0 => whopay_core::OwnerTag::Identified(PeerId(7)),
+            1 => whopay_core::OwnerTag::Anonymous,
+            _ => whopay_core::OwnerTag::AnonymousWithHandle(whopay_net::Handle([3u8; 32])),
+        };
+        let req = Request::Purchase(PurchaseRequest {
+            owner,
+            coin_pk: BigUint::from(pk),
+            identity_sig: None,
+            group_sig: None,
+        });
+        match Request::decode(&req.encode()).unwrap() {
+            Request::Purchase(p) => {
+                prop_assert_eq!(p.owner, owner);
+                prop_assert_eq!(p.coin_pk, BigUint::from(pk));
+            }
+            other => prop_assert!(false, "wrong variant {other:?}"),
+        }
+    }
+}

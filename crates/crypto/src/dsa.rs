@@ -1,0 +1,206 @@
+//! DSA signatures (FIPS 186 style) over a [`SchnorrGroup`].
+//!
+//! This is the "regular signature" scheme of the WhoPay paper: Table 2
+//! benchmarks DSA with a 1024-bit modulus. Brokers, coin owners, and coin
+//! holders all sign with DSA keys; group signatures (see
+//! [`crate::group_sig`]) are layered on top for fairness.
+
+use rand::Rng;
+use whopay_num::{BigUint, SchnorrGroup};
+
+use crate::hashio::Transcript;
+
+/// Domain label binding DSA digests to this scheme.
+const DOMAIN: &str = "whopay/dsa/v1";
+
+/// A DSA verifying key: `y = g^x mod p`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DsaPublicKey {
+    y: BigUint,
+}
+
+/// A DSA signing key (the secret scalar `x`, plus the public half).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DsaKeyPair {
+    x: BigUint,
+    public: DsaPublicKey,
+}
+
+/// A DSA signature `(r, s)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DsaSignature {
+    r: BigUint,
+    s: BigUint,
+}
+
+impl DsaSignature {
+    /// The `r` component.
+    pub fn r(&self) -> &BigUint {
+        &self.r
+    }
+
+    /// The `s` component.
+    pub fn s(&self) -> &BigUint {
+        &self.s
+    }
+
+    /// Reassembles a signature from its components (e.g. after wire
+    /// decoding). Invalid components simply fail verification.
+    pub fn from_parts(r: BigUint, s: BigUint) -> Self {
+        DsaSignature { r, s }
+    }
+}
+
+impl DsaPublicKey {
+    /// The group element `y`.
+    pub fn element(&self) -> &BigUint {
+        &self.y
+    }
+
+    /// Constructs a key from a raw group element.
+    ///
+    /// The caller is responsible for having validated membership (e.g. via
+    /// [`SchnorrGroup::is_element`]) when the element came from the network.
+    pub fn from_element(y: BigUint) -> Self {
+        DsaPublicKey { y }
+    }
+
+    /// Verifies `sig` over `message` (with optional context binding).
+    ///
+    /// ```
+    /// # use whopay_num::SchnorrGroup;
+    /// # use whopay_crypto::dsa::DsaKeyPair;
+    /// # let mut rng = rand::rng();
+    /// # let group = SchnorrGroup::generate(192, 96, &mut rng);
+    /// let kp = DsaKeyPair::generate(&group, &mut rng);
+    /// let sig = kp.sign(&group, b"pay 1 coin", &mut rng);
+    /// assert!(kp.public().verify(&group, b"pay 1 coin", &sig));
+    /// assert!(!kp.public().verify(&group, b"pay 2 coins", &sig));
+    /// ```
+    pub fn verify(&self, group: &SchnorrGroup, message: &[u8], sig: &DsaSignature) -> bool {
+        let q = group.order();
+        if sig.r.is_zero() || &sig.r >= q || sig.s.is_zero() || &sig.s >= q {
+            return false;
+        }
+        let scalar = group.scalar_ring();
+        let h = hash_message(group, message);
+        let w = match scalar.inv(&sig.s) {
+            Some(w) => w,
+            None => return false,
+        };
+        let u1 = scalar.mul(&h, &w);
+        let u2 = scalar.mul(&sig.r, &w);
+        let v = group.elem_ring().pow2(group.generator(), &u1, &self.y, &u2) % q;
+        v == sig.r
+    }
+}
+
+impl DsaKeyPair {
+    /// Generates a fresh key pair.
+    pub fn generate<R: Rng + ?Sized>(group: &SchnorrGroup, rng: &mut R) -> Self {
+        let x = group.random_scalar(rng);
+        let y = group.pow_g(&x);
+        DsaKeyPair { x, public: DsaPublicKey { y } }
+    }
+
+    /// The verifying half.
+    pub fn public(&self) -> &DsaPublicKey {
+        &self.public
+    }
+
+    /// The secret scalar (exposed for the group-signature construction and
+    /// for challenge–response ownership proofs).
+    pub fn secret(&self) -> &BigUint {
+        &self.x
+    }
+
+    /// Signs `message`.
+    pub fn sign<R: Rng + ?Sized>(&self, group: &SchnorrGroup, message: &[u8], rng: &mut R) -> DsaSignature {
+        let q = group.order();
+        let scalar = group.scalar_ring();
+        let h = hash_message(group, message);
+        loop {
+            let k = group.random_scalar(rng);
+            let r = group.pow_g(&k) % q;
+            if r.is_zero() {
+                continue;
+            }
+            // s = k^-1 (h + x r) mod q; k in [1, q) over prime q is invertible.
+            let k_inv = scalar.inv(&k).expect("k invertible mod prime q");
+            let s = scalar.mul(&k_inv, &scalar.add(&h, &scalar.mul(&self.x, &r)));
+            if s.is_zero() {
+                continue;
+            }
+            return DsaSignature { r, s };
+        }
+    }
+}
+
+/// Hashes a message to a scalar, domain-bound to DSA and these parameters.
+fn hash_message(group: &SchnorrGroup, message: &[u8]) -> BigUint {
+    Transcript::new(DOMAIN)
+        .int(group.modulus())
+        .int(group.order())
+        .bytes(message)
+        .finish_scalar(group.order())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{test_group, test_rng};
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = test_rng(1);
+        let group = test_group();
+        let kp = DsaKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, b"message", &mut rng);
+        assert!(kp.public().verify(&group, b"message", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let mut rng = test_rng(2);
+        let group = test_group();
+        let kp = DsaKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, b"message", &mut rng);
+        assert!(!kp.public().verify(&group, b"other", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let mut rng = test_rng(3);
+        let group = test_group();
+        let kp1 = DsaKeyPair::generate(&group, &mut rng);
+        let kp2 = DsaKeyPair::generate(&group, &mut rng);
+        let sig = kp1.sign(&group, b"message", &mut rng);
+        assert!(!kp2.public().verify(&group, b"message", &sig));
+    }
+
+    #[test]
+    fn rejects_out_of_range_components() {
+        let mut rng = test_rng(4);
+        let group = test_group();
+        let kp = DsaKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, b"message", &mut rng);
+        let zero_r = DsaSignature { r: BigUint::zero(), s: sig.s.clone() };
+        let zero_s = DsaSignature { r: sig.r.clone(), s: BigUint::zero() };
+        let big_r = DsaSignature { r: group.order().clone(), s: sig.s.clone() };
+        assert!(!kp.public().verify(&group, b"message", &zero_r));
+        assert!(!kp.public().verify(&group, b"message", &zero_s));
+        assert!(!kp.public().verify(&group, b"message", &big_r));
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let mut rng = test_rng(5);
+        let group = test_group();
+        let kp = DsaKeyPair::generate(&group, &mut rng);
+        let s1 = kp.sign(&group, b"m", &mut rng);
+        let s2 = kp.sign(&group, b"m", &mut rng);
+        assert_ne!(s1, s2);
+        assert!(kp.public().verify(&group, b"m", &s1));
+        assert!(kp.public().verify(&group, b"m", &s2));
+    }
+}

@@ -1,0 +1,209 @@
+//! PayWord hash chains (Rivest–Shamir), the micropayment aggregation
+//! primitive the paper proposes layering on WhoPay (§7).
+//!
+//! A payer commits to the root `w_0 = H^n(w_n)` of a hash chain; the `i`-th
+//! micropayment reveals `w_i` with `H^i(w_i) = w_0`. The payee can verify
+//! each payword with `i` hashes (or one hash incrementally) and later
+//! redeem the *highest* payword it holds for `i` units, aggregating many
+//! tiny payments into one redemption.
+
+use rand::Rng;
+
+use crate::sha256::{Digest, Sha256};
+
+/// The payer's side of a PayWord chain: the full chain, kept secret beyond
+/// the already-spent prefix.
+#[derive(Debug, Clone)]
+pub struct PaywordChain {
+    /// `chain[i] = w_i`, so `chain[0]` is the public root commitment.
+    chain: Vec<Digest>,
+    /// Next unspent index.
+    next: usize,
+}
+
+/// A single revealed payword: proof of cumulative payment of `index` units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Payword {
+    /// Cumulative amount this payword is worth.
+    pub index: u64,
+    /// The chain value `w_index`.
+    pub word: Digest,
+}
+
+impl PaywordChain {
+    /// Generates a chain supporting `capacity` one-unit payments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn generate<R: Rng + ?Sized>(capacity: usize, rng: &mut R) -> Self {
+        assert!(capacity > 0, "chain must support at least one payment");
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        // Build from the tail: w_n = H(seed), w_{i-1} = H(w_i).
+        let mut chain = vec![[0u8; 32]; capacity + 1];
+        chain[capacity] = Sha256::digest(&seed);
+        for i in (0..capacity).rev() {
+            chain[i] = Sha256::digest(&chain[i + 1]);
+        }
+        PaywordChain { chain, next: 1 }
+    }
+
+    /// The public root commitment `w_0` (to be signed by the payer and sent
+    /// to the payee before the first micropayment).
+    pub fn root(&self) -> Digest {
+        self.chain[0]
+    }
+
+    /// Total one-unit payments the chain supports.
+    pub fn capacity(&self) -> usize {
+        self.chain.len() - 1
+    }
+
+    /// Units already spent.
+    pub fn spent(&self) -> u64 {
+        (self.next - 1) as u64
+    }
+
+    /// Spends `units` more, returning the payword proving the new
+    /// cumulative total, or `None` if the chain is exhausted.
+    pub fn spend(&mut self, units: u64) -> Option<Payword> {
+        let target = self.next - 1 + units as usize;
+        if units == 0 || target > self.capacity() {
+            return None;
+        }
+        self.next = target + 1;
+        Some(Payword { index: target as u64, word: self.chain[target] })
+    }
+}
+
+/// The payee's side: tracks the best payword seen for one payer chain.
+#[derive(Debug, Clone)]
+pub struct PaywordReceiver {
+    root: Digest,
+    /// Highest verified payword so far (starts at the zero-value root).
+    best: Payword,
+}
+
+impl PaywordReceiver {
+    /// Accepts a (payer-signed, at the protocol layer) root commitment.
+    pub fn new(root: Digest) -> Self {
+        PaywordReceiver { root, best: Payword { index: 0, word: root } }
+    }
+
+    /// Verifies and records a payword. Returns the *newly received* units
+    /// (`payword.index - previous best`), or `None` if the payword is
+    /// invalid or not an improvement.
+    ///
+    /// Verification is incremental: hashing from the new word down to the
+    /// best already-verified word, so a stream of `k`-unit payments costs
+    /// `k` hashes each, not `index` hashes.
+    pub fn receive(&mut self, payword: Payword) -> Option<u64> {
+        if payword.index <= self.best.index {
+            return None;
+        }
+        let steps = payword.index - self.best.index;
+        let mut cur = payword.word;
+        for _ in 0..steps {
+            cur = Sha256::digest(&cur);
+        }
+        if cur != self.best.word {
+            return None;
+        }
+        let gained = payword.index - self.best.index;
+        self.best = payword;
+        Some(gained)
+    }
+
+    /// The root this receiver verifies against.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// The highest verified payword — what the payee redeems with the
+    /// broker (worth `best().index` units in one aggregate settlement).
+    pub fn best(&self) -> Payword {
+        self.best
+    }
+}
+
+/// Stand-alone verification: does `payword` prove `payword.index` units
+/// against `root`? Costs `index` hashes.
+pub fn verify_payword(root: &Digest, payword: &Payword) -> bool {
+    let mut cur = payword.word;
+    for _ in 0..payword.index {
+        cur = Sha256::digest(&cur);
+    }
+    cur == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_rng;
+
+    #[test]
+    fn spend_and_verify_sequence() {
+        let mut rng = test_rng(50);
+        let mut chain = PaywordChain::generate(10, &mut rng);
+        let mut recv = PaywordReceiver::new(chain.root());
+        for expected in 1..=10u64 {
+            let pw = chain.spend(1).unwrap();
+            assert_eq!(pw.index, expected);
+            assert!(verify_payword(&recv.root(), &pw));
+            assert_eq!(recv.receive(pw), Some(1));
+        }
+        assert_eq!(chain.spend(1), None, "chain exhausted");
+        assert_eq!(recv.best().index, 10);
+    }
+
+    #[test]
+    fn multi_unit_spend() {
+        let mut rng = test_rng(51);
+        let mut chain = PaywordChain::generate(100, &mut rng);
+        let mut recv = PaywordReceiver::new(chain.root());
+        assert_eq!(recv.receive(chain.spend(30).unwrap()), Some(30));
+        assert_eq!(recv.receive(chain.spend(70).unwrap()), Some(70));
+        assert_eq!(chain.spend(1), None);
+        assert_eq!(recv.best().index, 100);
+    }
+
+    #[test]
+    fn replayed_or_stale_paywords_rejected() {
+        let mut rng = test_rng(52);
+        let mut chain = PaywordChain::generate(5, &mut rng);
+        let mut recv = PaywordReceiver::new(chain.root());
+        let p1 = chain.spend(1).unwrap();
+        let p2 = chain.spend(1).unwrap();
+        assert_eq!(recv.receive(p2), Some(2));
+        assert_eq!(recv.receive(p1), None, "stale payword");
+        assert_eq!(recv.receive(p2), None, "replay");
+    }
+
+    #[test]
+    fn forged_paywords_rejected() {
+        let mut rng = test_rng(53);
+        let chain = PaywordChain::generate(5, &mut rng);
+        let mut recv = PaywordReceiver::new(chain.root());
+        let forged = Payword { index: 3, word: [0xab; 32] };
+        assert_eq!(recv.receive(forged), None);
+        assert!(!verify_payword(&chain.root(), &forged));
+    }
+
+    #[test]
+    fn chains_are_distinct() {
+        let mut rng = test_rng(54);
+        let c1 = PaywordChain::generate(5, &mut rng);
+        let c2 = PaywordChain::generate(5, &mut rng);
+        assert_ne!(c1.root(), c2.root());
+    }
+
+    #[test]
+    fn zero_or_overdraft_spend_rejected() {
+        let mut rng = test_rng(55);
+        let mut chain = PaywordChain::generate(3, &mut rng);
+        assert_eq!(chain.spend(0), None);
+        assert_eq!(chain.spend(4), None);
+        assert!(chain.spend(3).is_some());
+    }
+}

@@ -1,0 +1,160 @@
+//! Schnorr signatures over a [`SchnorrGroup`].
+//!
+//! WhoPay represents coins as public keys; the *coin key* signatures that
+//! prove holdership are plain discrete-log signatures. We provide Schnorr
+//! alongside DSA because the group-signature construction
+//! ([`crate::group_sig`]) is itself a Schnorr-style proof, and because the
+//! ablation benches compare the two.
+
+use rand::Rng;
+use whopay_num::{BigUint, SchnorrGroup};
+
+use crate::hashio::Transcript;
+
+/// Domain label binding Schnorr challenges to this scheme.
+const DOMAIN: &str = "whopay/schnorr/v1";
+
+/// A Schnorr verifying key `y = g^x mod p`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SchnorrPublicKey {
+    y: BigUint,
+}
+
+/// A Schnorr signing key.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SchnorrKeyPair {
+    x: BigUint,
+    public: SchnorrPublicKey,
+}
+
+/// A Schnorr signature `(e, s)` with `e = H(g^k || m)` and `s = k + x·e`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SchnorrSignature {
+    e: BigUint,
+    s: BigUint,
+}
+
+impl SchnorrPublicKey {
+    /// The group element `y`.
+    pub fn element(&self) -> &BigUint {
+        &self.y
+    }
+
+    /// Constructs a key from a raw group element (caller validates
+    /// membership for untrusted inputs).
+    pub fn from_element(y: BigUint) -> Self {
+        SchnorrPublicKey { y }
+    }
+
+    /// Verifies `sig` over `message`.
+    ///
+    /// ```
+    /// # use whopay_num::SchnorrGroup;
+    /// # use whopay_crypto::schnorr::SchnorrKeyPair;
+    /// # let mut rng = rand::rng();
+    /// # let group = SchnorrGroup::generate(192, 96, &mut rng);
+    /// let kp = SchnorrKeyPair::generate(&group, &mut rng);
+    /// let sig = kp.sign(&group, b"bind coin", &mut rng);
+    /// assert!(kp.public().verify(&group, b"bind coin", &sig));
+    /// ```
+    pub fn verify(&self, group: &SchnorrGroup, message: &[u8], sig: &SchnorrSignature) -> bool {
+        let q = group.order();
+        if &sig.e >= q || &sig.s >= q {
+            return false;
+        }
+        // R' = g^s * y^{-e}; accept iff H(R' || m) == e.
+        let elem = group.elem_ring();
+        let scalar = group.scalar_ring();
+        let neg_e = scalar.neg(&sig.e);
+        let r = elem.pow2(group.generator(), &sig.s, &self.y, &neg_e);
+        challenge(group, &self.y, &r, message) == sig.e
+    }
+}
+
+impl SchnorrKeyPair {
+    /// Generates a fresh key pair.
+    pub fn generate<R: Rng + ?Sized>(group: &SchnorrGroup, rng: &mut R) -> Self {
+        let x = group.random_scalar(rng);
+        let y = group.pow_g(&x);
+        SchnorrKeyPair { x, public: SchnorrPublicKey { y } }
+    }
+
+    /// The verifying half.
+    pub fn public(&self) -> &SchnorrPublicKey {
+        &self.public
+    }
+
+    /// The secret scalar.
+    pub fn secret(&self) -> &BigUint {
+        &self.x
+    }
+
+    /// Signs `message`.
+    pub fn sign<R: Rng + ?Sized>(&self, group: &SchnorrGroup, message: &[u8], rng: &mut R) -> SchnorrSignature {
+        let scalar = group.scalar_ring();
+        let k = group.random_scalar(rng);
+        let r = group.pow_g(&k);
+        let e = challenge(group, &self.public.y, &r, message);
+        let s = scalar.add(&k, &scalar.mul(&self.x, &e));
+        SchnorrSignature { e, s }
+    }
+}
+
+/// Fiat–Shamir challenge `H(params || y || R || m) mod q`.
+fn challenge(group: &SchnorrGroup, y: &BigUint, r: &BigUint, message: &[u8]) -> BigUint {
+    Transcript::new(DOMAIN)
+        .int(group.modulus())
+        .int(y)
+        .int(r)
+        .bytes(message)
+        .finish_scalar(group.order())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{test_group, test_rng};
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = test_rng(10);
+        let group = test_group();
+        let kp = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, b"coin binding", &mut rng);
+        assert!(kp.public().verify(&group, b"coin binding", &sig));
+        assert!(!kp.public().verify(&group, b"forged", &sig));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let mut rng = test_rng(11);
+        let group = test_group();
+        let kp1 = SchnorrKeyPair::generate(&group, &mut rng);
+        let kp2 = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = kp1.sign(&group, b"m", &mut rng);
+        assert!(!kp2.public().verify(&group, b"m", &sig));
+    }
+
+    #[test]
+    fn signature_components_bound_by_q() {
+        let mut rng = test_rng(12);
+        let group = test_group();
+        let kp = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = kp.sign(&group, b"m", &mut rng);
+        let bad = SchnorrSignature { e: group.order().clone(), s: sig.s.clone() };
+        assert!(!kp.public().verify(&group, b"m", &bad));
+    }
+
+    #[test]
+    fn key_binding_prevents_cross_key_replay() {
+        // The challenge includes y, so the same (e, s) cannot verify under a
+        // different key even when messages collide.
+        let mut rng = test_rng(13);
+        let group = test_group();
+        let kp1 = SchnorrKeyPair::generate(&group, &mut rng);
+        let kp2 = SchnorrKeyPair::generate(&group, &mut rng);
+        let sig = kp1.sign(&group, b"m", &mut rng);
+        assert!(kp1.public().verify(&group, b"m", &sig));
+        assert!(!kp2.public().verify(&group, b"m", &sig));
+    }
+}

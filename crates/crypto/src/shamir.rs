@@ -1,0 +1,207 @@
+//! Shamir secret sharing over a prime field.
+//!
+//! The paper (§3.2) notes that the judge's master private key "can be
+//! divided among N judges using Shamir's secret sharing protocol and at
+//! least K judges are needed in order to recover the key". This module
+//! implements exactly that: splitting a scalar in `Z_q` into `n` shares
+//! with threshold `k`, and Lagrange recovery at zero.
+
+use rand::Rng;
+use whopay_num::{BigUint, ModRing};
+
+/// One share of a split secret: the evaluation `(x, y = f(x))`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Share {
+    x: u64,
+    y: BigUint,
+}
+
+impl Share {
+    /// The share index (nonzero).
+    pub fn index(&self) -> u64 {
+        self.x
+    }
+
+    /// The share value.
+    pub fn value(&self) -> &BigUint {
+        &self.y
+    }
+}
+
+/// Errors from share recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShamirError {
+    /// Fewer shares than the scheme needs to interpolate anything.
+    NotEnoughShares,
+    /// Two shares claim the same index.
+    DuplicateIndex(u64),
+}
+
+impl std::fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShamirError::NotEnoughShares => f.write_str("not enough shares to recover the secret"),
+            ShamirError::DuplicateIndex(i) => write!(f, "duplicate share index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+/// Splits `secret` (reduced mod `q`) into `n` shares with threshold `k`.
+///
+/// Any `k` distinct shares recover the secret; `k - 1` reveal nothing
+/// (information-theoretically).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `k > n`, or `n >= q` (share indices must be distinct
+/// nonzero field elements).
+///
+/// # Examples
+///
+/// ```
+/// use whopay_num::BigUint;
+/// use whopay_crypto::shamir;
+///
+/// let q = BigUint::from(2147483647u64); // prime
+/// let secret = BigUint::from(123456789u64);
+/// let shares = shamir::split(&secret, 3, 5, &q, &mut rand::rng());
+/// let recovered = shamir::recover(&shares[1..4], 3, &q).unwrap();
+/// assert_eq!(recovered, secret);
+/// ```
+pub fn split<R: Rng + ?Sized>(
+    secret: &BigUint,
+    k: usize,
+    n: usize,
+    q: &BigUint,
+    rng: &mut R,
+) -> Vec<Share> {
+    assert!(k > 0 && k <= n, "threshold must satisfy 1 <= k <= n");
+    assert!(&BigUint::from(n as u64) < q, "too many shares for the field");
+    let ring = ModRing::new(q.clone());
+    // f(x) = secret + a1 x + ... + a_{k-1} x^{k-1}
+    let mut coeffs = vec![ring.reduce(secret)];
+    for _ in 1..k {
+        coeffs.push(ring.random(rng));
+    }
+    (1..=n as u64)
+        .map(|x| {
+            // Horner evaluation at x.
+            let xv = BigUint::from(x);
+            let mut acc = BigUint::zero();
+            for c in coeffs.iter().rev() {
+                acc = ring.add(&ring.mul(&acc, &xv), c);
+            }
+            Share { x, y: acc }
+        })
+        .collect()
+}
+
+/// Recovers the secret from at least `k` distinct shares by Lagrange
+/// interpolation at zero.
+///
+/// # Errors
+///
+/// Returns [`ShamirError::NotEnoughShares`] if fewer than `k` shares are
+/// given, or [`ShamirError::DuplicateIndex`] on repeated indices. Supplying
+/// `k` *wrong-but-distinct* shares yields a wrong secret, not an error —
+/// Shamir sharing has no built-in integrity; callers needing verifiability
+/// should compare `g^recovered` against the known public key.
+pub fn recover(shares: &[Share], k: usize, q: &BigUint) -> Result<BigUint, ShamirError> {
+    if shares.len() < k {
+        return Err(ShamirError::NotEnoughShares);
+    }
+    let shares = &shares[..k];
+    for (i, s) in shares.iter().enumerate() {
+        if shares[..i].iter().any(|t| t.x == s.x) {
+            return Err(ShamirError::DuplicateIndex(s.x));
+        }
+    }
+    let ring = ModRing::new(q.clone());
+    let mut secret = BigUint::zero();
+    for (i, si) in shares.iter().enumerate() {
+        // Lagrange basis at 0: prod_{j != i} x_j / (x_j - x_i)
+        let mut num = BigUint::one();
+        let mut den = BigUint::one();
+        let xi = BigUint::from(si.x);
+        for (j, sj) in shares.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let xj = BigUint::from(sj.x);
+            num = ring.mul(&num, &xj);
+            den = ring.mul(&den, &ring.sub(&xj, &xi));
+        }
+        let basis = ring.mul(&num, &ring.inv(&den).expect("distinct indices in prime field"));
+        secret = ring.add(&secret, &ring.mul(&si.y, &basis));
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_rng;
+
+    fn q() -> BigUint {
+        // 2^61 - 1, a Mersenne prime: plenty for index arithmetic.
+        (BigUint::one() << 61) - BigUint::one()
+    }
+
+    #[test]
+    fn any_k_of_n_recover() {
+        let mut rng = test_rng(40);
+        let secret = BigUint::from(0xdead_beefu64);
+        let shares = split(&secret, 3, 5, &q(), &mut rng);
+        assert_eq!(shares.len(), 5);
+        // Try several 3-subsets.
+        for subset in [[0, 1, 2], [2, 3, 4], [0, 2, 4], [1, 3, 4]] {
+            let picked: Vec<Share> = subset.iter().map(|&i| shares[i].clone()).collect();
+            assert_eq!(recover(&picked, 3, &q()).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn fewer_than_k_fails() {
+        let mut rng = test_rng(41);
+        let shares = split(&BigUint::from(7u64), 3, 5, &q(), &mut rng);
+        assert_eq!(recover(&shares[..2], 3, &q()), Err(ShamirError::NotEnoughShares));
+    }
+
+    #[test]
+    fn k_minus_one_shares_plus_wrong_guess_do_not_recover() {
+        let mut rng = test_rng(42);
+        let secret = BigUint::from(99u64);
+        let mut shares = split(&secret, 3, 5, &q(), &mut rng);
+        // Corrupt the third share.
+        shares[2] = Share { x: shares[2].x, y: ModRing::new(q()).add(&shares[2].y, &BigUint::one()) };
+        assert_ne!(recover(&shares[..3], 3, &q()).unwrap(), secret);
+    }
+
+    #[test]
+    fn duplicate_indices_rejected() {
+        let mut rng = test_rng(43);
+        let shares = split(&BigUint::from(7u64), 2, 3, &q(), &mut rng);
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert_eq!(recover(&dup, 2, &q()), Err(ShamirError::DuplicateIndex(shares[0].x)));
+    }
+
+    #[test]
+    fn threshold_one_is_the_secret_in_every_share() {
+        let mut rng = test_rng(44);
+        let secret = BigUint::from(5u64);
+        let shares = split(&secret, 1, 4, &q(), &mut rng);
+        for s in &shares {
+            assert_eq!(recover(std::slice::from_ref(s), 1, &q()).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn secret_reduced_mod_q() {
+        let mut rng = test_rng(45);
+        let big_secret = &q() + &BigUint::from(3u64);
+        let shares = split(&big_secret, 2, 2, &q(), &mut rng);
+        assert_eq!(recover(&shares, 2, &q()).unwrap(), BigUint::from(3u64));
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for tests, examples, and benchmarks.
+//!
+//! Protocol tests across the workspace need Schnorr-group parameters;
+//! generating them is by far the slowest part of a test, so this module
+//! generates small (insecure, fast) parameters once per process and shares
+//! them. Production-strength parameters come from
+//! [`SchnorrGroup::generate`] with 1024/160 or larger.
+
+use std::sync::OnceLock;
+
+use rand::SeedableRng;
+use whopay_num::SchnorrGroup;
+
+/// A deterministic RNG for reproducible tests and simulations.
+pub fn test_rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// A process-wide cached 192/96-bit Schnorr group.
+///
+/// Far too small to be secure; exactly right for exercising protocol logic
+/// quickly and deterministically.
+pub fn tiny_group() -> &'static SchnorrGroup {
+    static GROUP: OnceLock<SchnorrGroup> = OnceLock::new();
+    GROUP.get_or_init(|| SchnorrGroup::generate(192, 96, &mut test_rng(0xC0FFEE)))
+}
+
+/// A process-wide cached 512/160-bit Schnorr group: big enough that element
+/// encodings look realistic, still fast to generate.
+pub fn small_group() -> &'static SchnorrGroup {
+    static GROUP: OnceLock<SchnorrGroup> = OnceLock::new();
+    GROUP.get_or_init(|| SchnorrGroup::generate(512, 160, &mut test_rng(0xBEEF)))
+}

@@ -1,0 +1,166 @@
+//! 160-bit ring identifiers (Chord-style).
+
+use std::fmt;
+
+use whopay_crypto::sha256::Sha256;
+
+/// Number of bits in the identifier ring (Chord's `m`; SHA-1-sized like the
+/// original Chord paper, derived here from truncated SHA-256).
+pub const ID_BITS: usize = 160;
+
+/// A point on the 160-bit identifier circle.
+///
+/// Both node identifiers and storage keys live on the same ring; a key is
+/// stored at its *successor*, the first node clockwise from it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RingId(pub [u8; 20]);
+
+impl RingId {
+    /// The zero identifier.
+    pub const ZERO: RingId = RingId([0; 20]);
+
+    /// Hashes arbitrary bytes onto the ring.
+    pub fn hash(data: &[u8]) -> Self {
+        let digest = Sha256::digest(data);
+        let mut id = [0u8; 20];
+        id.copy_from_slice(&digest[..20]);
+        RingId(id)
+    }
+
+    /// A uniformly random identifier.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut id = [0u8; 20];
+        rng.fill_bytes(&mut id);
+        RingId(id)
+    }
+
+    /// `self + 2^k (mod 2^160)` — the start of finger interval `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 160`.
+    pub fn finger_start(&self, k: usize) -> RingId {
+        assert!(k < ID_BITS);
+        let mut out = self.0;
+        // Add 2^k: set bit k counting from the least significant bit, which
+        // lives in byte 19 - k/8.
+        let byte = 19 - k / 8;
+        let mut carry = 1u16 << (k % 8);
+        let mut i = byte as isize;
+        while carry != 0 && i >= 0 {
+            let sum = out[i as usize] as u16 + carry;
+            out[i as usize] = sum as u8;
+            carry = sum >> 8;
+            i -= 1;
+        }
+        RingId(out)
+    }
+
+    /// Is `self` in the half-open ring interval `(from, to]`?
+    ///
+    /// Ring intervals wrap: if `from == to` the interval is the full circle
+    /// (every id qualifies), matching Chord's successor semantics.
+    pub fn in_interval_open_closed(&self, from: &RingId, to: &RingId) -> bool {
+        if from == to {
+            return true;
+        }
+        if from < to {
+            self > from && self <= to
+        } else {
+            self > from || self <= to
+        }
+    }
+
+    /// Is `self` in the open ring interval `(from, to)`?
+    pub fn in_interval_open(&self, from: &RingId, to: &RingId) -> bool {
+        if from == to {
+            return self != from;
+        }
+        if from < to {
+            self > from && self < to
+        } else {
+            self > from || self < to
+        }
+    }
+}
+
+impl fmt::Debug for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+impl fmt::Display for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(bytes: &[u8]) -> RingId {
+        let mut v = [0u8; 20];
+        v[20 - bytes.len()..].copy_from_slice(bytes);
+        RingId(v)
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spread() {
+        assert_eq!(RingId::hash(b"x"), RingId::hash(b"x"));
+        assert_ne!(RingId::hash(b"x"), RingId::hash(b"y"));
+    }
+
+    #[test]
+    fn finger_start_adds_powers_of_two() {
+        let base = id(&[0]);
+        assert_eq!(base.finger_start(0), id(&[1]));
+        assert_eq!(base.finger_start(3), id(&[8]));
+        assert_eq!(base.finger_start(8), id(&[1, 0]));
+    }
+
+    #[test]
+    fn finger_start_wraps_around() {
+        let max = RingId([0xff; 20]);
+        assert_eq!(max.finger_start(0), RingId::ZERO);
+    }
+
+    #[test]
+    fn finger_start_carries_across_bytes() {
+        let mut v = [0u8; 20];
+        v[19] = 0xff;
+        assert_eq!(RingId(v).finger_start(0), id(&[1, 0]));
+    }
+
+    #[test]
+    fn intervals_without_wrap() {
+        let (a, b, c) = (id(&[10]), id(&[20]), id(&[30]));
+        assert!(b.in_interval_open_closed(&a, &c));
+        assert!(c.in_interval_open_closed(&a, &c), "closed at the top");
+        assert!(!a.in_interval_open_closed(&a, &c), "open at the bottom");
+        assert!(!id(&[40]).in_interval_open_closed(&a, &c));
+        assert!(b.in_interval_open(&a, &c));
+        assert!(!c.in_interval_open(&a, &c));
+    }
+
+    #[test]
+    fn intervals_with_wrap() {
+        let (hi, lo) = (id(&[200]), id(&[10]));
+        assert!(id(&[250]).in_interval_open_closed(&hi, &lo));
+        assert!(id(&[5]).in_interval_open_closed(&hi, &lo));
+        assert!(!id(&[100]).in_interval_open_closed(&hi, &lo));
+    }
+
+    #[test]
+    fn degenerate_interval_is_full_circle() {
+        let a = id(&[7]);
+        assert!(id(&[99]).in_interval_open_closed(&a, &a));
+        assert!(a.in_interval_open_closed(&a, &a));
+        assert!(!a.in_interval_open(&a, &a));
+        assert!(id(&[99]).in_interval_open(&a, &a));
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! A Chord-style distributed hash table for WhoPay's real-time
+//! double-spending detection.
+//!
+//! The paper's extension (§5.1) publishes every coin owner's binding list
+//! in "a trusted, access-controlled DHT infrastructure": anyone can read a
+//! coin's current binding, only the coin's key holder (or the broker) can
+//! write it, and peers can register to be notified when a binding they
+//! care about changes. Payees refuse payment until the public binding is
+//! updated; holders monitor the bindings of coins they hold, so a
+//! double-spend is visible the moment the owner rebinds a coin.
+//!
+//! This crate implements that infrastructure from scratch:
+//!
+//! * [`RingId`] — the 160-bit Chord identifier circle;
+//! * [`SignedRecord`] / [`storage`] — records keyed by public key, with
+//!   the paper's exact write rule (subject-key signature, or broker
+//!   override) enforced cryptographically;
+//! * [`Dht`] — the cluster: successor lists, finger tables, O(log n)
+//!   iterative lookups with measured hop counts, configurable replication,
+//!   graceful leave and crash-with-repair churn, and a register/notify
+//!   subscription mechanism (the role Bayeux/Scribe play in the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use whopay_crypto::{dsa::DsaKeyPair, testing};
+//! use whopay_dht::{storage, Dht, DhtConfig, RingId, SignedRecord, Writer};
+//!
+//! # fn main() -> Result<(), whopay_dht::PutError> {
+//! let group = testing::tiny_group();
+//! let mut rng = testing::test_rng(1);
+//! let broker = DsaKeyPair::generate(group, &mut rng);
+//! let mut dht = Dht::new(group.clone(), broker.public().clone(), DhtConfig::default());
+//! for _ in 0..16 {
+//!     dht.join(RingId::random(&mut rng));
+//! }
+//!
+//! // A coin owner publishes a binding under its coin key.
+//! let coin = DsaKeyPair::generate(group, &mut rng);
+//! let subject = coin.public().element().clone();
+//! let msg = SignedRecord::signed_bytes(&subject, b"binding v1", 1, Writer::Subject);
+//! let record = SignedRecord {
+//!     subject: subject.clone(),
+//!     value: b"binding v1".to_vec(),
+//!     version: 1,
+//!     writer: Writer::Subject,
+//!     signature: coin.sign(group, &msg, &mut rng),
+//! };
+//! let entry = dht.node_ids()[0];
+//! dht.put(entry, record)?;
+//!
+//! let read = dht.get(entry, storage::key_for_subject(&subject)).expect("just stored");
+//! assert_eq!(read.value, b"binding v1");
+//! # Ok(())
+//! # }
+//! ```
+
+mod cluster;
+mod id;
+pub mod storage;
+
+pub use cluster::{Dht, DhtConfig, DhtStats, Notification, PutError, SubscriberId};
+pub use id::{RingId, ID_BITS};
+pub use storage::{SignedRecord, Writer};

@@ -1,0 +1,179 @@
+//! Churn stress and ring-math property tests for the DHT.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::testing::tiny_group;
+use whopay_dht::{storage, Dht, DhtConfig, RingId, SignedRecord, Writer};
+
+fn rng_from(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn record_for(owner: &DsaKeyPair, value: &[u8], version: u64, rng: &mut rand::rngs::StdRng) -> SignedRecord {
+    let group = tiny_group();
+    let subject = owner.public().element().clone();
+    let msg = SignedRecord::signed_bytes(&subject, value, version, Writer::Subject);
+    SignedRecord {
+        subject,
+        value: value.to_vec(),
+        version,
+        writer: Writer::Subject,
+        signature: owner.sign(group, &msg, rng),
+    }
+}
+
+#[test]
+fn survives_random_churn_with_replication() {
+    // 20 records, replication 3; apply 40 random churn events (join,
+    // graceful leave, crash) keeping >= 6 nodes; all records must survive
+    // (crashes never remove more than replication-1 copies between
+    // stabilizations because stabilize runs after every event here).
+    let group = tiny_group();
+    let mut rng = rng_from(99);
+    let broker = DsaKeyPair::generate(group, &mut rng);
+    let mut dht = Dht::new(group.clone(), broker.public().clone(), DhtConfig { replication: 3, successor_list: 4 });
+    for _ in 0..12 {
+        dht.join(RingId::random(&mut rng));
+    }
+
+    let owners: Vec<DsaKeyPair> = (0..20).map(|_| DsaKeyPair::generate(group, &mut rng)).collect();
+    let entry = dht.node_ids()[0];
+    for (i, owner) in owners.iter().enumerate() {
+        let rec = record_for(owner, format!("value-{i}").as_bytes(), 1, &mut rng);
+        dht.put(entry, rec).unwrap();
+    }
+
+    for step in 0..40 {
+        let ids = dht.node_ids();
+        let action = rand::RngExt::random_range(&mut rng, 0..3u8);
+        match action {
+            0 => dht.join(RingId::random(&mut rng)),
+            1 if ids.len() > 6 => {
+                let victim = ids[rand::RngExt::random_range(&mut rng, 0..ids.len())];
+                dht.leave(victim);
+            }
+            _ if ids.len() > 6 => {
+                let victim = ids[rand::RngExt::random_range(&mut rng, 0..ids.len())];
+                dht.crash(victim);
+            }
+            _ => dht.join(RingId::random(&mut rng)),
+        }
+        // Every record stays readable after every event.
+        for (i, owner) in owners.iter().enumerate() {
+            let key = storage::key_for_subject(owner.public().element());
+            let got = dht.get_any(key).unwrap_or_else(|| panic!("record {i} lost at step {step}"));
+            assert_eq!(got.value, format!("value-{i}").as_bytes());
+        }
+    }
+    assert!(dht.stats().mean_hops() < 10.0);
+}
+
+#[test]
+fn updates_keep_winning_after_churn() {
+    // Interleave version bumps with churn; the latest version must always
+    // be the visible one.
+    let group = tiny_group();
+    let mut rng = rng_from(7);
+    let broker = DsaKeyPair::generate(group, &mut rng);
+    let mut dht = Dht::new(group.clone(), broker.public().clone(), DhtConfig::default());
+    for _ in 0..10 {
+        dht.join(RingId::random(&mut rng));
+    }
+    let owner = DsaKeyPair::generate(group, &mut rng);
+    let key = storage::key_for_subject(owner.public().element());
+
+    for version in 1..=15u64 {
+        let entry = dht.node_ids()[0];
+        let rec = record_for(&owner, format!("v{version}").as_bytes(), version, &mut rng);
+        dht.put(entry, rec).unwrap();
+        match version % 3 {
+            0 => dht.join(RingId::random(&mut rng)),
+            1 => {
+                let ids = dht.node_ids();
+                if ids.len() > 5 {
+                    dht.crash(ids[ids.len() / 2]);
+                }
+            }
+            _ => {}
+        }
+        let got = dht.get_any(key).expect("readable");
+        assert_eq!(got.version, version);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn responsibility_is_unique_and_routing_agrees(
+        seed in any::<u64>(),
+        n_nodes in 2usize..24,
+        key_seed in any::<u64>(),
+    ) {
+        let group = tiny_group();
+        let mut rng = rng_from(seed);
+        let broker = DsaKeyPair::generate(group, &mut rng);
+        let mut dht = Dht::new(group.clone(), broker.public().clone(), DhtConfig::default());
+        for _ in 0..n_nodes {
+            dht.join(RingId::random(&mut rng));
+        }
+        let mut krng = rng_from(key_seed);
+        let key = RingId::random(&mut krng);
+        let responsible = dht.responsible_for(key).unwrap();
+        // Routing from every entry node lands on the same responsible node.
+        for entry in dht.node_ids() {
+            let (via_route, hops) = dht.lookup_from(entry, key).unwrap();
+            prop_assert_eq!(via_route, responsible);
+            prop_assert!(hops <= n_nodes, "hops {} for {} nodes", hops, n_nodes);
+        }
+        // The replica set starts at the responsible node and is distinct.
+        let replicas = dht.replica_set(&key);
+        prop_assert_eq!(replicas[0], responsible);
+        let mut dedup = replicas.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), replicas.len());
+    }
+
+    #[test]
+    fn interval_membership_is_rotation_invariant(a in any::<[u8; 20]>(), b in any::<[u8; 20]>(), x in any::<[u8; 20]>(), shift in any::<u8>()) {
+        // Adding the same constant (mod 2^160) to all three points must
+        // not change interval membership — the defining property of ring
+        // arithmetic. finger_start provides the addition.
+        let (a, b, x) = (RingId(a), RingId(b), RingId(x));
+        let rot = |id: RingId| {
+            let mut out = id;
+            for bit in 0..8 {
+                if shift >> bit & 1 == 1 {
+                    out = out.finger_start(bit as usize);
+                }
+            }
+            out
+        };
+        prop_assert_eq!(
+            x.in_interval_open_closed(&a, &b),
+            rot(x).in_interval_open_closed(&rot(a), &rot(b))
+        );
+        prop_assert_eq!(
+            x.in_interval_open(&a, &b),
+            rot(x).in_interval_open(&rot(a), &rot(b))
+        );
+    }
+
+    #[test]
+    fn every_point_is_in_exactly_one_arc(nodes in proptest::collection::btree_set(any::<[u8; 20]>(), 2..12), x in any::<[u8; 20]>()) {
+        // Partition property: the arcs (pred, node] for consecutive ring
+        // nodes cover each point exactly once.
+        let ids: Vec<RingId> = nodes.into_iter().map(RingId).collect();
+        let x = RingId(x);
+        let mut containing = 0;
+        for i in 0..ids.len() {
+            let pred = ids[(i + ids.len() - 1) % ids.len()];
+            let node = ids[i];
+            if x.in_interval_open_closed(&pred, &node) {
+                containing += 1;
+            }
+        }
+        prop_assert_eq!(containing, 1);
+    }
+}

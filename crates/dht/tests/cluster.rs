@@ -1,0 +1,260 @@
+//! Cluster-level tests: routing, replication, churn, access control,
+//! notify.
+
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::testing::{test_rng, tiny_group};
+use whopay_dht::{storage, Dht, DhtConfig, PutError, RingId, SignedRecord, Writer};
+use whopay_num::BigUint;
+
+struct Fixture {
+    dht: Dht,
+    broker: DsaKeyPair,
+    rng: rand::rngs::StdRng,
+}
+
+fn fixture(nodes: usize, config: DhtConfig, seed: u64) -> Fixture {
+    let group = tiny_group();
+    let mut rng = test_rng(seed);
+    let broker = DsaKeyPair::generate(group, &mut rng);
+    let mut dht = Dht::new(group.clone(), broker.public().clone(), config);
+    for _ in 0..nodes {
+        dht.join(RingId::random(&mut rng));
+    }
+    Fixture { dht, broker, rng }
+}
+
+fn record_for(
+    owner: &DsaKeyPair,
+    value: &[u8],
+    version: u64,
+    rng: &mut rand::rngs::StdRng,
+) -> SignedRecord {
+    let group = tiny_group();
+    let subject = owner.public().element().clone();
+    let msg = SignedRecord::signed_bytes(&subject, value, version, Writer::Subject);
+    SignedRecord {
+        subject,
+        value: value.to_vec(),
+        version,
+        writer: Writer::Subject,
+        signature: owner.sign(group, &msg, rng),
+    }
+}
+
+fn broker_record_for(
+    subject: &BigUint,
+    broker: &DsaKeyPair,
+    value: &[u8],
+    version: u64,
+    rng: &mut rand::rngs::StdRng,
+) -> SignedRecord {
+    let group = tiny_group();
+    let msg = SignedRecord::signed_bytes(subject, value, version, Writer::Broker);
+    SignedRecord {
+        subject: subject.clone(),
+        value: value.to_vec(),
+        version,
+        writer: Writer::Broker,
+        signature: broker.sign(group, &msg, rng),
+    }
+}
+
+#[test]
+fn put_get_round_trip_from_every_entry_node() {
+    let mut f = fixture(12, DhtConfig::default(), 1);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let rec = record_for(&owner, b"binding", 1, &mut f.rng);
+    let key = rec.key();
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, rec).unwrap();
+    for entry in f.dht.node_ids() {
+        let got = f.dht.get(entry, key).expect("readable from every node");
+        assert_eq!(got.value, b"binding");
+    }
+}
+
+#[test]
+fn lookup_hops_scale_logarithmically() {
+    let mut f = fixture(64, DhtConfig::default(), 2);
+    let ids = f.dht.node_ids();
+    for i in 0..200 {
+        let key = RingId::hash(format!("key-{i}").as_bytes());
+        let entry = ids[i % ids.len()];
+        let (responsible, _) = f.dht.lookup_from(entry, key).unwrap();
+        assert_eq!(Some(responsible), f.dht.responsible_for(key), "routing agrees with ring math");
+    }
+    let mean = f.dht.stats().mean_hops();
+    // log2(64) = 6; allow generous slack but catch O(n) walks.
+    assert!(mean <= 8.0, "mean hops {mean} too high for 64 nodes");
+    assert!(mean >= 1.0, "mean hops {mean} suspiciously low");
+}
+
+#[test]
+fn version_monotonicity_enforced() {
+    let mut f = fixture(8, DhtConfig::default(), 3);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, record_for(&owner, b"v2", 2, &mut f.rng)).unwrap();
+    // Same version: rejected.
+    let stale_same = f.dht.put(entry, record_for(&owner, b"v2b", 2, &mut f.rng));
+    assert_eq!(stale_same, Err(PutError::StaleVersion { current: 2 }));
+    // Lower version: rejected.
+    let stale_lower = f.dht.put(entry, record_for(&owner, b"v1", 1, &mut f.rng));
+    assert_eq!(stale_lower, Err(PutError::StaleVersion { current: 2 }));
+    // Higher version: accepted.
+    f.dht.put(entry, record_for(&owner, b"v3", 3, &mut f.rng)).unwrap();
+    let key = storage::key_for_subject(owner.public().element());
+    assert_eq!(f.dht.get(entry, key).unwrap().value, b"v3");
+}
+
+#[test]
+fn forged_writes_rejected_by_access_control() {
+    let mut f = fixture(8, DhtConfig::default(), 4);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let mallory = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let entry = f.dht.node_ids()[0];
+
+    // Mallory writes under the owner's subject with her own signature.
+    let subject = owner.public().element().clone();
+    let msg = SignedRecord::signed_bytes(&subject, b"stolen", 5, Writer::Subject);
+    let forged = SignedRecord {
+        subject,
+        value: b"stolen".to_vec(),
+        version: 5,
+        writer: Writer::Subject,
+        signature: mallory.sign(tiny_group(), &msg, &mut f.rng),
+    };
+    assert_eq!(f.dht.put(entry, forged), Err(PutError::BadSignature));
+    assert_eq!(f.dht.stats().rejected_puts, 1);
+}
+
+#[test]
+fn broker_can_override_any_key() {
+    let mut f = fixture(8, DhtConfig::default(), 5);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, record_for(&owner, b"owner-write", 1, &mut f.rng)).unwrap();
+
+    let subject = owner.public().element().clone();
+    let broker = f.broker.clone();
+    let rec = broker_record_for(&subject, &broker, b"broker-write", 2, &mut f.rng);
+    f.dht.put(entry, rec).unwrap();
+    let key = storage::key_for_subject(&subject);
+    assert_eq!(f.dht.get(entry, key).unwrap().value, b"broker-write");
+}
+
+#[test]
+fn graceful_leave_preserves_data_even_without_replication() {
+    let mut f = fixture(10, DhtConfig { replication: 1, successor_list: 2 }, 6);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let rec = record_for(&owner, b"precious", 1, &mut f.rng);
+    let key = rec.key();
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, rec).unwrap();
+
+    // The node holding the record leaves gracefully.
+    let holder = f.dht.responsible_for(key).unwrap();
+    f.dht.leave(holder);
+    assert!(f.dht.get_any(key).is_some(), "record survived handoff");
+}
+
+#[test]
+fn crash_is_tolerated_with_replication() {
+    let mut f = fixture(10, DhtConfig { replication: 3, successor_list: 4 }, 7);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let rec = record_for(&owner, b"replicated", 1, &mut f.rng);
+    let key = rec.key();
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, rec).unwrap();
+
+    let holder = f.dht.responsible_for(key).unwrap();
+    f.dht.crash(holder);
+    let got = f.dht.get_any(key).expect("replicas repaired the record");
+    assert_eq!(got.value, b"replicated");
+}
+
+#[test]
+fn crash_without_replication_loses_data() {
+    // Negative control: replication factor 1 + crash = loss. This pins the
+    // semantics that make the replication config meaningful.
+    let mut f = fixture(10, DhtConfig { replication: 1, successor_list: 2 }, 8);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let rec = record_for(&owner, b"fragile", 1, &mut f.rng);
+    let key = rec.key();
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, rec).unwrap();
+
+    let holder = f.dht.responsible_for(key).unwrap();
+    f.dht.crash(holder);
+    assert!(f.dht.get_any(key).is_none(), "unreplicated record is gone");
+}
+
+#[test]
+fn notifications_fire_on_update() {
+    let mut f = fixture(8, DhtConfig::default(), 9);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let key = storage::key_for_subject(owner.public().element());
+    let sub = f.dht.subscribe(key);
+    let entry = f.dht.node_ids()[0];
+
+    f.dht.put(entry, record_for(&owner, b"v1", 1, &mut f.rng)).unwrap();
+    f.dht.put(entry, record_for(&owner, b"v2", 2, &mut f.rng)).unwrap();
+    let notes = f.dht.drain_notifications(sub);
+    assert_eq!(notes.len(), 2);
+    assert_eq!(notes[0].record.value, b"v1");
+    assert_eq!(notes[1].record.value, b"v2");
+    assert!(f.dht.drain_notifications(sub).is_empty(), "drained");
+
+    f.dht.unsubscribe(sub);
+    f.dht.put(entry, record_for(&owner, b"v3", 3, &mut f.rng)).unwrap();
+    assert!(f.dht.drain_notifications(sub).is_empty(), "no notifications after unsubscribe");
+}
+
+#[test]
+fn rejected_puts_do_not_notify() {
+    let mut f = fixture(8, DhtConfig::default(), 10);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let key = storage::key_for_subject(owner.public().element());
+    let sub = f.dht.subscribe(key);
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, record_for(&owner, b"v1", 1, &mut f.rng)).unwrap();
+    let _ = f.dht.drain_notifications(sub);
+    // Stale write: no notification.
+    let _ = f.dht.put(entry, record_for(&owner, b"v1b", 1, &mut f.rng));
+    assert!(f.dht.drain_notifications(sub).is_empty());
+}
+
+#[test]
+fn data_rebalances_when_responsibility_shifts() {
+    let mut f = fixture(4, DhtConfig::default(), 11);
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let rec = record_for(&owner, b"moves", 1, &mut f.rng);
+    let key = rec.key();
+    let entry = f.dht.node_ids()[0];
+    f.dht.put(entry, rec).unwrap();
+
+    // Join many nodes; one of them may take over the key.
+    for _ in 0..28 {
+        let id = RingId::random(&mut f.rng);
+        f.dht.join(id);
+    }
+    let responsible = f.dht.responsible_for(key).unwrap();
+    let got = f.dht.get(responsible, key).expect("still readable after rebalancing");
+    assert_eq!(got.value, b"moves");
+    // And the route from anywhere agrees.
+    for entry in f.dht.node_ids().into_iter().take(5) {
+        assert_eq!(f.dht.lookup_from(entry, key).unwrap().0, responsible);
+    }
+}
+
+#[test]
+fn empty_cluster_rejects_operations() {
+    let group = tiny_group();
+    let mut rng = test_rng(12);
+    let broker = DsaKeyPair::generate(group, &mut rng);
+    let mut dht = Dht::new(group.clone(), broker.public().clone(), DhtConfig::default());
+    let owner = DsaKeyPair::generate(group, &mut rng);
+    let rec = record_for(&owner, b"v", 1, &mut rng);
+    assert_eq!(dht.put(RingId::ZERO, rec), Err(PutError::EmptyCluster));
+    assert!(dht.responsible_for(RingId::ZERO).is_none());
+}

@@ -1,0 +1,205 @@
+//! Spending policies (§6.1) and synchronization strategies.
+
+/// A payment method the policy engine can choose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaymentMethod {
+    /// Transfer a held coin whose owner is online, via the owner.
+    TransferOnline,
+    /// Transfer a held coin whose owner is offline, via the broker.
+    TransferOffline,
+    /// Issue a self-held owned coin.
+    IssueExisting,
+    /// Purchase a new coin from the broker and issue it.
+    PurchaseAndIssue,
+    /// Deposit a held offline coin, then purchase and issue a new one
+    /// (policy III's conversion of offline coins into fresh owned coins).
+    DepositThenPurchaseAndIssue,
+}
+
+/// The spending policies of §6.1.
+///
+/// Policies I ("user-centric") and III ("broker-centric") are specified in
+/// the paper. Policy II is only described as "the middle ground" with no
+/// preference order given (and its results were omitted as "less
+/// interesting"), so we define the two missing quadrants as II.a and II.b.
+///
+/// Policies I and III differ along two axes: *when* to deal with offline
+/// coins (before or after issuing one's own) and *how* (broker transfer
+/// vs. deposit-and-repurchase). The four quadrants:
+///
+/// | | broker transfer | deposit + repurchase |
+/// |---|---|---|
+/// | offline coins first | **I** | **II.b** |
+/// | own coins first | **II.a** | **III** |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// User-centric: get rid of received coins as fast as possible.
+    /// Order: transfer online → transfer offline via broker → issue
+    /// existing → purchase and issue.
+    I,
+    /// Middle ground, variant a: transfer online → issue existing →
+    /// transfer offline via broker → purchase and issue.
+    IIa,
+    /// Middle ground, variant b: transfer online → deposit an offline
+    /// coin and purchase+issue (if one is held) → issue existing →
+    /// purchase and issue.
+    IIb,
+    /// Broker-centric: avoid the broker; deposit offline coins and buy
+    /// fresh ones. Order: transfer online → issue existing →
+    /// deposit-then-purchase (if an offline coin is held) → purchase and
+    /// issue.
+    III,
+}
+
+impl Policy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::I => "policy I",
+            Policy::IIa => "policy II.a",
+            Policy::IIb => "policy II.b",
+            Policy::III => "policy III",
+        }
+    }
+
+    /// Chooses the payment method given what the payer has available.
+    ///
+    /// `has_online_coin` / `has_offline_coin` describe the wallet;
+    /// `has_unissued_coin` describes self-held owned coins. Purchase is
+    /// always possible, so a method is always returned.
+    pub fn choose(
+        self,
+        has_online_coin: bool,
+        has_offline_coin: bool,
+        has_unissued_coin: bool,
+    ) -> PaymentMethod {
+        use PaymentMethod::*;
+        if has_online_coin {
+            return TransferOnline;
+        }
+        match self {
+            Policy::I => {
+                if has_offline_coin {
+                    TransferOffline
+                } else if has_unissued_coin {
+                    IssueExisting
+                } else {
+                    PurchaseAndIssue
+                }
+            }
+            Policy::IIa => {
+                if has_unissued_coin {
+                    IssueExisting
+                } else if has_offline_coin {
+                    TransferOffline
+                } else {
+                    PurchaseAndIssue
+                }
+            }
+            Policy::IIb => {
+                if has_offline_coin {
+                    DepositThenPurchaseAndIssue
+                } else if has_unissued_coin {
+                    IssueExisting
+                } else {
+                    PurchaseAndIssue
+                }
+            }
+            Policy::III => {
+                if has_unissued_coin {
+                    IssueExisting
+                } else if has_offline_coin {
+                    DepositThenPurchaseAndIssue
+                } else {
+                    PurchaseAndIssue
+                }
+            }
+        }
+    }
+}
+
+/// How owners resynchronize after downtime (§5.2 / §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncStrategy {
+    /// Synchronize with the broker on every rejoin.
+    Proactive,
+    /// Check the public binding list only when a request arrives.
+    Lazy,
+}
+
+impl SyncStrategy {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SyncStrategy::Proactive => "proactive sync",
+            SyncStrategy::Lazy => "lazy sync",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PaymentMethod::*;
+
+    #[test]
+    fn online_transfer_always_first() {
+        for p in [Policy::I, Policy::IIa, Policy::IIb, Policy::III] {
+            assert_eq!(p.choose(true, true, true), TransferOnline, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn policy_i_prefers_shedding_offline_coins_via_broker() {
+        assert_eq!(Policy::I.choose(false, true, true), TransferOffline);
+        assert_eq!(Policy::I.choose(false, false, true), IssueExisting);
+        assert_eq!(Policy::I.choose(false, false, false), PurchaseAndIssue);
+    }
+
+    #[test]
+    fn policy_iii_converts_offline_coins_by_deposit() {
+        assert_eq!(Policy::III.choose(false, true, true), IssueExisting);
+        assert_eq!(Policy::III.choose(false, true, false), DepositThenPurchaseAndIssue);
+        assert_eq!(Policy::III.choose(false, false, false), PurchaseAndIssue);
+    }
+
+    #[test]
+    fn middle_policies_interleave() {
+        assert_eq!(Policy::IIa.choose(false, true, true), IssueExisting);
+        assert_eq!(Policy::IIa.choose(false, true, false), TransferOffline);
+        assert_eq!(Policy::IIb.choose(false, true, true), DepositThenPurchaseAndIssue);
+        assert_eq!(Policy::IIb.choose(false, false, true), IssueExisting);
+    }
+
+    #[test]
+    fn four_policies_are_pairwise_distinct() {
+        // The quadrant table: each policy behaves differently on at least
+        // one wallet state.
+        let policies = [Policy::I, Policy::IIa, Policy::IIb, Policy::III];
+        for (i, a) in policies.iter().enumerate() {
+            for b in &policies[i + 1..] {
+                let mut differs = false;
+                for offline in [true, false] {
+                    for unissued in [true, false] {
+                        if a.choose(false, offline, unissued) != b.choose(false, offline, unissued) {
+                            differs = true;
+                        }
+                    }
+                }
+                assert!(differs, "{a:?} and {b:?} are indistinguishable");
+            }
+        }
+    }
+
+    #[test]
+    fn iii_never_uses_broker_transfer() {
+        for online in [false] {
+            for offline in [true, false] {
+                for unissued in [true, false] {
+                    let m = Policy::III.choose(online, offline, unissued);
+                    assert_ne!(m, TransferOffline);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Shape tests: the paper's qualitative claims about Figures 2–11,
+//! checked on scaled-down sweeps (200 peers, 4 simulated days) so they
+//! run in test time. EXPERIMENTS.md records the full-scale numbers.
+
+use whopay_eval::config::SimConfig;
+use whopay_eval::{loadsim, MicroWeights, Op, Policy, RunResult, SyncStrategy};
+use whopay_sim::SimTime;
+
+/// A scaled-down Setup A sweep at ν = 2 h.
+fn mini_sweep(policy: Policy, sync: SyncStrategy) -> Vec<(f64, RunResult)> {
+    [15u64, 60, 240, 960, 1920]
+        .into_iter()
+        .map(|mu_min| {
+            let mut cfg = SimConfig::paper_defaults(policy, sync);
+            cfg.n_peers = 200;
+            cfg.horizon = SimTime::from_days(4);
+            cfg.mu = SimTime::from_mins(mu_min);
+            let r = loadsim::run(&cfg);
+            (mu_min as f64 / 60.0, r)
+        })
+        .collect()
+}
+
+fn series(sweep: &[(f64, RunResult)], op: Op) -> Vec<u64> {
+    sweep.iter().map(|(_, r)| r.counts.get(op)).collect()
+}
+
+fn strictly_increasing(v: &[u64]) -> bool {
+    v.windows(2).all(|w| w[0] < w[1])
+}
+
+fn strictly_decreasing(v: &[u64]) -> bool {
+    v.windows(2).all(|w| w[0] > w[1])
+}
+
+fn rises_then_falls(v: &[u64]) -> bool {
+    let peak = v.iter().enumerate().max_by_key(|(_, &x)| x).map(|(i, _)| i).unwrap();
+    peak > 0 && peak < v.len() - 1
+}
+
+#[test]
+fn fig2_shapes_policy_i_proactive() {
+    let sweep = mini_sweep(Policy::I, SyncStrategy::Proactive);
+    assert!(
+        strictly_increasing(&series(&sweep, Op::Purchase)),
+        "purchases rise with availability: {:?}",
+        series(&sweep, Op::Purchase)
+    );
+    assert!(
+        strictly_decreasing(&series(&sweep, Op::Sync)),
+        "syncs fall with availability: {:?}",
+        series(&sweep, Op::Sync)
+    );
+    assert!(
+        rises_then_falls(&series(&sweep, Op::DowntimeTransfer)),
+        "downtime transfers rise then fall: {:?}",
+        series(&sweep, Op::DowntimeTransfer)
+    );
+    assert!(
+        rises_then_falls(&series(&sweep, Op::DowntimeRenewal)),
+        "downtime renewals rise then fall: {:?}",
+        series(&sweep, Op::DowntimeRenewal)
+    );
+}
+
+#[test]
+fn fig4_transfers_dominate_and_peer_load_rises() {
+    let sweep = mini_sweep(Policy::I, SyncStrategy::Proactive);
+    let w = MicroWeights::TABLE3;
+    let peer_loads: Vec<f64> = sweep.iter().map(|(_, r)| r.peer_cpu_avg(w)).collect();
+    assert!(
+        peer_loads.windows(2).all(|x| x[0] < x[1]),
+        "average peer load rises with availability: {peer_loads:?}"
+    );
+    for (_, r) in &sweep[1..] {
+        let transfers = r.counts.get(Op::Transfer);
+        for op in [Op::Purchase, Op::Issue, Op::Renewal, Op::DowntimeTransfer, Op::DowntimeRenewal] {
+            assert!(transfers >= r.counts.get(op), "transfers dominate: {op:?}");
+        }
+    }
+}
+
+#[test]
+fn fig6_lazy_sync_cuts_broker_load_at_every_point() {
+    let pro = mini_sweep(Policy::I, SyncStrategy::Proactive);
+    let lazy = mini_sweep(Policy::I, SyncStrategy::Lazy);
+    let w = MicroWeights::TABLE3;
+    for ((mu, p), (_, l)) in pro.iter().zip(&lazy) {
+        assert!(
+            l.broker_cpu(w) < p.broker_cpu(w),
+            "lazy < proactive at mu={mu}: {} vs {}",
+            l.broker_cpu(w),
+            p.broker_cpu(w)
+        );
+    }
+}
+
+#[test]
+fn fig8_ratio_falls_about_an_order_of_magnitude_per_decade() {
+    let sweep = mini_sweep(Policy::I, SyncStrategy::Proactive);
+    let w = MicroWeights::TABLE3;
+    let first = sweep.first().unwrap().1.cpu_ratio(w);
+    let last = sweep.last().unwrap().1.cpu_ratio(w);
+    assert!(first > 10.0 * last, "ratio collapses with availability: {first} → {last}");
+}
+
+#[test]
+fn fig10_broker_share_is_flat_in_system_size() {
+    let w = MicroWeights::TABLE3;
+    let shares: Vec<f64> = [50usize, 100, 200, 400]
+        .into_iter()
+        .map(|n| {
+            let mut cfg = SimConfig::paper_defaults(Policy::I, SyncStrategy::Proactive);
+            cfg.n_peers = n;
+            cfg.horizon = SimTime::from_days(4);
+            loadsim::run(&cfg).broker_cpu_share(w)
+        })
+        .collect();
+    let (min, max) =
+        shares.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+    assert!(max - min < 0.02, "share band is narrow: {shares:?}");
+    assert!(max < 0.10, "broker handles well under 10%: {shares:?}");
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Deterministic in-memory networking for the WhoPay reproduction.
+//!
+//! The paper evaluates WhoPay by simulation, and its protocols are plain
+//! request/response exchanges between peers, the broker, and the judge.
+//! This crate provides the substrate those protocols run on:
+//!
+//! * [`Network`] — an in-memory message fabric with registered
+//!   endpoints, per-endpoint and global traffic accounting
+//!   ([`TrafficStats`]), online/offline churn control, and deterministic
+//!   delivery. Protocol code is written sans-IO (handlers consume a request
+//!   and produce a response); the fabric counts every message and byte so
+//!   experiments can report communication load measured from the *real*
+//!   protocol implementation, not just the paper's per-op constants.
+//! * [`indirection`] — an i3-style trigger/forwarding table used by the
+//!   owner-anonymous coin extension (§5.2, approach 3): owners register
+//!   triggers on opaque handles; payers send to the handle and cannot tell
+//!   the owner from a forwarder.
+//!
+//! # Example
+//!
+//! ```
+//! use whopay_net::Network;
+//!
+//! let mut net = Network::new();
+//! let echo = net.register("echo", |req: &[u8]| {
+//!     let mut out = b"echo: ".to_vec();
+//!     out.extend_from_slice(req);
+//!     out
+//! });
+//! let client = net.register("client", |_req: &[u8]| Vec::new());
+//! let reply = net.request(client, echo, b"hi".to_vec()).unwrap();
+//! assert_eq!(reply, b"echo: hi");
+//! assert_eq!(net.stats().messages, 2); // request + response
+//! ```
+
+pub mod indirection;
+mod network;
+mod stats;
+
+pub use indirection::{Handle, IndirectionLayer};
+pub use network::{EndpointId, Network, RequestError};
+pub use stats::TrafficStats;

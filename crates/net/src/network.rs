@@ -1,0 +1,342 @@
+//! The in-memory request/response fabric.
+
+use std::fmt;
+
+use crate::stats::TrafficStats;
+
+/// Identifies a registered endpoint on a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct EndpointId(u64);
+
+impl EndpointId {
+    /// The raw numeric id.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Why a request could not be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// No endpoint with that id exists.
+    UnknownEndpoint(EndpointId),
+    /// The target endpoint is currently offline (peer churn).
+    Offline(EndpointId),
+    /// The target is already handling a request on this call stack —
+    /// a protocol cycle (e.g. an owner transferring through itself).
+    ReentrantCall(EndpointId),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::UnknownEndpoint(id) => write!(f, "unknown endpoint {id}"),
+            RequestError::Offline(id) => write!(f, "endpoint {id} is offline"),
+            RequestError::ReentrantCall(id) => write!(f, "re-entrant request to endpoint {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// A request handler: consumes the request payload, may issue nested
+/// requests through the network it is handed, and produces a response.
+pub type Handler = Box<dyn FnMut(&mut Network, &[u8]) -> Vec<u8>>;
+
+struct EndpointSlot {
+    name: String,
+    online: bool,
+    /// `None` while the handler is executing (re-entrancy guard).
+    handler: Option<Handler>,
+    sent: TrafficStats,
+    received: TrafficStats,
+}
+
+/// A deterministic in-memory message fabric.
+///
+/// Endpoints register a handler; [`Network::request`] synchronously routes
+/// a request to the target's handler and returns its response, counting
+/// both directions in the traffic statistics. Handlers receive `&mut
+/// Network` and may issue nested requests (the fabric temporarily parks the
+/// running handler, so cycles are detected rather than deadlocking).
+pub struct Network {
+    endpoints: Vec<EndpointSlot>,
+    global: TrafficStats,
+    /// Extra per-message hops attributed to relays (e.g. i3 forwarding).
+    relay_hops: u64,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("endpoints", &self.endpoints.len())
+            .field("global", &self.global)
+            .field("relay_hops", &self.relay_hops)
+            .finish()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty fabric.
+    pub fn new() -> Self {
+        Network { endpoints: Vec::new(), global: TrafficStats::default(), relay_hops: 0 }
+    }
+
+    /// Registers an endpoint with a simple payload-to-payload handler.
+    pub fn register<F>(&mut self, name: &str, mut handler: F) -> EndpointId
+    where
+        F: FnMut(&[u8]) -> Vec<u8> + 'static,
+    {
+        self.register_with_net(name, move |_net, req| handler(req))
+    }
+
+    /// Registers an endpoint whose handler may issue nested requests.
+    pub fn register_with_net<F>(&mut self, name: &str, handler: F) -> EndpointId
+    where
+        F: FnMut(&mut Network, &[u8]) -> Vec<u8> + 'static,
+    {
+        let id = EndpointId(self.endpoints.len() as u64);
+        self.endpoints.push(EndpointSlot {
+            name: name.to_string(),
+            online: true,
+            handler: Some(Box::new(handler)),
+            sent: TrafficStats::default(),
+            received: TrafficStats::default(),
+        });
+        id
+    }
+
+    /// Marks an endpoint online or offline. Requests to an offline endpoint
+    /// fail with [`RequestError::Offline`] — this is how peer churn reaches
+    /// the protocol layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint does not exist.
+    pub fn set_online(&mut self, id: EndpointId, online: bool) {
+        self.slot_mut(id).online = online;
+    }
+
+    /// Whether the endpoint is currently online.
+    pub fn is_online(&self, id: EndpointId) -> bool {
+        self.endpoints.get(id.0 as usize).is_some_and(|s| s.online)
+    }
+
+    /// The registration name of an endpoint (diagnostics only).
+    pub fn name(&self, id: EndpointId) -> Option<&str> {
+        self.endpoints.get(id.0 as usize).map(|s| s.name.as_str())
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Sends `request` from `from` to `to` and returns the response.
+    ///
+    /// Both the request and the response are counted, against the global
+    /// stats and against each endpoint's sent/received counters.
+    ///
+    /// # Errors
+    ///
+    /// * [`RequestError::UnknownEndpoint`] if `to` was never registered.
+    /// * [`RequestError::Offline`] if `to` is offline.
+    /// * [`RequestError::ReentrantCall`] if `to` is already on the current
+    ///   handling stack.
+    pub fn request(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        request: Vec<u8>,
+    ) -> Result<Vec<u8>, RequestError> {
+        if to.0 as usize >= self.endpoints.len() {
+            return Err(RequestError::UnknownEndpoint(to));
+        }
+        if !self.endpoints[to.0 as usize].online {
+            return Err(RequestError::Offline(to));
+        }
+        let mut handler = self.endpoints[to.0 as usize]
+            .handler
+            .take()
+            .ok_or(RequestError::ReentrantCall(to))?;
+
+        self.account(from, to, request.len());
+        let response = handler(self, &request);
+        self.account(to, from, response.len());
+
+        self.endpoints[to.0 as usize].handler = Some(handler);
+        Ok(response)
+    }
+
+    /// Records one extra relay hop for a message of `len` bytes (used by
+    /// the indirection layer to account for i3 forwarding).
+    pub fn account_relay(&mut self, len: usize) {
+        self.relay_hops += 1;
+        self.global.record(len);
+    }
+
+    /// Global traffic statistics.
+    pub fn stats(&self) -> TrafficStats {
+        self.global
+    }
+
+    /// Total relay hops accounted via [`Network::account_relay`].
+    pub fn relay_hops(&self) -> u64 {
+        self.relay_hops
+    }
+
+    /// Messages/bytes sent by an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint does not exist.
+    pub fn sent_stats(&self, id: EndpointId) -> TrafficStats {
+        self.endpoints[id.0 as usize].sent
+    }
+
+    /// Messages/bytes received by an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint does not exist.
+    pub fn received_stats(&self, id: EndpointId) -> TrafficStats {
+        self.endpoints[id.0 as usize].received
+    }
+
+    /// Combined sent + received stats for an endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint does not exist.
+    pub fn endpoint_stats(&self, id: EndpointId) -> TrafficStats {
+        self.sent_stats(id).merged(self.received_stats(id))
+    }
+
+    /// Resets all counters (endpoints and handlers are preserved).
+    pub fn reset_stats(&mut self) {
+        self.global = TrafficStats::default();
+        self.relay_hops = 0;
+        for slot in &mut self.endpoints {
+            slot.sent = TrafficStats::default();
+            slot.received = TrafficStats::default();
+        }
+    }
+
+    fn account(&mut self, from: EndpointId, to: EndpointId, len: usize) {
+        self.global.record(len);
+        if let Some(slot) = self.endpoints.get_mut(from.0 as usize) {
+            slot.sent.record(len);
+        }
+        if let Some(slot) = self.endpoints.get_mut(to.0 as usize) {
+            slot.received.record(len);
+        }
+    }
+
+    fn slot_mut(&mut self, id: EndpointId) -> &mut EndpointSlot {
+        &mut self.endpoints[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_counts_both_directions() {
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        let resp = net.request(client, server, vec![1, 2, 3]).unwrap();
+        assert_eq!(resp, vec![1, 2, 3]);
+        assert_eq!(net.stats(), TrafficStats { messages: 2, bytes: 6 });
+        assert_eq!(net.sent_stats(client).messages, 1);
+        assert_eq!(net.received_stats(client).messages, 1);
+        assert_eq!(net.endpoint_stats(server).messages, 2);
+    }
+
+    #[test]
+    fn offline_endpoints_reject_requests() {
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.set_online(server, false);
+        assert_eq!(net.request(client, server, vec![1]), Err(RequestError::Offline(server)));
+        net.set_online(server, true);
+        assert!(net.request(client, server, vec![1]).is_ok());
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let mut net = Network::new();
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        let ghost = EndpointId(99);
+        assert_eq!(net.request(client, ghost, vec![]), Err(RequestError::UnknownEndpoint(ghost)));
+    }
+
+    #[test]
+    fn nested_requests_work() {
+        // A forwards to B, which answers; both legs are counted.
+        let mut net = Network::new();
+        let b = net.register("b", |req: &[u8]| {
+            let mut out = req.to_vec();
+            out.push(b'!');
+            out
+        });
+        let a = net.register_with_net("a", move |net, req| {
+            net.request(EndpointId(99), b, req.to_vec()).unwrap_or_default()
+        });
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        // client -> a -> b
+        let resp = net.request(client, a, b"x".to_vec()).unwrap();
+        assert_eq!(resp, b"x!");
+        assert_eq!(net.stats().messages, 4);
+    }
+
+    #[test]
+    fn reentrant_request_detected() {
+        let mut net = Network::new();
+        // Endpoint that calls itself.
+        let id_holder = std::rc::Rc::new(std::cell::Cell::new(EndpointId(0)));
+        let id_clone = id_holder.clone();
+        let selfish = net.register_with_net("selfish", move |net, req| {
+            match net.request(id_clone.get(), id_clone.get(), req.to_vec()) {
+                Err(RequestError::ReentrantCall(_)) => b"cycle".to_vec(),
+                other => panic!("expected cycle, got {other:?}"),
+            }
+        });
+        id_holder.set(selfish);
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        assert_eq!(net.request(client, selfish, vec![]).unwrap(), b"cycle");
+    }
+
+    #[test]
+    fn reset_clears_counters_but_keeps_endpoints() {
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.request(client, server, vec![0; 8]).unwrap();
+        net.reset_stats();
+        assert_eq!(net.stats(), TrafficStats::default());
+        assert!(net.request(client, server, vec![1]).is_ok());
+    }
+
+    #[test]
+    fn names_are_kept_for_diagnostics() {
+        let mut net = Network::new();
+        let id = net.register("broker", |_: &[u8]| Vec::new());
+        assert_eq!(net.name(id), Some("broker"));
+        assert_eq!(net.name(EndpointId(42)), None);
+    }
+}

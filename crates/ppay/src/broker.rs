@@ -1,0 +1,257 @@
+//! The PPay broker: mints coins, redeems deposits, detects double spends,
+//! and runs the downtime protocol for offline owners.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
+use whopay_num::SchnorrGroup;
+
+use crate::coin::{Assignment, BaseCoin, SerialNumber};
+use crate::user::{TransferRequest, User, UserId};
+
+/// A successful deposit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepositReceipt {
+    /// The deposited coin.
+    pub serial: SerialNumber,
+    /// Value credited (PPay coins are unit-valued).
+    pub value: u64,
+}
+
+/// Why a deposit was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepositError {
+    /// The assignment chain failed verification.
+    BadSignature,
+    /// The depositor is not the assigned holder.
+    NotHolder {
+        /// Who the assignment names.
+        assigned: UserId,
+    },
+    /// The coin was deposited before — a double spend. The owner of the
+    /// coin is the accountable party (only owners can re-assign in PPay).
+    DoubleSpend {
+        /// The coin's (publicly known) owner, to be punished.
+        owner: UserId,
+    },
+    /// The serial number was never minted.
+    UnknownCoin(SerialNumber),
+}
+
+impl std::fmt::Display for DepositError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DepositError::BadSignature => f.write_str("deposit failed signature verification"),
+            DepositError::NotHolder { assigned } => {
+                write!(f, "deposit by non-holder; coin is assigned to {assigned}")
+            }
+            DepositError::DoubleSpend { owner } => {
+                write!(f, "double spend detected; coin owner {owner} is accountable")
+            }
+            DepositError::UnknownCoin(sn) => write!(f, "unknown coin {sn}"),
+        }
+    }
+}
+
+impl std::error::Error for DepositError {}
+
+/// Why a downtime operation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DowntimeError {
+    /// Signature verification failed.
+    BadSignature,
+    /// The broker's record disagrees with the claimed holder.
+    HolderMismatch {
+        /// Holder per the broker's downtime state.
+        expected: UserId,
+    },
+    /// Unknown coin.
+    UnknownCoin(SerialNumber),
+    /// Unknown user (not registered).
+    UnknownUser(UserId),
+}
+
+impl std::fmt::Display for DowntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DowntimeError::BadSignature => f.write_str("downtime request failed verification"),
+            DowntimeError::HolderMismatch { expected } => {
+                write!(f, "downtime request from stale holder; broker records {expected}")
+            }
+            DowntimeError::UnknownCoin(sn) => write!(f, "unknown coin {sn}"),
+            DowntimeError::UnknownUser(u) => write!(f, "unregistered user {u}"),
+        }
+    }
+}
+
+impl std::error::Error for DowntimeError {}
+
+/// Broker-side per-coin downtime state.
+#[derive(Debug, Clone)]
+struct DowntimeState {
+    holder: UserId,
+    seq: u64,
+}
+
+/// The PPay broker.
+#[derive(Debug)]
+pub struct Broker {
+    group: SchnorrGroup,
+    keys: DsaKeyPair,
+    next_serial: u64,
+    /// Minted coins and their owners.
+    minted: HashMap<SerialNumber, UserId>,
+    /// Registered user public keys.
+    users: HashMap<UserId, DsaPublicKey>,
+    /// Serial numbers already redeemed (double-spend ledger).
+    deposited: HashSet<SerialNumber>,
+    /// State for coins managed during owner downtime, to be synchronized
+    /// when owners rejoin.
+    downtime: HashMap<SerialNumber, DowntimeState>,
+    /// Double spends the broker has caught (owner id per incident).
+    fraud_log: Vec<(SerialNumber, UserId)>,
+}
+
+impl Broker {
+    /// Creates a broker with a fresh signing key.
+    pub fn new<R: Rng + ?Sized>(group: SchnorrGroup, rng: &mut R) -> Self {
+        let keys = DsaKeyPair::generate(&group, rng);
+        Broker {
+            group,
+            keys,
+            next_serial: 1,
+            minted: HashMap::new(),
+            users: HashMap::new(),
+            deposited: HashSet::new(),
+            downtime: HashMap::new(),
+            fraud_log: Vec::new(),
+        }
+    }
+
+    /// The broker's public key (verifies base coins).
+    pub fn public_key(&self) -> &DsaPublicKey {
+        self.keys.public()
+    }
+
+    /// Registers a user's public key (PPay identities are public).
+    pub fn register(&mut self, user: &User) {
+        self.users.insert(user.id(), user.public_key().clone());
+    }
+
+    /// Looks up a registered user's key.
+    pub fn user_key(&self, id: UserId) -> Option<&DsaPublicKey> {
+        self.users.get(&id)
+    }
+
+    /// Double-spend incidents detected so far, as (coin, accountable owner).
+    pub fn fraud_log(&self) -> &[(SerialNumber, UserId)] {
+        &self.fraud_log
+    }
+
+    /// Mints and sells a coin to `owner` (the PPay purchase step).
+    pub fn sell_coin<R: Rng + ?Sized>(&mut self, owner: UserId, rng: &mut R) -> BaseCoin {
+        let serial = SerialNumber(self.next_serial);
+        self.next_serial += 1;
+        self.minted.insert(serial, owner);
+        let sig = self.keys.sign(&self.group, &BaseCoin::signed_bytes(owner, serial), rng);
+        BaseCoin::from_parts(owner, serial, sig)
+    }
+
+    /// Redeems a coin for cash.
+    ///
+    /// # Errors
+    ///
+    /// See [`DepositError`]; in particular a second deposit of the same
+    /// serial number is flagged as a double spend and attributed to the
+    /// coin's owner.
+    pub fn deposit<R: Rng + ?Sized>(
+        &mut self,
+        depositor: UserId,
+        assignment: Assignment,
+        _rng: &mut R,
+    ) -> Result<DepositReceipt, DepositError> {
+        let serial = assignment.coin().serial();
+        let owner = *self.minted.get(&serial).ok_or(DepositError::UnknownCoin(serial))?;
+        if !assignment.coin().verify(&self.group, self.keys.public()) {
+            return Err(DepositError::BadSignature);
+        }
+        // The assignment may be owner-signed or broker-signed (downtime).
+        let owner_key = self.users.get(&owner).ok_or(DepositError::BadSignature)?;
+        let owner_ok = assignment.verify(&self.group, owner_key);
+        let broker_ok = assignment.verify(&self.group, self.keys.public());
+        if !owner_ok && !broker_ok {
+            return Err(DepositError::BadSignature);
+        }
+        if assignment.holder() != depositor {
+            return Err(DepositError::NotHolder { assigned: assignment.holder() });
+        }
+        if !self.deposited.insert(serial) {
+            self.fraud_log.push((serial, owner));
+            return Err(DepositError::DoubleSpend { owner });
+        }
+        self.downtime.remove(&serial);
+        Ok(DepositReceipt { serial, value: 1 })
+    }
+
+    /// Downtime transfer: the broker re-assigns a coin whose owner is
+    /// offline, after verifying the holder's signed request.
+    ///
+    /// # Errors
+    ///
+    /// See [`DowntimeError`].
+    pub fn downtime_transfer<R: Rng + ?Sized>(
+        &mut self,
+        requester: UserId,
+        request: TransferRequest,
+        rng: &mut R,
+    ) -> Result<Assignment, DowntimeError> {
+        let serial = request.current.coin().serial();
+        let owner = *self.minted.get(&serial).ok_or(DowntimeError::UnknownCoin(serial))?;
+        let requester_key =
+            self.users.get(&requester).ok_or(DowntimeError::UnknownUser(requester))?;
+        let bytes = TransferRequest::signed_bytes(&request.current, request.to);
+        if !requester_key.verify(&self.group, &bytes, &request.holder_sig) {
+            return Err(DowntimeError::BadSignature);
+        }
+        // First flavor: no broker state yet — verify the owner's signature
+        // on the presented assignment. Second flavor: compare to stored
+        // state (the broker already manages this coin).
+        let (expected_holder, seq) = match self.downtime.get(&serial) {
+            Some(state) => (state.holder, state.seq),
+            None => {
+                let owner_key = self.users.get(&owner).ok_or(DowntimeError::UnknownUser(owner))?;
+                if !request.current.verify(&self.group, owner_key) {
+                    return Err(DowntimeError::BadSignature);
+                }
+                (request.current.holder(), request.current.seq())
+            }
+        };
+        if expected_holder != request.current.holder() || requester != expected_holder {
+            return Err(DowntimeError::HolderMismatch { expected: expected_holder });
+        }
+        let new_seq = seq + 1;
+        self.downtime.insert(serial, DowntimeState { holder: request.to, seq: new_seq });
+        let new_bytes = Assignment::signed_bytes(request.current.coin(), request.to, new_seq);
+        let sig = self.keys.sign(&self.group, &new_bytes, rng);
+        Ok(Assignment::from_parts(request.current.coin().clone(), request.to, new_seq, sig))
+    }
+
+    /// Synchronization for a rejoining owner: drains the downtime state for
+    /// that owner's coins as `(serial, holder, seq)` tuples.
+    pub fn sync_for_owner(&mut self, owner: UserId) -> Vec<(SerialNumber, UserId, u64)> {
+        let serials: Vec<SerialNumber> = self
+            .downtime
+            .keys()
+            .filter(|sn| self.minted.get(sn) == Some(&owner))
+            .copied()
+            .collect();
+        serials
+            .into_iter()
+            .map(|sn| {
+                let state = self.downtime.remove(&sn).expect("key just listed");
+                (sn, state.holder, state.seq)
+            })
+            .collect()
+    }
+}

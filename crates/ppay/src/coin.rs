@@ -1,0 +1,144 @@
+//! PPay coin structures.
+
+use whopay_crypto::dsa::{DsaPublicKey, DsaSignature};
+use whopay_crypto::hashio::Transcript;
+use whopay_num::SchnorrGroup;
+
+use crate::user::UserId;
+
+/// A PPay coin serial number (uniquely identifies a coin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct SerialNumber(pub u64);
+
+impl std::fmt::Display for SerialNumber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sn{}", self.0)
+    }
+}
+
+/// The broker-signed base coin `C = {U, sn}skB`: owner identity and serial
+/// number, in the clear.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BaseCoin {
+    owner: UserId,
+    serial: SerialNumber,
+    broker_sig: DsaSignature,
+}
+
+impl BaseCoin {
+    /// Canonical bytes the broker signs.
+    pub fn signed_bytes(owner: UserId, serial: SerialNumber) -> Vec<u8> {
+        Transcript::new("ppay/coin/v1").u64(owner.0).u64(serial.0).finish().to_vec()
+    }
+
+    /// Assembles a coin from parts (used by the broker at mint time).
+    pub fn from_parts(owner: UserId, serial: SerialNumber, broker_sig: DsaSignature) -> Self {
+        BaseCoin { owner, serial, broker_sig }
+    }
+
+    /// The coin's owner — public in PPay, unlike WhoPay.
+    pub fn owner(&self) -> UserId {
+        self.owner
+    }
+
+    /// The serial number.
+    pub fn serial(&self) -> SerialNumber {
+        self.serial
+    }
+
+    /// Verifies the broker's mint signature.
+    pub fn verify(&self, group: &SchnorrGroup, broker: &DsaPublicKey) -> bool {
+        broker.verify(group, &Self::signed_bytes(self.owner, self.serial), &self.broker_sig)
+    }
+}
+
+/// An owner-signed assignment `{C, H, seq}skU`: the coin, its current
+/// holder (public!), and the anti-replay sequence number.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Assignment {
+    coin: BaseCoin,
+    holder: UserId,
+    seq: u64,
+    owner_sig: DsaSignature,
+}
+
+impl Assignment {
+    /// Canonical bytes the owner signs.
+    pub fn signed_bytes(coin: &BaseCoin, holder: UserId, seq: u64) -> Vec<u8> {
+        Transcript::new("ppay/assignment/v1")
+            .u64(coin.owner.0)
+            .u64(coin.serial.0)
+            .u64(holder.0)
+            .u64(seq)
+            .finish()
+            .to_vec()
+    }
+
+    /// Assembles an assignment from parts (owner or broker side).
+    pub fn from_parts(coin: BaseCoin, holder: UserId, seq: u64, owner_sig: DsaSignature) -> Self {
+        Assignment { coin, holder, seq, owner_sig }
+    }
+
+    /// The underlying broker-signed coin.
+    pub fn coin(&self) -> &BaseCoin {
+        &self.coin
+    }
+
+    /// The current holder — in PPay everyone can read this.
+    pub fn holder(&self) -> UserId {
+        self.holder
+    }
+
+    /// The sequence number; transfers must strictly increase it.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Verifies the owner's signature over this assignment.
+    pub fn verify(&self, group: &SchnorrGroup, owner_key: &DsaPublicKey) -> bool {
+        owner_key.verify(
+            group,
+            &Self::signed_bytes(&self.coin, self.holder, self.seq),
+            &self.owner_sig,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whopay_crypto::dsa::DsaKeyPair;
+    use whopay_crypto::testing::{test_rng, tiny_group};
+
+    #[test]
+    fn base_coin_signature_binds_owner_and_serial() {
+        let group = tiny_group();
+        let mut rng = test_rng(1);
+        let broker = DsaKeyPair::generate(group, &mut rng);
+        let sig = broker.sign(group, &BaseCoin::signed_bytes(UserId(1), SerialNumber(7)), &mut rng);
+        let coin = BaseCoin::from_parts(UserId(1), SerialNumber(7), sig.clone());
+        assert!(coin.verify(group, broker.public()));
+
+        // Re-binding the same signature to another owner fails.
+        let forged = BaseCoin::from_parts(UserId(2), SerialNumber(7), sig);
+        assert!(!forged.verify(group, broker.public()));
+    }
+
+    #[test]
+    fn assignment_signature_binds_holder_and_seq() {
+        let group = tiny_group();
+        let mut rng = test_rng(2);
+        let broker = DsaKeyPair::generate(group, &mut rng);
+        let owner = DsaKeyPair::generate(group, &mut rng);
+        let csig = broker.sign(group, &BaseCoin::signed_bytes(UserId(1), SerialNumber(9)), &mut rng);
+        let coin = BaseCoin::from_parts(UserId(1), SerialNumber(9), csig);
+        let asig = owner.sign(group, &Assignment::signed_bytes(&coin, UserId(2), 1), &mut rng);
+        let assignment = Assignment::from_parts(coin.clone(), UserId(2), 1, asig.clone());
+        assert!(assignment.verify(group, owner.public()));
+
+        let replayed = Assignment::from_parts(coin.clone(), UserId(3), 1, asig.clone());
+        assert!(!replayed.verify(group, owner.public()));
+        let bumped = Assignment::from_parts(coin, UserId(2), 2, asig);
+        assert!(!bumped.verify(group, owner.public()));
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! PPay (Yang & Garcia-Molina, CCS 2003): the baseline peer-to-peer
+//! micropayment protocol that WhoPay extends.
+//!
+//! The WhoPay paper positions itself directly against PPay (§3.1): "PPay
+//! is secure, fair and scalable, but provides no anonymity." This crate
+//! implements PPay faithfully so benches and tests can compare the two
+//! systems on the same substrates:
+//!
+//! * coins are `C = {U, sn}skB` — broker-signed (owner, serial number)
+//!   pairs, so *ownership is public*;
+//! * an issued coin is `{C, H, seq}skU` — the owner signs the holder's
+//!   identity into the coin, so *holdership is public* too (this is the
+//!   anonymity gap WhoPay closes);
+//! * transfers route through the coin owner, who increments the sequence
+//!   number and keeps the relinquishment proof;
+//! * the downtime protocol lets the broker handle transfers of coins whose
+//!   owner is offline, with state synchronized when the owner rejoins;
+//! * double spending is detectable after the fact from the audit trail and
+//!   attributable to a specific user.
+//!
+//! # Example
+//!
+//! ```
+//! use whopay_crypto::testing;
+//! use whopay_ppay::{Broker, User, UserId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let group = testing::tiny_group();
+//! let mut rng = testing::test_rng(1);
+//! let mut broker = Broker::new(group.clone(), &mut rng);
+//!
+//! let mut alice = User::new(UserId(1), group.clone(), &mut rng);
+//! let mut bob = User::new(UserId(2), group.clone(), &mut rng);
+//! broker.register(&alice);
+//! broker.register(&bob);
+//!
+//! // Alice buys a coin and issues it to Bob; Bob deposits it.
+//! let coin = broker.sell_coin(alice.id(), &mut rng);
+//! alice.receive_purchased_coin(coin.clone(), &mut rng);
+//! let issued = alice.issue(coin.serial(), bob.id(), &mut rng)?;
+//! bob.receive_issued_coin(&broker, issued.clone())?;
+//! let receipt = broker.deposit(bob.id(), issued, &mut rng)?;
+//! assert_eq!(receipt.value, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod broker;
+mod coin;
+mod user;
+
+pub use broker::{Broker, DepositError, DepositReceipt, DowntimeError};
+pub use coin::{Assignment, BaseCoin, SerialNumber};
+pub use user::{TransferRequest, User, UserError, UserId};

@@ -1,0 +1,205 @@
+//! End-to-end PPay protocol tests: purchase → issue → transfer → deposit,
+//! the downtime protocol, and fraud detection.
+
+use whopay_crypto::testing::{test_rng, tiny_group};
+use whopay_ppay::{Broker, DepositError, User, UserError, UserId};
+
+struct World {
+    broker: Broker,
+    users: Vec<User>,
+    rng: rand::rngs::StdRng,
+}
+
+fn world(n: usize, seed: u64) -> World {
+    let group = tiny_group().clone();
+    let mut rng = test_rng(seed);
+    let mut broker = Broker::new(group.clone(), &mut rng);
+    let users: Vec<User> =
+        (0..n).map(|i| User::new(UserId(i as u64), group.clone(), &mut rng)).collect();
+    for u in &users {
+        broker.register(u);
+    }
+    World { broker, users, rng }
+}
+
+#[test]
+fn full_coin_lifecycle() {
+    let mut w = world(3, 1);
+    // U purchases, issues to V; V transfers to W via U; W deposits.
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    w.users[1].receive_issued_coin(&w.broker, issued).unwrap();
+
+    let req = w.users[1].request_transfer(sn, UserId(2), &mut w.rng).unwrap();
+    let requester_key = w.users[1].public_key().clone();
+    let transferred = w.users[0].handle_transfer(req, &requester_key, &mut w.rng).unwrap();
+    assert_eq!(transferred.holder(), UserId(2));
+    assert_eq!(transferred.seq(), 2, "seq strictly increases across issue+transfer");
+    w.users[2].receive_issued_coin(&w.broker, transferred.clone()).unwrap();
+
+    let receipt = w.broker.deposit(UserId(2), transferred, &mut w.rng).unwrap();
+    assert_eq!(receipt.serial, sn);
+}
+
+#[test]
+fn ppay_reveals_identities_everywhere() {
+    // The anonymity gap WhoPay closes: owner and holder are in the clear.
+    let mut w = world(2, 2);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    assert_eq!(issued.coin().owner(), UserId(0), "payee learns the payer/owner");
+    assert_eq!(issued.holder(), UserId(1), "owner learns the payee");
+}
+
+#[test]
+fn stale_holder_transfer_is_rejected_by_owner() {
+    // V transfers the coin to W, then tries to spend the same assignment
+    // again — the owner's holder record catches it.
+    let mut w = world(4, 3);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    w.users[1].receive_issued_coin(&w.broker, issued.clone()).unwrap();
+
+    let req1 = w.users[1].request_transfer(sn, UserId(2), &mut w.rng).unwrap();
+    let key1 = w.users[1].public_key().clone();
+    w.users[0].handle_transfer(req1, &key1, &mut w.rng).unwrap();
+
+    // Double spend attempt: V re-presents the old assignment toward user 3.
+    w.users[1].receive_issued_coin(&w.broker, issued).unwrap(); // V re-inserts stale state
+    let req2 = w.users[1].request_transfer(sn, UserId(3), &mut w.rng).unwrap();
+    let err = w.users[0].handle_transfer(req2, &key1, &mut w.rng).unwrap_err();
+    assert_eq!(err, UserError::HolderMismatch { expected: UserId(2), claimed: UserId(1) });
+}
+
+#[test]
+fn double_deposit_is_detected_and_attributed() {
+    let mut w = world(3, 4);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+
+    // The *owner* double-issues the same coin to two different payees —
+    // the fraud only owners can commit in PPay.
+    let issued1 = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    w.users[1].receive_issued_coin(&w.broker, issued1.clone()).unwrap();
+    // Fraudulent second issue: rebuild owner-side state by force.
+    // (In the real system the owner just signs again; model that by a
+    // second issue after manually resetting via sync.)
+    w.users[0].sync_owned_coin(sn, UserId(0), 0); // no-op: seq only moves up
+    let issued2_result = w.users[0].issue(sn, UserId(2), &mut w.rng);
+    // The honest User type refuses (it knows it is no longer holder)…
+    assert!(issued2_result.is_err());
+
+    // …so emulate a dishonest owner by depositing the same assignment twice
+    // from the holder side.
+    let r1 = w.broker.deposit(UserId(1), issued1.clone(), &mut w.rng);
+    assert!(r1.is_ok());
+    let r2 = w.broker.deposit(UserId(1), issued1, &mut w.rng);
+    assert_eq!(r2, Err(DepositError::DoubleSpend { owner: UserId(0) }));
+    assert_eq!(w.broker.fraud_log(), &[(sn, UserId(0))]);
+}
+
+#[test]
+fn deposit_by_non_holder_rejected() {
+    let mut w = world(3, 5);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    let err = w.broker.deposit(UserId(2), issued, &mut w.rng).unwrap_err();
+    assert_eq!(err, DepositError::NotHolder { assigned: UserId(1) });
+}
+
+#[test]
+fn downtime_transfer_and_owner_sync() {
+    let mut w = world(4, 6);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    w.users[1].receive_issued_coin(&w.broker, issued).unwrap();
+
+    // Owner goes offline; V transfers to W via the broker (flavor 1: the
+    // broker verifies the owner-signed assignment).
+    let req = w.users[1].request_transfer(sn, UserId(2), &mut w.rng).unwrap();
+    let a2 = w.broker.downtime_transfer(UserId(1), req, &mut w.rng).unwrap();
+    assert_eq!(a2.holder(), UserId(2));
+    w.users[2].receive_issued_coin(&w.broker, a2.clone()).unwrap();
+
+    // W transfers to user 3 (flavor 2: the broker compares to its state).
+    let req2 = w.users[2].request_transfer(sn, UserId(3), &mut w.rng).unwrap();
+    let a3 = w.broker.downtime_transfer(UserId(2), req2, &mut w.rng).unwrap();
+    assert_eq!(a3.holder(), UserId(3));
+    assert!(a3.seq() > a2.seq());
+
+    // Owner rejoins and synchronizes.
+    let sync = w.broker.sync_for_owner(UserId(0));
+    assert_eq!(sync.len(), 1);
+    let (s, holder, seq) = sync[0];
+    assert_eq!((s, holder), (sn, UserId(3)));
+    w.users[0].sync_owned_coin(s, holder, seq);
+
+    // After sync, the owner handles the next transfer with correct state.
+    w.users[3].receive_issued_coin(&w.broker, a3).unwrap();
+    let req3 = w.users[3].request_transfer(sn, UserId(1), &mut w.rng).unwrap();
+    let key3 = w.users[3].public_key().clone();
+    let a4 = w.users[0].handle_transfer(req3, &key3, &mut w.rng).unwrap();
+    assert_eq!(a4.holder(), UserId(1));
+}
+
+#[test]
+fn downtime_transfer_by_stale_holder_rejected() {
+    let mut w = world(4, 7);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    w.users[1].receive_issued_coin(&w.broker, issued.clone()).unwrap();
+
+    let req = w.users[1].request_transfer(sn, UserId(2), &mut w.rng).unwrap();
+    w.broker.downtime_transfer(UserId(1), req, &mut w.rng).unwrap();
+
+    // Replay the old assignment through the broker.
+    w.users[1].receive_issued_coin(&w.broker, issued).unwrap();
+    let replay = w.users[1].request_transfer(sn, UserId(3), &mut w.rng).unwrap();
+    let err = w.broker.downtime_transfer(UserId(1), replay, &mut w.rng).unwrap_err();
+    assert!(matches!(err, whopay_ppay::DowntimeError::HolderMismatch { .. }));
+}
+
+#[test]
+fn forged_transfer_request_rejected() {
+    let mut w = world(3, 8);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    w.users[1].receive_issued_coin(&w.broker, issued).unwrap();
+
+    let req = w.users[1].request_transfer(sn, UserId(2), &mut w.rng).unwrap();
+    // Present the request with the wrong requester key (user 2's).
+    let wrong_key = w.users[2].public_key().clone();
+    let err = w.users[0].handle_transfer(req, &wrong_key, &mut w.rng).unwrap_err();
+    assert_eq!(err, UserError::BadSignature);
+}
+
+#[test]
+fn audit_trail_records_relinquishments() {
+    let mut w = world(3, 9);
+    let coin = w.broker.sell_coin(UserId(0), &mut w.rng);
+    let sn = coin.serial();
+    w.users[0].receive_purchased_coin(coin, &mut w.rng);
+    let issued = w.users[0].issue(sn, UserId(1), &mut w.rng).unwrap();
+    w.users[1].receive_issued_coin(&w.broker, issued).unwrap();
+    let req = w.users[1].request_transfer(sn, UserId(2), &mut w.rng).unwrap();
+    let key1 = w.users[1].public_key().clone();
+    w.users[0].handle_transfer(req, &key1, &mut w.rng).unwrap();
+    assert_eq!(w.users[0].audit_trail().len(), 1);
+    assert_eq!(w.users[0].audit_trail()[0].to, UserId(2));
+}

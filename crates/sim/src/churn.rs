@@ -1,0 +1,161 @@
+//! The alternating-renewal on/off session process (peer churn).
+//!
+//! "Peers join and leave the system: online session lengths follow
+//! exponential distribution with mean µ, and offline session lengths
+//! follow exponential distribution with mean ν. … the availability of
+//! peers can be roughly indicated by the value α = µ/(µ+ν)." (§6.1)
+
+use rand::Rng;
+
+use crate::dist::Exponential;
+use crate::time::SimTime;
+
+/// A peer's availability process: alternating exponential online and
+/// offline sessions.
+///
+/// # Examples
+///
+/// ```
+/// use whopay_sim::{churn::ChurnProcess, SimTime, sim_rng};
+///
+/// let mut rng = sim_rng(3);
+/// let mut churn = ChurnProcess::start(
+///     SimTime::from_hours(2), // µ
+///     SimTime::from_hours(2), // ν
+///     &mut rng,
+/// );
+/// assert!((churn.availability() - 0.5).abs() < 1e-9);
+/// let first_toggle = churn.next_toggle();
+/// assert!(first_toggle > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    online_len: Exponential,
+    offline_len: Exponential,
+    /// State that will hold *after* `next_toggle` fires.
+    online: bool,
+    next_toggle: SimTime,
+}
+
+impl ChurnProcess {
+    /// Starts a peer in a random phase of its cycle: online with
+    /// probability α, with the first toggle exponentially distributed.
+    ///
+    /// Starting "in steady state" avoids a transient where every peer is
+    /// online at t = 0.
+    pub fn start<R: Rng + ?Sized>(mu: SimTime, nu: SimTime, rng: &mut R) -> Self {
+        let online_len = Exponential::from_mean(mu);
+        let offline_len = Exponential::from_mean(nu);
+        let alpha = mu.as_millis() as f64 / (mu.as_millis() + nu.as_millis()) as f64;
+        let start_online = (rand::RngExt::random::<u64>(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < alpha;
+        // Memorylessness: the residual session is exponential with the same
+        // mean, so sampling a fresh session length is exact.
+        let first = if start_online { online_len.sample_time(rng) } else { offline_len.sample_time(rng) };
+        ChurnProcess {
+            online_len,
+            offline_len,
+            online: start_online,
+            next_toggle: first,
+        }
+    }
+
+    /// Whether the peer is online *now* (before the pending toggle).
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Long-run availability α = µ/(µ+ν).
+    pub fn availability(&self) -> f64 {
+        let mu = self.online_len.mean().as_millis() as f64;
+        let nu = self.offline_len.mean().as_millis() as f64;
+        mu / (mu + nu)
+    }
+
+    /// Absolute time of the next state change.
+    pub fn next_toggle(&self) -> SimTime {
+        self.next_toggle
+    }
+
+    /// Applies the pending toggle (the caller pops it from its event queue
+    /// at `next_toggle()`), samples the following session, and returns the
+    /// new online state.
+    pub fn toggle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        self.online = !self.online;
+        let next_len = if self.online { self.online_len.sample_time(rng) } else { self.offline_len.sample_time(rng) };
+        self.next_toggle = self.next_toggle + next_len;
+        self.online
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim_rng;
+
+    /// Simulate one peer for a long horizon and measure time-averaged
+    /// availability.
+    fn measured_availability(mu_h: u64, nu_h: u64, seed: u64) -> f64 {
+        let mut rng = sim_rng(seed);
+        let mut churn = ChurnProcess::start(SimTime::from_hours(mu_h), SimTime::from_hours(nu_h), &mut rng);
+        let horizon = SimTime::from_days(2000);
+        let mut online_ms = 0u64;
+        let mut last = SimTime::ZERO;
+        loop {
+            let toggle_at = churn.next_toggle().min(horizon);
+            if churn.is_online() {
+                online_ms += (toggle_at - last).as_millis();
+            }
+            last = toggle_at;
+            if churn.next_toggle() >= horizon {
+                break;
+            }
+            churn.toggle(&mut rng);
+        }
+        online_ms as f64 / horizon.as_millis() as f64
+    }
+
+    #[test]
+    fn fifty_percent_availability() {
+        let a = measured_availability(2, 2, 1);
+        assert!((a - 0.5).abs() < 0.03, "availability {a}");
+    }
+
+    #[test]
+    fn high_availability() {
+        let a = measured_availability(8, 2, 2);
+        assert!((a - 0.8).abs() < 0.03, "availability {a}");
+    }
+
+    #[test]
+    fn low_availability() {
+        let a = measured_availability(1, 4, 3);
+        assert!((a - 0.2).abs() < 0.03, "availability {a}");
+    }
+
+    #[test]
+    fn toggles_alternate() {
+        let mut rng = sim_rng(4);
+        let mut churn = ChurnProcess::start(SimTime::from_hours(1), SimTime::from_hours(1), &mut rng);
+        let mut prev = churn.is_online();
+        let mut prev_time = SimTime::ZERO;
+        for _ in 0..100 {
+            let t = churn.next_toggle();
+            assert!(t > prev_time, "toggle times strictly increase");
+            prev_time = t;
+            let now = churn.toggle(&mut rng);
+            assert_ne!(now, prev, "state alternates");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn steady_state_start_mixes_phases() {
+        let mut rng = sim_rng(5);
+        let online_starts = (0..1000)
+            .filter(|_| {
+                ChurnProcess::start(SimTime::from_hours(2), SimTime::from_hours(2), &mut rng).is_online()
+            })
+            .count();
+        assert!((400..600).contains(&online_starts), "online starts {online_starts}");
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! A small, deterministic discrete-event simulation engine.
+//!
+//! The WhoPay paper's evaluation (§6) is a discrete-event simulation:
+//! peers alternate exponentially distributed online/offline sessions,
+//! candidate payments arrive as Poisson processes, and coins are renewed
+//! on a fixed period over a 10-simulated-day horizon. This crate provides
+//! the engine those experiments run on:
+//!
+//! * [`SimTime`] — integer milliseconds of simulated time (no floating
+//!   point in the clock, so runs are exactly reproducible);
+//! * [`EventQueue`] — a monotonic priority queue of timestamped events
+//!   with deterministic FIFO tie-breaking;
+//! * [`dist`] — exponential and Poisson-process samplers built on a seeded
+//!   RNG;
+//! * [`churn`] — the alternating-renewal on/off session process the paper
+//!   uses to model peer availability.
+//!
+//! # Example
+//!
+//! ```
+//! use whopay_sim::{EventQueue, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_secs(5), "world");
+//! q.schedule(SimTime::from_secs(1), "hello");
+//! let (t1, e1) = q.pop().unwrap();
+//! assert_eq!((t1, e1), (SimTime::from_secs(1), "hello"));
+//! assert_eq!(q.pop().unwrap().1, "world");
+//! assert!(q.pop().is_none());
+//! ```
+
+pub mod churn;
+pub mod dist;
+mod queue;
+mod time;
+
+pub use queue::EventQueue;
+pub use time::SimTime;
+
+/// Deterministic RNG for simulations: a seeded `StdRng`.
+pub fn sim_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,109 @@
+//! Issuer anonymity via coin shops (§5.2, approach 2) plus the PayWord
+//! micropayment credit window (§7).
+//!
+//! Coin issue is only semi-anonymous: the coin names its owner. Coin
+//! shops fix this — "peers do not own, and hence never issue coins. Peers
+//! spend coins only using the transfer procedure, which is anonymous."
+//! Here a shop stocks coins from the broker; anonymous buyers purchase
+//! through the issue procedure (group-signed, identity never revealed)
+//! and then pay each other by pure transfers. On top, two peers run a
+//! PayWord credit window so that sub-coin micropayments aggregate into a
+//! single coin settlement.
+//!
+//! Run with: `cargo run --release --example anonymous_shop`
+
+use whopay::core::micropay::{MicropayReceiver, MicropaySender};
+use whopay::core::{Broker, CoinShop, Judge, Peer, PeerId, SystemParams, Timestamp};
+use whopay::crypto::testing;
+
+fn main() {
+    let mut rng = testing::test_rng(42);
+    let params = SystemParams::new(testing::tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+
+    let mk_peer = |id: u64, judge: &mut Judge, broker: &mut Broker, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            broker.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        broker.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+
+    // The shop is an ordinary (registered, non-anonymous) peer in the
+    // coin-issuing business; Alice and Bob want anonymity.
+    let shop_peer = mk_peer(100, &mut judge, &mut broker, &mut rng);
+    let mut alice = mk_peer(1, &mut judge, &mut broker, &mut rng);
+    let mut bob = mk_peer(2, &mut judge, &mut broker, &mut rng);
+    let mut shop = CoinShop::new(shop_peer, 1);
+
+    let now = Timestamp(0);
+    shop.stock_up(&mut broker, 5, now, &mut rng).expect("stocking");
+    println!("shop stocked {} coins from the broker (fee {}/coin)\n", shop.stock(), shop.fee());
+
+    // Alice buys two coins anonymously: her invite is group-signed, so the
+    // shop serves her without ever learning PeerId(1).
+    let mut alice_coins = Vec::new();
+    for _ in 0..2 {
+        let (invite, session) = alice.begin_receive(&mut rng);
+        let (grant, fee) = shop.sell_coin(&invite, now, &mut rng).expect("sale");
+        let coin = alice.accept_grant(grant, session, now).expect("coin verifies");
+        alice_coins.push(coin);
+        println!("alice bought {coin} anonymously (fee {fee})");
+    }
+    println!("shop earnings so far: {}\n", shop.earnings());
+
+    // Alice pays Bob by *transfer* through the shop (the coins' owner):
+    // fully anonymous on both sides.
+    let coin = alice_coins[0];
+    let (invite, session) = bob.begin_receive(&mut rng);
+    let treq = alice.request_transfer(coin, &invite, &mut rng).expect("transfer request");
+    let grant = shop.peer.handle_transfer(treq, now, &mut rng).expect("transfer via shop");
+    bob.accept_grant(grant, session, now).expect("bob verifies");
+    alice.complete_transfer(coin);
+    println!("alice paid bob one coin by anonymous transfer via the shop");
+
+    // Micropayments: Alice streams 100 sub-coin payments to Bob through a
+    // PayWord window with a 50-unit threshold; each threshold crossing is
+    // settled with one real WhoPay coin.
+    let gk_alice = judge.enroll(PeerId(1), &mut rng); // fresh window credential
+    let (mut window, commitment) =
+        MicropaySender::open(params.group(), judge.public_key(), &gk_alice, 100, &mut rng);
+    let mut bob_window =
+        MicropayReceiver::accept(params.group(), judge.public_key(), &commitment, 50)
+            .expect("commitment verifies");
+    println!("\npayword window open: capacity {}, settle every 50 units", window.remaining());
+
+    let mut settlements = 0;
+    for tick in 1..=100u64 {
+        let pw = window.pay(1).expect("within capacity");
+        bob_window.receive(pw).expect("payword verifies");
+        if bob_window.settlement_due() {
+            // Settle with a real coin: alice transfers her second shop
+            // coin to bob.
+            let coin = alice_coins[1];
+            if alice.held_coins().contains(&coin) {
+                let (invite, session) = bob.begin_receive(&mut rng);
+                let treq = alice.request_transfer(coin, &invite, &mut rng).unwrap();
+                let grant = shop.peer.handle_transfer(treq, now.plus(tick), &mut rng).unwrap();
+                bob.accept_grant(grant, session, now.plus(tick)).unwrap();
+                alice.complete_transfer(coin);
+            }
+            bob_window.mark_settled().unwrap();
+            settlements += 1;
+            println!("  tick {tick}: threshold reached → settled with a WhoPay transfer");
+        }
+    }
+    println!(
+        "\n100 micropayments aggregated into {settlements} real settlements; \
+         bob holds {} coin(s)",
+        bob.held_coins().len()
+    );
+    assert_eq!(settlements, 2);
+}

@@ -1,0 +1,51 @@
+//! A miniature of the paper's evaluation (§6): run the load simulator at
+//! a few availability levels and print how the work splits between the
+//! broker and the peers.
+//!
+//! The full figure sweeps live in `whopay-bench`
+//! (`cargo run --release -p whopay-bench --bin all_figures`); this
+//! example is a fast, human-readable taste of the same machinery.
+//!
+//! Run with: `cargo run --release --example load_simulation`
+
+use whopay::eval::{config::SimConfig, loadsim, MicroWeights, Op, Policy, SyncStrategy};
+use whopay::sim::SimTime;
+
+fn main() {
+    let weights = MicroWeights::TABLE3;
+    println!(
+        "{:<18}{:>8}{:>14}{:>14}{:>14}{:>12}",
+        "availability", "α", "broker CPU", "peer CPU avg", "ratio", "broker %"
+    );
+    for (mu_h, nu_h) in [(1u64, 4u64), (2, 2), (8, 2), (32, 2)] {
+        let mut cfg = SimConfig::paper_defaults(Policy::I, SyncStrategy::Proactive);
+        cfg.n_peers = 200;
+        cfg.mu = SimTime::from_hours(mu_h);
+        cfg.nu = SimTime::from_hours(nu_h);
+        cfg.horizon = SimTime::from_days(5);
+        let r = loadsim::run(&cfg);
+        println!(
+            "µ={mu_h:>2}h ν={nu_h}h       {:>8.2}{:>14.0}{:>14.1}{:>14.1}{:>11.1}%",
+            r.availability,
+            r.broker_cpu(weights),
+            r.peer_cpu_avg(weights),
+            r.cpu_ratio(weights),
+            100.0 * r.broker_cpu_share(weights),
+        );
+    }
+
+    println!("\noperation mix at 50% availability (policy I vs policy III, lazy sync):");
+    for policy in [Policy::I, Policy::III] {
+        let mut cfg = SimConfig::paper_defaults(policy, SyncStrategy::Lazy);
+        cfg.n_peers = 200;
+        cfg.horizon = SimTime::from_days(5);
+        let r = loadsim::run(&cfg);
+        println!("\n  {}:", policy.label());
+        for (op, n) in r.counts.iter() {
+            if n > 0 {
+                println!("    {:<22}{n:>10}", op.label());
+            }
+        }
+        assert!(r.counts.get(Op::Transfer) > 0);
+    }
+}

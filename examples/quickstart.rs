@@ -1,0 +1,99 @@
+//! Quickstart: the complete life of one WhoPay coin.
+//!
+//! Sets up the trusted entities (judge, broker), enrolls three peers, and
+//! walks a coin through purchase → issue → transfer → renewal → deposit,
+//! printing what each party sees — in particular, what it *cannot* see:
+//! holder identities are fresh pseudonymous keys at every hop.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use whopay::core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+use whopay::crypto::testing;
+
+fn main() {
+    let mut rng = testing::test_rng(2024);
+    // Small parameters so the example runs instantly; production-strength
+    // parameters come from SchnorrGroup::generate(1024, 160, …).
+    let params = SystemParams::new(testing::tiny_group().clone());
+
+    // The trusted authorities: the judge holds the group master key, the
+    // broker mints coins.
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+
+    // Three peers enroll with the judge and register with the broker.
+    let mut peers: Vec<Peer> = (0..3)
+        .map(|i| {
+            let id = PeerId(i);
+            let gk = judge.enroll(id, &mut rng);
+            let p = Peer::new(
+                id,
+                params.clone(),
+                broker.public_key().clone(),
+                judge.public_key().clone(),
+                gk,
+                &mut rng,
+            );
+            broker.register_peer(id, p.public_key().clone());
+            p
+        })
+        .collect();
+    println!("enrolled {} peers with the judge; broker ready\n", judge.enrolled());
+
+    let now = Timestamp(0);
+
+    // 1. Purchase: Alice (peer 0) generates a coin key pair and asks the
+    //    broker to sign the public key. The coin IS that public key.
+    let (req, pending) = peers[0].create_purchase_request(PurchaseMode::Identified, &mut rng);
+    let minted = broker.handle_purchase(&req, &mut rng).expect("purchase");
+    let coin = peers[0].complete_purchase(minted, pending, now, &mut rng).expect("mint verifies");
+    println!("1. purchase : alice owns coin {coin}");
+
+    // 2. Issue: Bob (peer 1) sends a fresh holder key; Alice binds the
+    //    coin to it. Bob's invite is group-signed — Alice cannot tell who
+    //    the payee is.
+    let (invite, session) = peers[1].begin_receive(&mut rng);
+    let grant = peers[0].issue_coin(coin, &invite, now, &mut rng).expect("issue");
+    println!(
+        "2. issue    : coin bound to pseudonymous holder key …{} (seq {})",
+        &grant.binding.holder_pk().to_hex()[..8],
+        grant.binding.seq()
+    );
+    peers[1].accept_grant(grant, session, now).expect("grant verifies");
+
+    // 3. Transfer: Bob pays Carol (peer 2) through the owner Alice. Alice
+    //    sees only holder keys and group signatures — neither payer nor
+    //    payee identity.
+    let (invite2, session2) = peers[2].begin_receive(&mut rng);
+    let treq = peers[1].request_transfer(coin, &invite2, &mut rng).expect("hold proof");
+    let grant2 = peers[0].handle_transfer(treq, now.plus(60), &mut rng).expect("transfer");
+    println!(
+        "3. transfer : rebound to …{} (seq {}); owner learned no identities",
+        &grant2.binding.holder_pk().to_hex()[..8],
+        grant2.binding.seq()
+    );
+    peers[2].accept_grant(grant2, session2, now.plus(60)).expect("grant verifies");
+    peers[1].complete_transfer(coin);
+
+    // 4. Renewal: Carol extends the coin's expiration via the owner.
+    let rreq = peers[2].request_renewal(coin, &mut rng).expect("renewal request");
+    let renewed = peers[0].handle_renewal(rreq, now.plus(120), &mut rng).expect("renewal");
+    println!("4. renewal  : binding now expires at {}", renewed.expires());
+    peers[2].apply_renewal(coin, renewed).expect("renewed binding verifies");
+
+    // 5. Deposit: Carol redeems the coin anonymously — the broker verifies
+    //    holdership without learning who she is.
+    let dep = peers[2].request_deposit(coin, &mut rng).expect("deposit request");
+    let receipt = broker.handle_deposit(&dep, now.plus(180)).expect("deposit");
+    peers[2].complete_deposit(coin);
+    println!("5. deposit  : broker paid out {} unit(s) for {}", receipt.value, receipt.coin);
+
+    // Anyone attempting to redeem again is caught, and the judge can
+    // reveal exactly the party of the offending transaction.
+    let err = broker.handle_deposit(&dep, now.plus(240)).unwrap_err();
+    println!("\nreplayed deposit rejected: {err}");
+    for case in broker.fraud_cases() {
+        println!("judge opens fraud case '{}': parties {:?}", case.description, judge.reveal_parties(case));
+    }
+    println!("\nbroker op counts: {:?}", broker.stats());
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! **WhoPay** — a scalable and anonymous payment system for peer-to-peer
+//! environments.
+//!
+//! This is the facade crate of a full reproduction of *WhoPay: A Scalable
+//! and Anonymous Payment System for Peer-to-Peer Environments* (Wei,
+//! Chen, Smith, Vo; ICDCS 2006 / UCB-CSD-5-1386). It re-exports every
+//! layer of the system:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `whopay-core` | the WhoPay protocol: broker, judge, peers, coin shops, extensions |
+//! | [`ppay`] | `whopay-ppay` | the PPay baseline WhoPay is measured against |
+//! | [`crypto`] | `whopay-crypto` | SHA-256, DSA, Schnorr, ElGamal, group signatures, Shamir, PayWord |
+//! | [`num`] | `whopay-num` | arbitrary-precision arithmetic and Schnorr-group generation |
+//! | [`dht`] | `whopay-dht` | the Chord DHT behind real-time double-spending detection |
+//! | [`net`] | `whopay-net` | in-memory transport with traffic accounting + i3 indirection |
+//! | [`sim`] | `whopay-sim` | the discrete-event simulation engine |
+//! | [`eval`] | `whopay-eval` | the paper's evaluation: load simulator, cost model, figure data |
+//!
+//! See the `examples/` directory for runnable walkthroughs (quickstart,
+//! the pay-per-download market from the paper's introduction, real-time
+//! double-spend detection, anonymous coin shops) and `whopay-bench` for
+//! the benchmarks and figure generators. DESIGN.md maps every table and
+//! figure of the paper to the code that regenerates it.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use whopay::core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+//! use whopay::crypto::testing;
+//!
+//! let mut rng = testing::test_rng(1);
+//! let params = SystemParams::new(testing::tiny_group().clone());
+//! let mut judge = Judge::new(params.group().clone(), &mut rng);
+//! let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+//! let gk = judge.enroll(PeerId(1), &mut rng);
+//! let mut alice = Peer::new(
+//!     PeerId(1),
+//!     params.clone(),
+//!     broker.public_key().clone(),
+//!     judge.public_key().clone(),
+//!     gk,
+//!     &mut rng,
+//! );
+//! broker.register_peer(alice.id(), alice.public_key().clone());
+//! let (req, pending) = alice.create_purchase_request(PurchaseMode::Identified, &mut rng);
+//! let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+//! let coin = alice.complete_purchase(minted, pending, Timestamp(0), &mut rng).unwrap();
+//! assert_eq!(alice.unissued_coins(), vec![coin]);
+//! ```
+
+pub use whopay_core as core;
+pub use whopay_crypto as crypto;
+pub use whopay_dht as dht;
+pub use whopay_eval as eval;
+pub use whopay_net as net;
+pub use whopay_num as num;
+pub use whopay_ppay as ppay;
+pub use whopay_sim as sim;

@@ -1,0 +1,198 @@
+//! Tests of the paper's anonymity and fairness properties (§2, §4.3) as
+//! observable facts about the data structures that cross trust
+//! boundaries — what the broker, the owner, and the payee actually see.
+
+use whopay::core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+use whopay::crypto::testing;
+use whopay::num::BigUint;
+
+struct World {
+    params: SystemParams,
+    judge: Judge,
+    broker: Broker,
+    peers: Vec<Peer>,
+    rng: rand::rngs::StdRng,
+}
+
+fn world(n: usize, seed: u64) -> World {
+    let mut rng = testing::test_rng(seed);
+    let params = SystemParams::new(testing::tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let peers: Vec<Peer> = (0..n as u64)
+        .map(|i| {
+            let gk = judge.enroll(PeerId(i), &mut rng);
+            let p = Peer::new(
+                PeerId(i),
+                params.clone(),
+                broker.public_key().clone(),
+                judge.public_key().clone(),
+                gk,
+                &mut rng,
+            );
+            broker.register_peer(PeerId(i), p.public_key().clone());
+            p
+        })
+        .collect();
+    World { params, judge, broker, peers, rng }
+}
+
+#[test]
+fn transfer_request_contains_no_identity_linkable_values() {
+    // §4.3: "During coin transfer, the coin does not contain holder
+    // identity and both the payer and the payee use their group private
+    // keys" — verify the actual request bytes reference no peer identity
+    // key and no peer id.
+    let mut w = world(3, 1);
+    let now = Timestamp(0);
+    let (req, pending) = w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
+    let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
+    let coin = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
+    let (invite, session) = w.peers[1].begin_receive(&mut w.rng);
+    let grant = w.peers[0].issue_coin(coin, &invite, now, &mut w.rng).unwrap();
+    w.peers[1].accept_grant(grant, session, now).unwrap();
+
+    let (invite2, _s2) = w.peers[2].begin_receive(&mut w.rng);
+    let treq = w.peers[1].request_transfer(coin, &invite2, &mut w.rng).unwrap();
+
+    // No field of the transfer request equals any peer's identity key.
+    let identity_elems: Vec<&BigUint> =
+        w.peers.iter().map(|p| p.public_key().element()).collect();
+    for elem in [&treq.new_holder_pk, treq.current.holder_pk()] {
+        for id_elem in &identity_elems {
+            assert_ne!(&elem, id_elem, "holder keys are fresh pseudonyms, not identity keys");
+        }
+    }
+}
+
+#[test]
+fn two_payments_by_the_same_peer_are_unlinkable() {
+    // Unlinkability: the artifacts of two spends by the same peer share
+    // no common value an observer could join on — fresh holder keys,
+    // fresh nonces, fresh group-signature ciphertexts.
+    let mut w = world(3, 2);
+    let now = Timestamp(0);
+
+    let mut artifacts = Vec::new();
+    for _ in 0..2 {
+        let (req, pending) =
+            w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
+        let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
+        let coin = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
+        let (invite, session) = w.peers[1].begin_receive(&mut w.rng);
+        let grant = w.peers[0].issue_coin(coin, &invite, now, &mut w.rng).unwrap();
+        w.peers[1].accept_grant(grant, session, now).unwrap();
+        let (invite2, _s) = w.peers[2].begin_receive(&mut w.rng);
+        let treq = w.peers[1].request_transfer(coin, &invite2, &mut w.rng).unwrap();
+        artifacts.push(treq);
+    }
+
+    let a = &artifacts[0];
+    let b = &artifacts[1];
+    assert_ne!(a.current.holder_pk(), b.current.holder_pk(), "fresh holder key per payment");
+    assert_ne!(a.new_holder_pk, b.new_holder_pk);
+    assert_ne!(a.nonce, b.nonce);
+    assert_ne!(
+        a.group_sig.ciphertext(),
+        b.group_sig.ciphertext(),
+        "group signatures are unlinkable (fresh ElGamal randomness)"
+    );
+    // Yet the judge links both to the same member.
+    assert_eq!(
+        w.judge.open(&a.group_sig),
+        w.judge.open(&b.group_sig),
+        "the judge, and only the judge, can link them"
+    );
+}
+
+#[test]
+fn deposit_hides_the_depositor_from_the_broker() {
+    // §4.3: "during coin deposit, the broker does not know who is
+    // requesting the deposit." The deposit request carries only the coin,
+    // a pseudonymous holder key, and a group signature.
+    let mut w = world(2, 3);
+    let now = Timestamp(0);
+    let (req, pending) = w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
+    let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
+    let coin = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
+    let (invite, session) = w.peers[1].begin_receive(&mut w.rng);
+    let grant = w.peers[0].issue_coin(coin, &invite, now, &mut w.rng).unwrap();
+    w.peers[1].accept_grant(grant, session, now).unwrap();
+    let dep = w.peers[1].request_deposit(coin, &mut w.rng).unwrap();
+
+    for p in &w.peers {
+        assert_ne!(dep.binding.holder_pk(), p.public_key().element());
+    }
+    // The broker accepts it without ever resolving an identity…
+    w.broker.handle_deposit(&dep, now).unwrap();
+    // …while the judge could (fairness), if this were a fraud case.
+    assert_eq!(
+        w.judge.open(&dep.group_sig),
+        whopay::core::RevealedIdentity::Peer(PeerId(1))
+    );
+}
+
+#[test]
+fn owner_anonymous_coins_reveal_no_owner_to_anyone() {
+    // §5.2 approach 3: the minted coin itself carries no owner identity;
+    // the broker's record of the purchase is a group signature it cannot
+    // open.
+    let mut w = world(2, 4);
+    let now = Timestamp(0);
+    let (req, pending) = w.peers[0].create_purchase_request(PurchaseMode::Anonymous, &mut w.rng);
+    assert!(req.identity_sig.is_none(), "anonymous purchases carry no identity signature");
+    assert!(req.group_sig.is_some(), "…but remain accountable via group signature");
+    let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
+    assert_eq!(minted.owner(), &whopay::core::OwnerTag::Anonymous);
+    let coin = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
+
+    // The coin still spends normally.
+    let (invite, session) = w.peers[1].begin_receive(&mut w.rng);
+    let grant = w.peers[0].issue_coin(coin, &invite, now, &mut w.rng).unwrap();
+    w.peers[1].accept_grant(grant, session, now).unwrap();
+
+    // And the judge can still attribute the purchase if fraud emerges.
+    assert_eq!(
+        w.judge.open(req.group_sig.as_ref().unwrap()),
+        whopay::core::RevealedIdentity::Peer(PeerId(0))
+    );
+    let _ = &w.params;
+}
+
+#[test]
+fn fairness_reveals_only_the_transactions_parties() {
+    // §2 Fairness: "this process should not reveal any information about
+    // other transactions." Opening one fraud case identifies its party;
+    // other transactions' group signatures remain unopened artifacts the
+    // broker never learns identities from.
+    let mut w = world(3, 5);
+    let now = Timestamp(0);
+
+    // Honest payment by peer 2 (its group signature exists somewhere).
+    let (req, pending) = w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
+    let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
+    let c1 = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
+    let (invite, session) = w.peers[2].begin_receive(&mut w.rng);
+    let grant = w.peers[0].issue_coin(c1, &invite, now, &mut w.rng).unwrap();
+    w.peers[2].accept_grant(grant, session, now).unwrap();
+
+    // Fraudulent double deposit by peer 1 on a second coin.
+    let (req2, pending2) = w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
+    let minted2 = w.broker.handle_purchase(&req2, &mut w.rng).unwrap();
+    let c2 = w.peers[0].complete_purchase(minted2, pending2, now, &mut w.rng).unwrap();
+    let (invite2, session2) = w.peers[1].begin_receive(&mut w.rng);
+    let grant2 = w.peers[0].issue_coin(c2, &invite2, now, &mut w.rng).unwrap();
+    w.peers[1].accept_grant(grant2, session2, now).unwrap();
+    let dep = w.peers[1].request_deposit(c2, &mut w.rng).unwrap();
+    w.broker.handle_deposit(&dep, now).unwrap();
+    let _ = w.broker.handle_deposit(&dep, now);
+
+    // Exactly one fraud case, naming exactly the double-depositor.
+    let cases = w.broker.fraud_cases();
+    assert_eq!(cases.len(), 1);
+    assert_eq!(cases[0].coin, c2);
+    let revealed = w.judge.reveal_parties(&cases[0]);
+    assert_eq!(revealed, vec![whopay::core::RevealedIdentity::Peer(PeerId(1))]);
+    // Peer 2's honest transaction was never part of any referral.
+    assert_eq!(cases[0].group_sigs.len(), 1);
+}
