@@ -43,7 +43,7 @@ fn bench_ppay(c: &mut Criterion) {
             // carol -> holder via owner (restores the invariant)
             let req2 = carol.request_transfer(sn, UserId(1), &mut rng).unwrap();
             let a2 = owner.handle_transfer(req2, &carol_key, &mut rng).unwrap();
-            black_box(holder.receive_issued_coin(&broker, a2).unwrap());
+            holder.receive_issued_coin(&broker, black_box(a2)).unwrap();
         });
     });
     g.finish();

@@ -18,8 +18,7 @@ fn main() {
             "{:>8} {:>12} {:>12} {:>12} {:>12}",
             "mu(h)", "purchases", "dtransfer", "drenewal", "syncs"
         );
-        let sweep =
-            sweep_setup_a_nu(Policy::I, SyncStrategy::Proactive, SimTime::from_hours(nu_h));
+        let sweep = sweep_setup_a_nu(Policy::I, SyncStrategy::Proactive, SimTime::from_hours(nu_h));
         for p in sweep {
             println!(
                 "{:>8.2} {:>12} {:>12} {:>12} {:>12}",

@@ -16,7 +16,10 @@ fn main() {
             "\npolicy I + proactive sync, ν = 2 h, payer gating: {}",
             if gated { "ON (rate ~ α²)" } else { "OFF (paper text, rate α)" }
         );
-        println!("{:>8} {:>10} {:>10} {:>10} {:>10}", "mu(h)", "purchases", "dtransfer", "drenewal", "syncs");
+        println!(
+            "{:>8} {:>10} {:>10} {:>10} {:>10}",
+            "mu(h)", "purchases", "dtransfer", "drenewal", "syncs"
+        );
         for mut cfg in setup_a(Policy::I, SyncStrategy::Proactive, SimTime::from_hours(2)) {
             cfg.payer_must_be_online = gated;
             let r = loadsim::run(&cfg);

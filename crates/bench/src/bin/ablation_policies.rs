@@ -6,8 +6,10 @@
 //! for policies I, II.a, II.b, and III under both sync strategies.
 
 use whopay_bench::print_setup_banner;
-use whopay_eval::report::sweep_setup_a;
+use whopay_eval::report::{run_with_metrics, sweep_setup_a};
 use whopay_eval::{MicroWeights, Policy, SyncStrategy};
+use whopay_obs::Role;
+use whopay_sim::SimTime;
 
 fn main() {
     print_setup_banner("Setup A: 1000 peers, ν = 2 h, all policies");
@@ -31,6 +33,27 @@ fn main() {
             println!();
         }
     }
-    println!("\n(II.a/II.b are this reproduction's documented interpretations of the
-paper's unspecified middle-ground policy; see whopay_eval::policy.)");
+    println!(
+        "\n(II.a/II.b are this reproduction's documented interpretations of the
+paper's unspecified middle-ground policy; see whopay_eval::policy.)"
+    );
+
+    // Per-operation metrics for one representative Setup A run, with the
+    // report's message totals reconciled against the cost model.
+    let cfg = whopay_eval::config::setup_a(Policy::I, SyncStrategy::Lazy, SimTime::from_hours(2))
+        .into_iter()
+        .next()
+        .expect("setup A is non-empty");
+    let (result, report) = run_with_metrics(&cfg);
+    println!("\nper-operation metrics, policy I + lazy, mu = {:.2} h:\n", cfg.mu.as_hours_f64());
+    print!("{}", report.render_table());
+    println!(
+        "\nreconciliation: broker messages {} (cost model {:.0}), peer messages {} (cost model {:.0})",
+        report.role_messages(Role::Broker),
+        result.broker_comm(),
+        report.role_messages(Role::Peer),
+        result.peers_comm_total(),
+    );
+    assert_eq!(report.role_messages(Role::Broker) as f64, result.broker_comm());
+    assert_eq!(report.role_messages(Role::Peer) as f64, result.peers_comm_total());
 }

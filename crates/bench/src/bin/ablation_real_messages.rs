@@ -11,8 +11,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use whopay_core::service::{
-    attach_broker, attach_client, attach_peer, clock, deposit_via, purchase_via,
-    request_issue_via, request_renewal_via, request_transfer_via, send_invite, sync_via,
+    attach_broker, attach_client, attach_peer, clock, deposit_via, purchase_via, request_issue_via,
+    request_renewal_via, request_transfer_via, send_invite, sync_via,
 };
 use whopay_core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
 use whopay_crypto::testing::{test_rng, tiny_group};

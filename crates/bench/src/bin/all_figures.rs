@@ -4,8 +4,8 @@
 use whopay_bench::{emit_figure, print_setup_banner};
 use whopay_eval::policy::SyncStrategy;
 use whopay_eval::report::{
-    fig_broker_comm, fig_broker_cpu, fig_broker_ops, fig_comm_ratio, fig_comm_scaling,
-    fig_cpu_ratio, fig_cpu_scaling, fig_peer_ops,
+    fig_broker_comm, fig_broker_cpu, fig_broker_ops, fig_comm_ratio, fig_comm_scaling, fig_cpu_ratio,
+    fig_cpu_scaling, fig_peer_ops,
 };
 use whopay_eval::MicroWeights;
 

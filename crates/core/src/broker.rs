@@ -167,7 +167,10 @@ impl Broker {
         let mint_msg = MintedCoin::signed_bytes(&request.owner, &request.coin_pk);
         let sig = self.keys.sign(group, &mint_msg, rng);
         let minted = MintedCoin::from_parts(request.owner, request.coin_pk.clone(), sig);
-        self.coins.insert(id, CoinRecord { minted: minted.clone(), downtime_binding: None, deposited: false });
+        self.coins.insert(
+            id,
+            CoinRecord { minted: minted.clone(), downtime_binding: None, deposited: false },
+        );
         self.stats.purchases += 1;
         Ok(minted)
     }
@@ -474,8 +477,7 @@ impl Broker {
     ) -> Result<(), CoreError> {
         use whopay_dht::{PutError, SignedRecord, Writer};
         let value = binding.public_state_bytes();
-        let msg =
-            SignedRecord::signed_bytes(binding.coin_pk(), &value, binding.seq(), Writer::Broker);
+        let msg = SignedRecord::signed_bytes(binding.coin_pk(), &value, binding.seq(), Writer::Broker);
         let record = SignedRecord {
             subject: binding.coin_pk().clone(),
             value,

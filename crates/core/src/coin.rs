@@ -19,7 +19,7 @@ use crate::codec::{DecodeError, Reader, Writer};
 use crate::types::{CoinId, PeerId, Timestamp};
 
 /// How a coin names its owner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OwnerTag {
     /// Basic WhoPay: the owner's identity is in the coin (`C = {U, pkC}skB`).
     Identified(PeerId),
@@ -32,7 +32,7 @@ pub enum OwnerTag {
 }
 
 /// The broker-signed coin: the root of a coin's chain of custody.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MintedCoin {
     owner: OwnerTag,
     coin_pk: BigUint,
@@ -85,7 +85,7 @@ impl MintedCoin {
 }
 
 /// Who signed a binding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BindingSigner {
     /// The coin's own key (normal operation; only the owner knows `skC`).
     CoinKey,
@@ -95,7 +95,7 @@ pub enum BindingSigner {
 
 /// `Coin = {C, pkH, seq, exp_date}` — the owner's signed statement of who
 /// holds the coin now.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Binding {
     coin_pk: BigUint,
     holder_pk: BigUint,
@@ -295,8 +295,11 @@ mod tests {
         );
         assert!(!forged.verify(group, broker.public()));
         // Removing the owner tag also breaks the signature.
-        let anonymized =
-            MintedCoin::from_parts(OwnerTag::Anonymous, coin.coin_pk().clone(), coin.broker_sig.clone());
+        let anonymized = MintedCoin::from_parts(
+            OwnerTag::Anonymous,
+            coin.coin_pk().clone(),
+            coin.broker_sig.clone(),
+        );
         assert!(!anonymized.verify(group, broker.public()));
     }
 
@@ -388,9 +391,22 @@ mod tests {
         let h1 = DsaKeyPair::generate(group, &mut rng);
         let h2 = DsaKeyPair::generate(group, &mut rng);
         let make = |holder_pk: &BigUint, seq: u64, rng: &mut rand::rngs::StdRng| {
-            let msg = Binding::signed_bytes(coin.coin_pk(), holder_pk, seq, Timestamp(1000), BindingSigner::CoinKey);
+            let msg = Binding::signed_bytes(
+                coin.coin_pk(),
+                holder_pk,
+                seq,
+                Timestamp(1000),
+                BindingSigner::CoinKey,
+            );
             let sig = coin_keys.sign(group, &msg, rng);
-            Binding::from_parts(coin.coin_pk().clone(), holder_pk.clone(), seq, Timestamp(1000), BindingSigner::CoinKey, sig)
+            Binding::from_parts(
+                coin.coin_pk().clone(),
+                holder_pk.clone(),
+                seq,
+                Timestamp(1000),
+                BindingSigner::CoinKey,
+                sig,
+            )
         };
         let b1 = make(h1.public().element(), 3, &mut rng);
         let b2 = make(h2.public().element(), 3, &mut rng);

@@ -19,6 +19,7 @@ use rand::Rng;
 use whopay_crypto::dsa::DsaKeyPair;
 use whopay_dht::{storage, Dht, Notification, PutError, RingId, SignedRecord, SubscriberId, Writer};
 use whopay_num::BigUint;
+use whopay_obs::{Event, Obs, OpKind, Role};
 
 use crate::coin::{Binding, PublicBindingState};
 use crate::error::CoreError;
@@ -47,9 +48,31 @@ pub fn publish_owner_binding<R: Rng + ?Sized>(
     entry: RingId,
     rng: &mut R,
 ) -> Result<(), CoreError> {
-    let owned = peer.owned_coin(&coin).ok_or(CoreError::NotOwner(coin))?;
-    let record = signed_record_for(&owned.coin_keys, &owned.binding, peer.params().group(), rng);
-    put_record(dht, entry, record)
+    publish_owner_binding_obs(peer, coin, dht, entry, rng, &Obs::disabled())
+}
+
+/// [`publish_owner_binding`] with an observability context: the publish
+/// is timed as a [`OpKind::DsdPublish`] span attributed to the owner
+/// ([`Role::Peer`]).
+pub fn publish_owner_binding_obs<R: Rng + ?Sized>(
+    peer: &Peer,
+    coin: CoinId,
+    dht: &mut Dht,
+    entry: RingId,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<(), CoreError> {
+    let mut span = obs.span(Role::Peer, OpKind::DsdPublish);
+    let result = (|| {
+        let owned = peer.owned_coin(&coin).ok_or(CoreError::NotOwner(coin))?;
+        let record = signed_record_for(&owned.coin_keys, &owned.binding, peer.params().group(), rng);
+        put_record(dht, entry, record)
+    })();
+    if let Err(e) = &result {
+        span.fail(e.to_string());
+    }
+    span.finish();
+    result
 }
 
 /// Reads the public binding state for a coin.
@@ -63,8 +86,7 @@ pub fn read_public_state(
     entry: RingId,
     coin_pk: &BigUint,
 ) -> Result<PublicBindingState, CoreError> {
-    let record =
-        dht.get(entry, binding_key(coin_pk)).ok_or(CoreError::PublicBindingMissing)?;
+    let record = dht.get(entry, binding_key(coin_pk)).ok_or(CoreError::PublicBindingMissing)?;
     Binding::decode_public_state(&record.value).map_err(|_| CoreError::Malformed)
 }
 
@@ -81,11 +103,32 @@ pub fn verify_grant_published(
     entry: RingId,
     grant: &CoinGrant,
 ) -> Result<(), CoreError> {
-    let state = read_public_state(dht, entry, grant.minted.coin_pk())?;
-    if state.holder_pk != *grant.binding.holder_pk() || state.seq != grant.binding.seq() {
-        return Err(CoreError::PublicBindingMismatch);
+    verify_grant_published_obs(dht, entry, grant, &Obs::disabled())
+}
+
+/// [`verify_grant_published`] with an observability context: the
+/// payee-side real-time check is timed as a [`OpKind::DsdVerify`] span
+/// ([`Role::Peer`]), so runs can report how often acceptance stalls on a
+/// missing or mismatched public binding.
+pub fn verify_grant_published_obs(
+    dht: &mut Dht,
+    entry: RingId,
+    grant: &CoinGrant,
+    obs: &Obs,
+) -> Result<(), CoreError> {
+    let mut span = obs.span(Role::Peer, OpKind::DsdVerify);
+    let result = (|| {
+        let state = read_public_state(dht, entry, grant.minted.coin_pk())?;
+        if state.holder_pk != *grant.binding.holder_pk() || state.seq != grant.binding.seq() {
+            return Err(CoreError::PublicBindingMismatch);
+        }
+        Ok(())
+    })();
+    if let Err(e) = &result {
+        span.fail(e.to_string());
     }
-    Ok(())
+    span.finish();
+    result
 }
 
 /// Holder-side monitor: subscribes to the public bindings of held coins
@@ -142,6 +185,14 @@ impl HoldingMonitor {
     /// Drains notifications and returns alarms for coins whose public
     /// binding moved past what we hold.
     pub fn poll(&mut self, dht: &mut Dht) -> Vec<DoubleSpendAlarm> {
+        self.poll_obs(dht, &Obs::disabled())
+    }
+
+    /// [`HoldingMonitor::poll`] with an observability context: every
+    /// raised alarm is reported as a failed [`OpKind::DsdAlarm`] event
+    /// ([`Role::Peer`]), so double-spends in progress show up in the
+    /// metrics report and event stream.
+    pub fn poll_obs(&mut self, dht: &mut Dht, obs: &Obs) -> Vec<DoubleSpendAlarm> {
         let mut alarms = Vec::new();
         for (coin, (sub, held_seq)) in &self.subscriptions {
             for Notification { record, .. } in dht.drain_notifications(*sub) {
@@ -151,6 +202,11 @@ impl HoldingMonitor {
                         held_seq: *held_seq,
                         observed_seq: record.version,
                     });
+                    if obs.enabled() {
+                        obs.observe(Event::new(Role::Peer, OpKind::DsdAlarm).failed().with_detail(
+                            format!("held seq {held_seq}, observed seq {}", record.version),
+                        ));
+                    }
                 }
             }
         }

@@ -12,7 +12,9 @@
 //! [`Judge::from_shares`] implement.
 
 use rand::Rng;
-use whopay_crypto::group_sig::{GroupManager, GroupMemberKey, GroupPublicKey, GroupSignature, OpenOutcome};
+use whopay_crypto::group_sig::{
+    GroupManager, GroupMemberKey, GroupPublicKey, GroupSignature, OpenOutcome,
+};
 use whopay_crypto::shamir::{self, Share};
 use whopay_num::SchnorrGroup;
 

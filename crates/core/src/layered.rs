@@ -89,6 +89,7 @@ impl LayeredCoin {
     /// [`CoreError::TooManyLayers`] past `max_layers`,
     /// [`CoreError::HolderKeyMismatch`] if `holder_keys` is not the
     /// current holder key.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_layer<R: Rng + ?Sized>(
         &mut self,
         group: &SchnorrGroup,

@@ -58,10 +58,7 @@ impl PaymentInvite {
         rng.fill_bytes(&mut nonce);
         let holder_pk = holder_keys.public().element().clone();
         let group_sig = gk.sign(group, gpk, &Self::signed_bytes(&holder_pk, &nonce), rng);
-        (
-            PaymentInvite { holder_pk, nonce, group_sig },
-            ReceiveSession { holder_keys, nonce },
-        )
+        (PaymentInvite { holder_pk, nonce, group_sig }, ReceiveSession { holder_keys, nonce })
     }
 
     /// Verifies the payee's group signature.

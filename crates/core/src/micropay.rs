@@ -64,10 +64,7 @@ impl MicropaySender {
         let chain = PaywordChain::generate(capacity as usize, rng);
         let root = chain.root();
         let group_sig = gk.sign(group, gpk, &ChainCommitment::signed_bytes(&root, capacity), rng);
-        (
-            MicropaySender { chain, capacity },
-            ChainCommitment { root, capacity, group_sig },
-        )
+        (MicropaySender { chain, capacity }, ChainCommitment { root, capacity, group_sig })
     }
 
     /// Units already spent from this window.
@@ -119,11 +116,7 @@ impl MicropayReceiver {
         if !commitment.verify(group, gpk) {
             return Err(CoreError::BadGroupSignature);
         }
-        Ok(MicropayReceiver {
-            receiver: PaywordReceiver::new(commitment.root),
-            threshold,
-            settled: 0,
-        })
+        Ok(MicropayReceiver { receiver: PaywordReceiver::new(commitment.root), threshold, settled: 0 })
     }
 
     /// Verifies one payword. Returns the newly credited units.

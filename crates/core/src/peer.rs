@@ -205,10 +205,8 @@ impl Peer {
             now,
             rng,
         );
-        self.owned.insert(
-            id,
-            OwnedCoin { minted, coin_keys: pending.coin_keys, binding, issued: false },
-        );
+        self.owned
+            .insert(id, OwnedCoin { minted, coin_keys: pending.coin_keys, binding, issued: false });
         Ok(id)
     }
 
@@ -466,7 +464,8 @@ impl Peer {
                 presented_seq: request.current.seq(),
             });
         }
-        let msg = TransferRequest::signed_bytes(&request.current, &request.new_holder_pk, &request.nonce);
+        let msg =
+            TransferRequest::signed_bytes(&request.current, &request.new_holder_pk, &request.nonce);
         let holder_key = DsaPublicKey::from_element(request.current.holder_pk().clone());
         if !holder_key.verify(&group, &msg, &request.holder_sig) {
             return Err(CoreError::BadSignature);
@@ -571,7 +570,8 @@ impl Peer {
         if request.new_holder_pk != *layered.current_holder_pk() {
             return Err(CoreError::HolderKeyMismatch);
         }
-        let msg = TransferRequest::signed_bytes(&request.current, &request.new_holder_pk, &request.nonce);
+        let msg =
+            TransferRequest::signed_bytes(&request.current, &request.new_holder_pk, &request.nonce);
         // The chain's final holder signs; the verified layer chain stands
         // in for the base holder's signature.
         let final_holder = DsaPublicKey::from_element(layered.current_holder_pk().clone());

@@ -10,19 +10,34 @@
 //! Entities are shared via `Rc<RefCell<…>>` between the test/driver code
 //! and the endpoint handler closures; the shared [`Clock`] supplies `now`
 //! to request handling.
+//!
+//! # Observability
+//!
+//! Every attach/`*_via` function has an `_obs` variant taking a
+//! [`whopay_obs::Obs`] context. Client-side spans are the operation
+//! records: they carry the request/response traffic (2 messages, payload
+//! bytes — the same units as `whopay_net::TrafficStats`), the
+//! end-to-end latency, and any failure, attributed to the role that
+//! serves the operation (broker ops to [`Role::Broker`], owner-served
+//! ops to [`Role::Peer`]). Server-side handler spans measure dispatch
+//! latency and rejections with *no* traffic attached; feed them a
+//! separate registry (or the same one, accepting that each operation
+//! then counts once per side) — traffic totals stay reconcilable with
+//! `TrafficStats` either way because only client spans carry traffic.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use rand::SeedableRng;
 use whopay_net::{EndpointId, Network, RequestError};
+use whopay_obs::{Obs, OpKind, Role, Span};
 
 use crate::broker::Broker;
 use crate::error::CoreError;
 use crate::messages::{CoinGrant, DepositReceipt, PaymentInvite};
 use crate::peer::{Peer, PurchaseMode};
 use crate::types::{CoinId, Timestamp};
-use crate::wire::{Request, Response};
+use crate::wire::{wire_kind, Request, Response};
 
 /// A shared protocol clock for networked services.
 pub type Clock = Rc<Cell<Timestamp>>;
@@ -30,6 +45,34 @@ pub type Clock = Rc<Cell<Timestamp>>;
 /// Creates a clock starting at `t`.
 pub fn clock(t: Timestamp) -> Clock {
     Rc::new(Cell::new(t))
+}
+
+/// Installs [`wire_kind`] as the network's message classifier, so the
+/// per-kind traffic breakdown splits by protocol operation.
+pub fn install_wire_classifier(net: &mut Network) {
+    net.set_classifier(wire_kind);
+}
+
+/// The operation kind a decoded request dispatches to.
+fn request_op_kind(req: &Request) -> OpKind {
+    match req {
+        Request::Purchase(_) => OpKind::Purchase,
+        Request::Issue { .. } => OpKind::Issue,
+        Request::Transfer { downtime: false, .. } => OpKind::Transfer,
+        Request::Transfer { downtime: true, .. } => OpKind::DowntimeTransfer,
+        Request::Renewal { downtime: false, .. } => OpKind::Renewal,
+        Request::Renewal { downtime: true, .. } => OpKind::DowntimeRenewal,
+        Request::Deposit(_) => OpKind::Deposit,
+        Request::Sync { .. } => OpKind::Sync,
+    }
+}
+
+/// Marks the span failed when the response is an error, then finishes it.
+fn finish_dispatch(mut span: Span<'_>, response: &Response) {
+    if let Response::Error(e) = response {
+        span.fail(e.clone());
+    }
+    span.finish();
 }
 
 /// Attaches a broker to the network. All broker-side operations
@@ -41,10 +84,29 @@ pub fn attach_broker(
     clock: Clock,
     seed: u64,
 ) -> EndpointId {
+    attach_broker_obs(net, broker, clock, seed, Obs::disabled())
+}
+
+/// [`attach_broker`] with an observability context: each dispatched
+/// request is timed under its operation kind ([`Role::Broker`], no
+/// traffic — the client side owns the byte accounting), and rejections
+/// are recorded as failed spans.
+pub fn attach_broker_obs(
+    net: &mut Network,
+    broker: Rc<RefCell<Broker>>,
+    clock: Clock,
+    seed: u64,
+    obs: Obs,
+) -> EndpointId {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    net.register("broker", move |bytes: &[u8]| {
+    let id = net.register("broker", move |bytes: &[u8]| {
         let now = clock.get();
-        let response = match Request::decode(bytes) {
+        let mut span = obs.span(Role::Broker, OpKind::Other);
+        let decoded = Request::decode(bytes);
+        if let Ok(req) = &decoded {
+            span.set_op(request_op_kind(req));
+        }
+        let response = match decoded {
             Err(e) => Response::Error(e.to_string()),
             Ok(Request::Purchase(req)) => match broker.borrow_mut().handle_purchase(&req, &mut rng) {
                 Ok(minted) => Response::Minted(minted),
@@ -74,23 +136,38 @@ pub fn attach_broker(
             }
             Ok(_) => Response::Error("request not handled by the broker".into()),
         };
+        finish_dispatch(span, &response);
         response.encode()
-    })
+    });
+    net.set_role(id, Role::Broker);
+    id
 }
 
 /// Attaches a peer's *owner-side* request loop to the network: issue
 /// requests, transfers, and renewals for coins this peer owns.
-pub fn attach_peer(
+pub fn attach_peer(net: &mut Network, peer: Rc<RefCell<Peer>>, clock: Clock, seed: u64) -> EndpointId {
+    attach_peer_obs(net, peer, clock, seed, Obs::disabled())
+}
+
+/// [`attach_peer`] with an observability context (see
+/// [`attach_broker_obs`]; spans are attributed to [`Role::Peer`]).
+pub fn attach_peer_obs(
     net: &mut Network,
     peer: Rc<RefCell<Peer>>,
     clock: Clock,
     seed: u64,
+    obs: Obs,
 ) -> EndpointId {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let name = format!("peer-{}", peer.borrow().id());
-    net.register(&name, move |bytes: &[u8]| {
+    let id = net.register(&name, move |bytes: &[u8]| {
         let now = clock.get();
-        let response = match Request::decode(bytes) {
+        let mut span = obs.span(Role::Peer, OpKind::Other);
+        let decoded = Request::decode(bytes);
+        if let Ok(req) = &decoded {
+            span.set_op(request_op_kind(req));
+        }
+        let response = match decoded {
             Err(e) => Response::Error(e.to_string()),
             Ok(Request::Issue { coin, invite }) => {
                 match peer.borrow_mut().issue_coin(coin, &invite, now, &mut rng) {
@@ -112,8 +189,11 @@ pub fn attach_peer(
             }
             Ok(_) => Response::Error("request not handled by a peer".into()),
         };
+        finish_dispatch(span, &response);
         response.encode()
-    })
+    });
+    net.set_role(id, Role::Peer);
+    id
 }
 
 /// Registers a plain client endpoint (for invite delivery and as the
@@ -145,17 +225,32 @@ impl std::fmt::Display for CallError {
 
 impl std::error::Error for CallError {}
 
-fn call(
+/// One request/response exchange, attributing both directions' traffic
+/// to the caller's span (2 messages, request + response payload bytes —
+/// the exact units `whopay_net::TrafficStats` counts).
+fn call_traced(
     net: &mut Network,
     from: EndpointId,
     to: EndpointId,
     request: &Request,
+    span: &mut Span<'_>,
 ) -> Result<Response, CallError> {
-    let bytes = net.request(from, to, request.encode()).map_err(CallError::Network)?;
-    match Response::decode(&bytes).map_err(CallError::Protocol)? {
+    let bytes = request.encode();
+    let req_len = bytes.len();
+    let resp_bytes = net.request(from, to, bytes).map_err(CallError::Network)?;
+    span.add_traffic(2, (req_len + resp_bytes.len()) as u64);
+    match Response::decode(&resp_bytes).map_err(CallError::Protocol)? {
         Response::Error(e) => Err(CallError::Remote(e)),
         other => Ok(other),
     }
+}
+
+/// Marks the span failed on error, then finishes it.
+fn finish_call<T>(mut span: Span<'_>, result: &Result<T, CallError>) {
+    if let Err(e) = result {
+        span.fail(e.to_string());
+    }
+    span.finish();
 }
 
 /// Delivers a payment invite from the payee's endpoint to the payer's
@@ -166,11 +261,31 @@ pub fn send_invite(
     payer: EndpointId,
     invite: &PaymentInvite,
 ) -> Result<(), CallError> {
+    send_invite_obs(net, payee, payer, invite, &Obs::disabled())
+}
+
+/// [`send_invite`] with an observability context (recorded as a
+/// [`Role::Client`] event labelled `invite`).
+pub fn send_invite_obs(
+    net: &mut Network,
+    payee: EndpointId,
+    payer: EndpointId,
+    invite: &PaymentInvite,
+    obs: &Obs,
+) -> Result<(), CallError> {
+    let mut span = obs.span(Role::Client, OpKind::Other);
     // Reuse the Issue frame purely as an invite container; the receiving
     // client endpoint ignores payloads.
     let frame = Request::Issue { coin: CoinId([0; 32]), invite: invite.clone() };
-    net.request(payee, payer, frame.encode()).map_err(CallError::Network)?;
-    Ok(())
+    let bytes = frame.encode();
+    let req_len = bytes.len();
+    let result = net.request(payee, payer, bytes).map_err(CallError::Network);
+    match &result {
+        Ok(reply) => span.add_traffic(2, (req_len + reply.len()) as u64),
+        Err(e) => span.fail(e.to_string()),
+    }
+    span.finish();
+    result.map(|_| ())
 }
 
 /// Purchases a coin over the network.
@@ -187,13 +302,32 @@ pub fn purchase_via<R: rand::Rng + ?Sized>(
     now: Timestamp,
     rng: &mut R,
 ) -> Result<CoinId, CallError> {
+    purchase_via_obs(net, me, broker_ep, peer, mode, now, rng, &Obs::disabled())
+}
+
+/// [`purchase_via`] with an observability context.
+#[allow(clippy::too_many_arguments)]
+pub fn purchase_via_obs<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    peer: &mut Peer,
+    mode: PurchaseMode,
+    now: Timestamp,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<CoinId, CallError> {
+    let mut span = obs.span(Role::Broker, OpKind::Purchase);
     let (req, pending) = peer.create_purchase_request(mode, rng);
-    match call(net, me, broker_ep, &Request::Purchase(req))? {
-        Response::Minted(minted) => {
+    let result = match call_traced(net, me, broker_ep, &Request::Purchase(req), &mut span) {
+        Ok(Response::Minted(minted)) => {
             peer.complete_purchase(minted, pending, now, rng).map_err(CallError::Protocol)
         }
-        _ => Err(CallError::Protocol(CoreError::Malformed)),
-    }
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
 }
 
 /// Requests an issue from a (shop or owner) peer endpoint and returns the
@@ -209,10 +343,27 @@ pub fn request_issue_via(
     coin: CoinId,
     invite: &PaymentInvite,
 ) -> Result<CoinGrant, CallError> {
-    match call(net, me, owner_ep, &Request::Issue { coin, invite: invite.clone() })? {
-        Response::Grant(grant) => Ok(grant),
-        _ => Err(CallError::Protocol(CoreError::Malformed)),
-    }
+    request_issue_via_obs(net, me, owner_ep, coin, invite, &Obs::disabled())
+}
+
+/// [`request_issue_via`] with an observability context.
+pub fn request_issue_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    owner_ep: EndpointId,
+    coin: CoinId,
+    invite: &PaymentInvite,
+    obs: &Obs,
+) -> Result<CoinGrant, CallError> {
+    let mut span = obs.span(Role::Peer, OpKind::Issue);
+    let request = Request::Issue { coin, invite: invite.clone() };
+    let result = match call_traced(net, me, owner_ep, &request, &mut span) {
+        Ok(Response::Grant(grant)) => Ok(grant),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
 }
 
 /// Sends a transfer request to the owner (or the broker when `downtime`)
@@ -228,10 +379,33 @@ pub fn request_transfer_via(
     request: crate::messages::TransferRequest,
     downtime: bool,
 ) -> Result<CoinGrant, CallError> {
-    match call(net, me, target_ep, &Request::Transfer { request, downtime })? {
-        Response::Grant(grant) => Ok(grant),
-        _ => Err(CallError::Protocol(CoreError::Malformed)),
-    }
+    request_transfer_via_obs(net, me, target_ep, request, downtime, &Obs::disabled())
+}
+
+/// [`request_transfer_via`] with an observability context: recorded as a
+/// peer-served transfer, or a broker-served downtime transfer.
+pub fn request_transfer_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    target_ep: EndpointId,
+    request: crate::messages::TransferRequest,
+    downtime: bool,
+    obs: &Obs,
+) -> Result<CoinGrant, CallError> {
+    let (role, op) = if downtime {
+        (Role::Broker, OpKind::DowntimeTransfer)
+    } else {
+        (Role::Peer, OpKind::Transfer)
+    };
+    let mut span = obs.span(role, op);
+    let result =
+        match call_traced(net, me, target_ep, &Request::Transfer { request, downtime }, &mut span) {
+            Ok(Response::Grant(grant)) => Ok(grant),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+    finish_call(span, &result);
+    result
 }
 
 /// Sends a renewal request to the owner (or broker) and returns the
@@ -247,10 +421,29 @@ pub fn request_renewal_via(
     request: crate::messages::RenewalRequest,
     downtime: bool,
 ) -> Result<crate::coin::Binding, CallError> {
-    match call(net, me, target_ep, &Request::Renewal { request, downtime })? {
-        Response::Binding(binding) => Ok(binding),
-        _ => Err(CallError::Protocol(CoreError::Malformed)),
-    }
+    request_renewal_via_obs(net, me, target_ep, request, downtime, &Obs::disabled())
+}
+
+/// [`request_renewal_via`] with an observability context.
+pub fn request_renewal_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    target_ep: EndpointId,
+    request: crate::messages::RenewalRequest,
+    downtime: bool,
+    obs: &Obs,
+) -> Result<crate::coin::Binding, CallError> {
+    let (role, op) =
+        if downtime { (Role::Broker, OpKind::DowntimeRenewal) } else { (Role::Peer, OpKind::Renewal) };
+    let mut span = obs.span(role, op);
+    let result =
+        match call_traced(net, me, target_ep, &Request::Renewal { request, downtime }, &mut span) {
+            Ok(Response::Binding(binding)) => Ok(binding),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+    finish_call(span, &result);
+    result
 }
 
 /// Deposits a coin over the network.
@@ -264,10 +457,25 @@ pub fn deposit_via(
     broker_ep: EndpointId,
     request: crate::messages::DepositRequest,
 ) -> Result<DepositReceipt, CallError> {
-    match call(net, me, broker_ep, &Request::Deposit(request))? {
-        Response::Receipt(receipt) => Ok(receipt),
-        _ => Err(CallError::Protocol(CoreError::Malformed)),
-    }
+    deposit_via_obs(net, me, broker_ep, request, &Obs::disabled())
+}
+
+/// [`deposit_via`] with an observability context.
+pub fn deposit_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    request: crate::messages::DepositRequest,
+    obs: &Obs,
+) -> Result<DepositReceipt, CallError> {
+    let mut span = obs.span(Role::Broker, OpKind::Deposit);
+    let result = match call_traced(net, me, broker_ep, &Request::Deposit(request), &mut span) {
+        Ok(Response::Receipt(receipt)) => Ok(receipt),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
 }
 
 /// Proactively synchronizes a peer with the broker over the network,
@@ -285,20 +493,45 @@ pub fn sync_via<R: rand::Rng + ?Sized>(
     peer: &mut Peer,
     rng: &mut R,
 ) -> Result<usize, CallError> {
+    sync_via_obs(net, me, broker_ep, peer, rng, &Obs::disabled())
+}
+
+/// [`sync_via`] with an observability context.
+pub fn sync_via_obs<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    peer: &mut Peer,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<usize, CallError> {
+    let mut span = obs.span(Role::Broker, OpKind::Sync);
     let mut challenge = [0u8; 32];
     rng.fill_bytes(&mut challenge);
     let response = peer.sign_identity_challenge(&challenge, rng);
     let req = Request::Sync { peer: peer.id(), challenge: challenge.to_vec(), response };
-    match call(net, me, broker_ep, &req)? {
-        Response::Bindings(bindings) => {
+    let result = match call_traced(net, me, broker_ep, &req, &mut span) {
+        Ok(Response::Bindings(bindings)) => {
             let mut adopted = 0;
+            let mut failure = None;
             for b in bindings {
-                if peer.adopt_broker_binding(b).map_err(CallError::Protocol)? {
-                    adopted += 1;
+                match peer.adopt_broker_binding(b) {
+                    Ok(true) => adopted += 1,
+                    Ok(false) => {}
+                    Err(e) => {
+                        failure = Some(CallError::Protocol(e));
+                        break;
+                    }
                 }
             }
-            Ok(adopted)
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(adopted),
+            }
         }
-        _ => Err(CallError::Protocol(CoreError::Malformed)),
-    }
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
 }

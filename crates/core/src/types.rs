@@ -7,7 +7,7 @@ use whopay_num::BigUint;
 
 /// A peer's registered identity (the paper's "public key certificate"
 /// identity, abstracted to an id the broker/judge registries key on).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PeerId(pub u64);
 
 impl fmt::Display for PeerId {
@@ -18,7 +18,7 @@ impl fmt::Display for PeerId {
 
 /// Protocol time in abstract seconds since an epoch. The caller supplies
 /// `now` (wall clock in deployment, simulated time in tests/experiments).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -46,7 +46,7 @@ impl fmt::Display for Timestamp {
 ///
 /// The coin *is* the public key; the hash is a fixed-width map key and the
 /// coin's DHT address.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CoinId(pub [u8; 32]);
 
 impl CoinId {

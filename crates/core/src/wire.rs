@@ -16,8 +16,8 @@ use crate::codec::{DecodeError, Reader, Writer};
 use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
 use crate::error::CoreError;
 use crate::messages::{
-    CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest,
-    RenewalRequest, TransferRequest,
+    CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest, RenewalRequest,
+    TransferRequest,
 };
 use crate::types::{CoinId, PeerId, Timestamp};
 
@@ -196,6 +196,31 @@ fn get_grant(r: &mut Reader<'_>) -> Result<CoinGrant, DecodeError> {
 }
 
 // --- request/response encoding ---
+
+/// Classifies an encoded request by its wire tag without fully decoding
+/// it — the message-kind labels the `whopay-net` traffic breakdown uses
+/// (`Network::set_classifier`). Downtime flags are folded into the
+/// transfer/renewal labels so the split matches the §6.2 operation list.
+pub fn wire_kind(bytes: &[u8]) -> &'static str {
+    let mut r = Reader::new(bytes);
+    match r.u64() {
+        Ok(0) => "purchase",
+        Ok(1) => "issue",
+        Ok(2) => match r.u64() {
+            Ok(0) => "transfer",
+            Ok(_) => "downtime_transfer",
+            Err(_) => "malformed",
+        },
+        Ok(3) => match r.u64() {
+            Ok(0) => "renewal",
+            Ok(_) => "downtime_renewal",
+            Err(_) => "malformed",
+        },
+        Ok(4) => "deposit",
+        Ok(5) => "sync",
+        Ok(_) | Err(_) => "malformed",
+    }
+}
 
 impl Request {
     /// Encodes the request.
@@ -411,7 +436,13 @@ mod tests {
         let minted = MintedCoin::from_parts(owner, pk.clone(), mint_sig);
 
         let holder = DsaKeyPair::generate(group, &mut rng);
-        let msg = Binding::signed_bytes(&pk, holder.public().element(), 3, Timestamp(77), BindingSigner::CoinKey);
+        let msg = Binding::signed_bytes(
+            &pk,
+            holder.public().element(),
+            3,
+            Timestamp(77),
+            BindingSigner::CoinKey,
+        );
         let bsig = coin_keys.sign(group, &msg, &mut rng);
         let binding = Binding::from_parts(
             pk,
@@ -424,8 +455,7 @@ mod tests {
 
         let mut judge: GroupManager<u8> = GroupManager::new(group.clone(), &mut rng);
         let member = judge.enroll(1, &mut rng);
-        let (invite, _session) =
-            PaymentInvite::create(group, judge.public_key(), &member, &mut rng);
+        let (invite, _session) = PaymentInvite::create(group, judge.public_key(), &member, &mut rng);
         let sig = holder.sign(group, b"x", &mut rng);
         let gsig = member.sign(group, judge.public_key(), b"y", &mut rng);
         (minted, binding, invite, sig, gsig)
@@ -509,6 +539,55 @@ mod tests {
             Response::Error(e) => assert_eq!(e, "stale binding"),
             other => panic!("wrong variant {other:?}"),
         }
+    }
+
+    #[test]
+    fn wire_kind_labels_every_request() {
+        let (minted, binding, invite, sig, gsig) = sample_parts();
+        let purchase = Request::Purchase(PurchaseRequest {
+            owner: OwnerTag::Anonymous,
+            coin_pk: whopay_num::BigUint::from(7u64),
+            identity_sig: None,
+            group_sig: None,
+        });
+        assert_eq!(wire_kind(&purchase.encode()), "purchase");
+        let issue = Request::Issue { coin: CoinId([0; 32]), invite: invite.clone() };
+        assert_eq!(wire_kind(&issue.encode()), "issue");
+        let treq = TransferRequest {
+            current: binding.clone(),
+            new_holder_pk: invite.holder_pk.clone(),
+            nonce: invite.nonce,
+            holder_sig: sig.clone(),
+            group_sig: gsig.clone(),
+        };
+        let t = Request::Transfer { request: treq.clone(), downtime: false };
+        assert_eq!(wire_kind(&t.encode()), "transfer");
+        let td = Request::Transfer { request: treq, downtime: true };
+        assert_eq!(wire_kind(&td.encode()), "downtime_transfer");
+        let rreq = RenewalRequest {
+            current: binding.clone(),
+            holder_sig: sig.clone(),
+            group_sig: gsig.clone(),
+        };
+        assert_eq!(
+            wire_kind(&Request::Renewal { request: rreq.clone(), downtime: false }.encode()),
+            "renewal"
+        );
+        assert_eq!(
+            wire_kind(&Request::Renewal { request: rreq, downtime: true }.encode()),
+            "downtime_renewal"
+        );
+        let dep = Request::Deposit(DepositRequest {
+            minted,
+            binding,
+            holder_sig: sig.clone(),
+            group_sig: gsig,
+        });
+        assert_eq!(wire_kind(&dep.encode()), "deposit");
+        let sync = Request::Sync { peer: PeerId(1), challenge: vec![1], response: sig };
+        assert_eq!(wire_kind(&sync.encode()), "sync");
+        assert_eq!(wire_kind(&[]), "malformed");
+        assert_eq!(wire_kind(&[0xff; 16]), "malformed");
     }
 
     #[test]

@@ -44,11 +44,8 @@ fn world(n: usize, seed: u64) -> World {
 }
 
 fn dht_for(w: &World, nodes: usize, rng: &mut rand::rngs::StdRng) -> (Dht, RingId) {
-    let mut dht = Dht::new(
-        w.params.group().clone(),
-        w.broker.public_key().clone(),
-        DhtConfig::default(),
-    );
+    let mut dht =
+        Dht::new(w.params.group().clone(), w.broker.public_key().clone(), DhtConfig::default());
     for _ in 0..nodes {
         dht.join(RingId::random(rng));
     }
@@ -293,7 +290,15 @@ fn layered_coin_chain_verifies_and_caps_depth() {
     let h2 = DsaKeyPair::generate(&group, &mut w.rng);
     let gk1 = w.judge.enroll(PeerId(101), &mut w.rng);
     layered
-        .add_layer(&group, &gpk, &holder1_keys, &gk1, h2.public().element().clone(), max_layers, &mut w.rng)
+        .add_layer(
+            &group,
+            &gpk,
+            &holder1_keys,
+            &gk1,
+            h2.public().element().clone(),
+            max_layers,
+            &mut w.rng,
+        )
         .unwrap();
     // Hop 2 → 3.
     let h3 = DsaKeyPair::generate(&group, &mut w.rng);
@@ -309,7 +314,15 @@ fn layered_coin_chain_verifies_and_caps_depth() {
     // A non-holder cannot extend the chain.
     let mallory = DsaKeyPair::generate(&group, &mut w.rng);
     let err = layered
-        .add_layer(&group, &gpk, &mallory, &gk2, mallory.public().element().clone(), max_layers, &mut w.rng)
+        .add_layer(
+            &group,
+            &gpk,
+            &mallory,
+            &gk2,
+            mallory.public().element().clone(),
+            max_layers,
+            &mut w.rng,
+        )
         .unwrap_err();
     assert_eq!(err, CoreError::HolderKeyMismatch);
 
@@ -354,20 +367,34 @@ fn layered_chain_collapses_back_through_the_owner() {
     let gk_a = w.judge.enroll(PeerId(201), &mut w.rng);
     let key_a = DsaKeyPair::generate(&group, &mut w.rng);
     layered
-        .add_layer(&group, &gpk, &holder1, &gk_a, key_a.public().element().clone(), max_layers, &mut w.rng)
+        .add_layer(
+            &group,
+            &gpk,
+            &holder1,
+            &gk_a,
+            key_a.public().element().clone(),
+            max_layers,
+            &mut w.rng,
+        )
         .unwrap();
     let gk_b = w.judge.enroll(PeerId(202), &mut w.rng);
     let key_b = DsaKeyPair::generate(&group, &mut w.rng);
     layered
-        .add_layer(&group, &gpk, &key_a, &gk_b, key_b.public().element().clone(), max_layers, &mut w.rng)
+        .add_layer(
+            &group,
+            &gpk,
+            &key_a,
+            &gk_b,
+            key_b.public().element().clone(),
+            max_layers,
+            &mut w.rng,
+        )
         .unwrap();
 
     // Owner returns; final holder collapses the chain.
     let mut nonce = [0u8; 32];
     rand::Rng::fill_bytes(&mut w.rng, &mut nonce);
-    let collapse = layered
-        .collapse_request(&group, &gpk, &key_b, &gk_b, nonce, &mut w.rng)
-        .unwrap();
+    let collapse = layered.collapse_request(&group, &gpk, &key_b, &gk_b, nonce, &mut w.rng).unwrap();
     let grant2 = w.peers[0]
         .handle_layered_collapse(&layered, collapse, max_layers, Timestamp(10), &mut w.rng)
         .unwrap();
@@ -377,9 +404,7 @@ fn layered_chain_collapses_back_through_the_owner() {
     // A replayed collapse is stale.
     let mut nonce2 = [0u8; 32];
     rand::Rng::fill_bytes(&mut w.rng, &mut nonce2);
-    let replay = layered
-        .collapse_request(&group, &gpk, &key_b, &gk_b, nonce2, &mut w.rng)
-        .unwrap();
+    let replay = layered.collapse_request(&group, &gpk, &key_b, &gk_b, nonce2, &mut w.rng).unwrap();
     let err = w.peers[0]
         .handle_layered_collapse(&layered, replay, max_layers, Timestamp(11), &mut w.rng)
         .unwrap_err();

@@ -340,8 +340,7 @@ fn judge_quorum_reconstruction_via_shamir() {
     let shares = w.judge.split_master(3, 5, &mut w.rng);
     let registry = w.judge.export_registry();
     let picked = vec![shares[0].clone(), shares[2].clone(), shares[3].clone()];
-    let judge2 =
-        Judge::from_shares(w.params.group().clone(), &picked, 3, registry).unwrap();
+    let judge2 = Judge::from_shares(w.params.group().clone(), &picked, 3, registry).unwrap();
     assert_eq!(judge2.public_key(), w.judge.public_key());
     let revealed = judge2.reveal_parties(&w.broker.fraud_cases()[0]);
     assert_eq!(revealed, vec![RevealedIdentity::Peer(PeerId(1))]);

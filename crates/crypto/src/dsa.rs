@@ -14,20 +14,20 @@ use crate::hashio::Transcript;
 const DOMAIN: &str = "whopay/dsa/v1";
 
 /// A DSA verifying key: `y = g^x mod p`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DsaPublicKey {
     y: BigUint,
 }
 
 /// A DSA signing key (the secret scalar `x`, plus the public half).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DsaKeyPair {
     x: BigUint,
     public: DsaPublicKey,
 }
 
 /// A DSA signature `(r, s)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DsaSignature {
     r: BigUint,
     s: BigUint,
@@ -115,7 +115,12 @@ impl DsaKeyPair {
     }
 
     /// Signs `message`.
-    pub fn sign<R: Rng + ?Sized>(&self, group: &SchnorrGroup, message: &[u8], rng: &mut R) -> DsaSignature {
+    pub fn sign<R: Rng + ?Sized>(
+        &self,
+        group: &SchnorrGroup,
+        message: &[u8],
+        rng: &mut R,
+    ) -> DsaSignature {
         let q = group.order();
         let scalar = group.scalar_ring();
         let h = hash_message(group, message);

@@ -8,20 +8,20 @@ use rand::Rng;
 use whopay_num::{BigUint, SchnorrGroup};
 
 /// An ElGamal public key `y = g^x mod p`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ElGamalPublicKey {
     y: BigUint,
 }
 
 /// An ElGamal key pair.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElGamalKeyPair {
     x: BigUint,
     public: ElGamalPublicKey,
 }
 
 /// An ElGamal ciphertext `(c1, c2) = (g^r, m·y^r)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ElGamalCiphertext {
     c1: BigUint,
     c2: BigUint,
@@ -65,10 +65,7 @@ impl ElGamalPublicKey {
     /// group-signature proof, which must prove knowledge of `r`).
     pub fn encrypt_with(&self, group: &SchnorrGroup, m: &BigUint, r: &BigUint) -> ElGamalCiphertext {
         let elem = group.elem_ring();
-        ElGamalCiphertext {
-            c1: group.pow_g(r),
-            c2: elem.mul(m, &elem.pow(&self.y, r)),
-        }
+        ElGamalCiphertext { c1: group.pow_g(r), c2: elem.mul(m, &elem.pow(&self.y, r)) }
     }
 }
 
@@ -175,7 +172,8 @@ mod tests {
         let m2 = group.pow_g(&group.random_scalar(&mut rng));
         let ct1 = kp.public().encrypt(&group, &m1, &mut rng);
         let ct2 = kp.public().encrypt(&group, &m2, &mut rng);
-        let prod = ElGamalCiphertext::from_parts(elem.mul(ct1.c1(), ct2.c1()), elem.mul(ct1.c2(), ct2.c2()));
+        let prod =
+            ElGamalCiphertext::from_parts(elem.mul(ct1.c1(), ct2.c1()), elem.mul(ct1.c2(), ct2.c2()));
         assert_eq!(kp.decrypt(&group, &prod), elem.mul(&m1, &m2));
     }
 

@@ -42,20 +42,20 @@ use crate::hashio::Transcript;
 const DOMAIN: &str = "whopay/group-sig/v1";
 
 /// The group master *public* key, distributed to every verifier.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupPublicKey {
     judge: ElGamalPublicKey,
 }
 
 /// A member's group private key (the paper's `gk_U`).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupMemberKey {
     x: BigUint,
     y: BigUint,
 }
 
 /// A group signature.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GroupSignature {
     /// ElGamal encryption of the signer's member key under the judge key.
     ct: ElGamalCiphertext,

@@ -22,7 +22,7 @@ pub struct PaywordChain {
 }
 
 /// A single revealed payword: proof of cumulative payment of `index` units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Payword {
     /// Cumulative amount this payword is worth.
     pub index: u64,

@@ -15,20 +15,20 @@ use crate::hashio::Transcript;
 const DOMAIN: &str = "whopay/schnorr/v1";
 
 /// A Schnorr verifying key `y = g^x mod p`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SchnorrPublicKey {
     y: BigUint,
 }
 
 /// A Schnorr signing key.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchnorrKeyPair {
     x: BigUint,
     public: SchnorrPublicKey,
 }
 
 /// A Schnorr signature `(e, s)` with `e = H(g^k || m)` and `s = k + x·e`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SchnorrSignature {
     e: BigUint,
     s: BigUint,
@@ -90,7 +90,12 @@ impl SchnorrKeyPair {
     }
 
     /// Signs `message`.
-    pub fn sign<R: Rng + ?Sized>(&self, group: &SchnorrGroup, message: &[u8], rng: &mut R) -> SchnorrSignature {
+    pub fn sign<R: Rng + ?Sized>(
+        &self,
+        group: &SchnorrGroup,
+        message: &[u8],
+        rng: &mut R,
+    ) -> SchnorrSignature {
         let scalar = group.scalar_ring();
         let k = group.random_scalar(rng);
         let r = group.pow_g(&k);

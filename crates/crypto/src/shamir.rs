@@ -10,7 +10,7 @@ use rand::Rng;
 use whopay_num::{BigUint, ModRing};
 
 /// One share of a split secret: the evaluation `(x, y = f(x))`.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Share {
     x: u64,
     y: BigUint,

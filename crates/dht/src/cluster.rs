@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use whopay_crypto::dsa::DsaPublicKey;
 use whopay_num::SchnorrGroup;
+use whopay_obs::{Event, Obs, OpKind, Role};
 
 use crate::id::{RingId, ID_BITS};
 use crate::storage::SignedRecord;
@@ -142,6 +143,7 @@ pub struct Dht {
     pending: HashMap<SubscriberId, Vec<Notification>>,
     next_subscriber: u64,
     stats: DhtStats,
+    obs: Obs,
 }
 
 impl Dht {
@@ -157,7 +159,19 @@ impl Dht {
             pending: HashMap::new(),
             next_subscriber: 0,
             stats: DhtStats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability context. Storage operations then emit
+    /// count-only events (no traffic — the cluster is in-process):
+    /// [`OpKind::DhtLookup`]/[`OpKind::DhtGet`]/[`OpKind::DhtPut`]/
+    /// [`OpKind::DhtNotify`] under [`Role::DhtNode`], with rejected
+    /// writes marked failed, and routing hops accumulated on the named
+    /// counter `dht.lookup_hops`. Event counts mirror [`DhtStats`]
+    /// exactly.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Number of live nodes.
@@ -225,9 +239,8 @@ impl Dht {
 
         // Successor lists and finger tables from the (sorted) ring.
         for (pos, id) in ids.iter().enumerate() {
-            let successors: Vec<RingId> = (1..=self.config.successor_list.min(n))
-                .map(|k| ids[(pos + k) % n])
-                .collect();
+            let successors: Vec<RingId> =
+                (1..=self.config.successor_list.min(n)).map(|k| ids[(pos + k) % n]).collect();
             let fingers: Vec<RingId> =
                 (0..ID_BITS).map(|k| self.successor_of_sorted(&ids, id.finger_start(k))).collect();
             let node = self.nodes.get_mut(id).expect("node exists");
@@ -279,6 +292,18 @@ impl Dht {
         (0..self.config.replication.min(ids.len())).map(|k| ids[(pos + k) % ids.len()]).collect()
     }
 
+    /// Reports one completed routed lookup (mirrors the `lookups` /
+    /// `lookup_hops` counters in [`DhtStats`]).
+    fn observe_lookup(&self, hops: u64) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.observe(Event::new(Role::DhtNode, OpKind::DhtLookup));
+        if let Some(metrics) = self.obs.metrics() {
+            metrics.counter("dht.lookup_hops").add(hops);
+        }
+    }
+
     /// Iterative Chord lookup from `entry`, following finger tables.
     /// Returns the responsible node and the hop count.
     pub fn lookup_from(&mut self, entry: RingId, key: RingId) -> Option<(RingId, usize)> {
@@ -286,15 +311,15 @@ impl Dht {
             return None;
         }
         let mut cur = entry;
-        let mut hops = 0usize;
         // 2 * ID_BITS bounds any sane route; the fallback successor step
         // guarantees progress, so this is a defensive limit only.
-        for _ in 0..2 * ID_BITS {
+        for hops in 0..2 * ID_BITS {
             let node = &self.nodes[&cur];
             let succ = *node.successors.first().unwrap_or(&cur);
             if key.in_interval_open_closed(&cur, &succ) {
                 self.stats.lookups += 1;
                 self.stats.lookup_hops += hops as u64 + 1;
+                self.observe_lookup(hops as u64 + 1);
                 return Some((succ, hops + 1));
             }
             // Closest preceding finger strictly between cur and key.
@@ -309,10 +334,10 @@ impl Dht {
                 // Single-node ring: cur is responsible for everything.
                 self.stats.lookups += 1;
                 self.stats.lookup_hops += hops as u64;
+                self.observe_lookup(hops as u64);
                 return Some((cur, hops));
             }
             cur = next;
-            hops += 1;
         }
         None
     }
@@ -327,6 +352,18 @@ impl Dht {
     ///
     /// See [`PutError`].
     pub fn put(&mut self, entry: RingId, record: SignedRecord) -> Result<(), PutError> {
+        let result = self.put_inner(entry, record);
+        if self.obs.enabled() {
+            let event = Event::new(Role::DhtNode, OpKind::DhtPut);
+            match &result {
+                Ok(()) => self.obs.observe(event),
+                Err(e) => self.obs.observe(event.failed().with_detail(e.to_string())),
+            }
+        }
+        result
+    }
+
+    fn put_inner(&mut self, entry: RingId, record: SignedRecord) -> Result<(), PutError> {
         if self.nodes.is_empty() {
             return Err(PutError::EmptyCluster);
         }
@@ -354,6 +391,9 @@ impl Dht {
     pub fn get(&mut self, entry: RingId, key: RingId) -> Option<SignedRecord> {
         let (primary, _hops) = self.lookup_from(entry, key)?;
         self.stats.gets += 1;
+        if self.obs.enabled() {
+            self.obs.observe(Event::new(Role::DhtNode, OpKind::DhtGet));
+        }
         if let Some(rec) = self.nodes[&primary].store.get(&key) {
             return Some(rec.clone());
         }
@@ -400,6 +440,9 @@ impl Dht {
                 if let Some(queue) = self.pending.get_mut(sub) {
                     queue.push(Notification { key, record: record.clone() });
                     self.stats.notifications += 1;
+                    if self.obs.enabled() {
+                        self.obs.observe(Event::new(Role::DhtNode, OpKind::DhtNotify));
+                    }
                 }
             }
         }

@@ -12,7 +12,7 @@ pub const ID_BITS: usize = 160;
 ///
 /// Both node identifiers and storage keys live on the same ring; a key is
 /// stored at its *successor*, the first node clockwise from it.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RingId(pub [u8; 20]);
 
 impl RingId {

@@ -22,7 +22,7 @@ use crate::id::RingId;
 const DOMAIN: &str = "whopay/dht-record/v1";
 
 /// Who signed a record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Writer {
     /// The holder of the subject key (normally the coin owner).
     Subject,
@@ -31,7 +31,7 @@ pub enum Writer {
 }
 
 /// A value stored under a public-key-derived DHT key, with write proof.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SignedRecord {
     /// The public key (group element) this record is *about*; the storage
     /// key is `RingId::hash(subject.to_be_bytes())`.
@@ -58,13 +58,7 @@ impl SignedRecord {
             Writer::Subject => 0u64,
             Writer::Broker => 1u64,
         };
-        Transcript::new(DOMAIN)
-            .int(subject)
-            .bytes(value)
-            .u64(version)
-            .u64(tag)
-            .finish()
-            .to_vec()
+        Transcript::new(DOMAIN).int(subject).bytes(value).u64(version).u64(tag).finish().to_vec()
     }
 
     /// Verifies the write proof against the subject key or the broker key.

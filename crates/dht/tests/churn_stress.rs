@@ -10,7 +10,12 @@ fn rng_from(seed: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(seed)
 }
 
-fn record_for(owner: &DsaKeyPair, value: &[u8], version: u64, rng: &mut rand::rngs::StdRng) -> SignedRecord {
+fn record_for(
+    owner: &DsaKeyPair,
+    value: &[u8],
+    version: u64,
+    rng: &mut rand::rngs::StdRng,
+) -> SignedRecord {
     let group = tiny_group();
     let subject = owner.public().element().clone();
     let msg = SignedRecord::signed_bytes(&subject, value, version, Writer::Subject);
@@ -32,7 +37,11 @@ fn survives_random_churn_with_replication() {
     let group = tiny_group();
     let mut rng = rng_from(99);
     let broker = DsaKeyPair::generate(group, &mut rng);
-    let mut dht = Dht::new(group.clone(), broker.public().clone(), DhtConfig { replication: 3, successor_list: 4 });
+    let mut dht = Dht::new(
+        group.clone(),
+        broker.public().clone(),
+        DhtConfig { replication: 3, successor_list: 4 },
+    );
     for _ in 0..12 {
         dht.join(RingId::random(&mut rng));
     }

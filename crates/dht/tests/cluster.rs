@@ -258,3 +258,39 @@ fn empty_cluster_rejects_operations() {
     assert_eq!(dht.put(RingId::ZERO, rec), Err(PutError::EmptyCluster));
     assert!(dht.responsible_for(RingId::ZERO).is_none());
 }
+
+#[test]
+fn obs_events_mirror_dht_stats() {
+    use std::sync::Arc;
+    use whopay_obs::{Metrics, Obs, OpKind, Role};
+
+    let mut f = fixture(8, DhtConfig::default(), 13);
+    let metrics = Arc::new(Metrics::new());
+    f.dht.set_obs(Obs::with_metrics(metrics.clone()));
+
+    let owner = DsaKeyPair::generate(tiny_group(), &mut f.rng);
+    let entry = f.dht.node_ids()[0];
+    let rec = record_for(&owner, b"v1", 1, &mut f.rng);
+    let key = rec.key();
+    let sub = f.dht.subscribe(key);
+
+    f.dht.put(entry, rec).unwrap();
+    // Stale write: rejected, but still an observed (failed) put.
+    let stale = f.dht.put(entry, record_for(&owner, b"v1b", 1, &mut f.rng));
+    assert!(matches!(stale, Err(PutError::StaleVersion { .. })));
+    assert!(f.dht.get(entry, key).is_some());
+    assert!(f.dht.get_any(key).is_some());
+    assert_eq!(f.dht.drain_notifications(sub).len(), 1);
+
+    let stats = f.dht.stats();
+    let puts = metrics.op_snapshot(Role::DhtNode, OpKind::DhtPut);
+    assert_eq!(puts.count, stats.puts + stats.rejected_puts + stats.stale_puts);
+    assert_eq!(puts.errors, stats.rejected_puts + stats.stale_puts);
+    let gets = metrics.op_snapshot(Role::DhtNode, OpKind::DhtGet);
+    assert_eq!(gets.count, stats.gets);
+    let lookups = metrics.op_snapshot(Role::DhtNode, OpKind::DhtLookup);
+    assert_eq!(lookups.count, stats.lookups);
+    assert_eq!(metrics.counter("dht.lookup_hops").get(), stats.lookup_hops);
+    let notifies = metrics.op_snapshot(Role::DhtNode, OpKind::DhtNotify);
+    assert_eq!(notifies.count, stats.notifications);
+}

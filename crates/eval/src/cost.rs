@@ -219,7 +219,8 @@ mod tests {
         // should roughly reassemble a full transfer's effort.
         let w = MicroWeights::TABLE3;
         let full = w.cost(peer_micro(Op::Transfer));
-        let split = w.cost(peer_micro(Op::DowntimeTransfer)) + w.cost(broker_micro(Op::DowntimeTransfer));
+        let split =
+            w.cost(peer_micro(Op::DowntimeTransfer)) + w.cost(broker_micro(Op::DowntimeTransfer));
         assert!((split - full).abs() <= 10.0, "full={full} split={split}");
     }
 

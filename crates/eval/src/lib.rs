@@ -36,6 +36,6 @@ pub mod report;
 
 pub use config::SimConfig;
 pub use cost::MicroWeights;
-pub use loadsim::{run, RunResult};
+pub use loadsim::{run, run_with_obs, RunResult};
 pub use ops::{Op, OpCounts};
 pub use policy::{PaymentMethod, Policy, SyncStrategy};

@@ -9,6 +9,7 @@
 //! ([`crate::cost`]) turns into the CPU and communication loads of
 //! Figures 2–11.
 
+use whopay_obs::{Event as ObsEvent, Obs, Role};
 use whopay_sim::churn::ChurnProcess;
 use whopay_sim::dist::Exponential;
 use whopay_sim::{sim_rng, EventQueue, SimTime};
@@ -131,11 +132,27 @@ impl RunResult {
 
 /// Runs one simulation to completion.
 pub fn run(cfg: &SimConfig) -> RunResult {
-    LoadSim::new(cfg).run()
+    run_with_obs(cfg, &Obs::disabled())
+}
+
+/// [`run`] with an observability context.
+///
+/// Each simulated operation emits events in the §6.2 cost-model units:
+/// a [`Role::Broker`] event carrying [`broker_messages`]`(op)` messages
+/// when the broker participates, and always a [`Role::Peer`] event
+/// carrying [`peer_messages`]`(op)` messages (bytes stay 0 — the
+/// simulator models message counts, not payloads). Aggregated into a
+/// metrics registry, `role_messages(Broker)` equals
+/// [`RunResult::broker_comm`] and `role_messages(Peer)` equals
+/// [`RunResult::peers_comm_total`] exactly, and the per-kind
+/// [`Role::Peer`] event counts reproduce [`RunResult::counts`].
+pub fn run_with_obs(cfg: &SimConfig, obs: &Obs) -> RunResult {
+    LoadSim::new(cfg, obs).run()
 }
 
 struct LoadSim<'a> {
     cfg: &'a SimConfig,
+    obs: &'a Obs,
     rng: rand::rngs::StdRng,
     queue: EventQueue<Event>,
     payment_dist: Exponential,
@@ -147,7 +164,7 @@ struct LoadSim<'a> {
 }
 
 impl<'a> LoadSim<'a> {
-    fn new(cfg: &'a SimConfig) -> Self {
+    fn new(cfg: &'a SimConfig, obs: &'a Obs) -> Self {
         let mut rng = sim_rng(cfg.seed);
         let mut queue = EventQueue::new();
         let payment_dist = Exponential::from_mean(cfg.payment_mean);
@@ -161,6 +178,7 @@ impl<'a> LoadSim<'a> {
             .collect();
         LoadSim {
             cfg,
+            obs,
             rng,
             queue,
             payment_dist,
@@ -193,6 +211,20 @@ impl<'a> LoadSim<'a> {
         self.queue.now()
     }
 
+    /// Counts one operation, and reports it to the observability context
+    /// in cost-model units (see [`run_with_obs`]).
+    fn note(&mut self, op: Op) {
+        self.counts.bump(op);
+        if self.obs.enabled() {
+            let kind = op.obs_kind();
+            let broker = broker_messages(op);
+            if broker > 0 {
+                self.obs.observe(ObsEvent::new(Role::Broker, kind).with_traffic(broker, 0));
+            }
+            self.obs.observe(ObsEvent::new(Role::Peer, kind).with_traffic(peer_messages(op), 0));
+        }
+    }
+
     fn handle_toggle(&mut self, p: usize) {
         let online = self.peers[p].churn.toggle(&mut self.rng);
         let next = self.peers[p].churn.next_toggle();
@@ -207,7 +239,7 @@ impl<'a> LoadSim<'a> {
     /// coins that fell due while it was offline.
     fn on_join(&mut self, p: usize) {
         if self.cfg.sync == SyncStrategy::Proactive && !self.cfg.centralized {
-            self.counts.bump(Op::Sync);
+            self.note(Op::Sync);
             // The broker hands over everything it managed for this owner.
             for c in &mut self.coins {
                 if c.owner == p {
@@ -244,42 +276,39 @@ impl<'a> LoadSim<'a> {
         let online_coin = self.find_wallet_coin(payer, true);
         let offline_coin = self.find_wallet_coin(payer, false);
         let has_unissued = !self.peers[payer].unissued.is_empty();
-        let method = self.cfg.policy.choose(
-            online_coin.is_some(),
-            offline_coin.is_some(),
-            has_unissued,
-        );
+        let method =
+            self.cfg.policy.choose(online_coin.is_some(), offline_coin.is_some(), has_unissued);
         let now = self.now();
         match method {
             PaymentMethod::TransferOnline => {
                 let ci = online_coin.expect("method implies availability");
                 self.owner_lazy_check(ci);
-                self.counts.bump(Op::Transfer);
+                self.note(Op::Transfer);
                 self.move_coin(ci, payer, payee, now);
             }
             PaymentMethod::TransferOffline => {
                 let ci = offline_coin.expect("method implies availability");
-                self.counts.bump(Op::DowntimeTransfer);
+                self.note(Op::DowntimeTransfer);
                 self.coins[ci].dirty_for_owner = true;
                 self.move_coin(ci, payer, payee, now);
             }
             PaymentMethod::IssueExisting => {
                 let ci = self.peers[payer].unissued.pop().expect("method implies availability");
-                self.counts.bump(Op::Issue);
+                self.note(Op::Issue);
                 self.issue_coin(ci, payee, now);
             }
             PaymentMethod::PurchaseAndIssue => {
                 let ci = self.purchase_coin(payer);
-                self.counts.bump(Op::Issue);
+                self.note(Op::Issue);
                 self.issue_coin(ci, payee, now);
             }
             PaymentMethod::DepositThenPurchaseAndIssue => {
                 let dep = offline_coin.expect("method implies availability");
-                self.counts.bump(Op::Deposit);
+                self.note(Op::Deposit);
                 self.peers[payer].wallet.retain(|&c| c != dep);
                 self.coins[dep].state = CoinState::Deposited;
                 let ci = self.purchase_coin(payer);
-                self.counts.bump(Op::Issue);
+                self.note(Op::Issue);
                 self.issue_coin(ci, payee, now);
             }
         }
@@ -309,9 +338,9 @@ impl<'a> LoadSim<'a> {
         let owner = self.coins[ci].owner;
         if !self.cfg.centralized && self.peers[owner].churn.is_online() {
             self.owner_lazy_check(ci);
-            self.counts.bump(Op::Renewal);
+            self.note(Op::Renewal);
         } else {
-            self.counts.bump(Op::DowntimeRenewal);
+            self.note(Op::DowntimeRenewal);
             self.coins[ci].dirty_for_owner = true;
         }
         self.coins[ci].needs_renewal = false;
@@ -325,15 +354,15 @@ impl<'a> LoadSim<'a> {
         if self.cfg.sync != SyncStrategy::Lazy {
             return;
         }
-        self.counts.bump(Op::Check);
+        self.note(Op::Check);
         if self.coins[ci].dirty_for_owner {
-            self.counts.bump(Op::LazySync);
+            self.note(Op::LazySync);
             self.coins[ci].dirty_for_owner = false;
         }
     }
 
     fn purchase_coin(&mut self, owner: usize) -> usize {
-        self.counts.bump(Op::Purchase);
+        self.note(Op::Purchase);
         let ci = self.coins.len();
         self.coins.push(Coin {
             owner,
@@ -378,16 +407,10 @@ impl<'a> LoadSim<'a> {
     /// In centralized mode no owner ever serves transfers, so every coin
     /// reports as "owner offline" and the broker handles all spends.
     fn find_wallet_coin(&self, peer: usize, owner_online: bool) -> Option<usize> {
-        self.peers[peer]
-            .wallet
-            .iter()
-            .rev()
-            .copied()
-            .find(|&ci| {
-                let online = !self.cfg.centralized
-                    && self.peers[self.coins[ci].owner].churn.is_online();
-                online == owner_online
-            })
+        self.peers[peer].wallet.iter().rev().copied().find(|&ci| {
+            let online = !self.cfg.centralized && self.peers[self.coins[ci].owner].churn.is_online();
+            online == owner_online
+        })
     }
 
     fn random_other_peer(&mut self, not: usize) -> usize {
@@ -512,6 +535,30 @@ mod tests {
             r.counts.get(Op::Issue),
             r.counts.get(Op::Purchase)
         );
+    }
+
+    #[test]
+    fn obs_events_reconcile_with_cost_model() {
+        use std::sync::Arc;
+        use whopay_obs::{Metrics, Obs, Role};
+
+        let cfg = SimConfig::small_test(Policy::I, SyncStrategy::Lazy, 99);
+        let metrics = Arc::new(Metrics::new());
+        let r = run_with_obs(&cfg, &Obs::with_metrics(metrics.clone()));
+        let report = metrics.report();
+
+        // One Role::Peer event per counted operation, per kind.
+        for (op, n) in r.counts.iter() {
+            let row = metrics.op_snapshot(Role::Peer, op.obs_kind());
+            assert_eq!(row.count, n, "{op:?} event count");
+        }
+        // Role-level message totals are exactly the cost-model loads.
+        assert_eq!(report.role_messages(Role::Broker) as f64, r.broker_comm());
+        assert_eq!(report.role_messages(Role::Peer) as f64, r.peers_comm_total());
+        // And an instrumented run leaves the outcome untouched.
+        let plain = run(&cfg);
+        assert_eq!(plain.counts, r.counts);
+        assert_eq!(plain.payments, r.payments);
     }
 
     #[test]

@@ -61,6 +61,24 @@ impl Op {
         }
     }
 
+    /// The observability event kind for this operation (the first ten
+    /// [`whopay_obs::OpKind`] variants are exactly the §6.2 operations).
+    pub fn obs_kind(self) -> whopay_obs::OpKind {
+        use whopay_obs::OpKind;
+        match self {
+            Op::Purchase => OpKind::Purchase,
+            Op::Issue => OpKind::Issue,
+            Op::Transfer => OpKind::Transfer,
+            Op::Deposit => OpKind::Deposit,
+            Op::Renewal => OpKind::Renewal,
+            Op::DowntimeTransfer => OpKind::DowntimeTransfer,
+            Op::DowntimeRenewal => OpKind::DowntimeRenewal,
+            Op::Sync => OpKind::Sync,
+            Op::Check => OpKind::Check,
+            Op::LazySync => OpKind::LazySync,
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             Op::Purchase => 0,

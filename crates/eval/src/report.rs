@@ -4,11 +4,14 @@
 //! the paper's evaluation; the binaries in `whopay-bench` print them. All
 //! sweeps run their configurations in parallel with scoped threads.
 
+use std::sync::Arc;
+
+use whopay_obs::{Metrics, MetricsReport, Obs};
 use whopay_sim::SimTime;
 
 use crate::config::{setup_a, setup_b, SimConfig};
 use crate::cost::MicroWeights;
-use crate::loadsim::{run, RunResult};
+use crate::loadsim::{run, run_with_obs, RunResult};
 use crate::ops::Op;
 use crate::policy::{Policy, SyncStrategy};
 
@@ -35,6 +38,18 @@ pub fn run_batch(cfgs: &[SimConfig]) -> Vec<RunResult> {
         let handles: Vec<_> = cfgs.iter().map(|cfg| scope.spawn(move || run(cfg))).collect();
         handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
     })
+}
+
+/// Runs one configuration with a fresh metrics registry attached and
+/// returns the run outcome together with the per-operation metrics
+/// report (counts, latency percentiles, and cost-model message totals
+/// split broker vs. peer — see [`run_with_obs`] for the emission rules
+/// the report reconciles under).
+pub fn run_with_metrics(cfg: &SimConfig) -> (RunResult, MetricsReport) {
+    let metrics = Arc::new(Metrics::new());
+    let result = run_with_obs(cfg, &Obs::with_metrics(metrics.clone()));
+    let report = metrics.report();
+    (result, report)
 }
 
 /// A µ-sweep result: mean session length in hours plus the run.

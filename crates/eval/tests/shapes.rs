@@ -116,8 +116,7 @@ fn fig10_broker_share_is_flat_in_system_size() {
             loadsim::run(&cfg).broker_cpu_share(w)
         })
         .collect();
-    let (min, max) =
-        shares.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+    let (min, max) = shares.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &s| (lo.min(s), hi.max(s)));
     assert!(max - min < 0.02, "share band is narrow: {shares:?}");
     assert!(max < 0.10, "broker handles well under 10%: {shares:?}");
 }

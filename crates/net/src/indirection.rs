@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use crate::network::{EndpointId, Network, RequestError};
 
 /// An opaque indirection handle (an i3 trigger identifier).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Handle(pub [u8; 32]);
 
 impl Handle {

@@ -40,5 +40,5 @@ mod network;
 mod stats;
 
 pub use indirection::{Handle, IndirectionLayer};
-pub use network::{EndpointId, Network, RequestError};
-pub use stats::TrafficStats;
+pub use network::{Classifier, EndpointId, Network, RequestError};
+pub use stats::{TrafficBreakdown, TrafficStats};

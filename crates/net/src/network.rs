@@ -1,11 +1,14 @@
 //! The in-memory request/response fabric.
 
 use std::fmt;
+use std::time::Instant;
 
-use crate::stats::TrafficStats;
+use whopay_obs::{Event, Metrics, Obs, OpKind, Role};
+
+use crate::stats::{TrafficBreakdown, TrafficStats};
 
 /// Identifies a registered endpoint on a [`Network`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EndpointId(u64);
 
 impl EndpointId {
@@ -49,9 +52,16 @@ impl std::error::Error for RequestError {}
 /// requests through the network it is handed, and produces a response.
 pub type Handler = Box<dyn FnMut(&mut Network, &[u8]) -> Vec<u8>>;
 
+/// Maps a request payload to a stable message-kind label for the
+/// per-kind traffic breakdown (installed via [`Network::set_classifier`]).
+pub type Classifier = Box<dyn Fn(&[u8]) -> &'static str>;
+
 struct EndpointSlot {
     name: String,
     online: bool,
+    /// Role reported on observability events for requests this endpoint
+    /// serves (defaults to [`Role::Client`]).
+    role: Role,
     /// `None` while the handler is executing (re-entrancy guard).
     handler: Option<Handler>,
     sent: TrafficStats,
@@ -70,6 +80,12 @@ pub struct Network {
     global: TrafficStats,
     /// Extra per-message hops attributed to relays (e.g. i3 forwarding).
     relay_hops: u64,
+    /// Observability context: emits one `NetRequest` event per delivery.
+    obs: Obs,
+    /// Optional message-kind classifier feeding the breakdown.
+    classifier: Option<Classifier>,
+    /// Per-kind traffic split (populated only while a classifier is set).
+    breakdown: TrafficBreakdown,
 }
 
 impl fmt::Debug for Network {
@@ -78,6 +94,8 @@ impl fmt::Debug for Network {
             .field("endpoints", &self.endpoints.len())
             .field("global", &self.global)
             .field("relay_hops", &self.relay_hops)
+            .field("obs", &self.obs)
+            .field("classified", &self.classifier.is_some())
             .finish()
     }
 }
@@ -91,7 +109,59 @@ impl Default for Network {
 impl Network {
     /// Creates an empty fabric.
     pub fn new() -> Self {
-        Network { endpoints: Vec::new(), global: TrafficStats::default(), relay_hops: 0 }
+        Network {
+            endpoints: Vec::new(),
+            global: TrafficStats::default(),
+            relay_hops: 0,
+            obs: Obs::disabled(),
+            classifier: None,
+            breakdown: TrafficBreakdown::new(),
+        }
+    }
+
+    /// Attaches an observability context. Every delivered request then
+    /// reports one [`OpKind::NetRequest`] event (2 messages, request +
+    /// response bytes, delivery latency) attributed to the *serving*
+    /// endpoint's [`Role`]; failed deliveries report error events with no
+    /// traffic. This is the transport-level view of the same bytes the
+    /// protocol layer attributes to its operations — reconcile against
+    /// one layer at a time.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Installs a message-kind classifier. From then on every delivered
+    /// request and its response are recorded in the per-kind
+    /// [`TrafficBreakdown`] under the label returned for the request
+    /// payload (relay hops record under `"relay"`).
+    pub fn set_classifier(&mut self, classify: impl Fn(&[u8]) -> &'static str + 'static) {
+        self.classifier = Some(Box::new(classify));
+    }
+
+    /// The per-kind traffic split. Empty unless a classifier is set;
+    /// installed before any traffic flows, its [`TrafficBreakdown::total`]
+    /// equals [`Network::stats`].
+    pub fn breakdown(&self) -> &TrafficBreakdown {
+        &self.breakdown
+    }
+
+    /// Exports the per-kind breakdown into a metrics registry as named
+    /// counters (`net.<kind>.messages` / `net.<kind>.bytes`).
+    pub fn export_breakdown(&self, metrics: &Metrics) {
+        for (kind, stats) in self.breakdown.iter() {
+            metrics.counter(&format!("net.{kind}.messages")).add(stats.messages);
+            metrics.counter(&format!("net.{kind}.bytes")).add(stats.bytes);
+        }
+    }
+
+    /// Declares the protocol role an endpoint serves, for observability
+    /// event attribution (defaults to [`Role::Client`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint does not exist.
+    pub fn set_role(&mut self, id: EndpointId, role: Role) {
+        self.slot_mut(id).role = role;
     }
 
     /// Registers an endpoint with a simple payload-to-payload handler.
@@ -111,6 +181,7 @@ impl Network {
         self.endpoints.push(EndpointSlot {
             name: name.to_string(),
             online: true,
+            role: Role::Client,
             handler: Some(Box::new(handler)),
             sent: TrafficStats::default(),
             received: TrafficStats::default(),
@@ -165,26 +236,60 @@ impl Network {
             return Err(RequestError::UnknownEndpoint(to));
         }
         if !self.endpoints[to.0 as usize].online {
+            self.observe_failure(to, "offline");
             return Err(RequestError::Offline(to));
         }
-        let mut handler = self.endpoints[to.0 as usize]
-            .handler
-            .take()
-            .ok_or(RequestError::ReentrantCall(to))?;
+        let Some(mut handler) = self.endpoints[to.0 as usize].handler.take() else {
+            self.observe_failure(to, "reentrant call");
+            return Err(RequestError::ReentrantCall(to));
+        };
+
+        let start = if self.obs.enabled() { Some(Instant::now()) } else { None };
+        let kind = self.classifier.as_ref().map(|classify| classify(&request));
 
         self.account(from, to, request.len());
+        if let Some(kind) = kind {
+            self.breakdown.record(kind, request.len());
+        }
         let response = handler(self, &request);
         self.account(to, from, response.len());
+        if let Some(kind) = kind {
+            self.breakdown.record(kind, response.len());
+        }
 
         self.endpoints[to.0 as usize].handler = Some(handler);
+
+        if let Some(start) = start {
+            let mut event = Event::new(self.endpoints[to.0 as usize].role, OpKind::NetRequest)
+                .with_traffic(2, (request.len() + response.len()) as u64)
+                .with_duration(start.elapsed());
+            if let Some(kind) = kind {
+                event = event.with_detail(kind);
+            }
+            self.obs.observe(event);
+        }
         Ok(response)
+    }
+
+    /// Reports an undeliverable request (no traffic was counted).
+    fn observe_failure(&self, to: EndpointId, why: &'static str) {
+        if self.obs.enabled() {
+            self.obs.observe(
+                Event::new(self.endpoints[to.0 as usize].role, OpKind::NetRequest)
+                    .failed()
+                    .with_detail(why),
+            );
+        }
     }
 
     /// Records one extra relay hop for a message of `len` bytes (used by
     /// the indirection layer to account for i3 forwarding).
     pub fn account_relay(&mut self, len: usize) {
-        self.relay_hops += 1;
+        self.relay_hops = self.relay_hops.saturating_add(1);
         self.global.record(len);
+        if self.classifier.is_some() {
+            self.breakdown.record("relay", len);
+        }
     }
 
     /// Global traffic statistics.
@@ -228,6 +333,7 @@ impl Network {
     pub fn reset_stats(&mut self) {
         self.global = TrafficStats::default();
         self.relay_hops = 0;
+        self.breakdown.clear();
         for slot in &mut self.endpoints {
             slot.sent = TrafficStats::default();
             slot.received = TrafficStats::default();
@@ -330,6 +436,62 @@ mod tests {
         net.reset_stats();
         assert_eq!(net.stats(), TrafficStats::default());
         assert!(net.request(client, server, vec![1]).is_ok());
+    }
+
+    #[test]
+    fn classified_breakdown_reconciles_with_global_stats() {
+        let mut net = Network::new();
+        net.set_classifier(|req: &[u8]| if req.first() == Some(&1) { "ping" } else { "other" });
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.request(client, server, vec![1, 1]).unwrap();
+        net.request(client, server, vec![2]).unwrap();
+        assert_eq!(net.breakdown().get("ping").messages, 2);
+        assert_eq!(net.breakdown().get("other").messages, 2);
+        assert_eq!(net.breakdown().total(), net.stats());
+        net.reset_stats();
+        assert!(net.breakdown().is_empty());
+    }
+
+    #[test]
+    fn obs_reports_one_net_request_event_per_delivery() {
+        use std::sync::Arc;
+        use whopay_obs::{MemoryRecorder, Outcome, Tracer};
+
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut net = Network::new();
+        net.set_obs(Obs::with_tracer(Tracer::new(recorder.clone())));
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        net.set_role(server, Role::Broker);
+        let client = net.register("client", |_: &[u8]| Vec::new());
+
+        net.request(client, server, vec![0; 5]).unwrap();
+        net.set_online(server, false);
+        let _ = net.request(client, server, vec![0; 5]);
+
+        let events = recorder.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].role, Role::Broker);
+        assert_eq!(events[0].op, OpKind::NetRequest);
+        assert_eq!(events[0].messages, 2);
+        assert_eq!(events[0].bytes, 10);
+        assert_eq!(events[1].outcome, Outcome::Error);
+        assert_eq!(events[1].messages, 0, "undelivered requests carry no traffic");
+    }
+
+    #[test]
+    fn breakdown_exports_as_named_counters() {
+        let mut net = Network::new();
+        net.set_classifier(|_: &[u8]| "ping");
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.request(client, server, vec![0; 3]).unwrap();
+
+        let metrics = Metrics::new();
+        net.export_breakdown(&metrics);
+        let report = metrics.report();
+        assert_eq!(report.counters["net.ping.messages"], 2);
+        assert_eq!(report.counters["net.ping.bytes"], 6);
     }
 
     #[test]

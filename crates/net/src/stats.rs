@@ -1,11 +1,16 @@
 //! Traffic accounting.
 
+use std::collections::BTreeMap;
+
 /// Message and byte counters, kept globally and per endpoint.
 ///
 /// The WhoPay paper measures communication load in *messages* ("we will let
 /// the communication cost of each operation be proportional to the number
 /// of messages sent/received rather than the number of bits", §6.2); bytes
 /// are tracked too so experiments can report both.
+///
+/// All arithmetic saturates: long experiment sweeps must degrade to a
+/// pinned counter, never wrap around and report tiny loads.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Messages counted (requests and responses each count once).
@@ -15,21 +20,76 @@ pub struct TrafficStats {
 }
 
 impl TrafficStats {
-    /// Records one message of `len` payload bytes.
+    /// Records one message of `len` payload bytes (saturating).
     pub fn record(&mut self, len: usize) {
-        self.messages += 1;
-        self.bytes += len as u64;
+        self.messages = self.messages.saturating_add(1);
+        self.bytes = self.bytes.saturating_add(len as u64);
     }
 
-    /// Sums two stats (e.g. sent + received).
+    /// Sums two stats (e.g. sent + received), saturating.
+    #[must_use]
     pub fn merged(self, other: TrafficStats) -> TrafficStats {
-        TrafficStats { messages: self.messages + other.messages, bytes: self.bytes + other.bytes }
+        TrafficStats {
+            messages: self.messages.saturating_add(other.messages),
+            bytes: self.bytes.saturating_add(other.bytes),
+        }
     }
 }
 
 impl std::fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{} msgs / {} bytes", self.messages, self.bytes)
+    }
+}
+
+/// Per-message-kind traffic totals.
+///
+/// [`crate::Network`] fills one of these when a classifier is installed
+/// (see `Network::set_classifier`): every delivered request and its
+/// response are recorded under the label the classifier assigned to the
+/// request, so experiments can split the global [`TrafficStats`] by
+/// protocol message kind and feed the split into a metrics registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficBreakdown {
+    by_kind: BTreeMap<&'static str, TrafficStats>,
+}
+
+impl TrafficBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `len` bytes under `kind`.
+    pub fn record(&mut self, kind: &'static str, len: usize) {
+        self.by_kind.entry(kind).or_default().record(len);
+    }
+
+    /// The stats recorded under `kind` (zero if never seen).
+    pub fn get(&self, kind: &str) -> TrafficStats {
+        self.by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Iterates `(kind, stats)` in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, TrafficStats)> + '_ {
+        self.by_kind.iter().map(|(k, s)| (*k, *s))
+    }
+
+    /// Sum of every kind (equals the network's global stats when a
+    /// classifier was installed before any traffic flowed).
+    #[must_use]
+    pub fn total(&self) -> TrafficStats {
+        self.by_kind.values().fold(TrafficStats::default(), |acc, s| acc.merged(*s))
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.by_kind.is_empty()
+    }
+
+    /// Drops all recorded kinds.
+    pub fn clear(&mut self) {
+        self.by_kind.clear();
     }
 }
 
@@ -53,8 +113,38 @@ mod tests {
     }
 
     #[test]
+    fn record_saturates_instead_of_wrapping() {
+        let mut s = TrafficStats { messages: u64::MAX, bytes: u64::MAX - 1 };
+        s.record(10);
+        assert_eq!(s, TrafficStats { messages: u64::MAX, bytes: u64::MAX });
+    }
+
+    #[test]
+    fn merged_saturates_instead_of_wrapping() {
+        let a = TrafficStats { messages: u64::MAX - 1, bytes: 1 };
+        let b = TrafficStats { messages: 5, bytes: u64::MAX };
+        assert_eq!(a.merged(b), TrafficStats { messages: u64::MAX, bytes: u64::MAX });
+    }
+
+    #[test]
     fn display_is_readable() {
         let s = TrafficStats { messages: 2, bytes: 15 };
         assert_eq!(s.to_string(), "2 msgs / 15 bytes");
+    }
+
+    #[test]
+    fn breakdown_splits_by_kind_and_totals() {
+        let mut b = TrafficBreakdown::new();
+        b.record("purchase", 100);
+        b.record("purchase", 50);
+        b.record("deposit", 10);
+        assert_eq!(b.get("purchase"), TrafficStats { messages: 2, bytes: 150 });
+        assert_eq!(b.get("deposit"), TrafficStats { messages: 1, bytes: 10 });
+        assert_eq!(b.get("never"), TrafficStats::default());
+        assert_eq!(b.total(), TrafficStats { messages: 3, bytes: 160 });
+        let kinds: Vec<&str> = b.iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds, vec!["deposit", "purchase"]);
+        b.clear();
+        assert!(b.is_empty());
     }
 }

@@ -66,7 +66,7 @@ impl BigUint {
 
     /// Returns `true` if the value is even (zero is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns `true` if the value is odd.
@@ -518,19 +518,6 @@ impl Sum for BigUint {
 impl Product for BigUint {
     fn product<I: Iterator<Item = BigUint>>(iter: I) -> BigUint {
         iter.fold(BigUint::one(), |a, b| a * b)
-    }
-}
-
-impl serde::Serialize for BigUint {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serde::Serialize::serialize(&self.to_be_bytes(), serializer)
-    }
-}
-
-impl<'de> serde::Deserialize<'de> for BigUint {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let bytes: Vec<u8> = serde::Deserialize::deserialize(deserializer)?;
-        Ok(BigUint::from_be_bytes(&bytes))
     }
 }
 

@@ -52,7 +52,9 @@ pub fn bit_len(limbs: &[u64]) -> usize {
     let limbs = normalized(limbs);
     match limbs.last() {
         None => 0,
-        Some(&top) => (limbs.len() - 1) * LIMB_BITS as usize + (LIMB_BITS - top.leading_zeros()) as usize,
+        Some(&top) => {
+            (limbs.len() - 1) * LIMB_BITS as usize + (LIMB_BITS - top.leading_zeros()) as usize
+        }
     }
 }
 

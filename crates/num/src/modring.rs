@@ -224,7 +224,10 @@ mod tests {
     #[test]
     fn reduces_unreduced_inputs() {
         let r = ring(13);
-        assert_eq!(r.mul(&BigUint::from(100u64), &BigUint::from(100u64)).to_u64(), Some((100 * 100) % 13));
+        assert_eq!(
+            r.mul(&BigUint::from(100u64), &BigUint::from(100u64)).to_u64(),
+            Some((100 * 100) % 13)
+        );
     }
 
     #[test]

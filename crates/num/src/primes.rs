@@ -12,9 +12,9 @@ use crate::{BigUint, ModRing};
 
 /// Small primes used for fast trial-division screening of candidates.
 const SMALL_PRIMES: [u64; 46] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197,
+    199,
 ];
 
 /// Number of Miller–Rabin rounds; 2^-128 error bound for random candidates.
@@ -129,7 +129,7 @@ pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
 /// let group = SchnorrGroup::generate(256, 160, &mut rand::rng());
 /// assert!(group.is_element(group.generator()));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchnorrGroup {
     p: BigUint,
     q: BigUint,

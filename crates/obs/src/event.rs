@@ -1,0 +1,310 @@
+//! The event vocabulary: who did what, how it went, and what it cost.
+
+use std::time::Duration;
+
+/// The endpoint role an event is attributed to.
+///
+/// Mirrors the load split the paper's evaluation reports: broker load
+/// vs. (aggregate) peer load, with the judge, DHT nodes, plain clients,
+/// and the abstract load simulator kept distinguishable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// The central broker.
+    Broker,
+    /// An ordinary peer (owner, holder, payer, or payee side).
+    Peer,
+    /// The group-signature judge.
+    Judge,
+    /// A DHT storage node (double-spending detection infrastructure).
+    DhtNode,
+    /// A plain client endpoint (invite delivery, request sources).
+    Client,
+    /// The §6 discrete-event load simulator (operations modeled, not
+    /// executed).
+    Sim,
+}
+
+impl Role {
+    /// All roles, in reporting order.
+    pub const ALL: [Role; 6] =
+        [Role::Broker, Role::Peer, Role::Judge, Role::DhtNode, Role::Client, Role::Sim];
+
+    /// Stable lowercase label (also the JSON encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Broker => "broker",
+            Role::Peer => "peer",
+            Role::Judge => "judge",
+            Role::DhtNode => "dht",
+            Role::Client => "client",
+            Role::Sim => "sim",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Role::Broker => 0,
+            Role::Peer => 1,
+            Role::Judge => 2,
+            Role::DhtNode => 3,
+            Role::Client => 4,
+            Role::Sim => 5,
+        }
+    }
+}
+
+/// The protocol operation an event belongs to.
+///
+/// The first ten variants are exactly the coarse-grained operations of
+/// §6.2 (and `whopay-eval::ops::Op`); the rest cover the real-time
+/// double-spending-detection extension (§5.1), DHT storage traffic, and
+/// raw transport delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// A peer buys a coin from the broker.
+    Purchase,
+    /// An owner issues a self-held coin to a payee.
+    Issue,
+    /// A holder transfers a coin via its (online) owner.
+    Transfer,
+    /// A holder redeems a coin at the broker.
+    Deposit,
+    /// A holder renews a coin via its (online) owner.
+    Renewal,
+    /// A holder transfers a coin via the broker (owner offline).
+    DowntimeTransfer,
+    /// A holder renews a coin via the broker (owner offline).
+    DowntimeRenewal,
+    /// Proactive synchronization on rejoin.
+    Sync,
+    /// Lazy-sync read of the public binding list by an owner.
+    Check,
+    /// Lazy-sync local state adoption after a check found fresher state.
+    LazySync,
+    /// Publishing a coin binding to the public DHT (§5.1).
+    DsdPublish,
+    /// Payee-side verification of a grant against the public binding.
+    DsdVerify,
+    /// A double-spend alarm raised by a holding monitor.
+    DsdAlarm,
+    /// A DHT read.
+    DhtGet,
+    /// A DHT write.
+    DhtPut,
+    /// A DHT routed lookup.
+    DhtLookup,
+    /// A DHT subscription notification delivered.
+    DhtNotify,
+    /// One transport request/response exchange (`whopay-net`).
+    NetRequest,
+    /// Anything not covered above (label it via [`Event::detail`]).
+    Other,
+}
+
+impl OpKind {
+    /// All operation kinds, in reporting order.
+    pub const ALL: [OpKind; 19] = [
+        OpKind::Purchase,
+        OpKind::Issue,
+        OpKind::Transfer,
+        OpKind::Deposit,
+        OpKind::Renewal,
+        OpKind::DowntimeTransfer,
+        OpKind::DowntimeRenewal,
+        OpKind::Sync,
+        OpKind::Check,
+        OpKind::LazySync,
+        OpKind::DsdPublish,
+        OpKind::DsdVerify,
+        OpKind::DsdAlarm,
+        OpKind::DhtGet,
+        OpKind::DhtPut,
+        OpKind::DhtLookup,
+        OpKind::DhtNotify,
+        OpKind::NetRequest,
+        OpKind::Other,
+    ];
+
+    /// Stable lowercase label (also the JSON encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Purchase => "purchase",
+            OpKind::Issue => "issue",
+            OpKind::Transfer => "transfer",
+            OpKind::Deposit => "deposit",
+            OpKind::Renewal => "renewal",
+            OpKind::DowntimeTransfer => "downtime_transfer",
+            OpKind::DowntimeRenewal => "downtime_renewal",
+            OpKind::Sync => "sync",
+            OpKind::Check => "check",
+            OpKind::LazySync => "lazy_sync",
+            OpKind::DsdPublish => "dsd_publish",
+            OpKind::DsdVerify => "dsd_verify",
+            OpKind::DsdAlarm => "dsd_alarm",
+            OpKind::DhtGet => "dht_get",
+            OpKind::DhtPut => "dht_put",
+            OpKind::DhtLookup => "dht_lookup",
+            OpKind::DhtNotify => "dht_notify",
+            OpKind::NetRequest => "net_request",
+            OpKind::Other => "other",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("OpKind::ALL is exhaustive")
+    }
+}
+
+/// How an operation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Outcome {
+    /// Completed normally.
+    #[default]
+    Ok,
+    /// Rejected or failed.
+    Error,
+}
+
+impl Outcome {
+    /// Stable lowercase label (also the JSON encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Ok => "ok",
+            Outcome::Error => "error",
+        }
+    }
+}
+
+/// One finished protocol operation, as reported to a recorder and the
+/// metrics registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Which role performed the operation.
+    pub role: Role,
+    /// Which operation it was.
+    pub op: OpKind,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Wall-clock duration, when the reporter timed the operation.
+    pub duration: Option<Duration>,
+    /// Messages attributed to this operation (`TrafficStats` units:
+    /// requests and responses each count once).
+    pub messages: u64,
+    /// Payload bytes attributed to this operation.
+    pub bytes: u64,
+    /// Free-form context (message kind, error text); kept short.
+    pub detail: Option<String>,
+}
+
+impl Event {
+    /// A successful event with no timing or traffic attached.
+    pub fn new(role: Role, op: OpKind) -> Self {
+        Event { role, op, outcome: Outcome::Ok, duration: None, messages: 0, bytes: 0, detail: None }
+    }
+
+    /// Attaches message/byte traffic.
+    #[must_use]
+    pub fn with_traffic(mut self, messages: u64, bytes: u64) -> Self {
+        self.messages = messages;
+        self.bytes = bytes;
+        self
+    }
+
+    /// Attaches a duration.
+    #[must_use]
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = Some(duration);
+        self
+    }
+
+    /// Marks the event failed.
+    #[must_use]
+    pub fn failed(mut self) -> Self {
+        self.outcome = Outcome::Error;
+        self
+    }
+
+    /// Attaches detail text.
+    #[must_use]
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = Some(detail.into());
+        self
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"role\":\"");
+        out.push_str(self.role.label());
+        out.push_str("\",\"op\":\"");
+        out.push_str(self.op.label());
+        out.push_str("\",\"outcome\":\"");
+        out.push_str(self.outcome.label());
+        out.push('"');
+        if let Some(d) = self.duration {
+            out.push_str(",\"nanos\":");
+            out.push_str(&u128::min(d.as_nanos(), u64::MAX as u128).to_string());
+        }
+        if self.messages != 0 {
+            out.push_str(",\"messages\":");
+            out.push_str(&self.messages.to_string());
+        }
+        if self.bytes != 0 {
+            out.push_str(",\"bytes\":");
+            out.push_str(&self.bytes.to_string());
+        }
+        if let Some(detail) = &self.detail {
+            out.push_str(",\"detail\":\"");
+            crate::json::escape_into(detail, &mut out);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for op in OpKind::ALL {
+            assert!(seen.insert(op.label()), "duplicate label {}", op.label());
+        }
+        let mut roles = std::collections::BTreeSet::new();
+        for role in Role::ALL {
+            assert!(roles.insert(role.label()));
+        }
+    }
+
+    #[test]
+    fn indexes_match_all_order() {
+        for (i, op) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+        for (i, role) in Role::ALL.iter().enumerate() {
+            assert_eq!(role.index(), i);
+        }
+    }
+
+    #[test]
+    fn json_skips_empty_fields() {
+        let ev = Event::new(Role::Broker, OpKind::Purchase);
+        assert_eq!(ev.to_json(), r#"{"role":"broker","op":"purchase","outcome":"ok"}"#);
+    }
+
+    #[test]
+    fn json_carries_all_fields() {
+        let ev = Event::new(Role::Peer, OpKind::Transfer)
+            .with_traffic(2, 512)
+            .with_duration(Duration::from_nanos(1500))
+            .failed()
+            .with_detail("owner \"offline\"");
+        assert_eq!(
+            ev.to_json(),
+            r#"{"role":"peer","op":"transfer","outcome":"error","nanos":1500,"messages":2,"bytes":512,"detail":"owner \"offline\""}"#
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Hand-rolled JSON output: string escaping and the JSON-lines recorder.
+//!
+//! The workspace deliberately carries no serialization framework (the
+//! wire format in `whopay-core::codec` is hand-rolled too), so the
+//! event stream writes its own JSON. Only string escaping needs care;
+//! everything else in an [`crate::Event`] is an enum label or integer.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::trace::Recorder;
+
+/// Appends `s` to `out` with JSON string escaping (quotes, backslash,
+/// and control characters; non-ASCII passes through as UTF-8).
+pub fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A [`Recorder`] that writes one JSON object per line to any
+/// [`Write`] sink (a file, a `Vec<u8>`, stderr).
+///
+/// Writes are serialized through a mutex; each event flushes-free
+/// appends a single line, so the output is valid JSON-lines even under
+/// concurrent recording. I/O errors are swallowed (observability must
+/// never take the protocol down); call [`JsonLinesRecorder::flush`]
+/// to surface buffered data at the end of a run.
+#[derive(Debug)]
+pub struct JsonLinesRecorder<W: Write + Send> {
+    sink: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesRecorder<W> {
+    /// Wraps a sink.
+    pub fn new(sink: W) -> Self {
+        JsonLinesRecorder { sink: Mutex::new(sink) }
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&self) {
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.flush();
+        }
+    }
+
+    /// Unwraps the recorder, returning the sink (useful for `Vec<u8>`
+    /// sinks in tests).
+    pub fn into_inner(self) -> W {
+        self.sink.into_inner().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonLinesRecorder<W> {
+    fn record(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = sink.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{OpKind, Role};
+
+    #[test]
+    fn escaping_covers_quotes_backslash_and_controls() {
+        let mut out = String::new();
+        escape_into("a\"b\\c\nd\te\u{1}f", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+    }
+
+    #[test]
+    fn escaping_passes_unicode_through() {
+        let mut out = String::new();
+        escape_into("héllo ✓", &mut out);
+        assert_eq!(out, "héllo ✓");
+    }
+
+    #[test]
+    fn recorder_emits_one_line_per_event() {
+        let recorder = JsonLinesRecorder::new(Vec::new());
+        recorder.record(&Event::new(Role::Broker, OpKind::Purchase).with_traffic(2, 100));
+        recorder.record(&Event::new(Role::Peer, OpKind::Deposit));
+        let text = String::from_utf8(recorder.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"role":"broker","op":"purchase","outcome":"ok","messages":2,"bytes":100}"#
+        );
+        assert_eq!(lines[1], r#"{"role":"peer","op":"deposit","outcome":"ok"}"#);
+    }
+}

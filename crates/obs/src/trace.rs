@@ -1,0 +1,282 @@
+//! Recorders, the shared [`Obs`] context, and timing [`Span`]s.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Event, OpKind, Outcome, Role};
+use crate::metrics::Metrics;
+
+/// A sink for finished [`Event`]s.
+///
+/// Implementations must be shareable across threads (the evaluation
+/// sweeps run simulations on scoped threads against one recorder).
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Whether recording is active. Instrumented code may skip building
+    /// events entirely when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The recorder that drops everything (and reports itself disabled).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// An in-memory recorder for tests and short experiment runs.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("event buffer poisoned").clone()
+    }
+
+    /// Removes and returns all recorded events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("event buffer poisoned"))
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: &Event) {
+        self.events.lock().expect("event buffer poisoned").push(event.clone());
+    }
+}
+
+/// A cheap, clonable handle to an optional [`Recorder`].
+///
+/// `Tracer::disabled()` (the default) holds no recorder at all: emitting
+/// through it is a single branch, and [`Obs::span`] won't even read the
+/// clock.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer { recorder: None }
+    }
+
+    /// A tracer feeding `recorder`.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Tracer { recorder: Some(recorder) }
+    }
+
+    /// Whether events reach a live recorder.
+    pub fn enabled(&self) -> bool {
+        self.recorder.as_deref().is_some_and(Recorder::enabled)
+    }
+
+    /// Emits one event (no-op when disabled).
+    pub fn emit(&self, event: &Event) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record(event);
+        }
+    }
+}
+
+/// The observability context instrumented layers carry: an event stream
+/// ([`Tracer`]) plus an optional aggregation registry ([`Metrics`]).
+///
+/// The disabled default is designed to make instrumentation free: no
+/// allocation, no clock reads, one discriminant branch per site.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    tracer: Tracer,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl Obs {
+    /// The no-op context.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Aggregates into `metrics`, with no event stream.
+    pub fn with_metrics(metrics: Arc<Metrics>) -> Self {
+        Obs { tracer: Tracer::disabled(), metrics: Some(metrics) }
+    }
+
+    /// Streams events through `tracer`, with no aggregation.
+    pub fn with_tracer(tracer: Tracer) -> Self {
+        Obs { tracer, metrics: None }
+    }
+
+    /// Full context: events stream through `tracer` and aggregate into
+    /// `metrics`.
+    pub fn new(tracer: Tracer, metrics: Arc<Metrics>) -> Self {
+        Obs { tracer, metrics: Some(metrics) }
+    }
+
+    /// Whether any sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.metrics.is_some() || self.tracer.enabled()
+    }
+
+    /// The aggregation registry, if one is attached.
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Reports one finished event to every attached sink.
+    pub fn observe(&self, event: Event) {
+        if let Some(metrics) = &self.metrics {
+            metrics.observe(&event);
+        }
+        self.tracer.emit(&event);
+    }
+
+    /// Starts a timed span for one operation. When the context is
+    /// disabled the span is inert (no clock read) and
+    /// [`Span::finish`] does nothing.
+    pub fn span(&self, role: Role, op: OpKind) -> Span<'_> {
+        let start = if self.enabled() { Some(Instant::now()) } else { None };
+        Span { obs: self, role, op, start, messages: 0, bytes: 0, outcome: Outcome::Ok, detail: None }
+    }
+}
+
+/// An in-progress operation: accumulates traffic and outcome, then
+/// reports one [`Event`] (with wall-clock duration) on
+/// [`Span::finish`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    role: Role,
+    op: OpKind,
+    start: Option<Instant>,
+    messages: u64,
+    bytes: u64,
+    outcome: Outcome,
+    detail: Option<String>,
+}
+
+impl Span<'_> {
+    /// Attributes `messages`/`bytes` of traffic to this operation.
+    pub fn add_traffic(&mut self, messages: u64, bytes: u64) {
+        self.messages = self.messages.saturating_add(messages);
+        self.bytes = self.bytes.saturating_add(bytes);
+    }
+
+    /// Marks the operation failed, with a short reason.
+    pub fn fail(&mut self, detail: impl Into<String>) {
+        self.outcome = Outcome::Error;
+        if self.obs.enabled() {
+            self.detail = Some(detail.into());
+        }
+    }
+
+    /// Overrides the operation kind (for dispatch sites that only learn
+    /// the kind after decoding the request).
+    pub fn set_op(&mut self, op: OpKind) {
+        self.op = op;
+    }
+
+    /// Ends the span and reports the event. Inert when the context is
+    /// disabled.
+    pub fn finish(self) {
+        let Some(start) = self.start else { return };
+        let event = Event {
+            role: self.role,
+            op: self.op,
+            outcome: self.outcome,
+            duration: Some(start.elapsed()),
+            messages: self.messages,
+            bytes: self.bytes,
+            detail: self.detail,
+        };
+        self.obs.observe(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    #[test]
+    fn disabled_context_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        let mut span = obs.span(Role::Broker, OpKind::Purchase);
+        assert!(span.start.is_none(), "no clock read when disabled");
+        span.add_traffic(2, 100);
+        span.finish(); // must not panic, must not record
+    }
+
+    #[test]
+    fn span_reports_into_metrics_and_recorder() {
+        let metrics = Arc::new(Metrics::new());
+        let recorder = Arc::new(MemoryRecorder::new());
+        let obs = Obs::new(Tracer::new(recorder.clone()), metrics.clone());
+
+        let mut span = obs.span(Role::Peer, OpKind::Transfer);
+        span.add_traffic(2, 300);
+        span.finish();
+
+        let events = recorder.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].role, Role::Peer);
+        assert_eq!(events[0].op, OpKind::Transfer);
+        assert_eq!(events[0].messages, 2);
+        assert!(events[0].duration.is_some());
+
+        let snapshot = metrics.op_snapshot(Role::Peer, OpKind::Transfer);
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.bytes, 300);
+    }
+
+    #[test]
+    fn failed_spans_count_as_errors() {
+        let metrics = Arc::new(Metrics::new());
+        let obs = Obs::with_metrics(metrics.clone());
+        let mut span = obs.span(Role::Broker, OpKind::Deposit);
+        span.fail("already deposited");
+        span.finish();
+        let snapshot = metrics.op_snapshot(Role::Broker, OpKind::Deposit);
+        assert_eq!(snapshot.count, 1);
+        assert_eq!(snapshot.errors, 1);
+    }
+
+    #[test]
+    fn null_recorder_disables_tracer() {
+        let tracer = Tracer::new(Arc::new(NullRecorder));
+        assert!(!tracer.enabled());
+        let obs = Obs::with_tracer(tracer);
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn memory_recorder_take_drains() {
+        let recorder = MemoryRecorder::new();
+        recorder.record(&Event::new(Role::Client, OpKind::Other));
+        assert_eq!(recorder.take().len(), 1);
+        assert!(recorder.events().is_empty());
+    }
+}

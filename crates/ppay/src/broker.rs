@@ -208,8 +208,7 @@ impl Broker {
     ) -> Result<Assignment, DowntimeError> {
         let serial = request.current.coin().serial();
         let owner = *self.minted.get(&serial).ok_or(DowntimeError::UnknownCoin(serial))?;
-        let requester_key =
-            self.users.get(&requester).ok_or(DowntimeError::UnknownUser(requester))?;
+        let requester_key = self.users.get(&requester).ok_or(DowntimeError::UnknownUser(requester))?;
         let bytes = TransferRequest::signed_bytes(&request.current, request.to);
         if !requester_key.verify(&self.group, &bytes, &request.holder_sig) {
             return Err(DowntimeError::BadSignature);
@@ -240,12 +239,8 @@ impl Broker {
     /// Synchronization for a rejoining owner: drains the downtime state for
     /// that owner's coins as `(serial, holder, seq)` tuples.
     pub fn sync_for_owner(&mut self, owner: UserId) -> Vec<(SerialNumber, UserId, u64)> {
-        let serials: Vec<SerialNumber> = self
-            .downtime
-            .keys()
-            .filter(|sn| self.minted.get(sn) == Some(&owner))
-            .copied()
-            .collect();
+        let serials: Vec<SerialNumber> =
+            self.downtime.keys().filter(|sn| self.minted.get(sn) == Some(&owner)).copied().collect();
         serials
             .into_iter()
             .map(|sn| {

@@ -7,7 +7,7 @@ use whopay_num::SchnorrGroup;
 use crate::user::UserId;
 
 /// A PPay coin serial number (uniquely identifies a coin).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SerialNumber(pub u64);
 
 impl std::fmt::Display for SerialNumber {
@@ -18,7 +18,7 @@ impl std::fmt::Display for SerialNumber {
 
 /// The broker-signed base coin `C = {U, sn}skB`: owner identity and serial
 /// number, in the clear.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BaseCoin {
     owner: UserId,
     serial: SerialNumber,
@@ -54,7 +54,7 @@ impl BaseCoin {
 
 /// An owner-signed assignment `{C, H, seq}skU`: the coin, its current
 /// holder (public!), and the anti-replay sequence number.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Assignment {
     coin: BaseCoin,
     holder: UserId,
@@ -96,11 +96,7 @@ impl Assignment {
 
     /// Verifies the owner's signature over this assignment.
     pub fn verify(&self, group: &SchnorrGroup, owner_key: &DsaPublicKey) -> bool {
-        owner_key.verify(
-            group,
-            &Self::signed_bytes(&self.coin, self.holder, self.seq),
-            &self.owner_sig,
-        )
+        owner_key.verify(group, &Self::signed_bytes(&self.coin, self.holder, self.seq), &self.owner_sig)
     }
 }
 

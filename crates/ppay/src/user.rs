@@ -11,7 +11,7 @@ use crate::coin::{Assignment, BaseCoin, SerialNumber};
 
 /// A PPay user identity (public in every PPay message — the system's
 /// defining lack of anonymity).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct UserId(pub u64);
 
 impl std::fmt::Display for UserId {
@@ -137,10 +137,8 @@ impl User {
     /// it is only sent out via [`User::issue`], which creates a fresh one.
     pub fn receive_purchased_coin<R: Rng + ?Sized>(&mut self, coin: BaseCoin, rng: &mut R) {
         debug_assert_eq!(coin.owner(), self.id);
-        self.owned.insert(
-            coin.serial(),
-            OwnedCoinState { coin: coin.clone(), holder: self.id, seq: 0 },
-        );
+        self.owned
+            .insert(coin.serial(), OwnedCoinState { coin: coin.clone(), holder: self.id, seq: 0 });
         let sn = coin.serial();
         let bytes = Assignment::signed_bytes(&coin, self.id, 0);
         let sig = self.keys.sign(&self.group, &bytes, rng);
@@ -230,7 +228,11 @@ impl User {
     ///
     /// [`UserError::BadSignature`] if the coin or assignment fails
     /// verification.
-    pub fn receive_issued_coin(&mut self, broker: &Broker, assignment: Assignment) -> Result<(), UserError> {
+    pub fn receive_issued_coin(
+        &mut self,
+        broker: &Broker,
+        assignment: Assignment,
+    ) -> Result<(), UserError> {
         if assignment.holder() != self.id {
             return Err(UserError::NotHolder(assignment.coin().serial()));
         }
@@ -239,8 +241,7 @@ impl User {
         }
         // Assignments are owner-signed in normal operation, broker-signed
         // when they came through the downtime protocol.
-        let owner_key =
-            broker.user_key(assignment.coin().owner()).ok_or(UserError::BadSignature)?;
+        let owner_key = broker.user_key(assignment.coin().owner()).ok_or(UserError::BadSignature)?;
         let owner_ok = assignment.verify(&self.group, owner_key);
         let broker_ok = assignment.verify(&self.group, broker.public_key());
         if !owner_ok && !broker_ok {
@@ -264,7 +265,11 @@ impl User {
 
     /// Signs arbitrary bytes (challenge–response helper for broker
     /// registration).
-    pub fn sign_bytes<R: Rng + ?Sized>(&self, bytes: &[u8], rng: &mut R) -> whopay_crypto::dsa::DsaSignature {
+    pub fn sign_bytes<R: Rng + ?Sized>(
+        &self,
+        bytes: &[u8],
+        rng: &mut R,
+    ) -> whopay_crypto::dsa::DsaSignature {
         self.keys.sign(&self.group, bytes, rng)
     }
 }

@@ -47,16 +47,13 @@ impl ChurnProcess {
         let online_len = Exponential::from_mean(mu);
         let offline_len = Exponential::from_mean(nu);
         let alpha = mu.as_millis() as f64 / (mu.as_millis() + nu.as_millis()) as f64;
-        let start_online = (rand::RngExt::random::<u64>(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < alpha;
+        let start_online =
+            (rand::RngExt::random::<u64>(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < alpha;
         // Memorylessness: the residual session is exponential with the same
         // mean, so sampling a fresh session length is exact.
-        let first = if start_online { online_len.sample_time(rng) } else { offline_len.sample_time(rng) };
-        ChurnProcess {
-            online_len,
-            offline_len,
-            online: start_online,
-            next_toggle: first,
-        }
+        let first =
+            if start_online { online_len.sample_time(rng) } else { offline_len.sample_time(rng) };
+        ChurnProcess { online_len, offline_len, online: start_online, next_toggle: first }
     }
 
     /// Whether the peer is online *now* (before the pending toggle).
@@ -81,8 +78,12 @@ impl ChurnProcess {
     /// new online state.
     pub fn toggle<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
         self.online = !self.online;
-        let next_len = if self.online { self.online_len.sample_time(rng) } else { self.offline_len.sample_time(rng) };
-        self.next_toggle = self.next_toggle + next_len;
+        let next_len = if self.online {
+            self.online_len.sample_time(rng)
+        } else {
+            self.offline_len.sample_time(rng)
+        };
+        self.next_toggle += next_len;
         self.online
     }
 }
@@ -96,7 +97,8 @@ mod tests {
     /// availability.
     fn measured_availability(mu_h: u64, nu_h: u64, seed: u64) -> f64 {
         let mut rng = sim_rng(seed);
-        let mut churn = ChurnProcess::start(SimTime::from_hours(mu_h), SimTime::from_hours(nu_h), &mut rng);
+        let mut churn =
+            ChurnProcess::start(SimTime::from_hours(mu_h), SimTime::from_hours(nu_h), &mut rng);
         let horizon = SimTime::from_days(2000);
         let mut online_ms = 0u64;
         let mut last = SimTime::ZERO;
@@ -153,7 +155,8 @@ mod tests {
         let mut rng = sim_rng(5);
         let online_starts = (0..1000)
             .filter(|_| {
-                ChurnProcess::start(SimTime::from_hours(2), SimTime::from_hours(2), &mut rng).is_online()
+                ChurnProcess::start(SimTime::from_hours(2), SimTime::from_hours(2), &mut rng)
+                    .is_online()
             })
             .count();
         assert!((400..600).contains(&online_starts), "online starts {online_starts}");

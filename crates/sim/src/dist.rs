@@ -124,9 +124,7 @@ mod tests {
         let exp = Exponential::from_mean(mean);
         let mut rng = sim_rng(43);
         let n = 20_000;
-        let over = (0..n)
-            .filter(|_| exp.sample_time(&mut rng) > SimTime::from_mins(10))
-            .count();
+        let over = (0..n).filter(|_| exp.sample_time(&mut rng) > SimTime::from_mins(10)).count();
         let frac = over as f64 / n as f64;
         assert!((frac - 0.1353).abs() < 0.02, "tail fraction {frac}");
     }

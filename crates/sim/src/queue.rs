@@ -52,10 +52,7 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("now", &self.now)
-            .field("pending", &self.heap.len())
-            .finish()
+        f.debug_struct("EventQueue").field("now", &self.now).field("pending", &self.heap.len()).finish()
     }
 }
 

@@ -75,9 +75,8 @@ fn main() {
     let gk_alice = judge.enroll(PeerId(1), &mut rng); // fresh window credential
     let (mut window, commitment) =
         MicropaySender::open(params.group(), judge.public_key(), &gk_alice, 100, &mut rng);
-    let mut bob_window =
-        MicropayReceiver::accept(params.group(), judge.public_key(), &commitment, 50)
-            .expect("commitment verifies");
+    let mut bob_window = MicropayReceiver::accept(params.group(), judge.public_key(), &commitment, 50)
+        .expect("commitment verifies");
     println!("\npayword window open: capacity {}, settle every 50 units", window.remaining());
 
     let mut settlements = 0;

@@ -12,9 +12,7 @@
 //!
 //! Run with: `cargo run --release --example double_spend_detection`
 
-use whopay::core::{
-    dsd, Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp,
-};
+use whopay::core::{dsd, Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
 use whopay::crypto::dsa::DsaKeyPair;
 use whopay::crypto::testing;
 use whopay::dht::{Dht, DhtConfig, RingId, SignedRecord, Writer};
@@ -108,16 +106,15 @@ fn main() {
     let _ = (&invite_c, replay);
     let stale_check = dsd::read_public_state(&mut dht, entry, &coin_pk).unwrap();
     assert!(stale_check.seq > held_seq);
-    println!("carol's payee check sees seq {} ≠ offered seq {} → payment refused", stale_check.seq, held_seq);
+    println!(
+        "carol's payee check sees seq {} ≠ offered seq {} → payment refused",
+        stale_check.seq, held_seq
+    );
 
     // Bob reports the fraud; the broker records it and the judge can be
     // called in. Mallory's coin ownership is on the coin itself, so she is
     // identified without any group-signature opening.
-    broker.report_fraud(
-        coin,
-        format!("public binding conflict at seq {}", held_seq + 1),
-        Vec::new(),
-    );
+    broker.report_fraud(coin, format!("public binding conflict at seq {}", held_seq + 1), Vec::new());
     println!("\nfraud recorded against the coin's owner: {:?}", peers[0].id());
     assert_eq!(broker.fraud_cases().len(), 1);
 

@@ -43,8 +43,8 @@ fn main() {
     let mut now = Timestamp(0);
     let mut transfers = 0u64;
     let mut issues = 0u64;
-    let mut downloads_served = vec![0u32; PEERS];
-    let mut earnings = vec![0u64; PEERS];
+    let mut downloads_served = [0u32; PEERS];
+    let mut earnings = [0u64; PEERS];
 
     for round in 0..DOWNLOADS {
         now = now.plus(60); // one download a minute

@@ -13,8 +13,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use whopay::core::service::{
-    attach_broker, attach_client, attach_peer, clock, deposit_via, purchase_via,
-    request_issue_via, request_transfer_via, send_invite,
+    attach_broker, attach_client, attach_peer, clock, deposit_via, purchase_via, request_issue_via,
+    request_transfer_via, send_invite,
 };
 use whopay::core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
 use whopay::crypto::testing;
@@ -84,11 +84,11 @@ fn main() {
     // broker endpoint is up), and a direct renewal attempt fails cleanly.
     net.set_online(owner_ep, false);
     let rreq = payee.request_renewal(coin, &mut rng).unwrap();
-    let direct = whopay::core::service::request_renewal_via(&mut net, payee_ep, owner_ep, rreq.clone(), false);
+    let direct =
+        whopay::core::service::request_renewal_via(&mut net, payee_ep, owner_ep, rreq.clone(), false);
     println!("renewal with owner offline: {}", direct.unwrap_err());
-    let renewed =
-        whopay::core::service::request_renewal_via(&mut net, payee_ep, broker_ep, rreq, true)
-            .expect("downtime renewal via broker");
+    let renewed = whopay::core::service::request_renewal_via(&mut net, payee_ep, broker_ep, rreq, true)
+        .expect("downtime renewal via broker");
     payee.apply_renewal(coin, renewed).unwrap();
 
     let dreq = payee.request_deposit(coin, &mut rng).unwrap();

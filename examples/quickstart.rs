@@ -93,7 +93,11 @@ fn main() {
     let err = broker.handle_deposit(&dep, now.plus(240)).unwrap_err();
     println!("\nreplayed deposit rejected: {err}");
     for case in broker.fraud_cases() {
-        println!("judge opens fraud case '{}': parties {:?}", case.description, judge.reveal_parties(case));
+        println!(
+            "judge opens fraud case '{}': parties {:?}",
+            case.description,
+            judge.reveal_parties(case)
+        );
     }
     println!("\nbroker op counts: {:?}", broker.stats());
 }

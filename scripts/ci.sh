@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The canonical tier-1 gate for this repository: release build + full
+# test suite, plus formatting and lint checks when the toolchain
+# components are installed (they are skipped gracefully when absent, as
+# in minimal offline containers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+else
+    echo "==> cargo fmt not installed; skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping"
+fi
+
+echo "==> ci.sh: all checks passed"

@@ -18,6 +18,7 @@
 //! | [`net`] | `whopay-net` | in-memory transport with traffic accounting + i3 indirection |
 //! | [`sim`] | `whopay-sim` | the discrete-event simulation engine |
 //! | [`eval`] | `whopay-eval` | the paper's evaluation: load simulator, cost model, figure data |
+//! | [`obs`] | `whopay-obs` | structured protocol tracing, metrics registry, JSON-lines events |
 //!
 //! See the `examples/` directory for runnable walkthroughs (quickstart,
 //! the pay-per-download market from the paper's introduction, real-time
@@ -57,5 +58,6 @@ pub use whopay_dht as dht;
 pub use whopay_eval as eval;
 pub use whopay_net as net;
 pub use whopay_num as num;
+pub use whopay_obs as obs;
 pub use whopay_ppay as ppay;
 pub use whopay_sim as sim;

@@ -56,8 +56,7 @@ fn transfer_request_contains_no_identity_linkable_values() {
     let treq = w.peers[1].request_transfer(coin, &invite2, &mut w.rng).unwrap();
 
     // No field of the transfer request equals any peer's identity key.
-    let identity_elems: Vec<&BigUint> =
-        w.peers.iter().map(|p| p.public_key().element()).collect();
+    let identity_elems: Vec<&BigUint> = w.peers.iter().map(|p| p.public_key().element()).collect();
     for elem in [&treq.new_holder_pk, treq.current.holder_pk()] {
         for id_elem in &identity_elems {
             assert_ne!(&elem, id_elem, "holder keys are fresh pseudonyms, not identity keys");
@@ -75,8 +74,7 @@ fn two_payments_by_the_same_peer_are_unlinkable() {
 
     let mut artifacts = Vec::new();
     for _ in 0..2 {
-        let (req, pending) =
-            w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
+        let (req, pending) = w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
         let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
         let coin = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
         let (invite, session) = w.peers[1].begin_receive(&mut w.rng);
@@ -126,10 +124,7 @@ fn deposit_hides_the_depositor_from_the_broker() {
     // The broker accepts it without ever resolving an identity…
     w.broker.handle_deposit(&dep, now).unwrap();
     // …while the judge could (fairness), if this were a fraud case.
-    assert_eq!(
-        w.judge.open(&dep.group_sig),
-        whopay::core::RevealedIdentity::Peer(PeerId(1))
-    );
+    assert_eq!(w.judge.open(&dep.group_sig), whopay::core::RevealedIdentity::Peer(PeerId(1)));
 }
 
 #[test]

@@ -1,0 +1,347 @@
+//! End-to-end observability: protocol runs over the wire with tracing
+//! and metrics attached, and the per-operation report reconciles exactly
+//! with the transport's own `TrafficStats` accounting.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use whopay::core::service::{
+    attach_broker_obs, attach_client, attach_peer_obs, clock, deposit_via_obs, install_wire_classifier,
+    purchase_via_obs, request_issue_via_obs, request_renewal_via_obs, request_transfer_via_obs,
+    send_invite_obs, sync_via_obs,
+};
+use whopay::core::{dsd, Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+use whopay::crypto::testing::{test_rng, tiny_group};
+use whopay::dht::{Dht, DhtConfig, RingId};
+use whopay::net::Network;
+use whopay::obs::{JsonLinesRecorder, MemoryRecorder, Metrics, Obs, OpKind, Recorder, Role, Tracer};
+
+struct NetWorld {
+    net: Network,
+    broker_ep: whopay::net::EndpointId,
+    owner: Rc<RefCell<Peer>>,
+    owner_ep: whopay::net::EndpointId,
+    payer: Peer,
+    payer_ep: whopay::net::EndpointId,
+    payee: Peer,
+    payee_ep: whopay::net::EndpointId,
+    clk: whopay::core::service::Clock,
+    rng: rand::rngs::StdRng,
+}
+
+/// The networked fixture of `whopay-core`'s wire tests, with observability
+/// contexts attached: `server_obs` feeds the broker/owner dispatch spans,
+/// and the wire classifier populates the per-kind traffic breakdown.
+fn networld(seed: u64, server_obs: Obs) -> NetWorld {
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let mk = |id: u64, judge: &mut Judge, broker: &mut Broker, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            broker.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        broker.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let owner = mk(0, &mut judge, &mut broker, &mut rng);
+    let payer = mk(1, &mut judge, &mut broker, &mut rng);
+    let payee = mk(2, &mut judge, &mut broker, &mut rng);
+
+    let mut net = Network::new();
+    install_wire_classifier(&mut net);
+    let clk = clock(Timestamp(0));
+    let broker = Rc::new(RefCell::new(broker));
+    let broker_ep = attach_broker_obs(&mut net, broker, clk.clone(), 1000 + seed, server_obs.clone());
+    let owner = Rc::new(RefCell::new(owner));
+    let owner_ep = attach_peer_obs(&mut net, owner.clone(), clk.clone(), 2000 + seed, server_obs);
+    let payer_ep = attach_client(&mut net, "payer");
+    let payee_ep = attach_client(&mut net, "payee");
+    NetWorld { net, broker_ep, owner, owner_ep, payer, payer_ep, payee, payee_ep, clk, rng }
+}
+
+/// Runs one full coin lifecycle (purchase, issue, invite, transfer,
+/// renewal, deposit, sync) with `obs` attached to every client call.
+fn run_lifecycle(w: &mut NetWorld, obs: &Obs) {
+    let now = Timestamp(0);
+    let coin = {
+        let mut owner = w.owner.borrow_mut();
+        purchase_via_obs(
+            &mut w.net,
+            w.owner_ep,
+            w.broker_ep,
+            &mut owner,
+            PurchaseMode::Identified,
+            now,
+            &mut w.rng,
+            obs,
+        )
+        .expect("networked purchase")
+    };
+
+    let (invite, session) = w.payer.begin_receive(&mut w.rng);
+    let grant = request_issue_via_obs(&mut w.net, w.payer_ep, w.owner_ep, coin, &invite, obs).unwrap();
+    w.payer.accept_grant(grant, session, now).unwrap();
+
+    let (invite2, session2) = w.payee.begin_receive(&mut w.rng);
+    send_invite_obs(&mut w.net, w.payee_ep, w.payer_ep, &invite2, obs).unwrap();
+    let treq = w.payer.request_transfer(coin, &invite2, &mut w.rng).unwrap();
+    let grant2 =
+        request_transfer_via_obs(&mut w.net, w.payer_ep, w.owner_ep, treq, false, obs).unwrap();
+    w.payee.accept_grant(grant2, session2, now).unwrap();
+    w.payer.complete_transfer(coin);
+
+    w.clk.set(Timestamp(100));
+    let rreq = w.payee.request_renewal(coin, &mut w.rng).unwrap();
+    let renewed =
+        request_renewal_via_obs(&mut w.net, w.payee_ep, w.owner_ep, rreq, false, obs).unwrap();
+    w.payee.apply_renewal(coin, renewed).unwrap();
+
+    let dreq = w.payee.request_deposit(coin, &mut w.rng).unwrap();
+    deposit_via_obs(&mut w.net, w.payee_ep, w.broker_ep, dreq, obs).unwrap();
+    w.payee.complete_deposit(coin);
+
+    {
+        let mut owner = w.owner.borrow_mut();
+        sync_via_obs(&mut w.net, w.owner_ep, w.broker_ep, &mut owner, &mut w.rng, obs)
+            .expect("networked sync");
+    }
+}
+
+#[test]
+fn client_spans_reconcile_exactly_with_traffic_stats() {
+    let mut w = networld(1, Obs::disabled());
+    let metrics = Arc::new(Metrics::new());
+    let recorder = Arc::new(MemoryRecorder::new());
+    let obs = Obs::new(Tracer::new(recorder.clone()), metrics.clone());
+
+    run_lifecycle(&mut w, &obs);
+
+    // Every message and byte the network counted is attributed to
+    // exactly one client span — the totals match TrafficStats exactly.
+    let stats = w.net.stats();
+    let report = metrics.report();
+    assert_eq!(report.total_messages(), stats.messages, "message totals reconcile");
+    assert_eq!(report.total_bytes(), stats.bytes, "byte totals reconcile");
+
+    // The per-kind breakdown (fed by the wire classifier) covers the same
+    // traffic.
+    let breakdown_total = w.net.breakdown().total();
+    assert_eq!(breakdown_total.messages, stats.messages);
+    assert_eq!(breakdown_total.bytes, stats.bytes);
+
+    // One event per protocol operation, each a 2-message exchange.
+    let events = recorder.events();
+    assert_eq!(events.len() as u64 * 2, stats.messages);
+    for ev in &events {
+        assert_eq!(ev.messages, 2, "{:?} is one request/response exchange", ev.op);
+        assert!(ev.bytes > 0, "{:?} carried payload bytes", ev.op);
+        assert!(ev.duration.is_some(), "{:?} was timed", ev.op);
+    }
+
+    // Per-operation counts: the lifecycle performs each op exactly once.
+    for (role, op) in [
+        (Role::Broker, OpKind::Purchase),
+        (Role::Peer, OpKind::Issue),
+        (Role::Client, OpKind::Other), // the invite
+        (Role::Peer, OpKind::Transfer),
+        (Role::Peer, OpKind::Renewal),
+        (Role::Broker, OpKind::Deposit),
+        (Role::Broker, OpKind::Sync),
+    ] {
+        let row = metrics.op_snapshot(role, op);
+        assert_eq!(row.count, 1, "{role:?}/{op:?} count");
+        assert_eq!(row.errors, 0, "{role:?}/{op:?} errors");
+    }
+
+    // The rendered table mentions the protocol operations.
+    let table = report.render_table();
+    assert!(table.contains("purchase") && table.contains("transfer"), "table:\n{table}");
+}
+
+#[test]
+fn server_dispatch_spans_count_operations_without_traffic() {
+    let server_metrics = Arc::new(Metrics::new());
+    let mut w = networld(2, Obs::with_metrics(server_metrics.clone()));
+    let client_obs = Obs::disabled();
+
+    run_lifecycle(&mut w, &client_obs);
+
+    // The broker and the owner each saw their operations once...
+    for (role, op) in [
+        (Role::Broker, OpKind::Purchase),
+        (Role::Peer, OpKind::Issue),
+        (Role::Peer, OpKind::Transfer),
+        (Role::Peer, OpKind::Renewal),
+        (Role::Broker, OpKind::Deposit),
+        (Role::Broker, OpKind::Sync),
+    ] {
+        let row = server_metrics.op_snapshot(role, op);
+        assert_eq!(row.count, 1, "{role:?}/{op:?} dispatched once");
+        // ...with no traffic attached: the client side owns the byte
+        // accounting, so mixing both registries can never double-count.
+        assert_eq!(row.messages, 0, "{role:?}/{op:?} server span carries no traffic");
+        assert_eq!(row.bytes, 0);
+    }
+}
+
+#[test]
+fn rejected_requests_surface_as_failed_spans() {
+    let server_metrics = Arc::new(Metrics::new());
+    let mut w = networld(3, Obs::with_metrics(server_metrics.clone()));
+    let client_metrics = Arc::new(Metrics::new());
+    let client_obs = Obs::with_metrics(client_metrics.clone());
+
+    // Depositing a coin the payee never held: the broker rejects it.
+    let coin = {
+        let mut owner = w.owner.borrow_mut();
+        purchase_via_obs(
+            &mut w.net,
+            w.owner_ep,
+            w.broker_ep,
+            &mut owner,
+            PurchaseMode::Identified,
+            Timestamp(0),
+            &mut w.rng,
+            &client_obs,
+        )
+        .expect("networked purchase")
+    };
+    let _ = coin;
+    let bogus = w.payee.request_deposit(coin, &mut w.rng);
+    // The payee never held the coin, so the request may fail locally; if
+    // it somehow builds, the broker must reject it remotely.
+    if let Ok(dreq) = bogus {
+        let res = deposit_via_obs(&mut w.net, w.payee_ep, w.broker_ep, dreq, &client_obs);
+        assert!(res.is_err(), "broker must reject a deposit of an unheld coin");
+        let client_row = client_metrics.op_snapshot(Role::Broker, OpKind::Deposit);
+        assert_eq!(client_row.count, 1);
+        assert_eq!(client_row.errors, 1, "client span marked failed");
+        let server_row = server_metrics.op_snapshot(Role::Broker, OpKind::Deposit);
+        assert_eq!(server_row.errors, 1, "server span marked failed");
+        // Failed exchanges still carried their traffic.
+        let report = client_metrics.report();
+        assert_eq!(report.total_messages(), w.net.stats().messages);
+        assert_eq!(report.total_bytes(), w.net.stats().bytes);
+    }
+}
+
+#[test]
+fn dsd_checks_and_alarms_reach_the_registry() {
+    let mut rng = test_rng(40);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let gk = judge.enroll(PeerId(0), &mut rng);
+    let mut owner = Peer::new(
+        PeerId(0),
+        params.clone(),
+        broker.public_key().clone(),
+        judge.public_key().clone(),
+        gk,
+        &mut rng,
+    );
+    broker.register_peer(PeerId(0), owner.public_key().clone());
+    let gk1 = judge.enroll(PeerId(1), &mut rng);
+    let mut payee = Peer::new(
+        PeerId(1),
+        params.clone(),
+        broker.public_key().clone(),
+        judge.public_key().clone(),
+        gk1,
+        &mut rng,
+    );
+    broker.register_peer(PeerId(1), payee.public_key().clone());
+
+    let mut dht = Dht::new(params.group().clone(), broker.public_key().clone(), DhtConfig::default());
+    let dht_metrics = Arc::new(Metrics::new());
+    dht.set_obs(Obs::with_metrics(dht_metrics.clone()));
+    for _ in 0..8 {
+        dht.join(RingId::random(&mut rng));
+    }
+    let entry = dht.node_ids()[0];
+
+    let dsd_metrics = Arc::new(Metrics::new());
+    let obs = Obs::with_metrics(dsd_metrics.clone());
+
+    let t0 = Timestamp(0);
+    let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+    let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+    let coin = owner.complete_purchase(minted, pending, t0, &mut rng).unwrap();
+
+    let (invite, session) = payee.begin_receive(&mut rng);
+    let grant = owner.issue_coin(coin, &invite, t0, &mut rng).unwrap();
+
+    // Verify before publication fails; after publication it passes.
+    assert!(dsd::verify_grant_published_obs(&mut dht, entry, &grant, &obs).is_err());
+    dsd::publish_owner_binding_obs(&owner, coin, &mut dht, entry, &mut rng, &obs).unwrap();
+    dsd::verify_grant_published_obs(&mut dht, entry, &grant, &obs).unwrap();
+
+    let held_seq = grant.binding.seq();
+    let coin_pk = grant.minted.coin_pk().clone();
+    payee.accept_grant(grant, session, t0).unwrap();
+
+    let mut monitor = dsd::HoldingMonitor::new();
+    monitor.watch(&mut dht, coin, &coin_pk, held_seq);
+    assert!(monitor.poll_obs(&mut dht, &obs).is_empty(), "no alarm while honest");
+
+    // The owner republishes a newer binding while the payee still holds
+    // the coin: the monitor raises an alarm and records the event.
+    let (invite2, _s2) = payee.begin_receive(&mut rng);
+    // Owner no longer owns the coin after issuing; re-check by publishing
+    // via a renewal path instead: bump the held binding through the owner.
+    let _ = invite2;
+    let rreq = payee.request_renewal(coin, &mut rng).unwrap();
+    let renewed = owner.handle_renewal(rreq, t0, &mut rng).unwrap();
+    let new_seq = renewed.seq();
+    payee.apply_renewal(coin, renewed).unwrap();
+    dsd::publish_owner_binding_obs(&owner, coin, &mut dht, entry, &mut rng, &obs).unwrap();
+    let alarms = monitor.poll_obs(&mut dht, &obs);
+    assert_eq!(alarms.len(), 1, "renewal past the held seq raises an alarm");
+    assert!(new_seq > held_seq);
+
+    // DSD spans landed in the registry.
+    let publishes = dsd_metrics.op_snapshot(Role::Peer, OpKind::DsdPublish);
+    assert_eq!(publishes.count, 2);
+    assert_eq!(publishes.errors, 0);
+    let verifies = dsd_metrics.op_snapshot(Role::Peer, OpKind::DsdVerify);
+    assert_eq!(verifies.count, 2);
+    assert_eq!(verifies.errors, 1, "pre-publication verify failed");
+    let alarms_row = dsd_metrics.op_snapshot(Role::Peer, OpKind::DsdAlarm);
+    assert_eq!(alarms_row.count, 1);
+    assert_eq!(alarms_row.errors, 1, "alarms are failure events");
+
+    // And the DHT's own registry mirrors its stats.
+    let stats = dht.stats();
+    assert_eq!(dht_metrics.op_snapshot(Role::DhtNode, OpKind::DhtGet).count, stats.gets);
+    assert_eq!(dht_metrics.op_snapshot(Role::DhtNode, OpKind::DhtNotify).count, stats.notifications);
+    assert_eq!(dht_metrics.counter("dht.lookup_hops").get(), stats.lookup_hops);
+}
+
+#[test]
+fn jsonl_recorder_streams_protocol_events() {
+    let recorder = Arc::new(JsonLinesRecorder::new(Vec::new()));
+    let obs = Obs::with_tracer(Tracer::new(recorder.clone()));
+    let mut w = networld(5, Obs::disabled());
+
+    run_lifecycle(&mut w, &obs);
+
+    assert!(recorder.enabled());
+    drop(obs); // release the tracer's clone of the recorder
+    let sink = Arc::try_unwrap(recorder).expect("sole owner").into_inner();
+    let text = String::from_utf8(sink).expect("valid UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64 * 2, w.net.stats().messages, "one line per exchange");
+    for line in lines {
+        assert!(line.starts_with("{\"role\":\"") && line.ends_with('}'), "JSON object: {line}");
+        assert!(line.contains("\"op\":\"") && line.contains("\"outcome\":\""), "{line}");
+        assert!(line.contains("\"messages\":2"), "exchange traffic recorded: {line}");
+    }
+}

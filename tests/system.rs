@@ -41,8 +41,7 @@ fn system(n: usize, seed: u64) -> System {
             p
         })
         .collect();
-    let mut dht =
-        Dht::new(params.group().clone(), broker.public_key().clone(), DhtConfig::default());
+    let mut dht = Dht::new(params.group().clone(), broker.public_key().clone(), DhtConfig::default());
     for _ in 0..16 {
         dht.join(RingId::random(&mut rng));
     }
@@ -182,8 +181,7 @@ fn fraud_pipeline_broker_judge_quorum() {
 
     let shares = s.judge.split_master(2, 3, &mut s.rng);
     let registry = s.judge.export_registry();
-    let quorum =
-        Judge::from_shares(s.params.group().clone(), &shares[1..3], 2, registry).unwrap();
+    let quorum = Judge::from_shares(s.params.group().clone(), &shares[1..3], 2, registry).unwrap();
     let parties = quorum.reveal_parties(&s.broker.fraud_cases()[0]);
     assert_eq!(parties, vec![RevealedIdentity::Peer(PeerId(1))]);
 }

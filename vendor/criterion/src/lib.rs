@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access, so this vendored crate
+//! provides the API surface `whopay-bench` uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock runner: each benchmark is warmed up, then timed over a
+//! fixed number of samples, and the per-iteration mean/min are printed.
+//! There is no statistical analysis, outlier detection, or HTML report;
+//! numbers are indicative, which is all the reproduction's relative
+//! comparisons (Tables 2–3) need.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (stand-in for criterion's `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name, sample_size }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, routine);
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label()), self.sample_size, routine);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label());
+        run_benchmark(&label, self.sample_size, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id distinguished by parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn label(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::from("?"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function: Some(name.to_string()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { function: Some(name), parameter: None }
+    }
+}
+
+/// Passed to benchmark routines; [`Bencher::iter`] times the closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `iters_per_sample`
+    /// back-to-back iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut routine: F) {
+    // One untimed warmup pass (fills caches, faults pages).
+    let mut warmup = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    routine(&mut warmup);
+    let warm_dur = warmup.samples.first().copied().unwrap_or_default();
+
+    // Budget ~100ms of measurement: scale iterations down for slow
+    // routines so the full suite stays fast.
+    let per_iter_ns = warm_dur.as_nanos().max(1);
+    let budget_ns: u128 = 100_000_000;
+    let total_iters = (budget_ns / per_iter_ns).clamp(1, 1_000_000) as u64;
+    let iters_per_sample = (total_iters / sample_size as u64).max(1);
+
+    let mut bencher = Bencher { samples: Vec::new(), iters_per_sample };
+    for _ in 0..sample_size {
+        routine(&mut bencher);
+    }
+
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let per_sample: Vec<f64> =
+        bencher.samples.iter().map(|d| d.as_nanos() as f64 / iters_per_sample as f64).collect();
+    let mean = per_sample.iter().sum::<f64>() / per_sample.len() as f64;
+    let min = per_sample.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<48} time: [mean {} min {}]  ({} samples x {} iters)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        per_sample.len(),
+        iters_per_sample
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Re-export: benches import `criterion::black_box` in some codebases.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_parameterized_benches() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut hits = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(42u32), &42u32, |b, &v| {
+            b.iter(|| {
+                hits += v as u64;
+            })
+        });
+        g.finish();
+        assert!(hits >= 42);
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").label(), "p");
+        assert_eq!(BenchmarkId::from("n").label(), "n");
+    }
+}

@@ -1,0 +1,72 @@
+//! Collection strategies (`vec`, `btree_set`).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::Strategy;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = sample_len(rng, &self.size);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = sample_len(rng, &self.size);
+        let mut set = BTreeSet::new();
+        // Duplicate draws don't grow the set; cap the attempts so a
+        // narrow element domain cannot loop forever.
+        for _ in 0..target.saturating_mul(20).max(32) {
+            if set.len() >= target {
+                break;
+            }
+            set.insert(self.element.generate(rng));
+        }
+        set
+    }
+}
+
+fn sample_len(rng: &mut StdRng, size: &Range<usize>) -> usize {
+    if size.start >= size.end {
+        size.start
+    } else {
+        rng.random_range(size.clone())
+    }
+}

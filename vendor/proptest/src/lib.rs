@@ -1,0 +1,276 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! reimplements the slice of proptest the workspace's property suites
+//! use: the [`proptest!`] macro, `prop_assert*`/[`prop_assume!`],
+//! [`any`], integer-range and string strategies, `prop_map`/`prop_filter`
+//! combinators, [`collection::vec`]/[`collection::btree_set`], and
+//! [`sample::Index`].
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message, but is not minimized.
+//! * **Fixed deterministic seeding.** Each test derives its RNG stream
+//!   from its own name (xor `PROPTEST_SEED` if set), so failures
+//!   reproduce across runs; `PROPTEST_CASES` overrides the case count.
+//!
+//! Strategies here generate values directly from an RNG rather than
+//! through proptest's value-tree machinery, which is all the suites in
+//! this workspace require.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::{Any, Strategy};
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Marker returned by [`prop_assume!`] to skip the rest of a case.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseSkip;
+
+/// Derives the deterministic RNG for one property from its name.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name keeps streams independent per property.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let env_seed = std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    StdRng::seed_from_u64(h ^ env_seed)
+}
+
+/// Generates a whole tuple of strategy outputs (used by [`proptest!`]).
+pub trait StrategyTuple {
+    /// The tuple of generated values.
+    type Output;
+    /// Draws one value from every strategy in the tuple.
+    fn generate_tuple(&self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($S:ident : $idx:tt),+) => {
+        impl<$($S: Strategy),+> StrategyTuple for ($($S,)+) {
+            type Output = ($($S::Value,)+);
+            fn generate_tuple(&self, rng: &mut StdRng) -> Self::Output {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+/// Defines property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config($cfg) $($rest)*);
+    };
+    (@config($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                let strategies = ($($strat,)+);
+                for _case in 0..config.cases {
+                    let ($($pat,)+) =
+                        $crate::StrategyTuple::generate_tuple(&strategies, &mut rng);
+                    #[allow(clippy::redundant_closure_call)]
+                    let _: ::core::result::Result<(), $crate::TestCaseSkip> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no
+/// shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::core::assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::core::assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::core::assert_ne!($($t)*) };
+}
+
+/// Skips the rest of the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+/// Returns the strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::new()
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random::<u64>() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        core::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        any::<u64>().prop_map(|v| v & !1)
+    }
+
+    proptest! {
+        #[test]
+        fn mapped_strategy_holds(v in evens()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn ranges_are_half_open(x in 3usize..7) {
+            prop_assert!((3..7).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u64..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn config_form_parses(_x in 0u64..3) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn filter_rejects_values() {
+        let strat = (0u64..100).prop_filter("big", |v| *v >= 50);
+        let mut rng = crate::test_rng("filter_rejects_values");
+        for _ in 0..100 {
+            assert!(strat.generate(&mut rng) >= 50);
+        }
+    }
+
+    #[test]
+    fn string_strategy_respects_length_bounds() {
+        let mut rng = crate::test_rng("string_strategy");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"\\PC{0,100}", &mut rng);
+            assert!(s.chars().count() <= 100);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = crate::test_rng("collections");
+        for _ in 0..100 {
+            let v = crate::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = crate::collection::btree_set(any::<[u8; 20]>(), 2..12).generate(&mut rng);
+            assert!((2..12).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn index_is_always_in_bounds() {
+        let mut rng = crate::test_rng("index");
+        for len in 1..50usize {
+            let idx = crate::sample::Index::arbitrary(&mut rng);
+            assert!(idx.index(len) < len);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Sampling helpers (`Index`).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::Arbitrary;
+
+/// An arbitrary position into any collection, resolved against a
+/// concrete length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Projects this index onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero (there is no valid index).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.raw % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        Index { raw: rng.random::<u64>() }
+    }
+}
