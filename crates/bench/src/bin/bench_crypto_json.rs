@@ -1,0 +1,126 @@
+//! Machine-readable crypto benchmark: emits `BENCH_crypto.json` with the
+//! Table 2 primitive latencies (DSA-1024 keygen/sign/verify, in
+//! nanoseconds) and end-to-end protocol-operation throughput at the
+//! 512-bit bench security level, plus the signature-verdict cache
+//! counters the run produced. `scripts/bench.sh` invokes this after the
+//! criterion microbenches; EXPERIMENTS.md records the tracked values.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use whopay_bench::{bench_group, dsa_1024_group, time_it};
+use whopay_core::{Broker, Judge, Peer, PeerId, PurchaseMode, SigCache, SystemParams, Timestamp};
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::testing::test_rng;
+
+/// Payment-chain rounds for the throughput section.
+const ROUNDS: u32 = 20;
+/// Iterations for the primitive latency section (`time_it` returns the mean).
+const PRIM_ITERS: u32 = 50;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_crypto.json".to_string());
+
+    // --- Table 2 primitives, 1024-bit group ---
+    let group = dsa_1024_group();
+    let mut rng = test_rng(0x1A);
+    let keygen = time_it(PRIM_ITERS, || {
+        std::hint::black_box(DsaKeyPair::generate(group, &mut rng));
+    });
+    let kp = DsaKeyPair::generate(group, &mut rng);
+    let msg = b"bench_crypto_json message";
+    let sign = time_it(PRIM_ITERS, || {
+        std::hint::black_box(kp.sign(group, msg, &mut rng));
+    });
+    let sig = kp.sign(group, msg, &mut rng);
+    let verify = time_it(PRIM_ITERS, || {
+        assert!(kp.public().verify(group, msg, &sig));
+    });
+
+    // --- protocol-op throughput, 512-bit bench group ---
+    let bgroup = bench_group();
+    let mut rng = test_rng(0x2B);
+    let params = SystemParams::new(bgroup.clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let cache = Arc::new(SigCache::default());
+    broker.use_sig_cache(cache.clone());
+    let mut peers: Vec<Peer> = (0..3)
+        .map(|i| {
+            let gk = judge.enroll(PeerId(i), &mut rng);
+            let mut p = Peer::new(
+                PeerId(i),
+                params.clone(),
+                broker.public_key().clone(),
+                judge.public_key().clone(),
+                gk,
+                &mut rng,
+            );
+            p.use_sig_cache(cache.clone());
+            broker.register_peer(p.id(), p.public_key().clone());
+            p
+        })
+        .collect();
+
+    let now = Timestamp(0);
+    let mut acc = [Duration::ZERO; 5]; // purchase, issue, transfer, renewal, deposit
+    for _ in 0..ROUNDS {
+        let t = Instant::now();
+        let (req, pending) = peers[0].create_purchase_request(PurchaseMode::Identified, &mut rng);
+        let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+        let coin = peers[0].complete_purchase(minted, pending, now, &mut rng).unwrap();
+        acc[0] += t.elapsed();
+
+        let t = Instant::now();
+        let (invite, session) = peers[1].begin_receive(&mut rng);
+        let grant = peers[0].issue_coin(coin, &invite, now, &mut rng).unwrap();
+        peers[1].accept_grant(grant, session, now).unwrap();
+        acc[1] += t.elapsed();
+
+        let t = Instant::now();
+        let (invite, session) = peers[2].begin_receive(&mut rng);
+        let treq = peers[1].request_transfer(coin, &invite, &mut rng).unwrap();
+        let grant = peers[0].handle_transfer(treq, now, &mut rng).unwrap();
+        peers[2].accept_grant(grant, session, now).unwrap();
+        peers[1].complete_transfer(coin);
+        acc[2] += t.elapsed();
+
+        let t = Instant::now();
+        let rreq = peers[2].request_renewal(coin, &mut rng).unwrap();
+        let renewed = peers[0].handle_renewal(rreq, now, &mut rng).unwrap();
+        peers[2].apply_renewal(coin, renewed).unwrap();
+        acc[3] += t.elapsed();
+
+        let t = Instant::now();
+        let dreq = peers[2].request_deposit(coin, &mut rng).unwrap();
+        broker.handle_deposit(&dreq, now).unwrap();
+        peers[2].complete_deposit(coin);
+        acc[4] += t.elapsed();
+    }
+
+    let ops_per_sec = |d: Duration| ROUNDS as f64 / d.as_secs_f64();
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"generated_by\": \"crates/bench/src/bin/bench_crypto_json.rs\",").unwrap();
+    writeln!(json, "  \"table2_dsa_1024_ns\": {{").unwrap();
+    writeln!(json, "    \"keygen\": {},", keygen.as_nanos()).unwrap();
+    writeln!(json, "    \"sign\": {},", sign.as_nanos()).unwrap();
+    writeln!(json, "    \"verify\": {}", verify.as_nanos()).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"protocol_ops_per_sec_512\": {{").unwrap();
+    writeln!(json, "    \"purchase\": {:.2},", ops_per_sec(acc[0])).unwrap();
+    writeln!(json, "    \"issue\": {:.2},", ops_per_sec(acc[1])).unwrap();
+    writeln!(json, "    \"transfer\": {:.2},", ops_per_sec(acc[2])).unwrap();
+    writeln!(json, "    \"renewal\": {:.2},", ops_per_sec(acc[3])).unwrap();
+    writeln!(json, "    \"deposit\": {:.2}", ops_per_sec(acc[4])).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"sigcache\": {{").unwrap();
+    writeln!(json, "    \"hits\": {},", cache.hits()).unwrap();
+    writeln!(json, "    \"misses\": {}", cache.misses()).unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_crypto.json");
+    println!("wrote {out_path}:\n{json}");
+}

@@ -7,6 +7,7 @@
 //! measures.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::Rng;
 use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
@@ -19,6 +20,7 @@ use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, PurchaseRequest, RenewalRequest, TransferRequest,
 };
 use crate::params::SystemParams;
+use crate::sigcache::SigCache;
 use crate::types::{CoinId, PeerId, Timestamp};
 
 /// Per-coin broker state.
@@ -73,6 +75,8 @@ pub struct Broker {
     coins: HashMap<CoinId, CoinRecord>,
     fraud: Vec<FraudCase>,
     stats: BrokerStats,
+    /// Verdict cache; primed with own mint signatures so deposits hit.
+    sig_cache: Arc<SigCache>,
 }
 
 impl Broker {
@@ -87,7 +91,19 @@ impl Broker {
             coins: HashMap::new(),
             fraud: Vec::new(),
             stats: BrokerStats::default(),
+            sig_cache: Arc::new(SigCache::default()),
         }
+    }
+
+    /// The broker's signature-verdict cache.
+    pub fn sig_cache(&self) -> &Arc<SigCache> {
+        &self.sig_cache
+    }
+
+    /// Shares a verdict cache (e.g. one wired to a metrics registry via
+    /// [`SigCache::with_metrics`]).
+    pub fn use_sig_cache(&mut self, cache: Arc<SigCache>) {
+        self.sig_cache = cache;
     }
 
     /// The broker's public key (verifies coins and downtime bindings).
@@ -167,6 +183,9 @@ impl Broker {
         let mint_msg = MintedCoin::signed_bytes(&request.owner, &request.coin_pk);
         let sig = self.keys.sign(group, &mint_msg, rng);
         let minted = MintedCoin::from_parts(request.owner, request.coin_pk.clone(), sig);
+        // A signature we just produced is known-valid; priming means the
+        // deposit-side re-verification of this coin is a cache hit.
+        self.sig_cache.prime(minted.mint_cache_key(group, self.keys.public()), true);
         self.coins.insert(
             id,
             CoinRecord { minted: minted.clone(), downtime_binding: None, deposited: false },
@@ -203,9 +222,9 @@ impl Broker {
                 return Err(CoreError::NotCirculating(id));
             }
         };
-        if !request.minted.verify(&group, self.keys.public())
+        if !request.minted.verify_cached(&group, self.keys.public(), &self.sig_cache)
             || request.binding.coin_pk() != request.minted.coin_pk()
-            || !request.binding.verify(&group, self.keys.public())
+            || !request.binding.verify_cached(&group, self.keys.public(), &self.sig_cache)
         {
             self.stats.rejections += 1;
             return Err(CoreError::BadSignature);
@@ -375,7 +394,7 @@ impl Broker {
             }
             // Flavor one: verify the owner's coin-key signature.
             None => {
-                if !presented.verify(&group, self.keys.public()) {
+                if !presented.verify_cached(&group, self.keys.public(), &self.sig_cache) {
                     self.stats.rejections += 1;
                     return Err(CoreError::BadSignature);
                 }

@@ -16,6 +16,7 @@ use whopay_net::Handle;
 use whopay_num::{BigUint, SchnorrGroup};
 
 use crate::codec::{DecodeError, Reader, Writer};
+use crate::sigcache::{self, SigCache};
 use crate::types::{CoinId, PeerId, Timestamp};
 
 /// How a coin names its owner.
@@ -81,6 +82,28 @@ impl MintedCoin {
     pub fn verify(&self, group: &SchnorrGroup, broker: &DsaPublicKey) -> bool {
         group.is_element(&self.coin_pk)
             && broker.verify(group, &Self::signed_bytes(&self.owner, &self.coin_pk), &self.broker_sig)
+    }
+
+    /// [`MintedCoin::verify`] through a verdict cache: every hop of a
+    /// transfer chain and every deposit re-checks the same mint signature,
+    /// so repeats become hash lookups.
+    pub fn verify_cached(&self, group: &SchnorrGroup, broker: &DsaPublicKey, cache: &SigCache) -> bool {
+        let key = sigcache::cache_key(group, broker, &self.mint_key_material(), &self.broker_sig);
+        cache.verify_with(key, || self.verify(group, broker))
+    }
+
+    /// The cache key for this coin's mint signature — exposed so the
+    /// broker can prime the cache at mint time.
+    pub fn mint_cache_key(
+        &self,
+        group: &SchnorrGroup,
+        broker: &DsaPublicKey,
+    ) -> whopay_crypto::sha256::Digest {
+        sigcache::cache_key(group, broker, &self.mint_key_material(), &self.broker_sig)
+    }
+
+    fn mint_key_material(&self) -> Vec<u8> {
+        Self::signed_bytes(&self.owner, &self.coin_pk)
     }
 }
 
@@ -195,6 +218,20 @@ impl Binding {
         }
     }
 
+    /// [`Binding::verify`] through a verdict cache. The signer key the key
+    /// digest commits to is the coin key or the broker key, matching
+    /// whoever the plain path would check against.
+    pub fn verify_cached(&self, group: &SchnorrGroup, broker: &DsaPublicKey, cache: &SigCache) -> bool {
+        let msg =
+            Self::signed_bytes(&self.coin_pk, &self.holder_pk, self.seq, self.expires, self.signer);
+        let signer = match self.signer {
+            BindingSigner::CoinKey => DsaPublicKey::from_element(self.coin_pk.clone()),
+            BindingSigner::Broker => broker.clone(),
+        };
+        let key = sigcache::cache_key(group, &signer, &msg, &self.sig);
+        cache.verify_with(key, || self.verify(group, broker))
+    }
+
     /// Encodes the *public state* of the binding — `(holder_pk, seq,
     /// expires)` — as the DHT record value (the record's own signature
     /// provides integrity, so the binding signature is not duplicated).
@@ -251,6 +288,18 @@ impl DoubleSpendEvidence {
             && self.a.holder_pk != self.b.holder_pk
             && self.a.verify(group, broker)
             && self.b.verify(group, broker)
+    }
+
+    /// [`DoubleSpendEvidence::verify`] through a verdict cache. The same
+    /// evidence pair is typically examined three times — by the victim, the
+    /// broker, and the judge — and each binding may already be cached from
+    /// the payment that surfaced it.
+    pub fn verify_cached(&self, group: &SchnorrGroup, broker: &DsaPublicKey, cache: &SigCache) -> bool {
+        self.a.coin_pk == self.b.coin_pk
+            && self.a.seq == self.b.seq
+            && self.a.holder_pk != self.b.holder_pk
+            && self.a.verify_cached(group, broker, cache)
+            && self.b.verify_cached(group, broker, cache)
     }
 }
 

@@ -94,6 +94,7 @@ pub mod params;
 pub mod peer;
 pub mod service;
 pub mod shop;
+pub mod sigcache;
 pub mod types;
 pub mod wire;
 
@@ -108,4 +109,5 @@ pub use messages::{
 pub use params::SystemParams;
 pub use peer::{HeldCoin, OwnedCoin, Peer, PendingPurchase, PurchaseMode};
 pub use shop::CoinShop;
+pub use sigcache::SigCache;
 pub use types::{CoinId, PeerId, Timestamp};

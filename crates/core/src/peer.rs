@@ -11,6 +11,7 @@
 //!   never with their identity key.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::Rng;
 use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
@@ -24,6 +25,7 @@ use crate::messages::{
     CoinGrant, PaymentInvite, PurchaseRequest, ReceiveSession, RenewalRequest, TransferRequest,
 };
 use crate::params::SystemParams;
+use crate::sigcache::SigCache;
 use crate::types::{CoinId, PeerId, Timestamp};
 
 /// Owner-side state for one coin this peer owns.
@@ -74,6 +76,8 @@ pub struct Peer {
     wallet: HashMap<CoinId, HeldCoin>,
     /// Relinquishment proofs for transfers this peer handled as owner.
     relinquish_log: Vec<TransferRequest>,
+    /// Verdict cache for the broker-signed material this peer re-checks.
+    sig_cache: Arc<SigCache>,
 }
 
 impl Peer {
@@ -98,7 +102,19 @@ impl Peer {
             owned: HashMap::new(),
             wallet: HashMap::new(),
             relinquish_log: Vec::new(),
+            sig_cache: Arc::new(SigCache::default()),
         }
+    }
+
+    /// This peer's signature-verdict cache.
+    pub fn sig_cache(&self) -> &Arc<SigCache> {
+        &self.sig_cache
+    }
+
+    /// Shares a verdict cache (e.g. one per simulated host, or one wired
+    /// to a metrics registry via [`SigCache::with_metrics`]).
+    pub fn use_sig_cache(&mut self, cache: Arc<SigCache>) {
+        self.sig_cache = cache;
     }
 
     /// This peer's registered identity.
@@ -190,7 +206,7 @@ impl Peer {
         rng: &mut R,
     ) -> Result<CoinId, CoreError> {
         let group = self.params.group();
-        if !minted.verify(group, &self.broker_pk)
+        if !minted.verify_cached(group, &self.broker_pk, &self.sig_cache)
             || minted.coin_pk() != pending.coin_keys.public().element()
             || minted.owner() != &pending.owner
         {
@@ -256,10 +272,10 @@ impl Peer {
         now: Timestamp,
     ) -> Result<CoinId, CoreError> {
         let group = self.params.group();
-        if !grant.minted.verify(group, &self.broker_pk) {
+        if !grant.minted.verify_cached(group, &self.broker_pk, &self.sig_cache) {
             return Err(CoreError::BadSignature);
         }
-        if !grant.binding.verify(group, &self.broker_pk)
+        if !grant.binding.verify_cached(group, &self.broker_pk, &self.sig_cache)
             || grant.binding.coin_pk() != grant.minted.coin_pk()
         {
             return Err(CoreError::BadSignature);
@@ -390,7 +406,9 @@ impl Peer {
     pub fn apply_renewal(&mut self, coin: CoinId, renewed: Binding) -> Result<(), CoreError> {
         let group = self.params.group();
         let held = self.wallet.get_mut(&coin).ok_or(CoreError::NotHolder(coin))?;
-        if !renewed.verify(group, &self.broker_pk) || renewed.coin_pk() != held.binding.coin_pk() {
+        if !renewed.verify_cached(group, &self.broker_pk, &self.sig_cache)
+            || renewed.coin_pk() != held.binding.coin_pk()
+        {
             return Err(CoreError::BadSignature);
         }
         if renewed.holder_pk() != held.holder_keys.public().element() {
@@ -613,7 +631,9 @@ impl Peer {
         let coin = binding.coin_id();
         let group = self.params.group().clone();
         let owned = self.owned.get_mut(&coin).ok_or(CoreError::NotOwner(coin))?;
-        if binding.signer() != BindingSigner::Broker || !binding.verify(&group, &self.broker_pk) {
+        if binding.signer() != BindingSigner::Broker
+            || !binding.verify_cached(&group, &self.broker_pk, &self.sig_cache)
+        {
             return Err(CoreError::BadSignature);
         }
         if binding.seq() <= owned.binding.seq() {

@@ -1,0 +1,246 @@
+//! A bounded cache of signature-verification verdicts.
+//!
+//! Transfer chains and double-spend checks verify the *same* signatures
+//! repeatedly: every deposit re-checks the broker's mint signature, double-
+//! spend evidence is examined by the victim, the broker, and the judge, and
+//! downtime flows re-present bindings the broker has already validated.
+//! Verification is deterministic — `(group, signer, message, signature)`
+//! fully determines the verdict — so a small memo table turns each repeat
+//! into a hash lookup.
+//!
+//! The cache is a two-generation ("segmented") LRU approximation: inserts
+//! go to the current generation; when it fills half the capacity the
+//! previous generation is dropped and the generations rotate. Lookups
+//! promote entries back into the current generation, so anything touched
+//! within the last capacity-many inserts survives rotation. This keeps
+//! every operation `O(1)` without an intrusive linked list.
+//!
+//! Negative verdicts are cached too: verification is deterministic, and
+//! memoizing rejections blunts repeated-garbage denial-of-service.
+//!
+//! Hit/miss/eviction counters are plain [`whopay_obs::Counter`]s; build the
+//! cache with [`SigCache::with_metrics`] to share them with a metrics
+//! registry so reports show them as `sigcache.hits` / `sigcache.misses` /
+//! `sigcache.evictions`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use whopay_crypto::dsa::{DsaPublicKey, DsaSignature};
+use whopay_crypto::hashio::Transcript;
+use whopay_crypto::sha256::Digest;
+use whopay_num::SchnorrGroup;
+use whopay_obs::{Counter, Metrics};
+
+/// Default capacity: generous for a simulated deployment (a few thousand
+/// in-flight coins) at ~33 bytes per entry.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Domain label for cache keys.
+const DOMAIN: &str = "whopay/sigcache/v1";
+
+/// The cache key: a digest binding group parameters, signer, message, and
+/// signature. Distinct verification questions collide only if SHA-256
+/// does.
+pub fn cache_key(
+    group: &SchnorrGroup,
+    signer: &DsaPublicKey,
+    message: &[u8],
+    sig: &DsaSignature,
+) -> Digest {
+    Transcript::new(DOMAIN)
+        .int(group.modulus())
+        .int(group.order())
+        .int(group.generator())
+        .int(signer.element())
+        .bytes(message)
+        .int(sig.r())
+        .int(sig.s())
+        .finish()
+}
+
+#[derive(Debug)]
+struct Generations {
+    current: HashMap<Digest, bool>,
+    previous: HashMap<Digest, bool>,
+}
+
+/// A bounded, thread-safe memo table for signature verdicts.
+#[derive(Debug)]
+pub struct SigCache {
+    half_cap: usize,
+    inner: Mutex<Generations>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+impl Default for SigCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl SigCache {
+    /// A cache holding at most `capacity` verdicts (minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        SigCache {
+            half_cap: (capacity / 2).max(1),
+            inner: Mutex::new(Generations { current: HashMap::new(), previous: HashMap::new() }),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+        }
+    }
+
+    /// A cache whose counters are the registry's named counters
+    /// `sigcache.hits`, `sigcache.misses`, and `sigcache.evictions`, so
+    /// they appear live in [`Metrics::report`].
+    pub fn with_metrics(capacity: usize, metrics: &Metrics) -> Self {
+        let mut cache = Self::new(capacity);
+        cache.hits = metrics.counter("sigcache.hits");
+        cache.misses = metrics.counter("sigcache.misses");
+        cache.evictions = metrics.counter("sigcache.evictions");
+        cache
+    }
+
+    /// Returns the cached verdict for `key`, or runs `verify` and caches
+    /// its result.
+    pub fn verify_with<F: FnOnce() -> bool>(&self, key: Digest, verify: F) -> bool {
+        {
+            let mut inner = self.inner.lock().expect("sigcache poisoned");
+            if let Some(&valid) = inner.current.get(&key) {
+                self.hits.inc();
+                return valid;
+            }
+            if let Some(&valid) = inner.previous.get(&key) {
+                // Promote so recently used entries survive rotation.
+                self.hits.inc();
+                Self::insert_locked(&mut inner, self.half_cap, &self.evictions, key, valid);
+                return valid;
+            }
+        }
+        // The verification itself runs outside the lock: it costs hundreds
+        // of microseconds and must not serialize concurrent verifiers.
+        self.misses.inc();
+        let valid = verify();
+        let mut inner = self.inner.lock().expect("sigcache poisoned");
+        Self::insert_locked(&mut inner, self.half_cap, &self.evictions, key, valid);
+        valid
+    }
+
+    /// Seeds a verdict the caller has established out of band — e.g. the
+    /// broker priming its own mint signature at signing time, so the first
+    /// deposit already hits. Does not count as a hit or miss.
+    pub fn prime(&self, key: Digest, valid: bool) {
+        let mut inner = self.inner.lock().expect("sigcache poisoned");
+        Self::insert_locked(&mut inner, self.half_cap, &self.evictions, key, valid);
+    }
+
+    fn insert_locked(
+        inner: &mut Generations,
+        half_cap: usize,
+        evictions: &Counter,
+        key: Digest,
+        valid: bool,
+    ) {
+        if inner.current.len() >= half_cap && !inner.current.contains_key(&key) {
+            let dropped = std::mem::replace(&mut inner.previous, std::mem::take(&mut inner.current));
+            evictions.add(dropped.len() as u64);
+        }
+        inner.current.insert(key, valid);
+    }
+
+    /// Entries currently held (both generations).
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("sigcache poisoned");
+        // Promotion copies entries into the current generation without
+        // removing them from the previous one, so count unique keys.
+        inner.current.len() + inner.previous.keys().filter(|k| !inner.current.contains_key(*k)).count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.inner.lock().expect("sigcache poisoned");
+        inner.current.is_empty() && inner.previous.is_empty()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that had to verify.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Entries dropped by generation rotation.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> Digest {
+        let mut d = [0u8; 32];
+        d[0] = n;
+        d
+    }
+
+    #[test]
+    fn memoizes_both_verdicts() {
+        let cache = SigCache::new(16);
+        assert!(cache.verify_with(key(1), || true));
+        assert!(!cache.verify_with(key(2), || false));
+        // Second lookups must not re-run verification.
+        assert!(cache.verify_with(key(1), || panic!("cached")));
+        assert!(!cache.verify_with(key(2), || panic!("cached")));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_rotation_counts_evictions() {
+        let cache = SigCache::new(8);
+        for n in 0..100 {
+            cache.verify_with(key(n), || true);
+        }
+        assert!(cache.len() <= 8, "len {} exceeds capacity", cache.len());
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn recently_used_entries_survive_rotation() {
+        let cache = SigCache::new(8);
+        cache.verify_with(key(0), || true);
+        for n in 1..100 {
+            // Touch key 0 between inserts: it must stay resident.
+            cache.verify_with(key(0), || panic!("evicted at {n}"));
+            cache.verify_with(key(n), || true);
+        }
+    }
+
+    #[test]
+    fn primed_entries_hit_without_a_miss() {
+        let cache = SigCache::new(8);
+        cache.prime(key(7), true);
+        assert_eq!(cache.misses(), 0);
+        assert!(cache.verify_with(key(7), || panic!("primed")));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn metrics_counters_are_shared() {
+        let metrics = Metrics::new();
+        let cache = SigCache::with_metrics(8, &metrics);
+        cache.verify_with(key(1), || true);
+        cache.verify_with(key(1), || true);
+        let report = metrics.report();
+        assert_eq!(report.counters["sigcache.hits"], 1);
+        assert_eq!(report.counters["sigcache.misses"], 1);
+    }
+}

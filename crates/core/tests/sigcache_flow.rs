@@ -1,0 +1,151 @@
+//! Integration test for the signature-verdict cache: a full payment flow
+//! with a shared cache wired to a metrics registry, proving the repeated
+//! verifications in transfer chains, deposits, and double-spend evidence
+//! checks become observable cache hits.
+
+use std::sync::Arc;
+
+use whopay_core::coin::{Binding, BindingSigner, DoubleSpendEvidence};
+use whopay_core::{Broker, Judge, Peer, PeerId, PurchaseMode, SigCache, SystemParams, Timestamp};
+use whopay_crypto::testing::{test_rng, tiny_group};
+use whopay_obs::Metrics;
+
+struct World {
+    judge: Judge,
+    broker: Broker,
+    peers: Vec<Peer>,
+    rng: rand::rngs::StdRng,
+}
+
+fn world_with_cache(n: usize, seed: u64, cache: &Arc<SigCache>) -> World {
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    broker.use_sig_cache(cache.clone());
+    let peers: Vec<Peer> = (0..n)
+        .map(|i| {
+            let id = PeerId(i as u64);
+            let gk = judge.enroll(id, &mut rng);
+            let mut peer = Peer::new(
+                id,
+                params.clone(),
+                broker.public_key().clone(),
+                judge.public_key().clone(),
+                gk,
+                &mut rng,
+            );
+            peer.use_sig_cache(cache.clone());
+            broker.register_peer(id, peer.public_key().clone());
+            peer
+        })
+        .collect();
+    World { judge, broker, peers, rng }
+}
+
+#[test]
+fn transfer_chain_and_deposit_hit_the_shared_cache() {
+    let metrics = Metrics::new();
+    let cache = Arc::new(SigCache::with_metrics(256, &metrics));
+    let mut w = world_with_cache(4, 77, &cache);
+    let now = Timestamp(0);
+
+    // Purchase: the broker primes its own mint signature; the buyer's
+    // completion verification is the first lookup.
+    let (req, pending) = w.peers[0].create_purchase_request(PurchaseMode::Identified, &mut w.rng);
+    let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
+    let coin = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
+    assert_eq!(cache.hits(), 1, "primed mint signature must hit at purchase completion");
+
+    // Issue 0 -> 1, then transfer 1 -> 2 -> 3 through the owner. Every
+    // accept_grant re-verifies the same mint signature.
+    let (invite, session) = w.peers[1].begin_receive(&mut w.rng);
+    let grant = w.peers[0].issue_coin(coin, &invite, now, &mut w.rng).unwrap();
+    w.peers[1].accept_grant(grant, session, now).unwrap();
+
+    for (holder, payee) in [(1usize, 2usize), (2, 3)] {
+        let (invite, session) = w.peers[payee].begin_receive(&mut w.rng);
+        let req = w.peers[holder].request_transfer(coin, &invite, &mut w.rng).unwrap();
+        let grant = w.peers[0].handle_transfer(req, now, &mut w.rng).unwrap();
+        w.peers[payee].accept_grant(grant, session, now).unwrap();
+        w.peers[holder].complete_transfer(coin);
+    }
+
+    // Deposit: the broker re-verifies the mint signature (cached since
+    // mint time) and the final binding (cached by peer 3's accept).
+    let deposit = w.peers[3].request_deposit(coin, &mut w.rng).unwrap();
+    let hits_before_deposit = cache.hits();
+    w.broker.handle_deposit(&deposit, now).unwrap();
+    w.peers[3].complete_deposit(coin);
+    assert!(
+        cache.hits() >= hits_before_deposit + 2,
+        "deposit must hit on both the mint signature and the binding"
+    );
+
+    // The counters are observable through the metrics registry.
+    let report = metrics.report();
+    assert_eq!(report.counters["sigcache.hits"], cache.hits());
+    assert_eq!(report.counters["sigcache.misses"], cache.misses());
+    assert!(report.counters["sigcache.hits"] >= 4);
+    assert!(report.counters["sigcache.misses"] >= 1);
+    let table = report.render_table();
+    assert!(table.contains("sigcache.hits"), "{table}");
+}
+
+#[test]
+fn double_spend_evidence_reuses_binding_verdicts() {
+    let metrics = Metrics::new();
+    let cache = Arc::new(SigCache::with_metrics(256, &metrics));
+    let mut w = world_with_cache(3, 78, &cache);
+    let now = Timestamp(0);
+    let group = tiny_group();
+
+    let (req, pending) = w.peers[0].create_purchase_request(PurchaseMode::Anonymous, &mut w.rng);
+    let minted = w.broker.handle_purchase(&req, &mut w.rng).unwrap();
+    let coin = w.peers[0].complete_purchase(minted, pending, now, &mut w.rng).unwrap();
+
+    // A dishonest owner binds the same coin at the same sequence number to
+    // two different holder keys.
+    let owned = w.peers[0].owned_coin(&coin).unwrap();
+    let minted = owned.minted.clone();
+    let coin_keys = owned.coin_keys.clone();
+    let make_binding = |holder_pk: &whopay_num::BigUint, rng: &mut rand::rngs::StdRng| {
+        let msg = Binding::signed_bytes(
+            minted.coin_pk(),
+            holder_pk,
+            1,
+            Timestamp(100),
+            BindingSigner::CoinKey,
+        );
+        let sig = coin_keys.sign(group, &msg, rng);
+        Binding::from_parts(
+            minted.coin_pk().clone(),
+            holder_pk.clone(),
+            1,
+            Timestamp(100),
+            BindingSigner::CoinKey,
+            sig,
+        )
+    };
+    let h1 = w.peers[1].public_key().element().clone();
+    let h2 = w.peers[2].public_key().element().clone();
+    let evidence =
+        DoubleSpendEvidence { a: make_binding(&h1, &mut w.rng), b: make_binding(&h2, &mut w.rng) };
+
+    // Victim, broker, and judge each examine the same evidence; only the
+    // first examination verifies the two binding signatures.
+    assert!(evidence.verify_cached(group, w.broker.public_key(), &cache));
+    let misses_after_first = cache.misses();
+    for _ in 0..2 {
+        assert!(evidence.verify_cached(group, w.broker.public_key(), &cache));
+    }
+    assert_eq!(cache.misses(), misses_after_first, "repeat checks must not re-verify");
+    assert!(cache.hits() >= 4);
+    assert_eq!(metrics.report().counters["sigcache.hits"], cache.hits());
+
+    // Keep the judge relevant: opening one of the group signatures from
+    // the original anonymous purchase still works with caching in play.
+    let gs = req.group_sig.as_ref().expect("anonymous purchase carries a group signature");
+    let revealed = w.judge.open(gs);
+    assert_eq!(revealed, whopay_core::RevealedIdentity::Peer(PeerId(0)));
+}

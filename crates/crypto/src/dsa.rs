@@ -5,18 +5,40 @@
 //! holders all sign with DSA keys; group signatures (see
 //! [`crate::group_sig`]) are layered on top for fairness.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use whopay_num::{BigUint, SchnorrGroup};
 
+use crate::accel::KeyAccel;
 use crate::hashio::Transcript;
 
 /// Domain label binding DSA digests to this scheme.
 const DOMAIN: &str = "whopay/dsa/v1";
 
 /// A DSA verifying key: `y = g^x mod p`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Carries a lazily built per-key fixed-base table (shared across clones)
+/// that kicks in once the key has verified a few signatures — see
+/// [`crate::accel`]. Equality and hashing consider only `y`.
+#[derive(Debug, Clone)]
 pub struct DsaPublicKey {
     y: BigUint,
+    accel: Arc<KeyAccel>,
+}
+
+impl PartialEq for DsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.y == other.y
+    }
+}
+
+impl Eq for DsaPublicKey {}
+
+impl std::hash::Hash for DsaPublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.y.hash(state);
+    }
 }
 
 /// A DSA signing key (the secret scalar `x`, plus the public half).
@@ -62,7 +84,7 @@ impl DsaPublicKey {
     /// The caller is responsible for having validated membership (e.g. via
     /// [`SchnorrGroup::is_element`]) when the element came from the network.
     pub fn from_element(y: BigUint) -> Self {
-        DsaPublicKey { y }
+        DsaPublicKey { y, accel: Arc::default() }
     }
 
     /// Verifies `sig` over `message` (with optional context binding).
@@ -90,7 +112,13 @@ impl DsaPublicKey {
         };
         let u1 = scalar.mul(&h, &w);
         let u2 = scalar.mul(&sig.r, &w);
-        let v = group.elem_ring().pow2(group.generator(), &u1, &self.y, &u2) % q;
+        // Hot keys compute y^u2 from the per-key table and g^u1 from the
+        // group's generator table; cold keys share one pow2 squaring chain.
+        let elem = group.elem_ring();
+        let v = match self.accel.pow(group, &self.y, &u2) {
+            Some(y_u2) => elem.mul(&group.pow_g(&u1), &y_u2),
+            None => elem.pow2(group.generator(), &u1, &self.y, &u2),
+        } % q;
         v == sig.r
     }
 }
@@ -100,7 +128,7 @@ impl DsaKeyPair {
     pub fn generate<R: Rng + ?Sized>(group: &SchnorrGroup, rng: &mut R) -> Self {
         let x = group.random_scalar(rng);
         let y = group.pow_g(&x);
-        DsaKeyPair { x, public: DsaPublicKey { y } }
+        DsaKeyPair { x, public: DsaPublicKey::from_element(y) }
     }
 
     /// The verifying half.

@@ -156,11 +156,11 @@ impl GroupPublicKey {
         let neg_e = scalar.neg(&sig.e);
         // a1' = g^{z_r} · c1^{-e}
         let a1 = elem.pow2(group.generator(), &sig.z_r, sig.ct.c1(), &neg_e);
-        // a2' = g^{z_x} · y_J^{z_r} · c2^{-e}
-        let a2 = elem.mul(
-            &elem.pow2(group.generator(), &sig.z_x, self.judge.element(), &sig.z_r),
-            &elem.pow(sig.ct.c2(), &neg_e),
-        );
+        // a2' = g^{z_x} · y_J^{z_r} · c2^{-e}, as one three-way
+        // simultaneous exponentiation (a shared squaring chain) instead of
+        // pow2 + pow + mul.
+        let a2 =
+            elem.pow3(group.generator(), &sig.z_x, self.judge.element(), &sig.z_r, sig.ct.c2(), &neg_e);
         challenge(group, self, &sig.ct, &a1, &a2, message) == sig.e
     }
 }

@@ -47,6 +47,7 @@
 //! group-signature scheme enforces membership at open time (see
 //! [`group_sig`] and DESIGN.md). Do not use for real money.
 
+pub(crate) mod accel;
 pub mod dsa;
 pub mod elgamal;
 pub mod group_sig;

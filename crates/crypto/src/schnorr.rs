@@ -6,18 +6,40 @@
 //! ([`crate::group_sig`]) is itself a Schnorr-style proof, and because the
 //! ablation benches compare the two.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use whopay_num::{BigUint, SchnorrGroup};
 
+use crate::accel::KeyAccel;
 use crate::hashio::Transcript;
 
 /// Domain label binding Schnorr challenges to this scheme.
 const DOMAIN: &str = "whopay/schnorr/v1";
 
 /// A Schnorr verifying key `y = g^x mod p`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Like [`crate::dsa::DsaPublicKey`], carries a lazily built per-key
+/// fixed-base table shared across clones; equality and hashing consider
+/// only `y`.
+#[derive(Debug, Clone)]
 pub struct SchnorrPublicKey {
     y: BigUint,
+    accel: Arc<KeyAccel>,
+}
+
+impl PartialEq for SchnorrPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.y == other.y
+    }
+}
+
+impl Eq for SchnorrPublicKey {}
+
+impl std::hash::Hash for SchnorrPublicKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.y.hash(state);
+    }
 }
 
 /// A Schnorr signing key.
@@ -43,7 +65,7 @@ impl SchnorrPublicKey {
     /// Constructs a key from a raw group element (caller validates
     /// membership for untrusted inputs).
     pub fn from_element(y: BigUint) -> Self {
-        SchnorrPublicKey { y }
+        SchnorrPublicKey { y, accel: Arc::default() }
     }
 
     /// Verifies `sig` over `message`.
@@ -66,7 +88,10 @@ impl SchnorrPublicKey {
         let elem = group.elem_ring();
         let scalar = group.scalar_ring();
         let neg_e = scalar.neg(&sig.e);
-        let r = elem.pow2(group.generator(), &sig.s, &self.y, &neg_e);
+        let r = match self.accel.pow(group, &self.y, &neg_e) {
+            Some(y_e) => elem.mul(&group.pow_g(&sig.s), &y_e),
+            None => elem.pow2(group.generator(), &sig.s, &self.y, &neg_e),
+        };
         challenge(group, &self.y, &r, message) == sig.e
     }
 }
@@ -76,7 +101,7 @@ impl SchnorrKeyPair {
     pub fn generate<R: Rng + ?Sized>(group: &SchnorrGroup, rng: &mut R) -> Self {
         let x = group.random_scalar(rng);
         let y = group.pow_g(&x);
-        SchnorrKeyPair { x, public: SchnorrPublicKey { y } }
+        SchnorrKeyPair { x, public: SchnorrPublicKey::from_element(y) }
     }
 
     /// The verifying half.

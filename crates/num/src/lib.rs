@@ -4,7 +4,8 @@
 //!
 //! This crate is the numeric substrate under `whopay-crypto`: an
 //! allocation-based big unsigned integer ([`BigUint`]), modular arithmetic
-//! contexts ([`ModRing`]), and primality / parameter generation
+//! contexts ([`ModRing`]) with a Montgomery/fixed-window fast path for odd
+//! moduli ([`montgomery`]), and primality / parameter generation
 //! ([`primes`], [`primes::SchnorrGroup`]). Everything is implemented from
 //! scratch on `u64` limbs — no external bignum or crypto crates.
 //!
@@ -34,10 +35,12 @@
 mod biguint;
 pub mod limbs;
 mod modring;
+pub mod montgomery;
 pub mod primes;
 
 pub use biguint::{BigUint, ParseBigUintError};
 pub use modring::ModRing;
+pub use montgomery::{FixedBaseTable, MontgomeryRing};
 pub use primes::SchnorrGroup;
 
 /// Deterministic RNG for tests and reproducible simulations.

@@ -1,5 +1,6 @@
 //! Modular arithmetic in `Z/mZ` via a reusable ring context.
 
+use crate::montgomery::MontgomeryRing;
 use crate::BigUint;
 
 /// A modular-arithmetic context for a fixed modulus.
@@ -7,6 +8,11 @@ use crate::BigUint;
 /// Construct one `ModRing` per modulus and reuse it: all operations reduce
 /// their result into `[0, m)`. Inputs are reduced on entry, so callers may
 /// pass unreduced values.
+///
+/// For odd moduli the ring carries a [`MontgomeryRing`] and routes the
+/// `pow` family through Montgomery-form fixed-window exponentiation; even
+/// moduli fall back to the division-based `*_naive` reference
+/// implementations, which stay public as the differential-testing oracle.
 ///
 /// # Examples
 ///
@@ -19,10 +25,23 @@ use crate::BigUint;
 /// assert_eq!(ring.add(&a, &b), BigUint::from(3u64));
 /// assert_eq!(ring.pow(&b, &BigUint::from(96u64)), BigUint::from(1u64)); // Fermat
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ModRing {
     modulus: BigUint,
+    mont: Option<MontgomeryRing>,
+    /// Caller-asserted primality of the modulus (see [`ModRing::new_prime`]);
+    /// enables the Fermat inversion fast path for small moduli.
+    prime: bool,
 }
+
+impl PartialEq for ModRing {
+    fn eq(&self, other: &Self) -> bool {
+        // The Montgomery context is a pure function of the modulus.
+        self.modulus == other.modulus
+    }
+}
+
+impl Eq for ModRing {}
 
 impl ModRing {
     /// Creates a ring modulo `modulus`.
@@ -33,12 +52,30 @@ impl ModRing {
     /// protocol code wants and almost always indicate a bug).
     pub fn new(modulus: BigUint) -> Self {
         assert!(modulus > BigUint::one(), "modulus must be at least 2");
-        ModRing { modulus }
+        let mont = MontgomeryRing::new(&modulus);
+        ModRing { modulus, mont, prime: false }
+    }
+
+    /// Creates a ring whose modulus the caller asserts to be prime.
+    ///
+    /// Primality is not checked here; it only unlocks the Fermat-based
+    /// [`ModRing::inv`] fast path (`a^{m-2}`), which is sound exactly when
+    /// the modulus is prime. Protocol code constructs these from validated
+    /// [`crate::SchnorrGroup`] parameters.
+    pub fn new_prime(modulus: BigUint) -> Self {
+        let mut ring = Self::new(modulus);
+        ring.prime = true;
+        ring
     }
 
     /// The modulus `m`.
     pub fn modulus(&self) -> &BigUint {
         &self.modulus
+    }
+
+    /// The Montgomery fast-path context (`None` for even moduli).
+    pub fn montgomery(&self) -> Option<&MontgomeryRing> {
+        self.mont.as_ref()
     }
 
     /// Reduces `a` into `[0, m)`.
@@ -96,10 +133,22 @@ impl ModRing {
         (&a * &a) % &self.modulus
     }
 
-    /// `a^e mod m` by left-to-right binary exponentiation.
+    /// `a^e mod m`.
     ///
-    /// `0^0` is defined as `1`, matching the usual convention.
+    /// Odd moduli take the Montgomery fixed-window fast path; even moduli
+    /// fall back to [`ModRing::pow_naive`]. `0^0` is defined as `1`,
+    /// matching the usual convention.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        match &self.mont {
+            Some(mont) => mont.pow(&self.reduce(base), exp),
+            None => self.pow_naive(base, exp),
+        }
+    }
+
+    /// `a^e mod m` by left-to-right binary exponentiation with division-
+    /// based reduction — the reference implementation the Montgomery fast
+    /// path is differentially tested against.
+    pub fn pow_naive(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         let base = self.reduce(base);
         if exp.is_zero() {
             return BigUint::one() % &self.modulus;
@@ -114,9 +163,21 @@ impl ModRing {
         acc
     }
 
-    /// Simultaneous `g1^e1 * g2^e2 mod m` (Shamir's trick), roughly the cost
-    /// of a single exponentiation. Heavily used by signature verification.
+    /// Simultaneous `g1^e1 * g2^e2 mod m`, roughly the cost of a single
+    /// exponentiation. Heavily used by signature verification.
+    ///
+    /// Odd moduli use interleaved 2-bit-window Montgomery exponentiation;
+    /// even moduli fall back to [`ModRing::pow2_naive`].
     pub fn pow2(&self, g1: &BigUint, e1: &BigUint, g2: &BigUint, e2: &BigUint) -> BigUint {
+        match &self.mont {
+            Some(mont) => mont.pow2(&self.reduce(g1), e1, &self.reduce(g2), e2),
+            None => self.pow2_naive(g1, e1, g2, e2),
+        }
+    }
+
+    /// Simultaneous `g1^e1 * g2^e2 mod m` by bit-at-a-time Shamir's trick —
+    /// the reference implementation for differential tests.
+    pub fn pow2_naive(&self, g1: &BigUint, e1: &BigUint, g2: &BigUint, e2: &BigUint) -> BigUint {
         let g1 = self.reduce(g1);
         let g2 = self.reduce(g2);
         let g12 = self.mul(&g1, &g2);
@@ -134,15 +195,43 @@ impl ModRing {
         acc
     }
 
+    /// Simultaneous `g1^e1 * g2^e2 * g3^e3 mod m` (three-way Shamir's
+    /// trick) — one shared squaring chain instead of three separate
+    /// exponentiations. Used by group-signature verification.
+    pub fn pow3(
+        &self,
+        g1: &BigUint,
+        e1: &BigUint,
+        g2: &BigUint,
+        e2: &BigUint,
+        g3: &BigUint,
+        e3: &BigUint,
+    ) -> BigUint {
+        match &self.mont {
+            Some(mont) => mont.pow3(&self.reduce(g1), e1, &self.reduce(g2), e2, &self.reduce(g3), e3),
+            None => self.mul(&self.pow2_naive(g1, e1, g2, e2), &self.pow_naive(g3, e3)),
+        }
+    }
+
     /// Modular inverse: returns `x` with `a * x ≡ 1 (mod m)`, or `None` if
     /// `gcd(a, m) != 1`.
     ///
-    /// Uses the extended Euclidean algorithm with a sign-tracked Bézout
+    /// For small prime moduli (declared via [`ModRing::new_prime`]) this
+    /// computes `a^{m-2}` with the Montgomery fast path — cheaper than the
+    /// allocation-heavy Euclidean loop below that size. Everything else
+    /// uses the extended Euclidean algorithm with a sign-tracked Bézout
     /// coefficient.
     pub fn inv(&self, a: &BigUint) -> Option<BigUint> {
         let a = self.reduce(a);
         if a.is_zero() {
             return None;
+        }
+        // Fermat pays off only while the exponentiation's ~1.25·bits
+        // multiplications stay cheap; past 4 limbs Euclid wins.
+        if self.prime && self.modulus.limbs().len() <= 4 {
+            if let Some(mont) = &self.mont {
+                return Some(mont.pow(&a, &(&self.modulus - &BigUint::from(2u64))));
+            }
         }
         // Invariant: old_r = old_s * a (mod m), r = s * a (mod m),
         // with s coefficients tracked as (magnitude, negative?).

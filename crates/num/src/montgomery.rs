@@ -1,0 +1,494 @@
+//! Montgomery-form modular arithmetic (CIOS) and fixed-base tables.
+//!
+//! This module is the fast path under [`crate::ModRing`]: for an odd
+//! modulus `m` of `n` limbs it keeps residues in Montgomery form
+//! (`aR mod m` with `R = 2^(64n)`), where a modular multiplication is a
+//! single CIOS (coarsely integrated operand scanning) pass — two
+//! schoolbook-sized multiplications fused with the reduction and **no
+//! division**. Conversion in and out of Montgomery form costs one
+//! multiplication each and is amortized across a whole exponentiation.
+//!
+//! Exponentiation uses fixed windows (width chosen from the exponent
+//! size, up to 5 bits), and [`FixedBaseTable`] precomputes digit-aligned
+//! powers of a fixed base (the group generator) so that a full
+//! exponentiation costs only `ceil(bits/k)` multiplications and **zero
+//! squarings**.
+//!
+//! Everything here is variable-time; like the rest of this crate it
+//! reproduces the paper's performance envelope and is not hardened
+//! against timing side channels.
+
+use std::cmp::Ordering;
+
+use crate::{limbs, BigUint};
+
+/// Montgomery multiplication context for a fixed odd modulus.
+///
+/// Residues handled by the raw `mont_*` methods are fixed-width
+/// little-endian limb vectors of [`MontgomeryRing::num_limbs`] limbs in
+/// Montgomery form. The [`MontgomeryRing::pow`] family accepts and
+/// returns ordinary [`BigUint`] values and hides the conversions.
+///
+/// # Examples
+///
+/// ```
+/// use whopay_num::{montgomery::MontgomeryRing, BigUint};
+///
+/// let m = BigUint::from(97u64);
+/// let ring = MontgomeryRing::new(&m).expect("odd modulus");
+/// let r = ring.pow(&BigUint::from(5u64), &BigUint::from(96u64));
+/// assert!(r.is_one()); // Fermat
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MontgomeryRing {
+    /// Modulus, fixed width `n`, top limb nonzero.
+    m: Vec<u64>,
+    /// `-m^{-1} mod 2^64` (the CIOS per-iteration quotient factor).
+    n0inv: u64,
+    /// `R^2 mod m`, the to-Montgomery conversion factor.
+    r2: Vec<u64>,
+    /// `R mod m`, i.e. `1` in Montgomery form.
+    one: Vec<u64>,
+}
+
+impl MontgomeryRing {
+    /// Builds a context for `modulus`, or `None` when `modulus` is even
+    /// or smaller than 3 (Montgomery reduction requires `gcd(m, R) = 1`).
+    pub fn new(modulus: &BigUint) -> Option<Self> {
+        if modulus.is_even() || modulus.bits() < 2 {
+            return None;
+        }
+        let m = modulus.limbs().to_vec();
+        let n = m.len();
+        // Newton–Hensel inversion of m[0] mod 2^64: each step doubles the
+        // number of correct low bits, and x = m0 seeds 3 of them.
+        let m0 = m[0];
+        let mut inv = m0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(m0.wrapping_mul(inv), 1);
+        let r = BigUint::one() << (64 * n);
+        let one = pad(&(&r % modulus), n);
+        let r2 = pad(&((&r * &r) % modulus), n);
+        Some(MontgomeryRing { m, n0inv: inv.wrapping_neg(), r2, one })
+    }
+
+    /// Width of the fixed-size residue representation, in limbs.
+    pub fn num_limbs(&self) -> usize {
+        self.m.len()
+    }
+
+    /// The modulus as a [`BigUint`].
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.m.clone())
+    }
+
+    /// Converts `a` (must already be reduced mod `m`) to Montgomery form.
+    pub fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        debug_assert!(limbs::cmp(a.limbs(), &self.m) == Ordering::Less);
+        self.mont_mul(&pad(a, self.m.len()), &self.r2)
+    }
+
+    /// Converts a Montgomery-form residue back to an ordinary integer.
+    pub fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut unit = vec![0u64; self.m.len()];
+        unit[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &unit))
+    }
+
+    /// `1` in Montgomery form (`R mod m`).
+    pub fn mont_one(&self) -> &[u64] {
+        &self.one
+    }
+
+    /// Montgomery product `a * b * R^{-1} mod m` as a fresh vector.
+    pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut t = vec![0u64; self.m.len() + 1];
+        self.mont_mul_into(a, b, &mut t);
+        t.truncate(self.m.len());
+        t
+    }
+
+    /// Finely-integrated Montgomery multiplication (FIOS): one pass per
+    /// limb of `a` computes both the partial product `a_i·b` and the
+    /// quotient correction `mu·m`, with the two carry chains kept in
+    /// registers. Writes `a·b·R^{-1} mod m` into `t[..n]`.
+    ///
+    /// `a` and `b` may alias each other but not `t`; `t` needs `n + 1`
+    /// limbs.
+    fn mont_mul_into(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
+        let m = &self.m[..];
+        let n = m.len();
+        assert!(a.len() == n && b.len() == n && t.len() == n + 1);
+        t.fill(0);
+        for &ai in a {
+            // Limb 0: derive mu so the sum becomes divisible by 2^64; its
+            // low limb is exactly zero and is shifted away.
+            let v1 = t[0] as u128 + ai as u128 * b[0] as u128;
+            let mu = (v1 as u64).wrapping_mul(self.n0inv);
+            let v2 = (v1 as u64) as u128 + mu as u128 * m[0] as u128;
+            debug_assert_eq!(v2 as u64, 0);
+            let mut c_ab = (v1 >> 64) as u64;
+            let mut c_mm = (v2 >> 64) as u64;
+            for j in 1..n {
+                let v1 = t[j] as u128 + ai as u128 * b[j] as u128 + c_ab as u128;
+                c_ab = (v1 >> 64) as u64;
+                let v2 = (v1 as u64) as u128 + mu as u128 * m[j] as u128 + c_mm as u128;
+                c_mm = (v2 >> 64) as u64;
+                t[j - 1] = v2 as u64;
+            }
+            let v = t[n] as u128 + c_ab as u128 + c_mm as u128;
+            t[n - 1] = v as u64;
+            t[n] = (v >> 64) as u64;
+        }
+        // Invariant: t < 2m, so at most one final subtraction is needed.
+        if t[n] != 0 || limbs::cmp(&t[..n], m) != Ordering::Less {
+            let mut borrow = 0u64;
+            for (tj, &mj) in t[..n].iter_mut().zip(m.iter()) {
+                let (d1, b1) = tj.overflowing_sub(mj);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                *tj = d2;
+                borrow = b1 as u64 + b2 as u64;
+            }
+            t[n] = t[n].wrapping_sub(borrow);
+        }
+        debug_assert_eq!(t[n], 0);
+    }
+
+    /// `(a * b) mod m` on ordinary integers (both must be reduced).
+    ///
+    /// Costs three Montgomery multiplications (two conversions plus the
+    /// product), so it only pays off inside exponentiations; exposed for
+    /// differential testing against [`crate::ModRing::mul`].
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.from_mont(&self.mont_mul(&self.to_mont(a), &self.to_mont(b)))
+    }
+
+    /// `base^exp mod m` by fixed-window exponentiation in Montgomery form.
+    ///
+    /// `base` must already be reduced mod `m`. `0^0 = 1`.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let ebits = exp.bits();
+        if ebits == 0 {
+            return BigUint::one() % &self.modulus();
+        }
+        let n = self.m.len();
+        let k = window_size(ebits);
+        let base_m = self.to_mont(base);
+        // table[j - 1] = base^j in Montgomery form, j = 1 .. 2^k - 1.
+        let mut table = Vec::with_capacity((1usize << k) - 1);
+        table.push(base_m.clone());
+        for _ in 2..(1usize << k) {
+            table.push(self.mont_mul(table.last().unwrap(), &base_m));
+        }
+        let digits = ebits.div_ceil(k);
+        let top = exp_digit(exp, digits - 1, k);
+        let mut acc = vec![0u64; n + 1];
+        let mut tmp = vec![0u64; n + 1];
+        // The top digit is nonzero (it holds the exponent's leading bit).
+        acc[..n].copy_from_slice(&table[top - 1]);
+        for i in (0..digits - 1).rev() {
+            for _ in 0..k {
+                self.mont_mul_into(&acc[..n], &acc[..n], &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let d = exp_digit(exp, i, k);
+            if d != 0 {
+                self.mont_mul_into(&acc[..n], &table[d - 1], &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+        self.from_mont(&acc[..n])
+    }
+
+    /// Simultaneous `g1^e1 * g2^e2 mod m` with interleaved 2-bit windows:
+    /// one shared squaring chain and a 16-entry table of joint products.
+    ///
+    /// Both bases must already be reduced mod `m`.
+    pub fn pow2(&self, g1: &BigUint, e1: &BigUint, g2: &BigUint, e2: &BigUint) -> BigUint {
+        let bits = e1.bits().max(e2.bits());
+        if bits == 0 {
+            return BigUint::one() % &self.modulus();
+        }
+        let n = self.m.len();
+        // joint[i + 4*j] = g1^i * g2^j in Montgomery form (i, j in 0..4).
+        let g1m = self.to_mont(g1);
+        let g2m = self.to_mont(g2);
+        let mut p1 = vec![self.one.clone(), g1m.clone()];
+        p1.push(self.mont_mul(&g1m, &g1m));
+        p1.push(self.mont_mul(&p1[2], &g1m));
+        let mut joint = p1;
+        for j in 1..4usize {
+            let g2j = if j == 1 { g2m.clone() } else { self.mont_mul(&joint[4 * (j - 1)], &g2m) };
+            joint.push(g2j.clone());
+            for i in 1..4usize {
+                joint.push(self.mont_mul(&joint[i], &g2j));
+            }
+        }
+        let digits = bits.div_ceil(2);
+        let mut acc = vec![0u64; n + 1];
+        let mut tmp = vec![0u64; n + 1];
+        acc[..n].copy_from_slice(&self.one);
+        let mut started = false;
+        for i in (0..digits).rev() {
+            if started {
+                for _ in 0..2 {
+                    self.mont_mul_into(&acc[..n], &acc[..n], &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            let d = exp_digit(e1, i, 2) + 4 * exp_digit(e2, i, 2);
+            if d != 0 {
+                if started {
+                    self.mont_mul_into(&acc[..n], &joint[d], &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                } else {
+                    acc[..n].copy_from_slice(&joint[d]);
+                    started = true;
+                }
+            }
+        }
+        self.from_mont(&acc[..n])
+    }
+
+    /// Simultaneous `g1^e1 * g2^e2 * g3^e3 mod m` (three-way Shamir):
+    /// one shared squaring chain over a table of the 7 subset products.
+    ///
+    /// All bases must already be reduced mod `m`.
+    pub fn pow3(
+        &self,
+        g1: &BigUint,
+        e1: &BigUint,
+        g2: &BigUint,
+        e2: &BigUint,
+        g3: &BigUint,
+        e3: &BigUint,
+    ) -> BigUint {
+        let bits = e1.bits().max(e2.bits()).max(e3.bits());
+        if bits == 0 {
+            return BigUint::one() % &self.modulus();
+        }
+        let n = self.m.len();
+        // subset[b] = product of the bases selected by the bits of b.
+        let g1m = self.to_mont(g1);
+        let g2m = self.to_mont(g2);
+        let g3m = self.to_mont(g3);
+        let g12m = self.mont_mul(&g1m, &g2m);
+        let g123m = self.mont_mul(&g12m, &g3m);
+        let subset: Vec<Vec<u64>> = vec![
+            self.one.clone(),
+            g1m.clone(),
+            g2m.clone(),
+            g12m,
+            g3m.clone(),
+            self.mont_mul(&g1m, &g3m),
+            self.mont_mul(&g2m, &g3m),
+            g123m,
+        ];
+        let mut acc = vec![0u64; n + 1];
+        let mut tmp = vec![0u64; n + 1];
+        acc[..n].copy_from_slice(&self.one);
+        let mut started = false;
+        for i in (0..bits).rev() {
+            if started {
+                self.mont_mul_into(&acc[..n], &acc[..n], &mut tmp);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let b = e1.bit(i) as usize | (e2.bit(i) as usize) << 1 | (e3.bit(i) as usize) << 2;
+            if b != 0 {
+                if started {
+                    self.mont_mul_into(&acc[..n], &subset[b], &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                } else {
+                    acc[..n].copy_from_slice(&subset[b]);
+                    started = true;
+                }
+            }
+        }
+        self.from_mont(&acc[..n])
+    }
+}
+
+/// Fixed-window width for an exponent of `bits` bits, balancing the
+/// `2^k - 2` table-build multiplications against the `bits/k` saved ones.
+fn window_size(bits: usize) -> usize {
+    if bits >= 512 {
+        5
+    } else if bits >= 128 {
+        4
+    } else if bits >= 24 {
+        3
+    } else {
+        1
+    }
+}
+
+/// The `i`-th `k`-bit digit of `e` (little-endian digit order).
+fn exp_digit(e: &BigUint, i: usize, k: usize) -> usize {
+    let lo = i * k;
+    let mut d = 0usize;
+    for b in 0..k {
+        d |= (e.bit(lo + b) as usize) << b;
+    }
+    d
+}
+
+/// Fixed-width copy of `x` padded to `n` limbs.
+fn pad(x: &BigUint, n: usize) -> Vec<u64> {
+    let mut v = x.limbs().to_vec();
+    debug_assert!(v.len() <= n);
+    v.resize(n, 0);
+    v
+}
+
+/// Precomputed digit-aligned powers of one fixed base.
+///
+/// For a base `g` and window width `k`, stores `g^(j·2^(k·i))` in
+/// Montgomery form for every digit position `i` and digit value
+/// `j ∈ 1..2^k`, so `g^e` is just the product of one table entry per
+/// nonzero digit of `e` — no squarings at all. Memory is
+/// `ceil(bits/k) · (2^k - 1)` residues (≈ 75 KiB for a 160-bit exponent
+/// range over a 1024-bit modulus at `k = 4`).
+#[derive(Debug, Clone)]
+pub struct FixedBaseTable {
+    k: usize,
+    digits: usize,
+    /// `table[i * (2^k - 1) + (j - 1)] = g^(j << (k*i))` in Montgomery form.
+    table: Vec<Vec<u64>>,
+}
+
+impl FixedBaseTable {
+    /// Window width used for the generator tables.
+    pub const WINDOW: usize = 4;
+
+    /// Builds the table for exponents up to `max_bits` bits.
+    ///
+    /// `base` must already be reduced mod the ring's modulus.
+    pub fn new(ring: &MontgomeryRing, base: &BigUint, max_bits: usize, k: usize) -> Self {
+        assert!((1..=8).contains(&k), "window width out of range");
+        let digits = max_bits.div_ceil(k).max(1);
+        let span = (1usize << k) - 1;
+        let mut table = Vec::with_capacity(digits * span);
+        let mut cur = ring.to_mont(base); // g^(2^(k*i)) for the current i
+        for i in 0..digits {
+            table.push(cur.clone());
+            for _ in 2..=span {
+                table.push(ring.mont_mul(table.last().unwrap(), &cur));
+            }
+            if i + 1 < digits {
+                for _ in 0..k {
+                    cur = ring.mont_mul(&cur, &cur);
+                }
+            }
+        }
+        FixedBaseTable { k, digits, table }
+    }
+
+    /// Largest exponent bit-length this table covers.
+    pub fn max_bits(&self) -> usize {
+        self.digits * self.k
+    }
+
+    /// `base^e mod m`, or `None` when `e` is too large for the table
+    /// (callers fall back to a generic exponentiation).
+    pub fn pow(&self, ring: &MontgomeryRing, e: &BigUint) -> Option<BigUint> {
+        if e.bits() > self.max_bits() {
+            return None;
+        }
+        let span = (1usize << self.k) - 1;
+        let mut acc: Option<Vec<u64>> = None;
+        for i in 0..self.digits {
+            let d = exp_digit(e, i, self.k);
+            if d == 0 {
+                continue;
+            }
+            let entry = &self.table[i * span + (d - 1)];
+            acc = Some(match acc {
+                None => entry.clone(),
+                Some(a) => ring.mont_mul(&a, entry),
+            });
+        }
+        Some(match acc {
+            None => BigUint::one() % &ring.modulus(), // e == 0
+            Some(a) => ring.from_mont(&a),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModRing;
+    use rand::Rng;
+
+    fn odd_modulus(rng: &mut impl Rng, bits: usize) -> BigUint {
+        loop {
+            let m = BigUint::random_bits(rng, bits);
+            if m.is_odd() && m.bits() >= 2 {
+                return m;
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_through_montgomery_form() {
+        let mut rng = crate::test_rng(0xA0);
+        for bits in [3usize, 64, 65, 192, 1024] {
+            let m = odd_modulus(&mut rng, bits);
+            let ring = MontgomeryRing::new(&m).unwrap();
+            for _ in 0..10 {
+                let a = BigUint::random_below(&mut rng, &m);
+                assert_eq!(ring.from_mont(&ring.to_mont(&a)), a);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_even_moduli() {
+        assert!(MontgomeryRing::new(&BigUint::from(10u64)).is_none());
+        assert!(MontgomeryRing::new(&BigUint::from(2u64)).is_none());
+        assert!(MontgomeryRing::new(&BigUint::one()).is_none());
+    }
+
+    #[test]
+    fn smallest_modulus_works() {
+        let ring = MontgomeryRing::new(&BigUint::from(3u64)).unwrap();
+        assert_eq!(ring.pow(&BigUint::from(2u64), &BigUint::from(5u64)).to_u64(), Some(2));
+        assert_eq!(ring.mul(&BigUint::from(2u64), &BigUint::from(2u64)).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn mul_matches_plain_reduction() {
+        let mut rng = crate::test_rng(0xA1);
+        for bits in [64usize, 120, 512] {
+            let m = odd_modulus(&mut rng, bits);
+            let ring = MontgomeryRing::new(&m).unwrap();
+            for _ in 0..20 {
+                let a = BigUint::random_below(&mut rng, &m);
+                let b = BigUint::random_below(&mut rng, &m);
+                assert_eq!(ring.mul(&a, &b), (&a * &b) % &m);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_base_table_matches_pow() {
+        let mut rng = crate::test_rng(0xA2);
+        let m = odd_modulus(&mut rng, 384);
+        let mring = ModRing::new(m.clone());
+        let mont = mring.montgomery().unwrap();
+        let g = BigUint::random_below(&mut rng, &m);
+        let table = FixedBaseTable::new(mont, &g, 160, FixedBaseTable::WINDOW);
+        for _ in 0..10 {
+            let e = BigUint::random_bits(&mut rng, 160);
+            assert_eq!(table.pow(mont, &e).unwrap(), mring.pow(&g, &e));
+        }
+        assert!(table.pow(mont, &e_too_big()).is_none());
+        assert!(table.pow(mont, &BigUint::zero()).unwrap().is_one());
+    }
+
+    fn e_too_big() -> BigUint {
+        BigUint::one() << 200
+    }
+}

@@ -6,8 +6,11 @@
 //! microbenchmarks (Table 2) use DSA with a 1024-bit `p` and 160-bit `q`;
 //! [`SchnorrGroup::generate`] produces parameters of any such shape.
 
+use std::sync::{Arc, OnceLock};
+
 use rand::Rng;
 
+use crate::montgomery::FixedBaseTable;
 use crate::{BigUint, ModRing};
 
 /// Small primes used for fast trial-division screening of candidates.
@@ -129,14 +132,39 @@ pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
 /// let group = SchnorrGroup::generate(256, 160, &mut rand::rng());
 /// assert!(group.is_element(group.generator()));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SchnorrGroup {
     p: BigUint,
     q: BigUint,
     g: BigUint,
+    /// Lazily built, shared across clones: the element/scalar rings (with
+    /// their Montgomery contexts) and the fixed-base table for `g`.
+    cache: Arc<GroupCache>,
 }
 
+/// Per-group lazy caches. Clones of a [`SchnorrGroup`] share one instance,
+/// so the generator table is built at most once per set of parameters.
+#[derive(Debug, Default)]
+struct GroupCache {
+    elem_ring: OnceLock<ModRing>,
+    scalar_ring: OnceLock<ModRing>,
+    g_table: OnceLock<FixedBaseTable>,
+}
+
+impl PartialEq for SchnorrGroup {
+    fn eq(&self, other: &Self) -> bool {
+        // Caches are derived state; identity is (p, q, g).
+        self.p == other.p && self.q == other.q && self.g == other.g
+    }
+}
+
+impl Eq for SchnorrGroup {}
+
 impl SchnorrGroup {
+    /// Internal constructor attaching an empty cache.
+    fn from_validated(p: BigUint, q: BigUint, g: BigUint) -> Self {
+        SchnorrGroup { p, q, g, cache: Arc::new(GroupCache::default()) }
+    }
     /// Generates fresh parameters with a `p_bits`-bit modulus and a
     /// `q_bits`-bit subgroup order (e.g. 1024/160 for classic DSA).
     ///
@@ -166,7 +194,7 @@ impl SchnorrGroup {
                 let g = ring.pow(&h, &exp);
                 if !g.is_one() {
                     debug_assert!(ring.pow(&g, &q).is_one());
-                    return SchnorrGroup { p, q, g };
+                    return SchnorrGroup::from_validated(p, q, g);
                 }
             }
         }
@@ -199,7 +227,7 @@ impl SchnorrGroup {
         if g <= one || g >= p || !ring.pow(&g, &q).is_one() || g.is_one() {
             return Err("g does not generate an order-q subgroup");
         }
-        Ok(SchnorrGroup { p, q, g })
+        Ok(SchnorrGroup::from_validated(p, q, g))
     }
 
     /// The prime modulus `p`.
@@ -217,19 +245,36 @@ impl SchnorrGroup {
         &self.g
     }
 
-    /// Ring of integers mod `p` (group element arithmetic).
-    pub fn elem_ring(&self) -> ModRing {
-        ModRing::new(self.p.clone())
+    /// Ring of integers mod `p` (group element arithmetic), built once
+    /// per group and shared across clones. Both group moduli are prime by
+    /// construction/validation, so the rings get the prime-modulus
+    /// inversion fast path (which self-gates on modulus size).
+    pub fn elem_ring(&self) -> &ModRing {
+        self.cache.elem_ring.get_or_init(|| ModRing::new_prime(self.p.clone()))
     }
 
-    /// Ring of integers mod `q` (exponent arithmetic).
-    pub fn scalar_ring(&self) -> ModRing {
-        ModRing::new(self.q.clone())
+    /// Ring of integers mod `q` (exponent arithmetic), built once per
+    /// group and shared across clones.
+    pub fn scalar_ring(&self) -> &ModRing {
+        self.cache.scalar_ring.get_or_init(|| ModRing::new_prime(self.q.clone()))
     }
 
     /// `g^e mod p`.
+    ///
+    /// Scalars up to `q`'s bit length hit a lazily built fixed-base table
+    /// (only multiplications, no squarings); larger exponents fall back to
+    /// generic windowed exponentiation.
     pub fn pow_g(&self, e: &BigUint) -> BigUint {
-        self.elem_ring().pow(&self.g, e)
+        let ring = self.elem_ring();
+        if let Some(mont) = ring.montgomery() {
+            let table = self.cache.g_table.get_or_init(|| {
+                FixedBaseTable::new(mont, &self.g, self.q.bits(), FixedBaseTable::WINDOW)
+            });
+            if let Some(r) = table.pow(mont, e) {
+                return r;
+            }
+        }
+        ring.pow(&self.g, e)
     }
 
     /// Tests subgroup membership: `x in <g>` iff `x != 0` and `x^q = 1`.

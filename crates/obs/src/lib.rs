@@ -55,5 +55,5 @@ pub mod trace;
 
 pub use event::{Event, OpKind, Outcome, Role};
 pub use json::JsonLinesRecorder;
-pub use metrics::{Counter, Gauge, Histogram, Metrics, MetricsReport, OpRow};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Metrics, MetricsReport, OpRow};
 pub use trace::{MemoryRecorder, NullRecorder, Obs, Recorder, Span, Tracer};

@@ -244,12 +244,13 @@ pub struct OpRow {
 }
 
 /// The metrics registry: a fixed `Role × OpKind` table plus named
-/// counters and gauges.
+/// counters, gauges, and histograms.
 #[derive(Debug)]
 pub struct Metrics {
     ops: [[OpMetrics; OpKind::ALL.len()]; Role::ALL.len()],
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl Default for Metrics {
@@ -258,6 +259,7 @@ impl Default for Metrics {
             ops: std::array::from_fn(|_| std::array::from_fn(|_| OpMetrics::default())),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -288,6 +290,14 @@ impl Metrics {
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut map = self.gauges.lock().expect("gauge registry poisoned");
         map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The named latency histogram, created on first use. Used for series
+    /// that are not `(Role, OpKind)`-shaped — e.g. per-scheme crypto
+    /// operation latencies ("crypto.dsa.verify").
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())).clone()
     }
 
     /// Snapshot of one cell.
@@ -333,7 +343,43 @@ impl Metrics {
             .iter()
             .map(|(name, g)| (name.clone(), g.get()))
             .collect();
-        MetricsReport { rows, counters, gauges }
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), HistogramSummary::of(h)))
+            .collect();
+        MetricsReport { rows, counters, gauges, histograms }
+    }
+}
+
+/// An immutable summary of one named histogram, as reported.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean in nanoseconds (0 when empty).
+    pub mean_nanos: f64,
+    /// p50 in nanoseconds.
+    pub p50_nanos: u64,
+    /// p90 in nanoseconds.
+    pub p90_nanos: u64,
+    /// p99 in nanoseconds.
+    pub p99_nanos: u64,
+}
+
+impl HistogramSummary {
+    /// Snapshot of a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        let (p50, p90, p99) = h.percentiles();
+        HistogramSummary {
+            count: h.count(),
+            mean_nanos: h.mean_nanos(),
+            p50_nanos: p50,
+            p90_nanos: p90,
+            p99_nanos: p99,
+        }
     }
 }
 
@@ -346,6 +392,8 @@ pub struct MetricsReport {
     pub counters: BTreeMap<String, u64>,
     /// Named gauges.
     pub gauges: BTreeMap<String, i64>,
+    /// Named histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
 }
 
 impl MetricsReport {
@@ -376,14 +424,14 @@ impl MetricsReport {
         let mut out = String::new();
         writeln!(
             out,
-            "{:<8} {:<18} {:>10} {:>7} {:>10} {:>12} {:>10} {:>10} {:>10}",
+            "{:<8} {:<22} {:>10} {:>7} {:>10} {:>12} {:>10} {:>10} {:>10}",
             "role", "op", "count", "errors", "messages", "bytes", "p50", "p90", "p99"
         )
         .expect("string write");
         for r in &self.rows {
             writeln!(
                 out,
-                "{:<8} {:<18} {:>10} {:>7} {:>10} {:>12} {:>10} {:>10} {:>10}",
+                "{:<8} {:<22} {:>10} {:>7} {:>10} {:>12} {:>10} {:>10} {:>10}",
                 r.role.label(),
                 r.op.label(),
                 r.count,
@@ -397,10 +445,24 @@ impl MetricsReport {
             .expect("string write");
         }
         for (name, value) in &self.counters {
-            writeln!(out, "counter  {name:<18} {value:>10}").expect("string write");
+            writeln!(out, "counter  {name:<22} {value:>10}").expect("string write");
         }
         for (name, value) in &self.gauges {
-            writeln!(out, "gauge    {name:<18} {value:>10}").expect("string write");
+            writeln!(out, "gauge    {name:<22} {value:>10}").expect("string write");
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                out,
+                "hist     {name:<22} {:>10} {:>7} {:>10} {:>12} {:>10} {:>10} {:>10}",
+                h.count,
+                "",
+                "",
+                fmt_nanos(h.mean_nanos as u64),
+                fmt_nanos(h.p50_nanos),
+                fmt_nanos(h.p90_nanos),
+                fmt_nanos(h.p99_nanos),
+            )
+            .expect("string write");
         }
         out
     }
@@ -534,6 +596,20 @@ mod tests {
         let report = m.report();
         assert_eq!(report.counters["loadsim.payments"], 4);
         assert_eq!(report.gauges["wallet.size"], -2);
+    }
+
+    #[test]
+    fn named_histograms_report_and_render() {
+        let m = Metrics::new();
+        m.histogram("crypto.dsa.verify").record(Duration::from_micros(50));
+        m.histogram("crypto.dsa.verify").record(Duration::from_micros(70));
+        let report = m.report();
+        let h = &report.histograms["crypto.dsa.verify"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean_nanos, 60_000.0);
+        assert!(h.p50_nanos >= 50_000);
+        let table = report.render_table();
+        assert!(table.contains("hist     crypto.dsa.verify"), "{table}");
     }
 
     #[test]

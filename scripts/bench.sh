@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Quick-mode crypto benchmark runner: the Table 2 primitive bench, the
+# arithmetic-backbone microbench, and the machine-readable summary
+# (BENCH_crypto.json at the repository root). Record tracked values in
+# EXPERIMENTS.md when they move.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench: table2_dsa (DSA-1024 keygen/sign/verify)"
+cargo bench -p whopay-bench --bench table2_dsa --offline
+
+echo "==> cargo bench: modexp (Montgomery backbone microbench)"
+cargo bench -p whopay-bench --bench modexp --offline
+
+echo "==> bench_crypto_json (BENCH_crypto.json)"
+cargo run --release --offline -q -p whopay-bench --bin bench_crypto_json
+
+echo "==> bench.sh: done"

@@ -15,6 +15,12 @@ cargo test -q --offline
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace --offline
 
+echo "==> cargo test -p whopay-num --release (arithmetic differential suite)"
+cargo test -p whopay-num -q --release --offline
+
+echo "==> cargo bench --no-run (benches stay compilable)"
+cargo bench --no-run --offline
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check
