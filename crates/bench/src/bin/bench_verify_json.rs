@@ -1,0 +1,140 @@
+//! Machine-readable verification benchmark: emits `BENCH_verify.json`
+//! comparing per-signature, batched (1 thread), and batched+parallel
+//! deposit-chain verification at the 512-bit bench security level.
+//!
+//! The workload is the broker's deposit-flood shape: a [`BindingChain`]
+//! holding `len` deposits, each contributing three DSA checks (mint
+//! signature, binding signature, holder signature) with the coin's
+//! membership test shared between the first two. The per-signature
+//! baseline runs the exact serial semantics the chain replaces — one
+//! subgroup-membership exponentiation plus one signature verification
+//! per item. `scripts/bench.sh` invokes this after the crypto bench;
+//! EXPERIMENTS.md records the tracked speedups.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use whopay_bench::{bench_group, time_it};
+use whopay_core::{BindingChain, VerifyPool};
+use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::testing::test_rng;
+use whopay_num::{BigUint, SchnorrGroup};
+
+/// Deposit counts settled together (the "chain lengths").
+const CHAIN_LENS: [usize; 3] = [4, 16, 64];
+/// Pool widths for the parallel rows.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One deposit's worth of verification work, as plain data.
+struct Item {
+    key: whopay_crypto::dsa::DsaPublicKey,
+    message: Vec<u8>,
+    sig: whopay_crypto::dsa::DsaSignature,
+    element: BigUint,
+}
+
+/// Builds `len` deposits: broker-signed mint, coin-signed binding, and
+/// holder-signed relinquishment per coin.
+fn build_items(group: &SchnorrGroup, broker: &DsaKeyPair, len: usize, seed: u64) -> Vec<Item> {
+    let mut rng = test_rng(seed);
+    let mut items = Vec::with_capacity(len * 3);
+    for i in 0..len {
+        let coin = DsaKeyPair::generate(group, &mut rng);
+        let holder = DsaKeyPair::generate(group, &mut rng);
+        let coin_pk = coin.public().element().clone();
+        let mint_msg = format!("bench/mint/{i}").into_bytes();
+        let bind_msg = format!("bench/binding/{i}").into_bytes();
+        let hold_msg = format!("bench/holder/{i}").into_bytes();
+        items.push(Item {
+            key: broker.public().clone(),
+            message: mint_msg.clone(),
+            sig: broker.sign(group, &mint_msg, &mut rng),
+            element: coin_pk.clone(),
+        });
+        items.push(Item {
+            key: coin.public().clone(),
+            message: bind_msg.clone(),
+            sig: coin.sign(group, &bind_msg, &mut rng),
+            element: coin_pk,
+        });
+        items.push(Item {
+            key: holder.public().clone(),
+            message: hold_msg.clone(),
+            sig: holder.sign(group, &hold_msg, &mut rng),
+            element: holder.public().element().clone(),
+        });
+    }
+    items
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_verify.json".to_string());
+    let group = bench_group();
+    let mut rng = test_rng(0xDE9051);
+    let broker = DsaKeyPair::generate(group, &mut rng);
+
+    let mut rows = Vec::new();
+    for &len in &CHAIN_LENS {
+        let iters = (64 / len).max(2) as u32;
+        let items = build_items(group, &broker, len, 0x5EED ^ len as u64);
+        let mut chain = BindingChain::new(group.clone(), broker.public().clone());
+        for it in &items {
+            chain.push_signature(
+                it.key.clone(),
+                it.message.clone(),
+                it.sig.clone(),
+                Some(it.element.clone()),
+            );
+        }
+
+        // Per-signature baseline: the serial semantics the chain replaces.
+        let serial = time_it(iters, || {
+            for it in &items {
+                assert!(group.is_element(&it.element) && it.key.verify(group, &it.message, &it.sig));
+            }
+        });
+
+        // Batched (and batched+parallel) through the chain.
+        let mut by_threads: Vec<(usize, Duration)> = Vec::new();
+        for &t in &THREADS {
+            let pool = VerifyPool::new(t);
+            let d = time_it(iters, || {
+                assert!(chain.verify_each(None, &pool).iter().all(|&ok| ok));
+            });
+            by_threads.push((t, d));
+        }
+        rows.push((len, items.len(), serial, by_threads));
+    }
+
+    let speedup = |base: Duration, d: Duration| base.as_secs_f64() / d.as_secs_f64();
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"generated_by\": \"crates/bench/src/bin/bench_verify_json.rs\",").unwrap();
+    writeln!(json, "  \"group\": \"512/160\",").unwrap();
+    writeln!(json, "  \"host_cpus\": {},", std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap();
+    writeln!(json, "  \"chains\": [").unwrap();
+    for (row_idx, (len, sigs, serial, by_threads)) in rows.iter().enumerate() {
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"len\": {len},").unwrap();
+        writeln!(json, "      \"signatures\": {sigs},").unwrap();
+        writeln!(json, "      \"per_signature_ns\": {},", serial.as_nanos()).unwrap();
+        for (i, (t, d)) in by_threads.iter().enumerate() {
+            let label = if *t == 1 { "batched".to_string() } else { format!("batched_parallel_{t}t") };
+            writeln!(
+                json,
+                "      \"{label}_ns\": {}, \"{label}_speedup\": {:.2}{}",
+                d.as_nanos(),
+                speedup(*serial, *d),
+                if i + 1 < by_threads.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(json, "    }}{}", if row_idx + 1 < rows.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_verify.json");
+    println!("wrote {out_path}:\n{json}");
+}

@@ -14,6 +14,7 @@ use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
 use whopay_crypto::group_sig::{GroupPublicKey, GroupSignature};
 use whopay_num::BigUint;
 
+use crate::chain::BindingChain;
 use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
 use crate::error::CoreError;
 use crate::messages::{
@@ -22,6 +23,7 @@ use crate::messages::{
 use crate::params::SystemParams;
 use crate::sigcache::SigCache;
 use crate::types::{CoinId, PeerId, Timestamp};
+use crate::vpool::VerifyPool;
 
 /// Per-coin broker state.
 #[derive(Debug)]
@@ -77,6 +79,8 @@ pub struct Broker {
     stats: BrokerStats,
     /// Verdict cache; primed with own mint signatures so deposits hit.
     sig_cache: Arc<SigCache>,
+    /// Fan-out pool for batch verification (serial by default).
+    vpool: VerifyPool,
 }
 
 impl Broker {
@@ -92,6 +96,7 @@ impl Broker {
             fraud: Vec::new(),
             stats: BrokerStats::default(),
             sig_cache: Arc::new(SigCache::default()),
+            vpool: VerifyPool::serial(),
         }
     }
 
@@ -104,6 +109,12 @@ impl Broker {
     /// [`SigCache::with_metrics`]).
     pub fn use_sig_cache(&mut self, cache: Arc<SigCache>) {
         self.sig_cache = cache;
+    }
+
+    /// Installs a verify pool for [`Broker::handle_deposit_batch`] fan-out
+    /// (the default is serial, which keeps single-threaded semantics).
+    pub fn use_vpool(&mut self, pool: VerifyPool) {
+        self.vpool = pool;
     }
 
     /// The broker's public key (verifies coins and downtime bindings).
@@ -238,7 +249,7 @@ impl Broker {
                 });
             }
         }
-        if !request.verify(&group, &self.gpk) {
+        if !request.verify_cached(&group, &self.gpk, &self.sig_cache) {
             self.stats.rejections += 1;
             return Err(CoreError::BadSignature);
         }
@@ -259,6 +270,47 @@ impl Broker {
         record.downtime_binding = None;
         self.stats.deposits += 1;
         Ok(DepositReceipt { coin: id, value: 1 })
+    }
+
+    /// Redeems a flood of coins: the batched fast path for
+    /// [`Broker::handle_deposit`].
+    ///
+    /// Phase one gathers every DSA check the serial path would perform —
+    /// mint signature, binding signature, holder signature — for the
+    /// circulating coins, settles them with one randomized batch check
+    /// per verify-pool chunk ([`BindingChain`]), and primes the verdict
+    /// cache. Phase two replays the ordinary serial state machine, which
+    /// now answers its signature checks from the cache; results are
+    /// therefore index-aligned and identical to calling
+    /// [`Broker::handle_deposit`] in a loop.
+    pub fn handle_deposit_batch(
+        &mut self,
+        requests: &[DepositRequest],
+        now: Timestamp,
+    ) -> Vec<Result<DepositReceipt, CoreError>> {
+        let group = self.params.group().clone();
+        let mut chain = BindingChain::new(group.clone(), self.keys.public().clone());
+        for request in requests {
+            let id = request.minted.id();
+            // The serial path rejects unknown coins before any signature
+            // check; don't spend batch work on them.
+            if !self.coins.contains_key(&id) {
+                continue;
+            }
+            chain.push_minted(&request.minted);
+            if request.binding.coin_pk() == request.minted.coin_pk() {
+                chain.push_binding(&request.binding);
+                let msg = DepositRequest::signed_bytes(&request.binding);
+                chain.push_signature(
+                    DsaPublicKey::from_element(request.binding.holder_pk().clone()),
+                    msg,
+                    request.holder_sig.clone(),
+                    Some(request.binding.holder_pk().clone()),
+                );
+            }
+        }
+        chain.verify_each(Some(&self.sig_cache), &self.vpool);
+        requests.iter().map(|request| self.handle_deposit(request, now)).collect()
     }
 
     // --- downtime protocol ---

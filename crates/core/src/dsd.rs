@@ -16,16 +16,19 @@
 use std::collections::HashMap;
 
 use rand::Rng;
-use whopay_crypto::dsa::DsaKeyPair;
+use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
 use whopay_dht::{storage, Dht, Notification, PutError, RingId, SignedRecord, SubscriberId, Writer};
-use whopay_num::BigUint;
+use whopay_num::{BigUint, SchnorrGroup};
 use whopay_obs::{Event, Obs, OpKind, Role};
 
+use crate::chain::BindingChain;
 use crate::coin::{Binding, PublicBindingState};
 use crate::error::CoreError;
 use crate::messages::CoinGrant;
 use crate::peer::Peer;
+use crate::sigcache::SigCache;
 use crate::types::CoinId;
+use crate::vpool::VerifyPool;
 
 /// The DHT key a coin's public binding lives under.
 pub fn binding_key(coin_pk: &BigUint) -> RingId {
@@ -129,6 +132,35 @@ pub fn verify_grant_published_obs(
     }
     span.finish();
     result
+}
+
+/// Bulk write-proof verification for published binding records — the
+/// sweep an auditor (or a node replaying a peer's public list) runs over
+/// many [`SignedRecord`]s at once. Each record's check has the exact
+/// semantics of [`SignedRecord::verify`], but the DSA signatures settle
+/// as one randomized batch check per verify-pool chunk and repeated
+/// subjects pay for a single group-membership test. Verdicts are
+/// index-aligned with `records`.
+pub fn verify_records_bulk(
+    group: &SchnorrGroup,
+    broker: &DsaPublicKey,
+    records: &[SignedRecord],
+    cache: Option<&SigCache>,
+    pool: &VerifyPool,
+) -> Vec<bool> {
+    let mut chain = BindingChain::new(group.clone(), broker.clone());
+    for record in records {
+        let msg =
+            SignedRecord::signed_bytes(&record.subject, &record.value, record.version, record.writer);
+        let (signer, element) = match record.writer {
+            Writer::Subject => {
+                (DsaPublicKey::from_element(record.subject.clone()), Some(record.subject.clone()))
+            }
+            Writer::Broker => (broker.clone(), None),
+        };
+        chain.push_signature(signer, msg, record.signature.clone(), element);
+    }
+    chain.verify_each(cache, pool)
 }
 
 /// Holder-side monitor: subscribes to the public bindings of held coins
@@ -237,5 +269,55 @@ fn put_record(dht: &mut Dht, entry: RingId, record: SignedRecord) -> Result<(), 
         Ok(()) => Ok(()),
         Err(PutError::StaleVersion { .. }) => Err(CoreError::PublicBindingMismatch),
         Err(_) => Err(CoreError::Malformed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whopay_crypto::testing::{test_rng, tiny_group};
+
+    #[test]
+    fn bulk_record_verification_matches_serial() {
+        let group = tiny_group().clone();
+        let mut rng = test_rng(77);
+        let broker = DsaKeyPair::generate(&group, &mut rng);
+        let subject_keys = DsaKeyPair::generate(&group, &mut rng);
+        let subject = subject_keys.public().element().clone();
+        let make = |version: u64, writer: Writer, rng: &mut rand::rngs::StdRng| {
+            let value = vec![version as u8; 4];
+            let msg = SignedRecord::signed_bytes(&subject, &value, version, writer);
+            let signer = match writer {
+                Writer::Subject => &subject_keys,
+                Writer::Broker => &broker,
+            };
+            SignedRecord {
+                subject: subject.clone(),
+                value,
+                version,
+                writer,
+                signature: signer.sign(&group, &msg, rng),
+            }
+        };
+        let mut records: Vec<SignedRecord> = (0..6)
+            .map(|i| make(i, if i % 2 == 0 { Writer::Subject } else { Writer::Broker }, &mut rng))
+            .collect();
+        // One record with a wrong claimed version: invalid.
+        records[4].version += 1;
+        let expect: Vec<bool> = records.iter().map(|r| r.verify(&group, broker.public())).collect();
+        assert_eq!(expect, vec![true, true, true, true, false, true]);
+        for threads in [1usize, 4] {
+            let pool = VerifyPool::new(threads);
+            let got = verify_records_bulk(&group, broker.public(), &records, None, &pool);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        // Cached path: second sweep is all hits.
+        let cache = SigCache::new(64);
+        let pool = VerifyPool::new(2);
+        verify_records_bulk(&group, broker.public(), &records, Some(&cache), &pool);
+        let misses = cache.misses();
+        let got = verify_records_bulk(&group, broker.public(), &records, Some(&cache), &pool);
+        assert_eq!(got, expect);
+        assert_eq!(cache.misses(), misses, "no new misses on the second sweep");
     }
 }

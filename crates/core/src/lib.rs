@@ -82,6 +82,7 @@
 //! * PayWord micropayment aggregation over WhoPay — [`micropay`].
 
 pub mod broker;
+pub mod chain;
 pub mod codec;
 pub mod coin;
 pub mod dsd;
@@ -96,9 +97,11 @@ pub mod service;
 pub mod shop;
 pub mod sigcache;
 pub mod types;
+pub mod vpool;
 pub mod wire;
 
 pub use broker::{Broker, BrokerStats, FraudCase};
+pub use chain::BindingChain;
 pub use coin::{Binding, BindingSigner, DoubleSpendEvidence, MintedCoin, OwnerTag, PublicBindingState};
 pub use error::CoreError;
 pub use judge::{Judge, RevealedIdentity};
@@ -111,3 +114,4 @@ pub use peer::{HeldCoin, OwnedCoin, Peer, PendingPurchase, PurchaseMode};
 pub use shop::CoinShop;
 pub use sigcache::SigCache;
 pub use types::{CoinId, PeerId, Timestamp};
+pub use vpool::VerifyPool;

@@ -223,6 +223,26 @@ impl DepositRequest {
             && holder_key.verify(group, &msg, &self.holder_sig)
             && gpk.verify(group, &msg, &self.group_sig)
     }
+
+    /// [`DepositRequest::verify`] with the holder-key half answered
+    /// through a verdict cache (group signatures use a different scheme
+    /// and always verify directly). The batch deposit path primes exactly
+    /// this entry, so deposit floods pay for each holder signature once.
+    pub fn verify_cached(
+        &self,
+        group: &SchnorrGroup,
+        gpk: &GroupPublicKey,
+        cache: &crate::sigcache::SigCache,
+    ) -> bool {
+        let msg = Self::signed_bytes(&self.binding);
+        let holder_key =
+            whopay_crypto::dsa::DsaPublicKey::from_element(self.binding.holder_pk().clone());
+        let key = crate::sigcache::cache_key(group, &holder_key, &msg, &self.holder_sig);
+        cache.verify_with(key, || {
+            group.is_element(self.binding.holder_pk())
+                && holder_key.verify(group, &msg, &self.holder_sig)
+        }) && gpk.verify(group, &msg, &self.group_sig)
+    }
 }
 
 /// A request to buy a coin from the broker.

@@ -19,6 +19,7 @@ use whopay_crypto::group_sig::{GroupMemberKey, GroupPublicKey};
 use whopay_net::Handle;
 use whopay_num::BigUint;
 
+use crate::chain::BindingChain;
 use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag, PublicBindingState};
 use crate::error::CoreError;
 use crate::messages::{
@@ -27,6 +28,7 @@ use crate::messages::{
 use crate::params::SystemParams;
 use crate::sigcache::SigCache;
 use crate::types::{CoinId, PeerId, Timestamp};
+use crate::vpool::VerifyPool;
 
 /// Owner-side state for one coin this peer owns.
 #[derive(Debug)]
@@ -78,6 +80,8 @@ pub struct Peer {
     relinquish_log: Vec<TransferRequest>,
     /// Verdict cache for the broker-signed material this peer re-checks.
     sig_cache: Arc<SigCache>,
+    /// Fan-out pool for batched grant acceptance (serial by default).
+    vpool: VerifyPool,
 }
 
 impl Peer {
@@ -103,6 +107,7 @@ impl Peer {
             wallet: HashMap::new(),
             relinquish_log: Vec::new(),
             sig_cache: Arc::new(SigCache::default()),
+            vpool: VerifyPool::serial(),
         }
     }
 
@@ -115,6 +120,12 @@ impl Peer {
     /// to a metrics registry via [`SigCache::with_metrics`]).
     pub fn use_sig_cache(&mut self, cache: Arc<SigCache>) {
         self.sig_cache = cache;
+    }
+
+    /// Installs a verify pool for [`Peer::accept_grants`] fan-out (the
+    /// default is serial, which keeps single-threaded semantics).
+    pub fn use_vpool(&mut self, pool: VerifyPool) {
+        self.vpool = pool;
     }
 
     /// This peer's registered identity.
@@ -295,6 +306,30 @@ impl Peer {
             HeldCoin { minted: grant.minted, binding: grant.binding, holder_keys: session.holder_keys },
         );
         Ok(id)
+    }
+
+    /// Accepts many granted coins at once — a payee draining a burst of
+    /// incoming payments. The mint and binding signatures of all grants
+    /// are settled with one randomized batch check per verify-pool chunk
+    /// ([`BindingChain`]) and primed into the verdict cache; each grant
+    /// then runs through the ordinary [`Peer::accept_grant`] state
+    /// machine, so the index-aligned results are identical to serial
+    /// acceptance.
+    pub fn accept_grants(
+        &mut self,
+        grants: Vec<(CoinGrant, ReceiveSession)>,
+        now: Timestamp,
+    ) -> Vec<Result<CoinId, CoreError>> {
+        let group = self.params.group().clone();
+        let mut chain = BindingChain::new(group, self.broker_pk.clone());
+        for (grant, _) in &grants {
+            chain.push_minted(&grant.minted);
+            if grant.binding.coin_pk() == grant.minted.coin_pk() {
+                chain.push_binding(&grant.binding);
+            }
+        }
+        chain.verify_each(Some(&self.sig_cache), &self.vpool);
+        grants.into_iter().map(|(grant, session)| self.accept_grant(grant, session, now)).collect()
     }
 
     // --- spending (payer side) ---
@@ -576,7 +611,14 @@ impl Peer {
         rng: &mut R,
     ) -> Result<CoinGrant, CoreError> {
         let group = self.params.group().clone();
-        layered.verify(&group, &self.broker_pk, &self.gpk, max_layers)?;
+        layered.verify_batch(
+            &group,
+            &self.broker_pk,
+            &self.gpk,
+            max_layers,
+            Some(&self.sig_cache),
+            &self.vpool,
+        )?;
         let coin = request.current.coin_id();
         let owned = self.owned.get_mut(&coin).ok_or(CoreError::NotOwner(coin))?;
         if request.current != owned.binding || layered.base_binding() != &owned.binding {

@@ -63,6 +63,7 @@ fn request_op_kind(req: &Request) -> OpKind {
         Request::Renewal { downtime: false, .. } => OpKind::Renewal,
         Request::Renewal { downtime: true, .. } => OpKind::DowntimeRenewal,
         Request::Deposit(_) => OpKind::Deposit,
+        Request::DepositBatch(_) => OpKind::Deposit,
         Request::Sync { .. } => OpKind::Sync,
     }
 }
@@ -116,9 +117,14 @@ pub fn attach_broker_obs(
                 Ok(receipt) => Response::Receipt(receipt),
                 Err(e) => Response::Error(e.to_string()),
             },
+            Ok(Request::DepositBatch(reqs)) => {
+                span.set_batch(reqs.len() as u64);
+                let outcomes = broker.borrow_mut().handle_deposit_batch(&reqs, now);
+                Response::Receipts(outcomes.into_iter().map(|r| r.map_err(|e| e.to_string())).collect())
+            }
             Ok(Request::Transfer { request, downtime: true }) => {
                 match broker.borrow_mut().handle_downtime_transfer(&request, now, &mut rng) {
-                    Ok(grant) => Response::Grant(grant),
+                    Ok(grant) => Response::Grant(Box::new(grant)),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
@@ -171,13 +177,13 @@ pub fn attach_peer_obs(
             Err(e) => Response::Error(e.to_string()),
             Ok(Request::Issue { coin, invite }) => {
                 match peer.borrow_mut().issue_coin(coin, &invite, now, &mut rng) {
-                    Ok(grant) => Response::Grant(grant),
+                    Ok(grant) => Response::Grant(Box::new(grant)),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
             Ok(Request::Transfer { request, downtime: false }) => {
                 match peer.borrow_mut().handle_transfer(request, now, &mut rng) {
-                    Ok(grant) => Response::Grant(grant),
+                    Ok(grant) => Response::Grant(Box::new(grant)),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
@@ -358,7 +364,7 @@ pub fn request_issue_via_obs(
     let mut span = obs.span(Role::Peer, OpKind::Issue);
     let request = Request::Issue { coin, invite: invite.clone() };
     let result = match call_traced(net, me, owner_ep, &request, &mut span) {
-        Ok(Response::Grant(grant)) => Ok(grant),
+        Ok(Response::Grant(grant)) => Ok(*grant),
         Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
         Err(e) => Err(e),
     };
@@ -400,7 +406,7 @@ pub fn request_transfer_via_obs(
     let mut span = obs.span(role, op);
     let result =
         match call_traced(net, me, target_ep, &Request::Transfer { request, downtime }, &mut span) {
-            Ok(Response::Grant(grant)) => Ok(grant),
+            Ok(Response::Grant(grant)) => Ok(*grant),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };
@@ -471,6 +477,49 @@ pub fn deposit_via_obs(
     let mut span = obs.span(Role::Broker, OpKind::Deposit);
     let result = match call_traced(net, me, broker_ep, &Request::Deposit(request), &mut span) {
         Ok(Response::Receipt(receipt)) => Ok(receipt),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
+}
+
+/// Deposits a batch of coins over the network in one exchange. The
+/// broker settles the batch's signatures together (see
+/// [`Broker::handle_deposit_batch`]); outcomes are index-aligned with
+/// `requests`, remote per-item rejections surfacing as
+/// [`CallError::Remote`].
+///
+/// # Errors
+///
+/// [`CallError`] on delivery, whole-batch rejection, or a malformed
+/// response (including a receipt count that does not match the request
+/// count).
+pub fn deposit_batch_via(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    requests: Vec<crate::messages::DepositRequest>,
+) -> Result<Vec<Result<DepositReceipt, CallError>>, CallError> {
+    deposit_batch_via_obs(net, me, broker_ep, requests, &Obs::disabled())
+}
+
+/// [`deposit_batch_via`] with an observability context: the single
+/// exchange is one [`OpKind::Deposit`] span carrying the batch size.
+pub fn deposit_batch_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    requests: Vec<crate::messages::DepositRequest>,
+    obs: &Obs,
+) -> Result<Vec<Result<DepositReceipt, CallError>>, CallError> {
+    let mut span = obs.span(Role::Broker, OpKind::Deposit);
+    span.set_batch(requests.len() as u64);
+    let expected = requests.len();
+    let result = match call_traced(net, me, broker_ep, &Request::DepositBatch(requests), &mut span) {
+        Ok(Response::Receipts(outcomes)) if outcomes.len() == expected => {
+            Ok(outcomes.into_iter().map(|r| r.map_err(CallError::Remote)).collect::<Vec<_>>())
+        }
         Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
         Err(e) => Err(e),
     };

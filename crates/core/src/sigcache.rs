@@ -15,6 +15,15 @@
 //! within the last capacity-many inserts survives rotation. This keeps
 //! every operation `O(1)` without an intrusive linked list.
 //!
+//! The table is **lock-striped**: entries are spread across up to
+//! [`MAX_SHARDS`] independently locked shards keyed by the first byte of
+//! the cache key (a SHA-256 digest, so the byte is uniform), and each
+//! shard runs its own two-generation rotation over `capacity / shards`
+//! entries. Concurrent verifiers — the verify pool fans verification
+//! across cores — therefore contend only when their keys land in the
+//! same shard. Hit/miss/eviction counters are shared atomics and stay
+//! exact regardless of sharding.
+//!
 //! Negative verdicts are cached too: verification is deterministic, and
 //! memoizing rejections blunts repeated-garbage denial-of-service.
 //!
@@ -35,6 +44,11 @@ use whopay_obs::{Counter, Metrics};
 /// Default capacity: generous for a simulated deployment (a few thousand
 /// in-flight coins) at ~33 bytes per entry.
 pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Upper bound on lock stripes. Small caches use fewer shards so the
+/// total capacity bound stays exact (each shard needs room for at least
+/// two entries per generation to be useful).
+pub const MAX_SHARDS: usize = 16;
 
 /// Domain label for cache keys.
 const DOMAIN: &str = "whopay/sigcache/v1";
@@ -65,11 +79,13 @@ struct Generations {
     previous: HashMap<Digest, bool>,
 }
 
-/// A bounded, thread-safe memo table for signature verdicts.
+/// A bounded, thread-safe, lock-striped memo table for signature verdicts.
 #[derive(Debug)]
 pub struct SigCache {
+    /// Per-shard, per-generation capacity.
     half_cap: usize,
-    inner: Mutex<Generations>,
+    /// Power-of-two length; indexed by the first cache-key byte.
+    shards: Vec<Mutex<Generations>>,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     evictions: Arc<Counter>,
@@ -82,15 +98,26 @@ impl Default for SigCache {
 }
 
 impl SigCache {
-    /// A cache holding at most `capacity` verdicts (minimum 2).
+    /// A cache holding at most `capacity` verdicts (minimum 2) across
+    /// `min(capacity / 4, MAX_SHARDS)`-ish lock stripes.
     pub fn new(capacity: usize) -> Self {
+        let shard_count = (capacity / 4).next_power_of_two().clamp(1, MAX_SHARDS);
+        let shards = (0..shard_count)
+            .map(|_| Mutex::new(Generations { current: HashMap::new(), previous: HashMap::new() }))
+            .collect();
         SigCache {
-            half_cap: (capacity / 2).max(1),
-            inner: Mutex::new(Generations { current: HashMap::new(), previous: HashMap::new() }),
+            half_cap: (capacity / 2 / shard_count).max(1),
+            shards,
             hits: Arc::new(Counter::new()),
             misses: Arc::new(Counter::new()),
             evictions: Arc::new(Counter::new()),
         }
+    }
+
+    /// The shard a key lives in: SHA-256 output is uniform, so the first
+    /// byte masked to the power-of-two shard count balances the stripes.
+    fn shard(&self, key: &Digest) -> &Mutex<Generations> {
+        &self.shards[key[0] as usize & (self.shards.len() - 1)]
     }
 
     /// A cache whose counters are the registry's named counters
@@ -108,7 +135,7 @@ impl SigCache {
     /// its result.
     pub fn verify_with<F: FnOnce() -> bool>(&self, key: Digest, verify: F) -> bool {
         {
-            let mut inner = self.inner.lock().expect("sigcache poisoned");
+            let mut inner = self.shard(&key).lock().expect("sigcache poisoned");
             if let Some(&valid) = inner.current.get(&key) {
                 self.hits.inc();
                 return valid;
@@ -124,16 +151,36 @@ impl SigCache {
         // of microseconds and must not serialize concurrent verifiers.
         self.misses.inc();
         let valid = verify();
-        let mut inner = self.inner.lock().expect("sigcache poisoned");
+        let mut inner = self.shard(&key).lock().expect("sigcache poisoned");
         Self::insert_locked(&mut inner, self.half_cap, &self.evictions, key, valid);
         valid
+    }
+
+    /// Returns the cached verdict for `key` without verifying — `None`
+    /// on a miss. Hit/miss counters tick exactly as in
+    /// [`SigCache::verify_with`]; on a miss the caller is expected to
+    /// verify out of band (typically inside a batch) and
+    /// [`SigCache::prime`] the verdict back.
+    pub fn lookup(&self, key: &Digest) -> Option<bool> {
+        let mut inner = self.shard(key).lock().expect("sigcache poisoned");
+        if let Some(&valid) = inner.current.get(key) {
+            self.hits.inc();
+            return Some(valid);
+        }
+        if let Some(&valid) = inner.previous.get(key) {
+            self.hits.inc();
+            Self::insert_locked(&mut inner, self.half_cap, &self.evictions, *key, valid);
+            return Some(valid);
+        }
+        self.misses.inc();
+        None
     }
 
     /// Seeds a verdict the caller has established out of band — e.g. the
     /// broker priming its own mint signature at signing time, so the first
     /// deposit already hits. Does not count as a hit or miss.
     pub fn prime(&self, key: Digest, valid: bool) {
-        let mut inner = self.inner.lock().expect("sigcache poisoned");
+        let mut inner = self.shard(&key).lock().expect("sigcache poisoned");
         Self::insert_locked(&mut inner, self.half_cap, &self.evictions, key, valid);
     }
 
@@ -151,18 +198,27 @@ impl SigCache {
         inner.current.insert(key, valid);
     }
 
-    /// Entries currently held (both generations).
+    /// Entries currently held (both generations, all shards).
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock().expect("sigcache poisoned");
-        // Promotion copies entries into the current generation without
-        // removing them from the previous one, so count unique keys.
-        inner.current.len() + inner.previous.keys().filter(|k| !inner.current.contains_key(*k)).count()
+        self.shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.lock().expect("sigcache poisoned");
+                // Promotion copies entries into the current generation
+                // without removing them from the previous one, so count
+                // unique keys.
+                inner.current.len()
+                    + inner.previous.keys().filter(|k| !inner.current.contains_key(*k)).count()
+            })
+            .sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        let inner = self.inner.lock().expect("sigcache poisoned");
-        inner.current.is_empty() && inner.previous.is_empty()
+        self.shards.iter().all(|shard| {
+            let inner = shard.lock().expect("sigcache poisoned");
+            inner.current.is_empty() && inner.previous.is_empty()
+        })
     }
 
     /// Lookups answered from the cache.
@@ -231,6 +287,57 @@ mod tests {
         assert_eq!(cache.misses(), 0);
         assert!(cache.verify_with(key(7), || panic!("primed")));
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn lookup_and_prime_round_trip_with_exact_counters() {
+        let cache = SigCache::new(32);
+        assert_eq!(cache.lookup(&key(9)), None);
+        assert_eq!(cache.misses(), 1);
+        cache.prime(key(9), true);
+        assert_eq!(cache.lookup(&key(9)), Some(true));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        cache.prime(key(10), false);
+        assert_eq!(cache.lookup(&key(10)), Some(false));
+    }
+
+    #[test]
+    fn shards_spread_keys_and_bound_holds() {
+        let cache = SigCache::new(DEFAULT_CAPACITY);
+        // One key per possible first byte: lands across all 16 shards.
+        for b in 0..=255u8 {
+            cache.verify_with(key(b), || true);
+        }
+        assert_eq!(cache.len(), 256);
+        for b in 0..=255u8 {
+            assert!(cache.verify_with(key(b), || panic!("evicted")));
+        }
+        assert_eq!(cache.hits(), 256);
+        assert_eq!(cache.misses(), 256);
+    }
+
+    #[test]
+    fn concurrent_mixed_access_keeps_counters_exact() {
+        let cache = std::sync::Arc::new(SigCache::new(1 << 12));
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for n in 0..=255u8 {
+                        // Each thread touches its own key space: 4 × 256
+                        // distinct keys, each missed once then hit once.
+                        let mut d = [0u8; 32];
+                        d[0] = n;
+                        d[1] = t;
+                        cache.verify_with(d, || true);
+                        assert!(cache.verify_with(d, || panic!("cached")));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 4 * 256);
+        assert_eq!(cache.hits(), 4 * 256);
     }
 
     #[test]

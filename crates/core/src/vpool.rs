@@ -1,0 +1,211 @@
+//! A scoped-thread verification pool.
+//!
+//! The service layer lives in single-threaded `Rc<RefCell<…>>` land, but
+//! signature verification is pure CPU work over plain data. This pool is
+//! the bridge: callers extract verification jobs as owned `Send` values
+//! (e.g. [`whopay_crypto::batch::DsaBatchItem`]), hand them to
+//! [`VerifyPool::map_chunks`], and the pool fans contiguous chunks across
+//! `std::thread::scope` workers — hand-rolled because dependencies are
+//! vendored (no rayon) and because scoped threads let jobs borrow from
+//! the caller's stack without `'static` gymnastics.
+//!
+//! Determinism: chunks are contiguous and results are re-assembled in
+//! submission order, so for any pure per-item function the output is
+//! bit-identical to the serial evaluation regardless of thread count —
+//! the property `eval::report`'s parallel sweeps rely on. Setting
+//! `WHOPAY_VPOOL_THREADS=1` (or building the pool with
+//! [`VerifyPool::serial`]) removes threading entirely.
+//!
+//! When built [`VerifyPool::with_metrics`], the pool exports
+//! `vpool.threads` / `vpool.queue_depth` gauges, `vpool.batches` /
+//! `vpool.items` counters, and a `vpool.batch_latency` histogram of
+//! wall-clock time per submitted batch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use whopay_obs::{Counter, Gauge, Histogram, Metrics};
+
+/// Environment variable overriding the worker count (`0` or unset means
+/// "use available parallelism").
+pub const THREADS_ENV: &str = "WHOPAY_VPOOL_THREADS";
+
+/// A reusable fan-out context for CPU-bound verification work.
+///
+/// Cloning is cheap (the metric handles are shared); a clone observes
+/// into the same gauges and histograms, which is what "the shared verify
+/// pool" means across broker, peers, and evaluation sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyPool {
+    threads: usize,
+    queue_depth: Option<Arc<Gauge>>,
+    batches: Option<Arc<Counter>>,
+    items: Option<Arc<Counter>>,
+    batch_latency: Option<Arc<Histogram>>,
+}
+
+impl VerifyPool {
+    /// A pool with exactly `threads` workers; `0` defers to
+    /// [`THREADS_ENV`] and then to the machine's available parallelism.
+    pub fn new(threads: usize) -> Self {
+        VerifyPool { threads: resolve_threads(threads), ..Default::default() }
+    }
+
+    /// A single-threaded pool: every map runs inline on the caller.
+    pub fn serial() -> Self {
+        VerifyPool { threads: 1, ..Default::default() }
+    }
+
+    /// A pool sized from the environment ([`THREADS_ENV`], else available
+    /// parallelism).
+    pub fn from_env() -> Self {
+        Self::new(0)
+    }
+
+    /// Registers the pool's gauges/counters/histogram with `metrics`.
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        metrics.gauge("vpool.threads").set(self.threads() as i64);
+        self.queue_depth = Some(metrics.gauge("vpool.queue_depth"));
+        self.batches = Some(metrics.counter("vpool.batches"));
+        self.items = Some(metrics.counter("vpool.items"));
+        self.batch_latency = Some(metrics.histogram("vpool.batch_latency"));
+        self
+    }
+
+    /// Worker count this pool fans out to (at least 1). A
+    /// default-constructed pool is serial.
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Applies `f` to contiguous chunks of `items` (one chunk per worker,
+    /// at most [`VerifyPool::threads`] of them) and concatenates the
+    /// results in submission order. `f` must return exactly one output
+    /// per input — the chunk-level shape is what lets callers run one
+    /// *batched* signature check per chunk instead of per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` returns a different number of outputs than inputs,
+    /// or if a worker panics.
+    pub fn map_chunks<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> Vec<R> + Sync,
+    {
+        let start = Instant::now();
+        if let Some(g) = &self.queue_depth {
+            g.add(items.len() as i64);
+        }
+        let threads = self.threads();
+        let out = if threads <= 1 || items.len() <= 1 {
+            f(items)
+        } else {
+            let chunk_size = items.len().div_ceil(threads);
+            let f = &f;
+            let nested: Vec<Vec<R>> = std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    items.chunks(chunk_size).map(|chunk| scope.spawn(move || f(chunk))).collect();
+                handles.into_iter().map(|h| h.join().expect("verify pool worker panicked")).collect()
+            });
+            nested.into_iter().flatten().collect()
+        };
+        assert_eq!(out.len(), items.len(), "map_chunks output must be 1:1 with input");
+        if let Some(g) = &self.queue_depth {
+            g.add(-(items.len() as i64));
+        }
+        if let Some(c) = &self.batches {
+            c.inc();
+        }
+        if let Some(c) = &self.items {
+            c.add(items.len() as u64);
+        }
+        if let Some(h) = &self.batch_latency {
+            h.record(start.elapsed());
+        }
+        out
+    }
+
+    /// Applies `f` to each item independently, in parallel, preserving
+    /// order.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_chunks(items, |chunk| chunk.iter().map(&f).collect())
+    }
+}
+
+/// Resolves a requested thread count against the environment.
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var(THREADS_ENV).ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let pool = VerifyPool::new(threads);
+            assert_eq!(pool.map(&items, |x| x * x), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_sees_contiguous_chunks() {
+        let items: Vec<u32> = (0..10).collect();
+        let pool = VerifyPool::new(3);
+        // Tag each result with its input: concatenation must reproduce
+        // the original order even though chunks run concurrently.
+        let out = pool.map_chunks(&items, |chunk| chunk.to_vec());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = VerifyPool::serial();
+        assert_eq!(pool.threads(), 1);
+        // Inline execution means one single chunk containing everything.
+        let sizes = std::sync::Mutex::new(Vec::new());
+        pool.map_chunks(&[1, 2, 3], |chunk| {
+            sizes.lock().unwrap().push(chunk.len());
+            chunk.to_vec()
+        });
+        assert_eq!(*sizes.lock().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = VerifyPool::new(4);
+        let out: Vec<u32> = pool.map(&[] as &[u32], |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn metrics_record_batches_and_items() {
+        let metrics = Metrics::new();
+        let pool = VerifyPool::new(2).with_metrics(&metrics);
+        pool.map(&[1u8, 2, 3, 4, 5], |x| *x);
+        let report = metrics.report();
+        assert_eq!(report.gauges["vpool.threads"], 2);
+        assert_eq!(report.gauges["vpool.queue_depth"], 0);
+        assert_eq!(report.counters["vpool.batches"], 1);
+        assert_eq!(report.counters["vpool.items"], 5);
+        assert_eq!(report.histograms["vpool.batch_latency"].count, 1);
+    }
+}

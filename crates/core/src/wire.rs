@@ -49,6 +49,9 @@ pub enum Request {
     },
     /// Redeem a coin (broker).
     Deposit(DepositRequest),
+    /// Redeem many coins in one exchange (broker): the batched fast path
+    /// served by [`crate::Broker::handle_deposit_batch`].
+    DepositBatch(Vec<DepositRequest>),
     /// Proactive synchronization (broker).
     Sync {
         /// The rejoining owner.
@@ -65,14 +68,18 @@ pub enum Request {
 pub enum Response {
     /// A freshly minted coin.
     Minted(MintedCoin),
-    /// A coin grant (issue/transfer result).
-    Grant(CoinGrant),
+    /// A coin grant (issue/transfer result; boxed — a grant carries a
+    /// whole binding chain and dwarfs the other variants).
+    Grant(Box<CoinGrant>),
     /// A renewed binding.
     Binding(Binding),
     /// A deposit receipt.
     Receipt(DepositReceipt),
     /// Sync result: broker-held bindings.
     Bindings(Vec<Binding>),
+    /// Per-request outcomes of a [`Request::DepositBatch`],
+    /// index-aligned with the submitted requests.
+    Receipts(Vec<Result<DepositReceipt, String>>),
     /// The request was refused.
     Error(String),
 }
@@ -81,10 +88,27 @@ pub enum Response {
 
 fn put_sig(w: &mut Writer, sig: &DsaSignature) {
     w.int(sig.r()).int(sig.s());
+    // The witness `R = g^k mod p` rides along when present so receivers
+    // can batch-verify; signatures compare equal with or without it.
+    match sig.witness() {
+        Some(big_r) => {
+            w.u64(1).int(big_r);
+        }
+        None => {
+            w.u64(0);
+        }
+    }
 }
 
 fn get_sig(r: &mut Reader<'_>) -> Result<DsaSignature, DecodeError> {
-    Ok(DsaSignature::from_parts(r.int()?, r.int()?))
+    let sig_r = r.int()?;
+    let sig_s = r.int()?;
+    let witness = match r.u64()? {
+        0 => None,
+        1 => Some(r.int()?),
+        _ => return Err(DecodeError),
+    };
+    Ok(DsaSignature::from_parts_with_witness(sig_r, sig_s, witness))
 }
 
 fn put_gsig(w: &mut Writer, sig: &GroupSignature) {
@@ -191,6 +215,22 @@ fn put_grant(w: &mut Writer, g: &CoinGrant) {
     put_sig(w, &g.ownership_proof);
 }
 
+fn put_deposit(w: &mut Writer, d: &DepositRequest) {
+    put_minted(w, &d.minted);
+    put_binding(w, &d.binding);
+    put_sig(w, &d.holder_sig);
+    put_gsig(w, &d.group_sig);
+}
+
+fn get_deposit(r: &mut Reader<'_>) -> Result<DepositRequest, DecodeError> {
+    Ok(DepositRequest {
+        minted: get_minted(r)?,
+        binding: get_binding(r)?,
+        holder_sig: get_sig(r)?,
+        group_sig: get_gsig(r)?,
+    })
+}
+
 fn get_grant(r: &mut Reader<'_>) -> Result<CoinGrant, DecodeError> {
     Ok(CoinGrant { minted: get_minted(r)?, binding: get_binding(r)?, ownership_proof: get_sig(r)? })
 }
@@ -218,6 +258,7 @@ pub fn wire_kind(bytes: &[u8]) -> &'static str {
         },
         Ok(4) => "deposit",
         Ok(5) => "sync",
+        Ok(6) => "deposit_batch",
         Ok(_) | Err(_) => "malformed",
     }
 }
@@ -265,14 +306,17 @@ impl Request {
             }
             Request::Deposit(d) => {
                 w.u64(4);
-                put_minted(&mut w, &d.minted);
-                put_binding(&mut w, &d.binding);
-                put_sig(&mut w, &d.holder_sig);
-                put_gsig(&mut w, &d.group_sig);
+                put_deposit(&mut w, d);
             }
             Request::Sync { peer, challenge, response } => {
                 w.u64(5).u64(peer.0).bytes(challenge);
                 put_sig(&mut w, response);
+            }
+            Request::DepositBatch(ds) => {
+                w.u64(6).u64(ds.len() as u64);
+                for d in ds {
+                    put_deposit(&mut w, d);
+                }
             }
         }
         w.finish()
@@ -330,17 +374,23 @@ impl Request {
                     downtime,
                 }
             }
-            4 => Request::Deposit(DepositRequest {
-                minted: get_minted(r)?,
-                binding: get_binding(r)?,
-                holder_sig: get_sig(r)?,
-                group_sig: get_gsig(r)?,
-            }),
+            4 => Request::Deposit(get_deposit(r)?),
             5 => Request::Sync {
                 peer: PeerId(r.u64()?),
                 challenge: r.bytes()?.to_vec(),
                 response: get_sig(r)?,
             },
+            6 => {
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError); // refuse absurd allocations
+                }
+                let mut ds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ds.push(get_deposit(r)?);
+                }
+                Request::DepositBatch(ds)
+            }
             _ => return Err(DecodeError),
         })
     }
@@ -375,6 +425,19 @@ impl Response {
             Response::Error(e) => {
                 w.u64(5).bytes(e.as_bytes());
             }
+            Response::Receipts(rs) => {
+                w.u64(6).u64(rs.len() as u64);
+                for outcome in rs {
+                    match outcome {
+                        Ok(rc) => {
+                            w.u64(0).bytes(&rc.coin.0).u64(rc.value);
+                        }
+                        Err(e) => {
+                            w.u64(1).bytes(e.as_bytes());
+                        }
+                    }
+                }
+            }
         }
         w.finish()
     }
@@ -394,7 +457,7 @@ impl Response {
     fn decode_inner(r: &mut Reader<'_>) -> Result<Response, DecodeError> {
         Ok(match r.u64()? {
             0 => Response::Minted(get_minted(r)?),
-            1 => Response::Grant(get_grant(r)?),
+            1 => Response::Grant(Box::new(get_grant(r)?)),
             2 => Response::Binding(get_binding(r)?),
             3 => {
                 let id = r.bytes()?;
@@ -413,6 +476,25 @@ impl Response {
                 Response::Bindings(bs)
             }
             5 => Response::Error(String::from_utf8_lossy(r.bytes()?).into_owned()),
+            6 => {
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError); // refuse absurd allocations
+                }
+                let mut rs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rs.push(match r.u64()? {
+                        0 => {
+                            let id = r.bytes()?;
+                            let coin = CoinId(id.try_into().map_err(|_| DecodeError)?);
+                            Ok(DepositReceipt { coin, value: r.u64()? })
+                        }
+                        1 => Err(String::from_utf8_lossy(r.bytes()?).into_owned()),
+                        _ => return Err(DecodeError),
+                    });
+                }
+                Response::Receipts(rs)
+            }
             _ => return Err(DecodeError),
         })
     }
@@ -510,7 +592,7 @@ mod tests {
     fn grant_response_round_trips_and_still_verifies() {
         let (minted, binding, invite, sig, _) = sample_parts();
         let grant = CoinGrant { minted, binding, ownership_proof: sig };
-        let resp = Response::Grant(grant.clone());
+        let resp = Response::Grant(Box::new(grant.clone()));
         match Response::decode(&resp.encode()).unwrap() {
             Response::Grant(g) => {
                 assert_eq!(g.minted, grant.minted);
@@ -586,8 +668,76 @@ mod tests {
         assert_eq!(wire_kind(&dep.encode()), "deposit");
         let sync = Request::Sync { peer: PeerId(1), challenge: vec![1], response: sig };
         assert_eq!(wire_kind(&sync.encode()), "sync");
+        let batch = Request::DepositBatch(Vec::new());
+        assert_eq!(wire_kind(&batch.encode()), "deposit_batch");
         assert_eq!(wire_kind(&[]), "malformed");
         assert_eq!(wire_kind(&[0xff; 16]), "malformed");
+    }
+
+    #[test]
+    fn signatures_round_trip_with_witness() {
+        let (_, binding, _, sig, _) = sample_parts();
+        // A freshly produced signature carries its witness across the wire…
+        assert!(sig.witness().is_some());
+        let resp = Response::Binding(binding.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Binding(b) => {
+                assert_eq!(b, binding);
+                assert_eq!(b.raw_sig().witness(), binding.raw_sig().witness());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        // …and a stripped signature stays witness-free.
+        let bare = DsaSignature::from_parts(sig.r().clone(), sig.s().clone());
+        let stripped = Binding::from_parts(
+            binding.coin_pk().clone(),
+            binding.holder_pk().clone(),
+            binding.seq(),
+            binding.expires(),
+            binding.signer(),
+            bare,
+        );
+        match Response::decode(&Response::Binding(stripped).encode()).unwrap() {
+            Response::Binding(b) => assert!(b.raw_sig().witness().is_none()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deposit_batch_round_trips() {
+        let (minted, binding, _, sig, gsig) = sample_parts();
+        let dep = DepositRequest { minted, binding, holder_sig: sig, group_sig: gsig };
+        let req = Request::DepositBatch(vec![dep.clone(), dep.clone()]);
+        match Request::decode(&req.encode()).unwrap() {
+            Request::DepositBatch(ds) => {
+                assert_eq!(ds.len(), 2);
+                assert_eq!(ds[0].minted, dep.minted);
+                assert_eq!(ds[0].binding, dep.binding);
+                assert_eq!(ds[1].holder_sig, dep.holder_sig);
+                assert_eq!(ds[0].holder_sig.witness(), dep.holder_sig.witness());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn receipts_response_round_trips() {
+        let outcomes = vec![
+            Ok(DepositReceipt { coin: CoinId([7; 32]), value: 1 }),
+            Err("double spend".to_string()),
+        ];
+        let resp = Response::Receipts(outcomes.clone());
+        match Response::decode(&resp.encode()).unwrap() {
+            Response::Receipts(rs) => assert_eq!(rs, outcomes),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_deposit_batch_length_rejected() {
+        let mut w = Writer::new();
+        w.u64(6).u64(u64::MAX);
+        assert!(matches!(Request::decode(&w.finish()), Err(CoreError::Malformed)));
     }
 
     #[test]

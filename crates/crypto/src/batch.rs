@@ -1,0 +1,343 @@
+//! Randomized batch verification for DSA and Schnorr signatures.
+//!
+//! Both schemes reduce to the same per-signature claim over a
+//! [`SchnorrGroup`]: there is a commitment `R = g^k mod p` (the *witness*,
+//! carried by [`DsaSignature::witness`]/[`SchnorrSignature::witness`]) such
+//! that
+//!
+//! ```text
+//!   g^aᵢ · yᵢ^bᵢ ≡ Rᵢ  (mod p)
+//! ```
+//!
+//! with `(a, b) = (u₁, u₂) = (h·s⁻¹, r·s⁻¹)` for DSA (plus the cheap check
+//! `Rᵢ mod q = rᵢ`) and `(a, b) = (s, −e mod q)` for Schnorr (plus the
+//! cheap check `e = H(y ‖ R ‖ m)`). Verifying `n` such claims one at a
+//! time costs `n` double-exponentiations. Instead we draw *small* random
+//! coefficients `zᵢ` of [`LAMBDA_BITS`] bits and check the single random
+//! linear combination
+//!
+//! ```text
+//!   g^(Σ zᵢ·aᵢ) · ∏ yᵢ^(zᵢ·bᵢ)  ≡  ∏ Rᵢ^zᵢ   (mod p)
+//! ```
+//!
+//! which one fixed-base exponentiation plus two multi-exponentiations
+//! ([`whopay_num::ModRing::multi_pow`]) evaluate — the right-hand side is
+//! especially cheap because its exponents are only `λ` bits. If any single
+//! claim is false the combination survives with probability at most
+//! `2^(−λ)` over the choice of `zᵢ` (standard small-exponent batch
+//! analysis; see DESIGN.md §9 for the bound and for the small-subgroup
+//! caveat inherited from working in `Z_p*` rather than a prime-order
+//! group). The coefficients are derived Fiat–Shamir-style from a hash of
+//! the whole batch, so verification stays deterministic and needs no RNG.
+//!
+//! **Failure never lies:** when a batch check fails — or any item lacks a
+//! witness, e.g. it crossed the wire in the compact format — the verifier
+//! falls back to ordinary per-signature verification, so the per-item
+//! verdicts returned by [`verify_dsa_each`]/[`verify_schnorr_each`] are
+//! always the ground truth a caller would have computed serially. Batching
+//! is purely a fast path for the all-valid case, which dominates honest
+//! workloads (deposit floods, chain re-verification, DSD sweeps).
+
+use whopay_num::{BigUint, SchnorrGroup};
+
+use crate::dsa::{self, DsaPublicKey, DsaSignature};
+use crate::hashio::Transcript;
+use crate::schnorr::{self, SchnorrPublicKey, SchnorrSignature};
+
+/// Bit length of the random batch coefficients; soundness is `2^(-λ)`.
+pub const LAMBDA_BITS: usize = 64;
+
+/// Smallest batch worth combining: a single item gains nothing over the
+/// per-signature path.
+pub const MIN_BATCH: usize = 2;
+
+/// Domain label for the Fiat–Shamir coefficient transcript.
+const DOMAIN: &str = "whopay/batch/v1";
+
+/// One DSA verification job as plain owned data (so jobs can cross thread
+/// boundaries — see `whopay-core`'s verify pool).
+#[derive(Debug, Clone)]
+pub struct DsaBatchItem {
+    /// Verifying key.
+    pub key: DsaPublicKey,
+    /// Canonical signed bytes.
+    pub message: Vec<u8>,
+    /// The signature, ideally witness-carrying.
+    pub sig: DsaSignature,
+}
+
+/// One Schnorr verification job as plain owned data.
+#[derive(Debug, Clone)]
+pub struct SchnorrBatchItem {
+    /// Verifying key.
+    pub key: SchnorrPublicKey,
+    /// Canonical signed bytes.
+    pub message: Vec<u8>,
+    /// The signature, ideally witness-carrying.
+    pub sig: SchnorrSignature,
+}
+
+/// A normalized claim `g^a · y^b == r (mod p)`.
+struct GroupClaim {
+    y: BigUint,
+    a: BigUint,
+    b: BigUint,
+    r: BigUint,
+}
+
+/// Verifies every DSA item, using one randomized batch check when all
+/// items carry witnesses and the batch is big enough; falls back to
+/// per-signature verification otherwise (or when the batch check fails,
+/// to attribute blame). The verdict vector is index-aligned with `items`
+/// and identical to what serial verification would produce.
+pub fn verify_dsa_each(group: &SchnorrGroup, items: &[DsaBatchItem]) -> Vec<bool> {
+    verify_dsa_with_elements(group, items, &[]).0
+}
+
+/// [`verify_dsa_each`] with subgroup-membership obligations folded into
+/// the same combined check: alongside the signature claims, each
+/// `x ∈ elements` contributes the claim `x^q ≡ 1 (mod p)` as one more
+/// multi-exponentiation base `x^(q·zⱼ)` — with a *full integer* exponent,
+/// since `x`'s order is exactly what is in question — instead of costing
+/// a standalone `q`-bit exponentiation. Returns
+/// `(signature verdicts, membership verdicts)`, index-aligned with
+/// `items` and `elements` respectively and identical to serial
+/// [`DsaPublicKey::verify`] / [`SchnorrGroup::is_element`] results: on
+/// any combined-check failure (or a non-canonical element) both sides
+/// fall back to per-item verification.
+pub fn verify_dsa_with_elements(
+    group: &SchnorrGroup,
+    items: &[DsaBatchItem],
+    elements: &[BigUint],
+) -> (Vec<bool>, Vec<bool>) {
+    let p = group.modulus();
+    let canonical = elements.iter().all(|x| !x.is_zero() && x < p);
+    if canonical && items.len() + elements.len() >= MIN_BATCH {
+        let claims: Option<Vec<GroupClaim>> = items.iter().map(|it| dsa_claim(group, it)).collect();
+        if let Some(claims) = claims {
+            if combined_check(group, &claims, elements) {
+                return (vec![true; items.len()], vec![true; elements.len()]);
+            }
+        }
+    }
+    (
+        items.iter().map(|it| it.key.verify(group, &it.message, &it.sig)).collect(),
+        elements.iter().map(|x| group.is_element(x)).collect(),
+    )
+}
+
+/// Batch-verifies DSA items, `true` iff every signature is valid.
+pub fn verify_dsa_all(group: &SchnorrGroup, items: &[DsaBatchItem]) -> bool {
+    verify_dsa_each(group, items).into_iter().all(|ok| ok)
+}
+
+/// Verifies every Schnorr item; same contract as [`verify_dsa_each`].
+pub fn verify_schnorr_each(group: &SchnorrGroup, items: &[SchnorrBatchItem]) -> Vec<bool> {
+    if items.len() >= MIN_BATCH {
+        let claims: Option<Vec<GroupClaim>> = items.iter().map(|it| schnorr_claim(group, it)).collect();
+        if let Some(claims) = claims {
+            if combined_check(group, &claims, &[]) {
+                return vec![true; items.len()];
+            }
+        }
+    }
+    items.iter().map(|it| it.key.verify(group, &it.message, &it.sig)).collect()
+}
+
+/// Batch-verifies Schnorr items, `true` iff every signature is valid.
+pub fn verify_schnorr_all(group: &SchnorrGroup, items: &[SchnorrBatchItem]) -> bool {
+    verify_schnorr_each(group, items).into_iter().all(|ok| ok)
+}
+
+/// Normalizes one DSA item into a group claim, or `None` when the item
+/// cannot join a batch (no witness, or a cheap consistency check already
+/// fails — in which case the per-item fallback will assign the verdict).
+fn dsa_claim(group: &SchnorrGroup, item: &DsaBatchItem) -> Option<GroupClaim> {
+    let q = group.order();
+    let sig = &item.sig;
+    let big_r = sig.witness()?;
+    if sig.r().is_zero() || sig.r() >= q || sig.s().is_zero() || sig.s() >= q {
+        return None;
+    }
+    if big_r.is_zero() || big_r >= group.modulus() || &(big_r % q) != sig.r() {
+        return None;
+    }
+    let scalar = group.scalar_ring();
+    let w = scalar.inv(sig.s())?;
+    let h = dsa::hash_message(group, &item.message);
+    Some(GroupClaim {
+        y: item.key.element().clone(),
+        a: scalar.mul(&h, &w),
+        b: scalar.mul(sig.r(), &w),
+        r: big_r.clone(),
+    })
+}
+
+/// Normalizes one Schnorr item into a group claim; the challenge-hash
+/// equation is checked here (it is cheap), leaving only the group
+/// equation `g^s · y^{-e} == R` for the combined check.
+fn schnorr_claim(group: &SchnorrGroup, item: &SchnorrBatchItem) -> Option<GroupClaim> {
+    let q = group.order();
+    let sig = &item.sig;
+    let big_r = sig.witness()?;
+    if sig.e() >= q || sig.s() >= q {
+        return None;
+    }
+    if big_r.is_zero() || big_r >= group.modulus() {
+        return None;
+    }
+    if &schnorr::challenge(group, item.key.element(), big_r, &item.message) != sig.e() {
+        return None;
+    }
+    let scalar = group.scalar_ring();
+    Some(GroupClaim {
+        y: item.key.element().clone(),
+        a: sig.s().clone(),
+        b: scalar.neg(sig.e()),
+        r: big_r.clone(),
+    })
+}
+
+/// Evaluates the random linear combination over all claims, plus the
+/// membership claims `x^q ≡ 1` for each `x ∈ elements`. Membership
+/// exponents `q·zⱼ` are taken over the integers (never reduced mod `q`),
+/// so for order-`q` elements the term contributes exactly `1` and for
+/// anything else a nontrivial residue the random coefficient makes
+/// overwhelmingly unlikely to cancel.
+fn combined_check(group: &SchnorrGroup, claims: &[GroupClaim], elements: &[BigUint]) -> bool {
+    let scalar = group.scalar_ring();
+    let elem = group.elem_ring();
+    let zs = coefficients(group, claims, elements);
+    let mut a_sum = BigUint::zero();
+    let mut lhs_pairs = Vec::with_capacity(claims.len() + elements.len());
+    let mut rhs_pairs = Vec::with_capacity(claims.len());
+    for (claim, z) in claims.iter().zip(&zs) {
+        a_sum = scalar.add(&a_sum, &scalar.mul(&claim.a, z));
+        lhs_pairs.push((claim.y.clone(), scalar.mul(&claim.b, z)));
+        rhs_pairs.push((claim.r.clone(), z.clone()));
+    }
+    let q = group.order();
+    for (x, z) in elements.iter().zip(&zs[claims.len()..]) {
+        lhs_pairs.push((x.clone(), q * z));
+    }
+    let lhs = elem.mul(&group.pow_g(&a_sum), &elem.multi_pow(&lhs_pairs));
+    let rhs = elem.multi_pow(&rhs_pairs);
+    lhs == rhs
+}
+
+/// Derives the per-item coefficients `zᵢ` from a Fiat–Shamir transcript
+/// over the whole batch: an adversary must commit to every signature and
+/// witness before learning any coefficient.
+fn coefficients(group: &SchnorrGroup, claims: &[GroupClaim], elements: &[BigUint]) -> Vec<BigUint> {
+    let mut t = Transcript::new(DOMAIN).int(group.modulus()).int(group.order()).int(group.generator());
+    for claim in claims {
+        t = t.int(&claim.y).int(&claim.a).int(&claim.b).int(&claim.r);
+    }
+    if !elements.is_empty() {
+        t = t.u64(elements.len() as u64);
+        for x in elements {
+            t = t.int(x);
+        }
+    }
+    let seed = t.finish();
+    (0..claims.len() + elements.len())
+        .map(|i| {
+            let d = Transcript::new("whopay/batch/coeff/v1").bytes(&seed).u64(i as u64).finish();
+            let z = u64::from_le_bytes(d[..8].try_into().expect("8-byte prefix"));
+            BigUint::from(z.max(1))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsa::DsaKeyPair;
+    use crate::schnorr::SchnorrKeyPair;
+    use crate::testutil::{test_group, test_rng};
+
+    fn dsa_items(n: usize, seed: u64) -> (SchnorrGroup, Vec<DsaBatchItem>) {
+        let mut rng = test_rng(seed);
+        let group = test_group();
+        let items = (0..n)
+            .map(|i| {
+                let kp = DsaKeyPair::generate(&group, &mut rng);
+                let message = format!("deposit #{i}").into_bytes();
+                let sig = kp.sign(&group, &message, &mut rng);
+                DsaBatchItem { key: kp.public().clone(), message, sig }
+            })
+            .collect();
+        (group, items)
+    }
+
+    #[test]
+    fn all_valid_dsa_batch_accepts() {
+        let (group, items) = dsa_items(8, 20);
+        assert!(items.iter().all(|it| it.sig.witness().is_some()));
+        assert_eq!(verify_dsa_each(&group, &items), vec![true; 8]);
+        assert!(verify_dsa_all(&group, &items));
+    }
+
+    #[test]
+    fn forged_dsa_item_is_pinpointed() {
+        let (group, mut items) = dsa_items(6, 21);
+        items[3].message = b"tampered".to_vec();
+        let verdicts = verify_dsa_each(&group, &items);
+        let expect: Vec<bool> = (0..6).map(|i| i != 3).collect();
+        assert_eq!(verdicts, expect);
+        assert!(!verify_dsa_all(&group, &items));
+    }
+
+    #[test]
+    fn bogus_witness_cannot_rescue_invalid_sig() {
+        let (group, mut items) = dsa_items(4, 22);
+        // Replace one signature with the witness of a *different* valid
+        // signature: cheap checks or the combined equation must catch it.
+        let donor = items[0].sig.clone();
+        items[2].sig = DsaSignature::from_parts_with_witness(
+            items[2].sig.r().clone(),
+            items[2].sig.s().clone(),
+            donor.witness().cloned(),
+        );
+        items[2].message = b"rebound".to_vec();
+        let verdicts = verify_dsa_each(&group, &items);
+        assert!(!verdicts[2]);
+        assert!(verdicts[0] && verdicts[1] && verdicts[3]);
+    }
+
+    #[test]
+    fn witness_free_items_fall_back_and_still_verify() {
+        let (group, mut items) = dsa_items(4, 23);
+        for it in &mut items {
+            it.sig = DsaSignature::from_parts(it.sig.r().clone(), it.sig.s().clone());
+        }
+        assert_eq!(verify_dsa_each(&group, &items), vec![true; 4]);
+    }
+
+    #[test]
+    fn all_valid_schnorr_batch_accepts_and_forgery_rejects() {
+        let mut rng = test_rng(24);
+        let group = test_group();
+        let mut items: Vec<SchnorrBatchItem> = (0..6)
+            .map(|i| {
+                let kp = SchnorrKeyPair::generate(&group, &mut rng);
+                let message = format!("binding #{i}").into_bytes();
+                let sig = kp.sign(&group, &message, &mut rng);
+                SchnorrBatchItem { key: kp.public().clone(), message, sig }
+            })
+            .collect();
+        assert_eq!(verify_schnorr_each(&group, &items), vec![true; 6]);
+        assert!(verify_schnorr_all(&group, &items));
+        items[1].message = b"tampered".to_vec();
+        let verdicts = verify_schnorr_each(&group, &items);
+        assert!(!verdicts[1]);
+        assert_eq!(verdicts.iter().filter(|&&ok| ok).count(), 5);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let (group, items) = dsa_items(1, 25);
+        assert!(verify_dsa_each(&group, &[]).is_empty());
+        assert_eq!(verify_dsa_each(&group, &items), vec![true]);
+    }
+}

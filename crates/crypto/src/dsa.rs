@@ -48,11 +48,36 @@ pub struct DsaKeyPair {
     public: DsaPublicKey,
 }
 
-/// A DSA signature `(r, s)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// A DSA signature `(r, s)`, optionally carrying the full commitment
+/// `R = g^k mod p` (the *witness*) from which `r = R mod q` was derived.
+///
+/// The witness is what makes randomized batch verification possible
+/// ([`crate::batch`]): plain DSA discards `R`, and a verifier cannot
+/// recover it from `r` alone. Signatures produced by [`DsaKeyPair::sign`]
+/// carry it; signatures reassembled from bare wire components do not and
+/// simply take the per-signature verification path. The witness is advisory
+/// — [`DsaPublicKey::verify`] ignores it entirely, and equality/hashing
+/// consider only `(r, s)`.
+#[derive(Debug, Clone)]
 pub struct DsaSignature {
     r: BigUint,
     s: BigUint,
+    witness: Option<BigUint>,
+}
+
+impl PartialEq for DsaSignature {
+    fn eq(&self, other: &Self) -> bool {
+        self.r == other.r && self.s == other.s
+    }
+}
+
+impl Eq for DsaSignature {}
+
+impl std::hash::Hash for DsaSignature {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.r.hash(state);
+        self.s.hash(state);
+    }
 }
 
 impl DsaSignature {
@@ -66,10 +91,25 @@ impl DsaSignature {
         &self.s
     }
 
+    /// The batch-verification witness `R = g^k mod p`, if this signature
+    /// carries one.
+    pub fn witness(&self) -> Option<&BigUint> {
+        self.witness.as_ref()
+    }
+
     /// Reassembles a signature from its components (e.g. after wire
     /// decoding). Invalid components simply fail verification.
     pub fn from_parts(r: BigUint, s: BigUint) -> Self {
-        DsaSignature { r, s }
+        DsaSignature { r, s, witness: None }
+    }
+
+    /// Reassembles a signature including its batch witness (e.g. after
+    /// wire decoding a witness-carrying signature). A bogus witness can
+    /// never make an invalid signature pass — the batch verifier checks
+    /// consistency and falls back to witness-free verification — so this
+    /// is safe on untrusted input.
+    pub fn from_parts_with_witness(r: BigUint, s: BigUint, witness: Option<BigUint>) -> Self {
+        DsaSignature { r, s, witness }
     }
 }
 
@@ -154,7 +194,8 @@ impl DsaKeyPair {
         let h = hash_message(group, message);
         loop {
             let k = group.random_scalar(rng);
-            let r = group.pow_g(&k) % q;
+            let big_r = group.pow_g(&k);
+            let r = &big_r % q;
             if r.is_zero() {
                 continue;
             }
@@ -164,13 +205,13 @@ impl DsaKeyPair {
             if s.is_zero() {
                 continue;
             }
-            return DsaSignature { r, s };
+            return DsaSignature { r, s, witness: Some(big_r) };
         }
     }
 }
 
 /// Hashes a message to a scalar, domain-bound to DSA and these parameters.
-fn hash_message(group: &SchnorrGroup, message: &[u8]) -> BigUint {
+pub(crate) fn hash_message(group: &SchnorrGroup, message: &[u8]) -> BigUint {
     Transcript::new(DOMAIN)
         .int(group.modulus())
         .int(group.order())
@@ -217,9 +258,9 @@ mod tests {
         let group = test_group();
         let kp = DsaKeyPair::generate(&group, &mut rng);
         let sig = kp.sign(&group, b"message", &mut rng);
-        let zero_r = DsaSignature { r: BigUint::zero(), s: sig.s.clone() };
-        let zero_s = DsaSignature { r: sig.r.clone(), s: BigUint::zero() };
-        let big_r = DsaSignature { r: group.order().clone(), s: sig.s.clone() };
+        let zero_r = DsaSignature::from_parts(BigUint::zero(), sig.s.clone());
+        let zero_s = DsaSignature::from_parts(sig.r.clone(), BigUint::zero());
+        let big_r = DsaSignature::from_parts(group.order().clone(), sig.s.clone());
         assert!(!kp.public().verify(&group, b"message", &zero_r));
         assert!(!kp.public().verify(&group, b"message", &zero_s));
         assert!(!kp.public().verify(&group, b"message", &big_r));

@@ -48,6 +48,7 @@
 //! [`group_sig`] and DESIGN.md). Do not use for real money.
 
 pub(crate) mod accel;
+pub mod batch;
 pub mod dsa;
 pub mod elgamal;
 pub mod group_sig;
@@ -58,6 +59,7 @@ pub mod sha256;
 pub mod shamir;
 pub mod testing;
 
+pub use batch::{DsaBatchItem, SchnorrBatchItem};
 pub use dsa::{DsaKeyPair, DsaPublicKey, DsaSignature};
 pub use elgamal::{ElGamalCiphertext, ElGamalKeyPair, ElGamalPublicKey};
 pub use group_sig::{GroupManager, GroupMemberKey, GroupPublicKey, GroupSignature, OpenOutcome};

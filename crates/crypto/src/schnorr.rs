@@ -49,11 +49,64 @@ pub struct SchnorrKeyPair {
     public: SchnorrPublicKey,
 }
 
-/// A Schnorr signature `(e, s)` with `e = H(g^k || m)` and `s = k + x·e`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// A Schnorr signature `(e, s)` with `e = H(g^k || m)` and `s = k + x·e`,
+/// optionally carrying the commitment `R = g^k mod p` (the *witness*).
+///
+/// Plain Schnorr verification recomputes `R' = g^s·y^{-e}`; carrying `R`
+/// explicitly lets [`crate::batch`] replace that per-signature
+/// double-exponentiation with one shared multi-exponentiation. The witness
+/// is advisory — [`SchnorrPublicKey::verify`] ignores it, and
+/// equality/hashing consider only `(e, s)`.
+#[derive(Debug, Clone)]
 pub struct SchnorrSignature {
     e: BigUint,
     s: BigUint,
+    witness: Option<BigUint>,
+}
+
+impl PartialEq for SchnorrSignature {
+    fn eq(&self, other: &Self) -> bool {
+        self.e == other.e && self.s == other.s
+    }
+}
+
+impl Eq for SchnorrSignature {}
+
+impl std::hash::Hash for SchnorrSignature {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.e.hash(state);
+        self.s.hash(state);
+    }
+}
+
+impl SchnorrSignature {
+    /// The challenge component `e`.
+    pub fn e(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// The response component `s`.
+    pub fn s(&self) -> &BigUint {
+        &self.s
+    }
+
+    /// The batch-verification witness `R = g^k mod p`, if carried.
+    pub fn witness(&self) -> Option<&BigUint> {
+        self.witness.as_ref()
+    }
+
+    /// Reassembles a signature from its components. Invalid components
+    /// simply fail verification.
+    pub fn from_parts(e: BigUint, s: BigUint) -> Self {
+        SchnorrSignature { e, s, witness: None }
+    }
+
+    /// Reassembles a signature including its batch witness. A bogus
+    /// witness cannot make an invalid signature pass (see
+    /// [`crate::batch`]), so this is safe on untrusted input.
+    pub fn from_parts_with_witness(e: BigUint, s: BigUint, witness: Option<BigUint>) -> Self {
+        SchnorrSignature { e, s, witness }
+    }
 }
 
 impl SchnorrPublicKey {
@@ -126,12 +179,12 @@ impl SchnorrKeyPair {
         let r = group.pow_g(&k);
         let e = challenge(group, &self.public.y, &r, message);
         let s = scalar.add(&k, &scalar.mul(&self.x, &e));
-        SchnorrSignature { e, s }
+        SchnorrSignature { e, s, witness: Some(r) }
     }
 }
 
 /// Fiat–Shamir challenge `H(params || y || R || m) mod q`.
-fn challenge(group: &SchnorrGroup, y: &BigUint, r: &BigUint, message: &[u8]) -> BigUint {
+pub(crate) fn challenge(group: &SchnorrGroup, y: &BigUint, r: &BigUint, message: &[u8]) -> BigUint {
     Transcript::new(DOMAIN)
         .int(group.modulus())
         .int(y)
@@ -171,7 +224,7 @@ mod tests {
         let group = test_group();
         let kp = SchnorrKeyPair::generate(&group, &mut rng);
         let sig = kp.sign(&group, b"m", &mut rng);
-        let bad = SchnorrSignature { e: group.order().clone(), s: sig.s.clone() };
+        let bad = SchnorrSignature::from_parts(group.order().clone(), sig.s.clone());
         assert!(!kp.public().verify(&group, b"m", &bad));
     }
 

@@ -1,0 +1,97 @@
+//! Soundness sweep for randomized batch verification: across many random
+//! batches, the all-valid case accepts every item, and a single forgery —
+//! whatever form it takes — makes the batch path reject exactly the
+//! forged item, agreeing index-by-index with serial verification.
+
+use rand::RngExt;
+use whopay_crypto::batch::{verify_dsa_each, verify_schnorr_each};
+use whopay_crypto::dsa::{DsaKeyPair, DsaSignature};
+use whopay_crypto::schnorr::SchnorrKeyPair;
+use whopay_crypto::testing::{test_rng, tiny_group};
+use whopay_crypto::{DsaBatchItem, SchnorrBatchItem};
+use whopay_num::BigUint;
+
+/// The ways one DSA item can be forged.
+fn forge_dsa(item: &mut DsaBatchItem, mode: usize, decoy: &DsaKeyPair) {
+    match mode {
+        // A different message than the one signed.
+        0 => item.message.push(0xA5),
+        // A signature transplanted from an unrelated key.
+        1 => item.key = decoy.public().clone(),
+        // A tampered s component (witness kept, claiming consistency).
+        2 => {
+            item.sig = DsaSignature::from_parts_with_witness(
+                item.sig.r().clone(),
+                item.sig.s() + &BigUint::one(),
+                item.sig.witness().cloned(),
+            )
+        }
+        // A fabricated witness over an otherwise broken r.
+        _ => {
+            item.sig = DsaSignature::from_parts_with_witness(
+                item.sig.r() + &BigUint::one(),
+                item.sig.s().clone(),
+                item.sig.witness().cloned(),
+            )
+        }
+    }
+}
+
+#[test]
+fn dsa_batches_accept_all_valid_and_reject_single_forgeries() {
+    let group = tiny_group();
+    let mut rng = test_rng(0xbadc0de);
+    let keys: Vec<DsaKeyPair> = (0..4).map(|_| DsaKeyPair::generate(group, &mut rng)).collect();
+    let decoy = DsaKeyPair::generate(group, &mut rng);
+    for batch_no in 0..100u64 {
+        let n = rng.random_range(2..13usize);
+        let items: Vec<DsaBatchItem> = (0..n)
+            .map(|i| {
+                let key = &keys[rng.random_range(0..keys.len())];
+                let message = format!("batch {batch_no} item {i}").into_bytes();
+                let sig = key.sign(group, &message, &mut rng);
+                assert!(sig.witness().is_some(), "signing must produce a witness");
+                DsaBatchItem { key: key.public().clone(), message, sig }
+            })
+            .collect();
+        // All valid: every verdict true.
+        assert_eq!(verify_dsa_each(group, &items), vec![true; n], "batch {batch_no}");
+        // One forgery: exactly the forged index flips, matching serial.
+        let mut forged = items.clone();
+        let victim = rng.random_range(0..n);
+        forge_dsa(&mut forged[victim], batch_no as usize % 4, &decoy);
+        let verdicts = verify_dsa_each(group, &forged);
+        let serial: Vec<bool> =
+            forged.iter().map(|it| it.key.verify(group, &it.message, &it.sig)).collect();
+        assert_eq!(verdicts, serial, "batch {batch_no} victim {victim}");
+        assert!(!verdicts[victim], "batch {batch_no}: forgery at {victim} must reject");
+        for (i, ok) in verdicts.iter().enumerate() {
+            assert_eq!(*ok, i != victim, "batch {batch_no} index {i}");
+        }
+    }
+}
+
+#[test]
+fn schnorr_batches_accept_all_valid_and_reject_single_forgeries() {
+    let group = tiny_group();
+    let mut rng = test_rng(0x5c40);
+    let keys: Vec<SchnorrKeyPair> = (0..4).map(|_| SchnorrKeyPair::generate(group, &mut rng)).collect();
+    for batch_no in 0..100u64 {
+        let n = rng.random_range(2..13usize);
+        let mut items: Vec<SchnorrBatchItem> = (0..n)
+            .map(|i| {
+                let key = &keys[rng.random_range(0..keys.len())];
+                let message = format!("schnorr batch {batch_no} item {i}").into_bytes();
+                let sig = key.sign(group, &message, &mut rng);
+                SchnorrBatchItem { key: key.public().clone(), message, sig }
+            })
+            .collect();
+        assert_eq!(verify_schnorr_each(group, &items), vec![true; n], "batch {batch_no}");
+        let victim = rng.random_range(0..n);
+        items[victim].message.push(0x5A);
+        let verdicts = verify_schnorr_each(group, &items);
+        for (i, ok) in verdicts.iter().enumerate() {
+            assert_eq!(*ok, i != victim, "batch {batch_no} index {i}");
+        }
+    }
+}

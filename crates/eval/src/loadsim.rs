@@ -61,7 +61,11 @@ enum Event {
 }
 
 /// The outcome of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (including the f64
+/// availability), so tests can assert that parallel and serial sweeps
+/// produce bit-identical outcomes.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Number of peers simulated.
     pub n_peers: usize,

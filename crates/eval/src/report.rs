@@ -2,10 +2,13 @@
 //!
 //! Each `figNN_*` function reproduces the data series behind one figure of
 //! the paper's evaluation; the binaries in `whopay-bench` print them. All
-//! sweeps run their configurations in parallel with scoped threads.
+//! sweeps fan their configurations across the shared [`VerifyPool`]
+//! (sized by `WHOPAY_VPOOL_THREADS`), with results bit-identical to a
+//! serial run at any width.
 
 use std::sync::Arc;
 
+use whopay_core::VerifyPool;
 use whopay_obs::{Metrics, MetricsReport, Obs};
 use whopay_sim::SimTime;
 
@@ -32,12 +35,19 @@ pub const FOUR_CONFIGS: [(Policy, SyncStrategy); 4] = [
     (Policy::III, SyncStrategy::Lazy),
 ];
 
-/// Runs a batch of configurations in parallel, preserving order.
+/// Runs a batch of configurations through the shared verify pool
+/// (`WHOPAY_VPOOL_THREADS` controls the width), preserving order.
+///
+/// Each run seeds its own RNG from `SimConfig::seed`, so the results are
+/// bit-identical regardless of thread count — `run_batch` at any width
+/// equals mapping [`run`] serially.
 pub fn run_batch(cfgs: &[SimConfig]) -> Vec<RunResult> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = cfgs.iter().map(|cfg| scope.spawn(move || run(cfg))).collect();
-        handles.into_iter().map(|h| h.join().expect("simulation thread panicked")).collect()
-    })
+    run_batch_on(cfgs, &VerifyPool::from_env())
+}
+
+/// [`run_batch`] on an explicit pool (for callers that already sized one).
+pub fn run_batch_on(cfgs: &[SimConfig], pool: &VerifyPool) -> Vec<RunResult> {
+    pool.map(cfgs, run)
 }
 
 /// Runs one configuration with a fresh metrics registry attached and
@@ -260,6 +270,21 @@ mod tests {
         let series = vec![Series { label: "y".into(), points: vec![(0.25, 7.5)] }];
         let csv = render_csv("mu", &series);
         assert_eq!(csv, "mu,y\n0.25,7.5\n");
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        let mut cfgs = setup_a(Policy::I, SyncStrategy::Proactive, SimTime::from_hours(2));
+        cfgs.truncate(3);
+        for cfg in &mut cfgs {
+            cfg.n_peers = 20;
+            cfg.horizon = SimTime::from_hours(48);
+        }
+        let serial: Vec<RunResult> = cfgs.iter().map(run).collect();
+        for threads in [1usize, 2, 4] {
+            let pool = whopay_core::VerifyPool::new(threads);
+            assert_eq!(run_batch_on(&cfgs, &pool), serial, "threads={threads}");
+        }
     }
 
     #[test]

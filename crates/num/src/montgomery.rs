@@ -308,6 +308,165 @@ impl MontgomeryRing {
         }
         self.from_mont(&acc[..n])
     }
+
+    /// Simultaneous product `∏ gᵢ^eᵢ mod m` over an arbitrary number of
+    /// `(base, exponent)` pairs.
+    ///
+    /// Dispatches on the number of bases: below
+    /// [`MontgomeryRing::PIPPENGER_MIN`] the Straus interleaved-window
+    /// method wins (its per-base tables are cheap and every nonzero digit
+    /// costs exactly one multiplication); at or above it the Pippenger
+    /// bucket method wins (bucket aggregation costs `2·(2^c − 1)` per
+    /// window *regardless* of the base count). Bases must already be
+    /// reduced mod `m`. An empty product is `1`.
+    pub fn multi_pow(&self, pairs: &[(BigUint, BigUint)]) -> BigUint {
+        if pairs.len() >= Self::PIPPENGER_MIN {
+            self.multi_pow_pippenger(pairs)
+        } else {
+            self.multi_pow_straus(pairs)
+        }
+    }
+
+    /// Base count at which [`MontgomeryRing::multi_pow`] switches from
+    /// Straus to Pippenger.
+    pub const PIPPENGER_MIN: usize = 32;
+
+    /// Straus (interleaved fixed-window) multi-exponentiation: one table
+    /// of `2^k − 1` powers per base, one shared squaring chain, and one
+    /// multiplication per nonzero digit of each exponent.
+    ///
+    /// Exposed (rather than private behind [`MontgomeryRing::multi_pow`])
+    /// as a differential-testing surface.
+    pub fn multi_pow_straus(&self, pairs: &[(BigUint, BigUint)]) -> BigUint {
+        let bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        if bits == 0 {
+            return BigUint::one() % &self.modulus();
+        }
+        let n = self.m.len();
+        let k = straus_window(pairs.len(), bits);
+        // tables[b][j - 1] = g_b^j in Montgomery form, j = 1 .. 2^k - 1.
+        let mut tables = Vec::with_capacity(pairs.len());
+        for (g, _) in pairs {
+            let gm = self.to_mont(g);
+            let mut t = Vec::with_capacity((1usize << k) - 1);
+            t.push(gm.clone());
+            for _ in 2..(1usize << k) {
+                t.push(self.mont_mul(t.last().unwrap(), &gm));
+            }
+            tables.push(t);
+        }
+        let digits = bits.div_ceil(k);
+        let mut acc = vec![0u64; n + 1];
+        let mut tmp = vec![0u64; n + 1];
+        acc[..n].copy_from_slice(&self.one);
+        let mut started = false;
+        for i in (0..digits).rev() {
+            if started {
+                for _ in 0..k {
+                    self.mont_mul_into(&acc[..n], &acc[..n], &mut tmp);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            for (table, (_, e)) in tables.iter().zip(pairs) {
+                let d = exp_digit(e, i, k);
+                if d != 0 {
+                    if started {
+                        self.mont_mul_into(&acc[..n], &table[d - 1], &mut tmp);
+                        std::mem::swap(&mut acc, &mut tmp);
+                    } else {
+                        acc[..n].copy_from_slice(&table[d - 1]);
+                        started = true;
+                    }
+                }
+            }
+        }
+        self.from_mont(&acc[..n])
+    }
+
+    /// Pippenger (bucket) multi-exponentiation: exponents are scanned in
+    /// `c`-bit windows top-down; within a window every base lands in the
+    /// bucket of its digit value (one multiplication per base), and the
+    /// suffix-product sweep turns the buckets into `∏ bucket_d^d` with
+    /// `2·(2^c − 1)` multiplications — independent of the base count.
+    ///
+    /// Exposed as a differential-testing surface; callers should prefer
+    /// [`MontgomeryRing::multi_pow`].
+    pub fn multi_pow_pippenger(&self, pairs: &[(BigUint, BigUint)]) -> BigUint {
+        let bits = pairs.iter().map(|(_, e)| e.bits()).max().unwrap_or(0);
+        if bits == 0 {
+            return BigUint::one() % &self.modulus();
+        }
+        let c = pippenger_window(pairs.len(), bits);
+        let bases: Vec<Vec<u64>> = pairs.iter().map(|(g, _)| self.to_mont(g)).collect();
+        let digits = bits.div_ceil(c);
+        let mut acc: Option<Vec<u64>> = None;
+        let mut buckets: Vec<Option<Vec<u64>>> = vec![None; (1usize << c) - 1];
+        for i in (0..digits).rev() {
+            if let Some(a) = &acc {
+                let mut sq = a.clone();
+                for _ in 0..c {
+                    sq = self.mont_mul(&sq, &sq);
+                }
+                acc = Some(sq);
+            }
+            buckets.iter_mut().for_each(|b| *b = None);
+            for (base, (_, e)) in bases.iter().zip(pairs) {
+                let d = exp_digit(e, i, c);
+                if d != 0 {
+                    let slot = &mut buckets[d - 1];
+                    *slot = Some(match slot.take() {
+                        None => base.clone(),
+                        Some(cur) => self.mont_mul(&cur, base),
+                    });
+                }
+            }
+            // Suffix sweep: after visiting buckets d.. the running product
+            // holds ∏_{j ≥ d} bucket_j, and folding it into the window
+            // total once per step contributes bucket_j exactly j times.
+            let mut running: Option<Vec<u64>> = None;
+            let mut window: Option<Vec<u64>> = None;
+            for bucket in buckets.iter().rev() {
+                if let Some(b) = bucket {
+                    running = Some(match running {
+                        None => b.clone(),
+                        Some(r) => self.mont_mul(&r, b),
+                    });
+                }
+                if let Some(r) = &running {
+                    window = Some(match window {
+                        None => r.clone(),
+                        Some(w) => self.mont_mul(&w, r),
+                    });
+                }
+            }
+            if let Some(w) = window {
+                acc = Some(match acc {
+                    None => w,
+                    Some(a) => self.mont_mul(&a, &w),
+                });
+            }
+        }
+        match acc {
+            None => BigUint::one() % &self.modulus(),
+            Some(a) => self.from_mont(&a),
+        }
+    }
+}
+
+/// Straus window width for `n` bases and `bits`-bit exponents: minimizes
+/// table building (`2^k − 2` per base) plus `bits` shared squarings plus
+/// one multiplication per digit per base.
+fn straus_window(n: usize, bits: usize) -> usize {
+    let n = n.max(1);
+    (1..=6).min_by_key(|&k| n * ((1usize << k) - 2) + bits + n * bits.div_ceil(k)).unwrap()
+}
+
+/// Pippenger window width for `n` bases and `bits`-bit exponents:
+/// minimizes per-window work (`n` bucket insertions plus `2·(2^c − 1)`
+/// aggregation multiplications) times the window count, plus `bits`
+/// shared squarings.
+fn pippenger_window(n: usize, bits: usize) -> usize {
+    (1..=8).min_by_key(|&c| bits.div_ceil(c) * (n + (1usize << (c + 1))) + bits).unwrap()
 }
 
 /// Fixed-window width for an exponent of `bits` bits, balancing the
@@ -490,5 +649,60 @@ mod tests {
 
     fn e_too_big() -> BigUint {
         BigUint::one() << 200
+    }
+
+    fn random_pairs(
+        rng: &mut impl Rng,
+        m: &BigUint,
+        n: usize,
+        ebits: usize,
+    ) -> Vec<(BigUint, BigUint)> {
+        (0..n).map(|_| (BigUint::random_below(rng, m), BigUint::random_bits(rng, ebits))).collect()
+    }
+
+    #[test]
+    fn multi_pow_variants_match_each_other_and_naive() {
+        let mut rng = crate::test_rng(0xA3);
+        for bits in [65usize, 256] {
+            let m = odd_modulus(&mut rng, bits);
+            let ring = MontgomeryRing::new(&m).unwrap();
+            let mring = ModRing::new(m.clone());
+            for n in [1usize, 2, 3, 7, 31, 32, 40] {
+                let pairs = random_pairs(&mut rng, &m, n, 96);
+                let expect = mring.multi_pow_naive(&pairs);
+                assert_eq!(ring.multi_pow_straus(&pairs), expect, "straus n={n} bits={bits}");
+                assert_eq!(ring.multi_pow_pippenger(&pairs), expect, "pippenger n={n} bits={bits}");
+                assert_eq!(ring.multi_pow(&pairs), expect, "dispatch n={n} bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_pow_edge_cases() {
+        let mut rng = crate::test_rng(0xA4);
+        let m = odd_modulus(&mut rng, 128);
+        let ring = MontgomeryRing::new(&m).unwrap();
+        // Empty product and all-zero exponents are 1.
+        assert!(ring.multi_pow(&[]).is_one());
+        let zeros = vec![(BigUint::random_below(&mut rng, &m), BigUint::zero()); 5];
+        assert!(ring.multi_pow_straus(&zeros).is_one());
+        assert!(ring.multi_pow_pippenger(&zeros).is_one());
+        // Zero bases collapse the product to zero once their digit lands.
+        let pairs = vec![(BigUint::zero(), BigUint::from(3u64))];
+        assert!(ring.multi_pow(&pairs).is_zero());
+        // Single pair agrees with plain pow, including 64-bit-boundary exps.
+        for ebits in [1usize, 63, 64, 65] {
+            let g = BigUint::random_below(&mut rng, &m);
+            let e = BigUint::random_bits(&mut rng, ebits);
+            let pairs = vec![(g.clone(), e.clone())];
+            assert_eq!(ring.multi_pow_straus(&pairs), ring.pow(&g, &e));
+            assert_eq!(ring.multi_pow_pippenger(&pairs), ring.pow(&g, &e));
+        }
+        // Mixed exponent widths (the batch-verify shape: one long, rest short).
+        let mut pairs = random_pairs(&mut rng, &m, 8, 64);
+        pairs[0].1 = BigUint::random_bits(&mut rng, 160);
+        let mring = ModRing::new(m.clone());
+        assert_eq!(ring.multi_pow_straus(&pairs), mring.multi_pow_naive(&pairs));
+        assert_eq!(ring.multi_pow_pippenger(&pairs), mring.multi_pow_naive(&pairs));
     }
 }

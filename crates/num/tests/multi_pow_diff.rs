@@ -1,0 +1,97 @@
+//! Differential tests for the n-base multi-exponentiation kernel.
+//!
+//! Both simultaneous-exponentiation strategies — Straus interleaving
+//! (small n) and Pippenger bucketing (large n) — are checked against the
+//! naive product-of-`pow_naive` reference over random odd moduli from one
+//! limb up to ~1100 bits and base counts spanning the Straus/Pippenger
+//! crossover, plus the degenerate shapes the window logic has to get
+//! right: empty pair lists, all-zero exponents, and bases at or above the
+//! modulus.
+
+use proptest::prelude::*;
+use whopay_num::{BigUint, ModRing, MontgomeryRing};
+
+/// Strategy: a random odd modulus >= 3 spanning 1..=17 limbs (64–1088 bits).
+fn odd_modulus() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 1..18).prop_map(|mut limbs| {
+        let last = limbs.len() - 1;
+        if limbs[last] == 0 {
+            limbs[last] = 1;
+        }
+        limbs[0] |= 1;
+        if limbs.len() == 1 && limbs[0] == 1 {
+            limbs[0] = 3;
+        }
+        BigUint::from_limbs(limbs)
+    })
+}
+
+/// Carves `1..32` (base, exponent) pairs out of a flat limb pool — bases
+/// up to 18 limbs (possibly >= the modulus), exponents up to 2 limbs
+/// (128 bits) so the naive reference stays fast against wide moduli.
+fn carve_pairs(n: usize, raw: &[u64]) -> Vec<(BigUint, BigUint)> {
+    let mut cursor = 0usize;
+    let mut take = |len: usize| {
+        let limbs = raw[cursor..cursor + len].to_vec();
+        cursor += len;
+        BigUint::from_limbs(limbs)
+    };
+    (0..n)
+        .map(|i| {
+            let base_len = (raw[raw.len() - 1 - i] % 19) as usize;
+            let exp_len = (raw[raw.len() - 32 - i] % 3) as usize;
+            (take(base_len), take(exp_len))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn straus_and_pippenger_match_naive(
+        n in 1usize..32,
+        raw in proptest::collection::vec(any::<u64>(), 720..721),
+        m in odd_modulus()
+    ) {
+        let ps = carve_pairs(n, &raw);
+        let ring = ModRing::new(m.clone());
+        let mont = MontgomeryRing::new(&m).expect("odd modulus");
+        let reduced: Vec<(BigUint, BigUint)> =
+            ps.iter().map(|(g, e)| (g % &m, e.clone())).collect();
+        let want = ring.multi_pow_naive(&ps);
+        prop_assert_eq!(mont.multi_pow_straus(&reduced), want.clone(), "straus");
+        prop_assert_eq!(mont.multi_pow_pippenger(&reduced), want.clone(), "pippenger");
+        prop_assert_eq!(ring.multi_pow(&ps), want, "dispatching front-end");
+    }
+}
+
+/// Degenerate shapes, collected deterministically.
+#[test]
+fn multi_pow_edge_cases_match_naive() {
+    let moduli = [
+        BigUint::from(3u64),
+        BigUint::from(u64::MAX),
+        (BigUint::one() << 1087) + BigUint::from(0x1234_5677u64),
+    ];
+    for m in &moduli {
+        let ring = ModRing::new(m.clone());
+        let mont = MontgomeryRing::new(m).expect("odd modulus");
+        let one = BigUint::one();
+        let shapes: Vec<Vec<(BigUint, BigUint)>> = vec![
+            Vec::new(),
+            vec![(BigUint::zero(), BigUint::zero())],
+            vec![(BigUint::zero(), one.clone()), (m.clone(), one.clone())],
+            vec![(m + &one, BigUint::from(5u64)); 4],
+            (0..40u64).map(|i| (BigUint::from(i * 17 + 2), BigUint::from(i * i + 1))).collect(),
+            vec![(BigUint::from(7u64), BigUint::zero()); 9],
+        ];
+        for ps in &shapes {
+            let want = ring.multi_pow_naive(ps);
+            let reduced: Vec<(BigUint, BigUint)> = ps.iter().map(|(g, e)| (g % m, e.clone())).collect();
+            assert_eq!(mont.multi_pow_straus(&reduced), want, "straus n={} m={m}", ps.len());
+            assert_eq!(mont.multi_pow_pippenger(&reduced), want, "pippenger n={} m={m}", ps.len());
+            assert_eq!(ring.multi_pow(ps), want, "front-end n={} m={m}", ps.len());
+        }
+    }
+}

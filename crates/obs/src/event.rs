@@ -192,6 +192,10 @@ pub struct Event {
     pub messages: u64,
     /// Payload bytes attributed to this operation.
     pub bytes: u64,
+    /// Number of items settled together when the operation processed a
+    /// batch (e.g. a `DepositBatch` dispatch); `None` for single-item
+    /// operations.
+    pub batch: Option<u64>,
     /// Free-form context (message kind, error text); kept short.
     pub detail: Option<String>,
 }
@@ -199,7 +203,23 @@ pub struct Event {
 impl Event {
     /// A successful event with no timing or traffic attached.
     pub fn new(role: Role, op: OpKind) -> Self {
-        Event { role, op, outcome: Outcome::Ok, duration: None, messages: 0, bytes: 0, detail: None }
+        Event {
+            role,
+            op,
+            outcome: Outcome::Ok,
+            duration: None,
+            messages: 0,
+            bytes: 0,
+            batch: None,
+            detail: None,
+        }
+    }
+
+    /// Attaches a batch size (number of items settled together).
+    #[must_use]
+    pub fn with_batch(mut self, batch: u64) -> Self {
+        self.batch = Some(batch);
+        self
     }
 
     /// Attaches message/byte traffic.
@@ -253,6 +273,10 @@ impl Event {
             out.push_str(",\"bytes\":");
             out.push_str(&self.bytes.to_string());
         }
+        if let Some(batch) = self.batch {
+            out.push_str(",\"batch\":");
+            out.push_str(&batch.to_string());
+        }
         if let Some(detail) = &self.detail {
             out.push_str(",\"detail\":\"");
             crate::json::escape_into(detail, &mut out);
@@ -300,11 +324,12 @@ mod tests {
         let ev = Event::new(Role::Peer, OpKind::Transfer)
             .with_traffic(2, 512)
             .with_duration(Duration::from_nanos(1500))
+            .with_batch(16)
             .failed()
             .with_detail("owner \"offline\"");
         assert_eq!(
             ev.to_json(),
-            r#"{"role":"peer","op":"transfer","outcome":"error","nanos":1500,"messages":2,"bytes":512,"detail":"owner \"offline\""}"#
+            r#"{"role":"peer","op":"transfer","outcome":"error","nanos":1500,"messages":2,"bytes":512,"batch":16,"detail":"owner \"offline\""}"#
         );
     }
 }

@@ -158,7 +158,17 @@ impl Obs {
     /// [`Span::finish`] does nothing.
     pub fn span(&self, role: Role, op: OpKind) -> Span<'_> {
         let start = if self.enabled() { Some(Instant::now()) } else { None };
-        Span { obs: self, role, op, start, messages: 0, bytes: 0, outcome: Outcome::Ok, detail: None }
+        Span {
+            obs: self,
+            role,
+            op,
+            start,
+            messages: 0,
+            bytes: 0,
+            batch: None,
+            outcome: Outcome::Ok,
+            detail: None,
+        }
     }
 }
 
@@ -173,6 +183,7 @@ pub struct Span<'a> {
     start: Option<Instant>,
     messages: u64,
     bytes: u64,
+    batch: Option<u64>,
     outcome: Outcome,
     detail: Option<String>,
 }
@@ -198,6 +209,12 @@ impl Span<'_> {
         self.op = op;
     }
 
+    /// Records how many items this operation settled together (batched
+    /// dispatch sites).
+    pub fn set_batch(&mut self, batch: u64) {
+        self.batch = Some(batch);
+    }
+
     /// Ends the span and reports the event. Inert when the context is
     /// disabled.
     pub fn finish(self) {
@@ -209,6 +226,7 @@ impl Span<'_> {
             duration: Some(start.elapsed()),
             messages: self.messages,
             bytes: self.bytes,
+            batch: self.batch,
             detail: self.detail,
         };
         self.obs.observe(event);

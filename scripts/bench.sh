@@ -15,4 +15,7 @@ cargo bench -p whopay-bench --bench modexp --offline
 echo "==> bench_crypto_json (BENCH_crypto.json)"
 cargo run --release --offline -q -p whopay-bench --bin bench_crypto_json
 
+echo "==> bench_verify_json (BENCH_verify.json)"
+cargo run --release --offline -q -p whopay-bench --bin bench_verify_json
+
 echo "==> bench.sh: done"

@@ -18,6 +18,12 @@ cargo test -q --workspace --offline
 echo "==> cargo test -p whopay-num --release (arithmetic differential suite)"
 cargo test -p whopay-num -q --release --offline
 
+echo "==> cargo test -p whopay-crypto --release (batch soundness + differential suite)"
+cargo test -p whopay-crypto -q --release --offline
+
+echo "==> WHOPAY_VPOOL_THREADS=1 cargo test -q (serial-pool determinism pass)"
+WHOPAY_VPOOL_THREADS=1 cargo test -q --offline
+
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --offline
 
