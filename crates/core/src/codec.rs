@@ -7,7 +7,11 @@
 //! byte strings, and big integers, written and read in a fixed field
 //! order by each message type.
 
+use std::cell::Cell;
+use std::ops::{Deref, DerefMut};
+
 use whopay_num::BigUint;
+use whopay_obs::Metrics;
 
 /// Encoding buffer.
 #[derive(Debug, Default)]
@@ -19,6 +23,15 @@ impl Writer {
     /// An empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A writer that reuses `buf`'s capacity: the buffer is cleared and
+    /// written from the start, so steady-state encoding through a recycled
+    /// buffer performs no heap allocation. Recover the buffer with
+    /// [`Writer::finish`].
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Writer { buf }
     }
 
     /// Appends a fixed-width u64 (big-endian).
@@ -34,15 +47,99 @@ impl Writer {
         self
     }
 
-    /// Appends a big integer (length-prefixed big-endian magnitude).
+    /// Appends a big integer (length-prefixed big-endian magnitude),
+    /// streaming the limbs directly into the buffer — no temporary
+    /// byte-vector per field.
     pub fn int(&mut self, v: &BigUint) -> &mut Self {
-        self.bytes(&v.to_be_bytes())
+        self.u64(v.be_len() as u64);
+        v.extend_be_bytes(&mut self.buf);
+        self
     }
 
     /// Finishes, returning the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
+}
+
+// --- pooled encode buffers ---
+
+thread_local! {
+    /// Per-thread free list of recycled wire buffers.
+    static BUF_POOL: std::cell::RefCell<Vec<Vec<u8>>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Fresh-allocation count: pool misses that had to create a buffer.
+    static WIRE_ALLOC: Cell<u64> = const { Cell::new(0) };
+    /// Total bytes carried through pooled buffers (recorded at release).
+    static WIRE_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Buffers kept per thread; beyond this, released buffers are dropped.
+const POOL_DEPTH: usize = 8;
+
+/// A wire buffer borrowed from the thread-local pool; dereferences to
+/// `Vec<u8>` and returns to the pool on drop. The buffer arrives empty
+/// but keeps the capacity of its previous life, so steady-state
+/// encode/decode cycles allocate nothing.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+}
+
+/// Takes a cleared, capacity-retaining buffer from the thread-local pool
+/// (allocating a fresh one — and counting it under `wire.alloc` — only
+/// when the pool is empty).
+pub fn pooled() -> PooledBuf {
+    let buf = BUF_POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_else(|| {
+        WIRE_ALLOC.with(|c| c.set(c.get() + 1));
+        Vec::new()
+    });
+    PooledBuf { buf }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        WIRE_BYTES.with(|c| c.set(c.get() + self.buf.len() as u64));
+        let buf = std::mem::take(&mut self.buf);
+        BUF_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < POOL_DEPTH {
+                let mut buf = buf;
+                buf.clear();
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+/// Fresh buffer allocations on this thread's wire path (pool misses).
+pub fn wire_alloc_count() -> u64 {
+    WIRE_ALLOC.with(Cell::get)
+}
+
+/// Bytes carried through this thread's pooled wire buffers.
+pub fn wire_bytes_count() -> u64 {
+    WIRE_BYTES.with(Cell::get)
+}
+
+/// Exports this thread's wire-path counters into a metrics registry as
+/// `wire.alloc` / `wire.bytes` (one-shot add, mirroring
+/// `Network::export_breakdown`).
+pub fn export_wire_metrics(metrics: &Metrics) {
+    metrics.counter("wire.alloc").add(wire_alloc_count());
+    metrics.counter("wire.bytes").add(wire_bytes_count());
 }
 
 /// Decoding error: the input was truncated or malformed.
@@ -166,6 +263,71 @@ mod tests {
         enc.extend_from_slice(&u64::MAX.to_be_bytes());
         let mut r = Reader::new(&enc);
         assert_eq!(r.bytes(), Err(DecodeError));
+    }
+
+    #[test]
+    fn with_buf_reuses_capacity_and_encodes_identically() {
+        let mut w = Writer::new();
+        w.u64(7).bytes(b"hello").int(&BigUint::from(1u128 << 100));
+        let fresh = w.finish();
+
+        let recycled = Vec::with_capacity(256);
+        let cap = recycled.capacity();
+        let ptr = recycled.as_ptr();
+        let mut w = Writer::with_buf(recycled);
+        w.u64(7).bytes(b"hello").int(&BigUint::from(1u128 << 100));
+        let reused = w.finish();
+        assert_eq!(reused, fresh);
+        assert_eq!(reused.capacity(), cap);
+        assert_eq!(reused.as_ptr(), ptr, "no reallocation for a fitting buffer");
+    }
+
+    #[test]
+    fn streamed_int_matches_tempvec_encoding() {
+        for v in [BigUint::zero(), BigUint::from(1u64), BigUint::from(u64::MAX), BigUint::one() << 300]
+        {
+            let mut w = Writer::new();
+            w.int(&v);
+            let mut expect = Writer::new();
+            expect.bytes(&v.to_be_bytes());
+            assert_eq!(w.finish(), expect.finish());
+        }
+    }
+
+    #[test]
+    fn pool_recycles_buffers_on_this_thread() {
+        // Run on a dedicated thread so other tests' pool traffic can't
+        // perturb the counters (both are thread-local).
+        std::thread::spawn(|| {
+            let misses0 = wire_alloc_count();
+            let ptr = {
+                let mut b = pooled();
+                b.extend_from_slice(&[1, 2, 3]);
+                b.as_ptr()
+            };
+            assert_eq!(wire_alloc_count(), misses0 + 1);
+            assert_eq!(wire_bytes_count(), 3);
+            let b = pooled();
+            assert!(b.is_empty(), "recycled buffers arrive cleared");
+            assert_eq!(b.as_ptr(), ptr, "same allocation came back");
+            assert_eq!(wire_alloc_count(), misses0 + 1, "second take is a pool hit");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn wire_metrics_export_under_expected_names() {
+        std::thread::spawn(|| {
+            drop(pooled());
+            let metrics = Metrics::new();
+            export_wire_metrics(&metrics);
+            let report = metrics.report();
+            assert!(report.counters.contains_key("wire.alloc"));
+            assert!(report.counters.contains_key("wire.bytes"));
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub mod service;
 pub mod shop;
 pub mod sigcache;
 pub mod types;
+pub mod view;
 pub mod vpool;
 pub mod wire;
 
@@ -112,6 +113,7 @@ pub use messages::{
 pub use params::SystemParams;
 pub use peer::{HeldCoin, OwnedCoin, Peer, PendingPurchase, PurchaseMode};
 pub use shop::CoinShop;
-pub use sigcache::SigCache;
+pub use sigcache::{CacheKeyer, SigCache};
 pub use types::{CoinId, PeerId, Timestamp};
+pub use view::{RequestView, ResponseView};
 pub use vpool::VerifyPool;

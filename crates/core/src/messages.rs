@@ -30,7 +30,7 @@ pub struct ReceiveSession {
 /// The payee's opening message for an issue or transfer: the fresh holder
 /// public key, a challenge nonce, and a group signature (so the payee
 /// stays anonymous but accountable).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PaymentInvite {
     /// Fresh holder public key `pkC_payee`.
     pub holder_pk: BigUint,
@@ -70,7 +70,7 @@ impl PaymentInvite {
 /// What the payer hands the payee: the broker-signed coin, the fresh
 /// binding naming the payee's holder key, and the answer to the payee's
 /// ownership challenge.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoinGrant {
     /// The broker-signed coin.
     pub minted: MintedCoin,
@@ -117,7 +117,7 @@ impl CoinGrant {
 /// "The transfer request is signed with both `skCV` and V's group private
 /// key `gkV`, with the first to prove V's holdership of the coin and the
 /// second to help ensure the fairness of the system." (§4.2)
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferRequest {
     /// The binding under which the requester currently holds the coin.
     pub current: Binding,
@@ -156,7 +156,7 @@ impl TransferRequest {
 }
 
 /// A holder's request to extend a coin's expiration date.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RenewalRequest {
     /// The binding being renewed.
     pub current: Binding,
@@ -190,7 +190,7 @@ impl RenewalRequest {
 }
 
 /// A holder's request to redeem a coin at the broker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DepositRequest {
     /// The broker-signed coin being redeemed.
     pub minted: MintedCoin,
@@ -246,7 +246,7 @@ impl DepositRequest {
 }
 
 /// A request to buy a coin from the broker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PurchaseRequest {
     /// How the minted coin should name its owner.
     pub owner: OwnerTag,

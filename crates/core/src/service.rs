@@ -33,10 +33,12 @@ use whopay_net::{EndpointId, Network, RequestError};
 use whopay_obs::{Obs, OpKind, Role, Span};
 
 use crate::broker::Broker;
+use crate::codec;
 use crate::error::CoreError;
-use crate::messages::{CoinGrant, DepositReceipt, PaymentInvite};
+use crate::messages::{CoinGrant, DepositReceipt, PaymentInvite, PurchaseRequest};
 use crate::peer::{Peer, PurchaseMode};
 use crate::types::{CoinId, Timestamp};
+use crate::view::RequestView;
 use crate::wire::{wire_kind, Request, Response};
 
 /// A shared protocol clock for networked services.
@@ -51,21 +53,6 @@ pub fn clock(t: Timestamp) -> Clock {
 /// per-kind traffic breakdown splits by protocol operation.
 pub fn install_wire_classifier(net: &mut Network) {
     net.set_classifier(wire_kind);
-}
-
-/// The operation kind a decoded request dispatches to.
-fn request_op_kind(req: &Request) -> OpKind {
-    match req {
-        Request::Purchase(_) => OpKind::Purchase,
-        Request::Issue { .. } => OpKind::Issue,
-        Request::Transfer { downtime: false, .. } => OpKind::Transfer,
-        Request::Transfer { downtime: true, .. } => OpKind::DowntimeTransfer,
-        Request::Renewal { downtime: false, .. } => OpKind::Renewal,
-        Request::Renewal { downtime: true, .. } => OpKind::DowntimeRenewal,
-        Request::Deposit(_) => OpKind::Deposit,
-        Request::DepositBatch(_) => OpKind::Deposit,
-        Request::Sync { .. } => OpKind::Sync,
-    }
 }
 
 /// Marks the span failed when the response is an error, then finishes it.
@@ -100,42 +87,62 @@ pub fn attach_broker_obs(
     obs: Obs,
 ) -> EndpointId {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let id = net.register("broker", move |bytes: &[u8]| {
+    let id = net.register_writer("broker", move |_net, bytes: &[u8], out: &mut Vec<u8>| {
         let now = clock.get();
         let mut span = obs.span(Role::Broker, OpKind::Other);
-        let decoded = Request::decode(bytes);
-        if let Ok(req) = &decoded {
-            span.set_op(request_op_kind(req));
+        // Parse a borrowed view: classification and dispatch run over the
+        // wire bytes; each arm materializes only the message it handles.
+        let parsed = RequestView::parse(bytes);
+        if let Ok(view) = &parsed {
+            span.set_op(view.op_kind());
         }
-        let response = match decoded {
+        let response = match parsed {
             Err(e) => Response::Error(e.to_string()),
-            Ok(Request::Purchase(req)) => match broker.borrow_mut().handle_purchase(&req, &mut rng) {
-                Ok(minted) => Response::Minted(minted),
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Ok(Request::Deposit(req)) => match broker.borrow_mut().handle_deposit(&req, now) {
-                Ok(receipt) => Response::Receipt(receipt),
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Ok(Request::DepositBatch(reqs)) => {
-                span.set_batch(reqs.len() as u64);
+            Ok(RequestView::Purchase { owner, coin_pk, identity_sig, group_sig }) => {
+                let req = PurchaseRequest {
+                    owner,
+                    coin_pk: coin_pk.to_biguint(),
+                    identity_sig: identity_sig.map(|s| s.to_sig()),
+                    group_sig: group_sig.map(|g| g.to_gsig()),
+                };
+                match broker.borrow_mut().handle_purchase(&req, &mut rng) {
+                    Ok(minted) => Response::Minted(minted),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(RequestView::Deposit(d)) => {
+                match broker.borrow_mut().handle_deposit(&d.to_deposit(), now) {
+                    Ok(receipt) => Response::Receipt(receipt),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(RequestView::DepositBatch(ds)) => {
+                span.set_batch(ds.len() as u64);
+                let reqs: Vec<_> = ds.iter().map(|d| d.to_deposit()).collect();
                 let outcomes = broker.borrow_mut().handle_deposit_batch(&reqs, now);
                 Response::Receipts(outcomes.into_iter().map(|r| r.map_err(|e| e.to_string())).collect())
             }
-            Ok(Request::Transfer { request, downtime: true }) => {
+            Ok(view @ RequestView::Transfer { downtime: true, .. }) => {
+                let Request::Transfer { request, .. } = view.to_owned_request() else {
+                    unreachable!("transfer view materializes a transfer")
+                };
                 match broker.borrow_mut().handle_downtime_transfer(&request, now, &mut rng) {
                     Ok(grant) => Response::Grant(Box::new(grant)),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
-            Ok(Request::Renewal { request, downtime: true }) => {
+            Ok(view @ RequestView::Renewal { downtime: true, .. }) => {
+                let Request::Renewal { request, .. } = view.to_owned_request() else {
+                    unreachable!("renewal view materializes a renewal")
+                };
                 match broker.borrow_mut().handle_downtime_renewal(&request, now, &mut rng) {
                     Ok(binding) => Response::Binding(binding),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
-            Ok(Request::Sync { peer, challenge, response }) => {
-                match broker.borrow_mut().sync_for_owner(peer, &challenge, &response) {
+            Ok(RequestView::Sync { peer, challenge, response }) => {
+                // The challenge never leaves the wire buffer.
+                match broker.borrow_mut().sync_for_owner(peer, challenge, &response.to_sig()) {
                     Ok(bindings) => Response::Bindings(bindings),
                     Err(e) => Response::Error(e.to_string()),
                 }
@@ -143,7 +150,7 @@ pub fn attach_broker_obs(
             Ok(_) => Response::Error("request not handled by the broker".into()),
         };
         finish_dispatch(span, &response);
-        response.encode()
+        response.encode_into(out);
     });
     net.set_role(id, Role::Broker);
     id
@@ -166,28 +173,34 @@ pub fn attach_peer_obs(
 ) -> EndpointId {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let name = format!("peer-{}", peer.borrow().id());
-    let id = net.register(&name, move |bytes: &[u8]| {
+    let id = net.register_writer(&name, move |_net, bytes: &[u8], out: &mut Vec<u8>| {
         let now = clock.get();
         let mut span = obs.span(Role::Peer, OpKind::Other);
-        let decoded = Request::decode(bytes);
-        if let Ok(req) = &decoded {
-            span.set_op(request_op_kind(req));
+        let parsed = RequestView::parse(bytes);
+        if let Ok(view) = &parsed {
+            span.set_op(view.op_kind());
         }
-        let response = match decoded {
+        let response = match parsed {
             Err(e) => Response::Error(e.to_string()),
-            Ok(Request::Issue { coin, invite }) => {
-                match peer.borrow_mut().issue_coin(coin, &invite, now, &mut rng) {
+            Ok(RequestView::Issue { coin, invite }) => {
+                match peer.borrow_mut().issue_coin(coin, &invite.to_invite(), now, &mut rng) {
                     Ok(grant) => Response::Grant(Box::new(grant)),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
-            Ok(Request::Transfer { request, downtime: false }) => {
+            Ok(view @ RequestView::Transfer { downtime: false, .. }) => {
+                let Request::Transfer { request, .. } = view.to_owned_request() else {
+                    unreachable!("transfer view materializes a transfer")
+                };
                 match peer.borrow_mut().handle_transfer(request, now, &mut rng) {
                     Ok(grant) => Response::Grant(Box::new(grant)),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
-            Ok(Request::Renewal { request, downtime: false }) => {
+            Ok(view @ RequestView::Renewal { downtime: false, .. }) => {
+                let Request::Renewal { request, .. } = view.to_owned_request() else {
+                    unreachable!("renewal view materializes a renewal")
+                };
                 match peer.borrow_mut().handle_renewal(request, now, &mut rng) {
                     Ok(binding) => Response::Binding(binding),
                     Err(e) => Response::Error(e.to_string()),
@@ -196,7 +209,7 @@ pub fn attach_peer_obs(
             Ok(_) => Response::Error("request not handled by a peer".into()),
         };
         finish_dispatch(span, &response);
-        response.encode()
+        response.encode_into(out);
     });
     net.set_role(id, Role::Peer);
     id
@@ -205,7 +218,7 @@ pub fn attach_peer_obs(
 /// Registers a plain client endpoint (for invite delivery and as the
 /// source address of requests).
 pub fn attach_client(net: &mut Network, name: &str) -> EndpointId {
-    net.register(name, |_bytes: &[u8]| Vec::new())
+    net.register_writer(name, |_net, _bytes, _out| {})
 }
 
 /// Errors from networked client calls.
@@ -241,11 +254,14 @@ fn call_traced(
     request: &Request,
     span: &mut Span<'_>,
 ) -> Result<Response, CallError> {
-    let bytes = request.encode();
-    let req_len = bytes.len();
-    let resp_bytes = net.request(from, to, bytes).map_err(CallError::Network)?;
-    span.add_traffic(2, (req_len + resp_bytes.len()) as u64);
-    match Response::decode(&resp_bytes).map_err(CallError::Protocol)? {
+    // Encode into, and receive into, recycled pool buffers: a steady-state
+    // exchange allocates nothing on the wire itself.
+    let mut req_buf = codec::pooled();
+    request.encode_into(&mut req_buf);
+    let mut resp_buf = codec::pooled();
+    net.request_into(from, to, &req_buf, &mut resp_buf).map_err(CallError::Network)?;
+    span.add_traffic(2, (req_buf.len() + resp_buf.len()) as u64);
+    match Response::decode(&resp_buf).map_err(CallError::Protocol)? {
         Response::Error(e) => Err(CallError::Remote(e)),
         other => Ok(other),
     }
@@ -283,15 +299,16 @@ pub fn send_invite_obs(
     // Reuse the Issue frame purely as an invite container; the receiving
     // client endpoint ignores payloads.
     let frame = Request::Issue { coin: CoinId([0; 32]), invite: invite.clone() };
-    let bytes = frame.encode();
-    let req_len = bytes.len();
-    let result = net.request(payee, payer, bytes).map_err(CallError::Network);
+    let mut req_buf = codec::pooled();
+    frame.encode_into(&mut req_buf);
+    let mut reply = codec::pooled();
+    let result = net.request_into(payee, payer, &req_buf, &mut reply).map_err(CallError::Network);
     match &result {
-        Ok(reply) => span.add_traffic(2, (req_len + reply.len()) as u64),
+        Ok(()) => span.add_traffic(2, (req_buf.len() + reply.len()) as u64),
         Err(e) => span.fail(e.to_string()),
     }
     span.finish();
-    result.map(|_| ())
+    result
 }
 
 /// Purchases a coin over the network.

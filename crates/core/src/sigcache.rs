@@ -53,24 +53,101 @@ pub const MAX_SHARDS: usize = 16;
 /// Domain label for cache keys.
 const DOMAIN: &str = "whopay/sigcache/v1";
 
+/// A cache-key builder with the group parameters pre-hashed.
+///
+/// The group's `(p, q, g)` are identical across every lookup a deployment
+/// makes, yet [`cache_key`] used to re-hash all three 512-to-3072-bit
+/// integers per call. A `CacheKeyer` hashes them once into a reusable
+/// transcript prefix; each key then costs one SHA-256 over the
+/// per-signature fields only, and the wire entry point
+/// [`CacheKeyer::key_wire`] hashes signature components straight from
+/// their wire slices without materializing `BigUint`s.
+#[derive(Debug, Clone)]
+pub struct CacheKeyer {
+    group: SchnorrGroup,
+    prefix: Transcript,
+}
+
+impl CacheKeyer {
+    /// Pre-hashes the group parameters.
+    pub fn new(group: &SchnorrGroup) -> Self {
+        let prefix =
+            Transcript::new(DOMAIN).int(group.modulus()).int(group.order()).int(group.generator());
+        CacheKeyer { group: group.clone(), prefix }
+    }
+
+    /// The group this keyer's prefix commits to.
+    pub fn group(&self) -> &SchnorrGroup {
+        &self.group
+    }
+
+    /// The key for a verification question over owned components;
+    /// bit-identical to [`cache_key`] on the same inputs.
+    pub fn key(&self, signer: &DsaPublicKey, message: &[u8], sig: &DsaSignature) -> Digest {
+        self.prefix.clone().int(signer.element()).bytes(message).int(sig.r()).int(sig.s()).finish()
+    }
+
+    /// The key with the signature components still in wire form (raw
+    /// big-endian magnitudes, attacker padding tolerated) — the
+    /// zero-materialization entry for borrowed decode views. Produces the
+    /// same digest as [`CacheKeyer::key`] on the materialized values.
+    pub fn key_wire(&self, signer: &DsaPublicKey, message: &[u8], r_be: &[u8], s_be: &[u8]) -> Digest {
+        self.prefix
+            .clone()
+            .int(signer.element())
+            .bytes(message)
+            .int_be_bytes(r_be)
+            .int_be_bytes(s_be)
+            .finish()
+    }
+
+    /// [`CacheKeyer::key_wire`] with the *signer* element also still in
+    /// wire form — used when the verification key itself rides in the
+    /// message, e.g. a coin-key-signed binding.
+    pub fn key_wire_signer(
+        &self,
+        signer_be: &[u8],
+        message: &[u8],
+        r_be: &[u8],
+        s_be: &[u8],
+    ) -> Digest {
+        self.prefix
+            .clone()
+            .int_be_bytes(signer_be)
+            .bytes(message)
+            .int_be_bytes(r_be)
+            .int_be_bytes(s_be)
+            .finish()
+    }
+}
+
+thread_local! {
+    /// The last group seen by [`cache_key`] on this thread, with its
+    /// prefix pre-hashed. Deployments use one group, so this hits
+    /// essentially always.
+    static KEYER_MEMO: std::cell::RefCell<Option<CacheKeyer>> = const { std::cell::RefCell::new(None) };
+}
+
 /// The cache key: a digest binding group parameters, signer, message, and
 /// signature. Distinct verification questions collide only if SHA-256
 /// does.
+///
+/// Internally memoizes a per-thread [`CacheKeyer`] for the last group
+/// seen, so repeated lookups under one group skip re-hashing its
+/// parameters.
 pub fn cache_key(
     group: &SchnorrGroup,
     signer: &DsaPublicKey,
     message: &[u8],
     sig: &DsaSignature,
 ) -> Digest {
-    Transcript::new(DOMAIN)
-        .int(group.modulus())
-        .int(group.order())
-        .int(group.generator())
-        .int(signer.element())
-        .bytes(message)
-        .int(sig.r())
-        .int(sig.s())
-        .finish()
+    KEYER_MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        if !memo.as_ref().is_some_and(|k| k.group() == group) {
+            *memo = Some(CacheKeyer::new(group));
+        }
+        memo.as_ref().expect("memo just filled").key(signer, message, sig)
+    })
 }
 
 #[derive(Debug)]
@@ -338,6 +415,34 @@ mod tests {
         });
         assert_eq!(cache.misses(), 4 * 256);
         assert_eq!(cache.hits(), 4 * 256);
+    }
+
+    #[test]
+    fn keyer_matches_cache_key_and_wire_entries_agree() {
+        use whopay_crypto::dsa::DsaKeyPair;
+        use whopay_crypto::testing::{test_rng, tiny_group};
+
+        let group = tiny_group();
+        let mut rng = test_rng(11);
+        let signer = DsaKeyPair::generate(group, &mut rng);
+        let sig = signer.sign(group, b"msg", &mut rng);
+
+        let keyer = CacheKeyer::new(group);
+        let direct = cache_key(group, signer.public(), b"msg", &sig);
+        assert_eq!(keyer.key(signer.public(), b"msg", &sig), direct);
+
+        // Wire entries accept raw (even zero-padded) magnitudes.
+        let r_be = sig.r().to_be_bytes();
+        let s_be = sig.s().to_be_bytes();
+        assert_eq!(keyer.key_wire(signer.public(), b"msg", &r_be, &s_be), direct);
+        let mut padded = vec![0u8; 3];
+        padded.extend_from_slice(&r_be);
+        assert_eq!(keyer.key_wire(signer.public(), b"msg", &padded, &s_be), direct);
+        let signer_be = signer.public().element().to_be_bytes();
+        assert_eq!(keyer.key_wire_signer(&signer_be, b"msg", &r_be, &s_be), direct);
+
+        // Different messages still produce different keys.
+        assert_ne!(cache_key(group, signer.public(), b"other", &sig), direct);
     }
 
     #[test]

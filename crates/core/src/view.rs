@@ -1,0 +1,848 @@
+//! Borrowed decode views over the wire encoding.
+//!
+//! [`crate::wire::Request::decode`] materializes every big-integer field
+//! into an owned `BigUint` — a heap allocation per field — even when the
+//! receiver only classifies the message, compares a field, or hashes it
+//! into a cache key. On the broker's hot paths (transfers, renewals,
+//! deposit floods) that is the dominant wire-layer cost now that
+//! signature verification itself is cached and batched.
+//!
+//! This module parses the same bytes into *views*: structs that validate
+//! the full wire structure but keep every variable-length field as a
+//! borrowed slice of the input ([`IntRef`]). Dispatch, classification
+//! ([`RequestView::kind`] matches [`crate::wire::wire_kind`] exactly),
+//! equality checks, and SigCache key hashing run directly over the wire
+//! bytes; owned messages are materialized with
+//! [`RequestView::to_owned_request`] only where a handler actually
+//! computes with them.
+//!
+//! # View-vs-owned contract
+//!
+//! For every byte string `b`:
+//!
+//! * `RequestView::parse(b)` succeeds iff `Request::decode(b)` does, and
+//!   `view.to_owned_request()` equals the decoded request (same for
+//!   responses).
+//! * Parsing never panics on arbitrary bytes and never allocates
+//!   proportionally to field sizes (only `DepositBatch`/`Bindings`/
+//!   `Receipts` allocate their item vectors, length-capped exactly like
+//!   the owned decoder).
+
+use whopay_crypto::dsa::DsaSignature;
+use whopay_crypto::elgamal::ElGamalCiphertext;
+use whopay_crypto::group_sig::GroupSignature;
+use whopay_net::Handle;
+use whopay_num::BigUint;
+use whopay_obs::OpKind;
+
+use crate::codec::{DecodeError, Reader};
+use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
+use crate::error::CoreError;
+use crate::messages::{
+    CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest, RenewalRequest,
+    TransferRequest,
+};
+use crate::types::{CoinId, PeerId, Timestamp};
+use crate::wire::{Request, Response};
+
+/// A big integer still sitting in the wire buffer: the minimal big-endian
+/// magnitude, with any (attacker-supplied) leading zero bytes stripped at
+/// parse time so equality and hashing are canonical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntRef<'a> {
+    be: &'a [u8],
+}
+
+impl<'a> IntRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let raw = r.bytes()?;
+        Ok(IntRef { be: &raw[raw.iter().take_while(|&&b| b == 0).count()..] })
+    }
+
+    /// The canonical big-endian magnitude (empty for zero).
+    pub fn be_bytes(&self) -> &'a [u8] {
+        self.be
+    }
+
+    /// Materializes the owned integer (the only allocating operation).
+    pub fn to_biguint(&self) -> BigUint {
+        BigUint::from_be_bytes(self.be)
+    }
+
+    /// Value equality against an owned integer, without materializing.
+    pub fn eq_big(&self, v: &BigUint) -> bool {
+        v.eq_be_bytes(self.be)
+    }
+}
+
+/// A DSA signature by reference.
+#[derive(Debug, Clone, Copy)]
+pub struct SigRef<'a> {
+    /// `r` component.
+    pub r: IntRef<'a>,
+    /// `s` component.
+    pub s: IntRef<'a>,
+    /// Optional batching witness `R`.
+    pub witness: Option<IntRef<'a>>,
+}
+
+// Like `DsaSignature`, equality ignores the optional batching witness.
+impl PartialEq for SigRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.r == other.r && self.s == other.s
+    }
+}
+
+impl Eq for SigRef<'_> {}
+
+impl<'a> SigRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let sig_r = IntRef::parse(r)?;
+        let sig_s = IntRef::parse(r)?;
+        let witness = match r.u64()? {
+            0 => None,
+            1 => Some(IntRef::parse(r)?),
+            _ => return Err(DecodeError),
+        };
+        Ok(SigRef { r: sig_r, s: sig_s, witness })
+    }
+
+    /// Materializes the owned signature.
+    pub fn to_sig(&self) -> DsaSignature {
+        DsaSignature::from_parts_with_witness(
+            self.r.to_biguint(),
+            self.s.to_biguint(),
+            self.witness.map(|w| w.to_biguint()),
+        )
+    }
+}
+
+/// A group signature by reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSigRef<'a> {
+    /// ElGamal ciphertext component `c1`.
+    pub c1: IntRef<'a>,
+    /// ElGamal ciphertext component `c2`.
+    pub c2: IntRef<'a>,
+    /// Fiat–Shamir challenge scalar.
+    pub challenge: IntRef<'a>,
+    /// Response scalar for the encryption randomness.
+    pub z_r: IntRef<'a>,
+    /// Response scalar for the member secret.
+    pub z_x: IntRef<'a>,
+}
+
+impl<'a> GroupSigRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(GroupSigRef {
+            c1: IntRef::parse(r)?,
+            c2: IntRef::parse(r)?,
+            challenge: IntRef::parse(r)?,
+            z_r: IntRef::parse(r)?,
+            z_x: IntRef::parse(r)?,
+        })
+    }
+
+    /// Materializes the owned group signature.
+    pub fn to_gsig(&self) -> GroupSignature {
+        GroupSignature::from_parts(
+            ElGamalCiphertext::from_parts(self.c1.to_biguint(), self.c2.to_biguint()),
+            self.challenge.to_biguint(),
+            self.z_r.to_biguint(),
+            self.z_x.to_biguint(),
+        )
+    }
+}
+
+fn parse_nonce<'a>(r: &mut Reader<'a>) -> Result<Nonce, DecodeError> {
+    r.bytes()?.try_into().map_err(|_| DecodeError)
+}
+
+fn parse_owner_tag(r: &mut Reader<'_>) -> Result<OwnerTag, DecodeError> {
+    match r.u64()? {
+        0 => Ok(OwnerTag::Identified(PeerId(r.u64()?))),
+        1 => {
+            r.u64()?;
+            Ok(OwnerTag::Anonymous)
+        }
+        2 => {
+            let arr: [u8; 32] = r.bytes()?.try_into().map_err(|_| DecodeError)?;
+            Ok(OwnerTag::AnonymousWithHandle(Handle(arr)))
+        }
+        _ => Err(DecodeError),
+    }
+}
+
+/// A minted coin by reference. The owner tag is held owned — it contains
+/// no big integers, only a peer id or a fixed-width handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MintedRef<'a> {
+    /// Owner tag (cheap; no heap fields).
+    pub owner: OwnerTag,
+    /// The coin public key `pkC`.
+    pub coin_pk: IntRef<'a>,
+    /// The broker's mint signature.
+    pub broker_sig: SigRef<'a>,
+}
+
+impl<'a> MintedRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(MintedRef {
+            owner: parse_owner_tag(r)?,
+            coin_pk: IntRef::parse(r)?,
+            broker_sig: SigRef::parse(r)?,
+        })
+    }
+
+    /// Materializes the owned coin.
+    pub fn to_minted(&self) -> MintedCoin {
+        MintedCoin::from_parts(self.owner, self.coin_pk.to_biguint(), self.broker_sig.to_sig())
+    }
+
+    /// The mint-signature cache key, hashed straight from the wire slices
+    /// — bit-identical to [`MintedCoin::mint_cache_key`] on the
+    /// materialized coin, with no `BigUint` allocated.
+    pub fn mint_cache_key(
+        &self,
+        keyer: &crate::sigcache::CacheKeyer,
+        broker: &whopay_crypto::dsa::DsaPublicKey,
+    ) -> whopay_crypto::sha256::Digest {
+        let msg = MintedCoin::signed_bytes_wire(&self.owner, self.coin_pk.be_bytes());
+        keyer.key_wire(broker, &msg, self.broker_sig.r.be_bytes(), self.broker_sig.s.be_bytes())
+    }
+}
+
+/// A binding by reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindingRef<'a> {
+    /// The coin this binding is about.
+    pub coin_pk: IntRef<'a>,
+    /// The current holder key.
+    pub holder_pk: IntRef<'a>,
+    /// Sequence number.
+    pub seq: u64,
+    /// Expiration date.
+    pub expires: Timestamp,
+    /// Who signed it.
+    pub signer: BindingSigner,
+    /// The binding signature.
+    pub sig: SigRef<'a>,
+}
+
+impl<'a> BindingRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let coin_pk = IntRef::parse(r)?;
+        let holder_pk = IntRef::parse(r)?;
+        let seq = r.u64()?;
+        let expires = Timestamp(r.u64()?);
+        let signer = match r.u64()? {
+            0 => BindingSigner::CoinKey,
+            1 => BindingSigner::Broker,
+            _ => return Err(DecodeError),
+        };
+        Ok(BindingRef { coin_pk, holder_pk, seq, expires, signer, sig: SigRef::parse(r)? })
+    }
+
+    /// Materializes the owned binding.
+    pub fn to_binding(&self) -> Binding {
+        Binding::from_parts(
+            self.coin_pk.to_biguint(),
+            self.holder_pk.to_biguint(),
+            self.seq,
+            self.expires,
+            self.signer,
+            self.sig.to_sig(),
+        )
+    }
+
+    /// The binding-signature cache key, hashed straight from the wire
+    /// slices — bit-identical to the key `Binding::verify_cached` derives
+    /// from the materialized binding.
+    pub fn cache_key(
+        &self,
+        keyer: &crate::sigcache::CacheKeyer,
+        broker: &whopay_crypto::dsa::DsaPublicKey,
+    ) -> whopay_crypto::sha256::Digest {
+        let msg = Binding::signed_bytes_wire(
+            self.coin_pk.be_bytes(),
+            self.holder_pk.be_bytes(),
+            self.seq,
+            self.expires,
+            self.signer,
+        );
+        let (r, s) = (self.sig.r.be_bytes(), self.sig.s.be_bytes());
+        match self.signer {
+            // The verification key is the coin key — itself a wire slice.
+            BindingSigner::CoinKey => keyer.key_wire_signer(self.coin_pk.be_bytes(), &msg, r, s),
+            BindingSigner::Broker => keyer.key_wire(broker, &msg, r, s),
+        }
+    }
+
+    /// Field-by-field equality against an owned binding, straight over
+    /// the wire bytes: no `BigUint` is materialized.
+    pub fn matches(&self, b: &Binding) -> bool {
+        self.seq == b.seq()
+            && self.expires == b.expires()
+            && self.signer == b.signer()
+            && self.coin_pk.eq_big(b.coin_pk())
+            && self.holder_pk.eq_big(b.holder_pk())
+            && self.sig.r.eq_big(b.raw_sig().r())
+            && self.sig.s.eq_big(b.raw_sig().s())
+    }
+}
+
+/// A payment invite by reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InviteRef<'a> {
+    /// Fresh holder public key.
+    pub holder_pk: IntRef<'a>,
+    /// Challenge nonce.
+    pub nonce: Nonce,
+    /// The payee's group signature.
+    pub group_sig: GroupSigRef<'a>,
+}
+
+impl<'a> InviteRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(InviteRef {
+            holder_pk: IntRef::parse(r)?,
+            nonce: parse_nonce(r)?,
+            group_sig: GroupSigRef::parse(r)?,
+        })
+    }
+
+    /// Materializes the owned invite.
+    pub fn to_invite(&self) -> PaymentInvite {
+        PaymentInvite {
+            holder_pk: self.holder_pk.to_biguint(),
+            nonce: self.nonce,
+            group_sig: self.group_sig.to_gsig(),
+        }
+    }
+}
+
+/// A deposit request by reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepositRef<'a> {
+    /// The broker-signed coin.
+    pub minted: MintedRef<'a>,
+    /// The holder's current binding.
+    pub binding: BindingRef<'a>,
+    /// The holder's relinquishment signature.
+    pub holder_sig: SigRef<'a>,
+    /// The holder's group signature.
+    pub group_sig: GroupSigRef<'a>,
+}
+
+impl<'a> DepositRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(DepositRef {
+            minted: MintedRef::parse(r)?,
+            binding: BindingRef::parse(r)?,
+            holder_sig: SigRef::parse(r)?,
+            group_sig: GroupSigRef::parse(r)?,
+        })
+    }
+
+    /// Materializes the owned deposit request.
+    pub fn to_deposit(&self) -> DepositRequest {
+        DepositRequest {
+            minted: self.minted.to_minted(),
+            binding: self.binding.to_binding(),
+            holder_sig: self.holder_sig.to_sig(),
+            group_sig: self.group_sig.to_gsig(),
+        }
+    }
+}
+
+/// A [`Request`] parsed but not materialized: every big integer is still
+/// a slice of the input buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestView<'a> {
+    /// Buy a coin.
+    Purchase {
+        /// Owner tag.
+        owner: OwnerTag,
+        /// The coin key to be minted.
+        coin_pk: IntRef<'a>,
+        /// Identity signature (identified purchases).
+        identity_sig: Option<SigRef<'a>>,
+        /// Group signature (anonymous purchases).
+        group_sig: Option<GroupSigRef<'a>>,
+    },
+    /// Issue an owned coin to the enclosed invite.
+    Issue {
+        /// The coin to issue.
+        coin: CoinId,
+        /// The payee's invite.
+        invite: InviteRef<'a>,
+    },
+    /// Transfer a held coin.
+    Transfer {
+        /// Broker downtime path?
+        downtime: bool,
+        /// The holder's current binding.
+        current: BindingRef<'a>,
+        /// The payee's fresh holder key.
+        new_holder_pk: IntRef<'a>,
+        /// The payee's challenge nonce.
+        nonce: Nonce,
+        /// The holder's signature.
+        holder_sig: SigRef<'a>,
+        /// The holder's group signature.
+        group_sig: GroupSigRef<'a>,
+    },
+    /// Renew a held coin.
+    Renewal {
+        /// Broker downtime path?
+        downtime: bool,
+        /// The holder's current binding.
+        current: BindingRef<'a>,
+        /// The holder's signature.
+        holder_sig: SigRef<'a>,
+        /// The holder's group signature.
+        group_sig: GroupSigRef<'a>,
+    },
+    /// Redeem a coin.
+    Deposit(DepositRef<'a>),
+    /// Redeem many coins in one exchange.
+    DepositBatch(Vec<DepositRef<'a>>),
+    /// Proactive synchronization.
+    Sync {
+        /// The rejoining owner.
+        peer: PeerId,
+        /// Challenge bytes (borrowed).
+        challenge: &'a [u8],
+        /// Identity signature over the challenge.
+        response: SigRef<'a>,
+    },
+}
+
+impl<'a> RequestView<'a> {
+    /// Parses a request without materializing integers.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] exactly when [`Request::decode`] fails.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, CoreError> {
+        let mut r = Reader::new(bytes);
+        let view = Self::parse_inner(&mut r).map_err(|_| CoreError::Malformed)?;
+        r.finish().map_err(|_| CoreError::Malformed)?;
+        Ok(view)
+    }
+
+    fn parse_inner(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(match r.u64()? {
+            0 => {
+                let owner = parse_owner_tag(r)?;
+                let coin_pk = IntRef::parse(r)?;
+                let (identity_sig, group_sig) = match r.u64()? {
+                    0 => (Some(SigRef::parse(r)?), None),
+                    1 => (None, Some(GroupSigRef::parse(r)?)),
+                    2 => (None, None),
+                    _ => return Err(DecodeError),
+                };
+                RequestView::Purchase { owner, coin_pk, identity_sig, group_sig }
+            }
+            1 => {
+                let coin = CoinId(r.bytes()?.try_into().map_err(|_| DecodeError)?);
+                RequestView::Issue { coin, invite: InviteRef::parse(r)? }
+            }
+            2 => {
+                let downtime = r.u64()? != 0;
+                RequestView::Transfer {
+                    downtime,
+                    current: BindingRef::parse(r)?,
+                    new_holder_pk: IntRef::parse(r)?,
+                    nonce: parse_nonce(r)?,
+                    holder_sig: SigRef::parse(r)?,
+                    group_sig: GroupSigRef::parse(r)?,
+                }
+            }
+            3 => {
+                let downtime = r.u64()? != 0;
+                RequestView::Renewal {
+                    downtime,
+                    current: BindingRef::parse(r)?,
+                    holder_sig: SigRef::parse(r)?,
+                    group_sig: GroupSigRef::parse(r)?,
+                }
+            }
+            4 => RequestView::Deposit(DepositRef::parse(r)?),
+            5 => RequestView::Sync {
+                peer: PeerId(r.u64()?),
+                challenge: r.bytes()?,
+                response: SigRef::parse(r)?,
+            },
+            6 => {
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError); // same cap as the owned decoder
+                }
+                let mut ds = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ds.push(DepositRef::parse(r)?);
+                }
+                RequestView::DepositBatch(ds)
+            }
+            _ => return Err(DecodeError),
+        })
+    }
+
+    /// The message-kind label; identical to [`crate::wire::wire_kind`] on
+    /// the same bytes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestView::Purchase { .. } => "purchase",
+            RequestView::Issue { .. } => "issue",
+            RequestView::Transfer { downtime: false, .. } => "transfer",
+            RequestView::Transfer { downtime: true, .. } => "downtime_transfer",
+            RequestView::Renewal { downtime: false, .. } => "renewal",
+            RequestView::Renewal { downtime: true, .. } => "downtime_renewal",
+            RequestView::Deposit(_) => "deposit",
+            RequestView::DepositBatch(_) => "deposit_batch",
+            RequestView::Sync { .. } => "sync",
+        }
+    }
+
+    /// The operation kind this request dispatches to (the same mapping
+    /// service dispatch uses for span attribution).
+    pub fn op_kind(&self) -> OpKind {
+        match self {
+            RequestView::Purchase { .. } => OpKind::Purchase,
+            RequestView::Issue { .. } => OpKind::Issue,
+            RequestView::Transfer { downtime: false, .. } => OpKind::Transfer,
+            RequestView::Transfer { downtime: true, .. } => OpKind::DowntimeTransfer,
+            RequestView::Renewal { downtime: false, .. } => OpKind::Renewal,
+            RequestView::Renewal { downtime: true, .. } => OpKind::DowntimeRenewal,
+            RequestView::Deposit(_) | RequestView::DepositBatch(_) => OpKind::Deposit,
+            RequestView::Sync { .. } => OpKind::Sync,
+        }
+    }
+
+    /// Materializes the owned request — bit-identical to what
+    /// [`Request::decode`] returns on the same bytes.
+    pub fn to_owned_request(&self) -> Request {
+        match self {
+            RequestView::Purchase { owner, coin_pk, identity_sig, group_sig } => {
+                Request::Purchase(PurchaseRequest {
+                    owner: *owner,
+                    coin_pk: coin_pk.to_biguint(),
+                    identity_sig: identity_sig.map(|s| s.to_sig()),
+                    group_sig: group_sig.map(|g| g.to_gsig()),
+                })
+            }
+            RequestView::Issue { coin, invite } => {
+                Request::Issue { coin: *coin, invite: invite.to_invite() }
+            }
+            RequestView::Transfer {
+                downtime,
+                current,
+                new_holder_pk,
+                nonce,
+                holder_sig,
+                group_sig,
+            } => Request::Transfer {
+                request: TransferRequest {
+                    current: current.to_binding(),
+                    new_holder_pk: new_holder_pk.to_biguint(),
+                    nonce: *nonce,
+                    holder_sig: holder_sig.to_sig(),
+                    group_sig: group_sig.to_gsig(),
+                },
+                downtime: *downtime,
+            },
+            RequestView::Renewal { downtime, current, holder_sig, group_sig } => Request::Renewal {
+                request: RenewalRequest {
+                    current: current.to_binding(),
+                    holder_sig: holder_sig.to_sig(),
+                    group_sig: group_sig.to_gsig(),
+                },
+                downtime: *downtime,
+            },
+            RequestView::Deposit(d) => Request::Deposit(d.to_deposit()),
+            RequestView::DepositBatch(ds) => {
+                Request::DepositBatch(ds.iter().map(|d| d.to_deposit()).collect())
+            }
+            RequestView::Sync { peer, challenge, response } => Request::Sync {
+                peer: *peer,
+                challenge: challenge.to_vec(),
+                response: response.to_sig(),
+            },
+        }
+    }
+}
+
+/// A [`Response`] parsed but not materialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseView<'a> {
+    /// A freshly minted coin.
+    Minted(MintedRef<'a>),
+    /// A coin grant.
+    Grant {
+        /// The broker-signed coin.
+        minted: MintedRef<'a>,
+        /// The new binding.
+        binding: BindingRef<'a>,
+        /// The ownership proof.
+        ownership_proof: SigRef<'a>,
+    },
+    /// A renewed binding.
+    Binding(BindingRef<'a>),
+    /// A deposit receipt.
+    Receipt {
+        /// The redeemed coin.
+        coin: CoinId,
+        /// Its value.
+        value: u64,
+    },
+    /// Broker-held bindings (sync result).
+    Bindings(Vec<BindingRef<'a>>),
+    /// Per-request deposit-batch outcomes.
+    Receipts(Vec<Result<(CoinId, u64), &'a [u8]>>),
+    /// The request was refused (raw message bytes).
+    Error(&'a [u8]),
+}
+
+impl<'a> ResponseView<'a> {
+    /// Parses a response without materializing integers.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] exactly when [`Response::decode`] fails.
+    pub fn parse(bytes: &'a [u8]) -> Result<Self, CoreError> {
+        let mut r = Reader::new(bytes);
+        let view = Self::parse_inner(&mut r).map_err(|_| CoreError::Malformed)?;
+        r.finish().map_err(|_| CoreError::Malformed)?;
+        Ok(view)
+    }
+
+    fn parse_inner(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        Ok(match r.u64()? {
+            0 => ResponseView::Minted(MintedRef::parse(r)?),
+            1 => ResponseView::Grant {
+                minted: MintedRef::parse(r)?,
+                binding: BindingRef::parse(r)?,
+                ownership_proof: SigRef::parse(r)?,
+            },
+            2 => ResponseView::Binding(BindingRef::parse(r)?),
+            3 => {
+                let coin = CoinId(r.bytes()?.try_into().map_err(|_| DecodeError)?);
+                ResponseView::Receipt { coin, value: r.u64()? }
+            }
+            4 => {
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError);
+                }
+                let mut bs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bs.push(BindingRef::parse(r)?);
+                }
+                ResponseView::Bindings(bs)
+            }
+            5 => ResponseView::Error(r.bytes()?),
+            6 => {
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError);
+                }
+                let mut rs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rs.push(match r.u64()? {
+                        0 => {
+                            let coin = CoinId(r.bytes()?.try_into().map_err(|_| DecodeError)?);
+                            Ok((coin, r.u64()?))
+                        }
+                        1 => Err(r.bytes()?),
+                        _ => return Err(DecodeError),
+                    });
+                }
+                ResponseView::Receipts(rs)
+            }
+            _ => return Err(DecodeError),
+        })
+    }
+
+    /// Materializes the owned response — bit-identical to what
+    /// [`Response::decode`] returns on the same bytes.
+    pub fn to_owned_response(&self) -> Response {
+        match self {
+            ResponseView::Minted(m) => Response::Minted(m.to_minted()),
+            ResponseView::Grant { minted, binding, ownership_proof } => {
+                Response::Grant(Box::new(CoinGrant {
+                    minted: minted.to_minted(),
+                    binding: binding.to_binding(),
+                    ownership_proof: ownership_proof.to_sig(),
+                }))
+            }
+            ResponseView::Binding(b) => Response::Binding(b.to_binding()),
+            ResponseView::Receipt { coin, value } => {
+                Response::Receipt(DepositReceipt { coin: *coin, value: *value })
+            }
+            ResponseView::Bindings(bs) => {
+                Response::Bindings(bs.iter().map(|b| b.to_binding()).collect())
+            }
+            ResponseView::Receipts(rs) => Response::Receipts(
+                rs.iter()
+                    .map(|o| match o {
+                        Ok((coin, value)) => Ok(DepositReceipt { coin: *coin, value: *value }),
+                        Err(e) => Err(String::from_utf8_lossy(e).into_owned()),
+                    })
+                    .collect(),
+            ),
+            ResponseView::Error(e) => Response::Error(String::from_utf8_lossy(e).into_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::wire_kind;
+
+    #[test]
+    fn intref_strips_padding_and_compares_by_value() {
+        let mut w = crate::codec::Writer::new();
+        w.bytes(&[0, 0, 1, 2]);
+        let enc = w.finish();
+        let mut r = Reader::new(&enc);
+        let i = IntRef::parse(&mut r).unwrap();
+        assert_eq!(i.be_bytes(), &[1, 2]);
+        assert!(i.eq_big(&BigUint::from(0x0102u64)));
+        assert!(!i.eq_big(&BigUint::from(0x0103u64)));
+        assert_eq!(i.to_biguint(), BigUint::from(0x0102u64));
+    }
+
+    #[test]
+    fn sync_view_round_trips_and_classifies() {
+        let req = Request::Sync {
+            peer: PeerId(9),
+            challenge: vec![1, 2, 3],
+            response: DsaSignature::from_parts(BigUint::from(4u64), BigUint::from(5u64)),
+        };
+        let bytes = req.encode();
+        let view = RequestView::parse(&bytes).unwrap();
+        assert_eq!(view.kind(), wire_kind(&bytes));
+        assert_eq!(view.op_kind(), OpKind::Sync);
+        match &view {
+            RequestView::Sync { peer, challenge, response } => {
+                assert_eq!(*peer, PeerId(9));
+                assert_eq!(*challenge, &[1, 2, 3]);
+                assert!(response.r.eq_big(&BigUint::from(4u64)));
+            }
+            other => panic!("wrong view {other:?}"),
+        }
+        match (view.to_owned_request(), Request::decode(&bytes).unwrap()) {
+            (Request::Sync { peer: a, .. }, Request::Sync { peer: b, .. }) => assert_eq!(a, b),
+            other => panic!("wrong variants {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_bytes_fail_parse_like_decode() {
+        for bytes in [&[][..], &[0xFF; 7], &[0xFF; 64]] {
+            assert!(RequestView::parse(bytes).is_err());
+            assert!(Request::decode(bytes).is_err());
+            assert!(ResponseView::parse(bytes).is_err());
+            assert!(Response::decode(bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn wire_slice_cache_keys_match_owned_path() {
+        use whopay_crypto::dsa::DsaKeyPair;
+        use whopay_crypto::testing::{test_rng, tiny_group};
+
+        let group = tiny_group();
+        let mut rng = test_rng(42);
+        let broker = DsaKeyPair::generate(group, &mut rng);
+        let coin_keys = DsaKeyPair::generate(group, &mut rng);
+        let pk = coin_keys.public().element().clone();
+        let owner = OwnerTag::Identified(crate::types::PeerId(3));
+        let mint_sig = broker.sign(group, &MintedCoin::signed_bytes(&owner, &pk), &mut rng);
+        let minted = MintedCoin::from_parts(owner, pk.clone(), mint_sig);
+
+        let holder = DsaKeyPair::generate(group, &mut rng);
+        let msg = Binding::signed_bytes(
+            &pk,
+            holder.public().element(),
+            1,
+            crate::types::Timestamp(50),
+            BindingSigner::CoinKey,
+        );
+        let bsig = coin_keys.sign(group, &msg, &mut rng);
+        let binding = Binding::from_parts(
+            pk.clone(),
+            holder.public().element().clone(),
+            1,
+            crate::types::Timestamp(50),
+            BindingSigner::CoinKey,
+            bsig.clone(),
+        );
+
+        let keyer = crate::sigcache::CacheKeyer::new(group);
+
+        // Round-trip the minted coin and binding through the wire and
+        // compare view-derived keys against owned-path keys.
+        let resp = Response::Grant(Box::new(CoinGrant {
+            minted: minted.clone(),
+            binding: binding.clone(),
+            ownership_proof: bsig.clone(),
+        }));
+        let bytes = resp.encode();
+        let ResponseView::Grant { minted: mv, binding: bv, .. } = ResponseView::parse(&bytes).unwrap()
+        else {
+            panic!("wrong view")
+        };
+
+        assert_eq!(
+            mv.mint_cache_key(&keyer, broker.public()),
+            minted.mint_cache_key(group, broker.public())
+        );
+        let owned_key = crate::sigcache::cache_key(
+            group,
+            &whopay_crypto::dsa::DsaPublicKey::from_element(pk.clone()),
+            &msg,
+            &bsig,
+        );
+        assert_eq!(bv.cache_key(&keyer, broker.public()), owned_key);
+        assert!(bv.matches(&binding));
+
+        // Broker-signed binding exercises the other signer arm.
+        let msg2 = Binding::signed_bytes(
+            &pk,
+            holder.public().element(),
+            2,
+            crate::types::Timestamp(60),
+            BindingSigner::Broker,
+        );
+        let bsig2 = broker.sign(group, &msg2, &mut rng);
+        let binding2 = Binding::from_parts(
+            pk.clone(),
+            holder.public().element().clone(),
+            2,
+            crate::types::Timestamp(60),
+            BindingSigner::Broker,
+            bsig2.clone(),
+        );
+        let bytes2 = Response::Binding(binding2).encode();
+        let ResponseView::Binding(bv2) = ResponseView::parse(&bytes2).unwrap() else {
+            panic!("wrong view")
+        };
+        assert_eq!(
+            bv2.cache_key(&keyer, broker.public()),
+            crate::sigcache::cache_key(group, broker.public(), &msg2, &bsig2)
+        );
+    }
+
+    #[test]
+    fn error_response_view_borrows_message() {
+        let resp = Response::Error("nope".into());
+        let bytes = resp.encode();
+        match ResponseView::parse(&bytes).unwrap() {
+            ResponseView::Error(e) => assert_eq!(e, b"nope"),
+            other => panic!("wrong view {other:?}"),
+        }
+    }
+}

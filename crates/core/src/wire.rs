@@ -22,7 +22,7 @@ use crate::messages::{
 use crate::types::{CoinId, PeerId, Timestamp};
 
 /// A request any WhoPay entity can receive over the wire.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Buy a coin (broker).
     Purchase(PurchaseRequest),
@@ -64,7 +64,7 @@ pub enum Request {
 }
 
 /// A response to a [`Request`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
     /// A freshly minted coin.
     Minted(MintedCoin),
@@ -266,7 +266,16 @@ pub fn wire_kind(bytes: &[u8]) -> &'static str {
 impl Request {
     /// Encodes the request.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the request into `out`, clearing it first. Reusing one
+    /// buffer (see [`crate::codec::pooled`]) makes steady-state encoding
+    /// allocation-free; the bytes are identical to [`Request::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::with_buf(std::mem::take(out));
         match self {
             Request::Purchase(p) => {
                 w.u64(0);
@@ -319,7 +328,7 @@ impl Request {
                 }
             }
         }
-        w.finish()
+        *out = w.finish();
     }
 
     /// Decodes a request.
@@ -399,7 +408,16 @@ impl Request {
 impl Response {
     /// Encodes the response.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the response into `out`, clearing it first (the
+    /// allocation-free counterpart of [`Response::encode`]; see
+    /// [`Request::encode_into`]).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::with_buf(std::mem::take(out));
         match self {
             Response::Minted(m) => {
                 w.u64(0);
@@ -439,7 +457,7 @@ impl Response {
                 }
             }
         }
-        w.finish()
+        *out = w.finish();
     }
 
     /// Decodes a response.

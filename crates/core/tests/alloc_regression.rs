@@ -1,0 +1,188 @@
+//! Allocation-count regression test for the wire fast path.
+//!
+//! Pins the number of heap allocations one broker-bound transfer request
+//! costs at the wire layer (encode → deliver → classify/dispatch-parse →
+//! respond → receive), comparing the legacy owned path (fresh `Vec` per
+//! encode, full `BigUint` materialization per decode) against the
+//! zero-copy path (pooled buffers, `encode_into`, borrowed views). The
+//! handlers are broker-shaped stubs returning a canned grant so the
+//! measurement isolates wire-layer costs from signature arithmetic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use whopay_core::codec;
+use whopay_core::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
+use whopay_core::messages::{CoinGrant, TransferRequest};
+use whopay_core::view::{RequestView, ResponseView};
+use whopay_core::wire::{wire_kind, Request, Response};
+use whopay_core::{PeerId, Timestamp};
+use whopay_crypto::dsa::DsaSignature;
+use whopay_crypto::elgamal::ElGamalCiphertext;
+use whopay_crypto::group_sig::GroupSignature;
+use whopay_net::Network;
+use whopay_num::BigUint;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+// Counts allocation *events* (fresh allocations and growth reallocations)
+// on the calling thread. `Cell<u64>` has no destructor and the thread
+// local is const-initialized, so the bookkeeping itself never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+fn int(seed: u64) -> BigUint {
+    // A few limbs wide, like real group elements relative to the codec.
+    (BigUint::from(seed | 1) << 192) + BigUint::from(seed.wrapping_mul(0x9E37_79B9))
+}
+
+fn sig(seed: u64) -> DsaSignature {
+    DsaSignature::from_parts(int(seed), int(seed + 1))
+}
+
+fn gsig(seed: u64) -> GroupSignature {
+    GroupSignature::from_parts(
+        ElGamalCiphertext::from_parts(int(seed), int(seed + 1)),
+        int(seed + 2),
+        int(seed + 3),
+        int(seed + 4),
+    )
+}
+
+fn binding(seed: u64) -> Binding {
+    Binding::from_parts(
+        int(seed),
+        int(seed + 1),
+        3,
+        Timestamp(90),
+        BindingSigner::CoinKey,
+        sig(seed + 2),
+    )
+}
+
+fn transfer_request() -> Request {
+    Request::Transfer {
+        request: TransferRequest {
+            current: binding(10),
+            new_holder_pk: int(20),
+            nonce: [7; 32],
+            holder_sig: sig(21),
+            group_sig: gsig(23),
+        },
+        downtime: true,
+    }
+}
+
+fn grant_response() -> Response {
+    Response::Grant(Box::new(CoinGrant {
+        minted: MintedCoin::from_parts(OwnerTag::Identified(PeerId(1)), int(30), sig(31)),
+        binding: binding(33),
+        ownership_proof: sig(36),
+    }))
+}
+
+#[test]
+fn fast_wire_path_allocates_at_least_5x_less_than_legacy() {
+    const ITERS: u64 = 200;
+
+    let request = transfer_request();
+
+    // Legacy: owned decode in the handler, fresh response Vec, fresh
+    // request Vec per call, owned decode at the client.
+    let mut legacy_net = Network::new();
+    legacy_net.set_classifier(wire_kind);
+    let legacy_resp = grant_response();
+    let server = legacy_net.register_with_net("broker", move |_net, bytes| {
+        let decoded = Request::decode(bytes).expect("valid frame");
+        assert!(matches!(decoded, Request::Transfer { downtime: true, .. }));
+        legacy_resp.encode()
+    });
+    let client = legacy_net.register("client", |_: &[u8]| Vec::new());
+
+    let legacy_roundtrip = |net: &mut Network| {
+        let bytes = request.encode();
+        let resp = net.request(client, server, bytes).unwrap();
+        let decoded = Response::decode(&resp).unwrap();
+        assert!(matches!(decoded, Response::Grant(_)));
+    };
+    legacy_roundtrip(&mut legacy_net); // warm-up
+    let before = allocs();
+    for _ in 0..ITERS {
+        legacy_roundtrip(&mut legacy_net);
+    }
+    let legacy = allocs() - before;
+
+    // Fast: pooled request/response buffers, in-place encoding, borrowed
+    // view parsing on both sides.
+    let mut fast_net = Network::new();
+    fast_net.set_classifier(wire_kind);
+    let fast_resp = grant_response();
+    let server = fast_net.register_writer("broker", move |_net, bytes, out| {
+        let view = RequestView::parse(bytes).expect("valid frame");
+        assert!(matches!(view, RequestView::Transfer { downtime: true, .. }));
+        assert_eq!(view.kind(), "downtime_transfer");
+        fast_resp.encode_into(out);
+    });
+    let client = fast_net.register_writer("client", |_net, _bytes, _out| {});
+
+    let fast_roundtrip = |net: &mut Network| {
+        let mut req_buf = codec::pooled();
+        request.encode_into(&mut req_buf);
+        let mut resp_buf = codec::pooled();
+        net.request_into(client, server, &req_buf, &mut resp_buf).unwrap();
+        let view = ResponseView::parse(&resp_buf).unwrap();
+        assert!(matches!(view, ResponseView::Grant { .. }));
+    };
+    for _ in 0..4 {
+        fast_roundtrip(&mut fast_net); // warm-up: fill the buffer pool
+    }
+    let before = allocs();
+    for _ in 0..ITERS {
+        fast_roundtrip(&mut fast_net);
+    }
+    let fast = allocs() - before;
+
+    // Identical verdict bytes on both paths.
+    let legacy_bytes = legacy_net.request(client, server, request.encode()).unwrap();
+    let mut fast_bytes = Vec::new();
+    fast_net.request_into(client, server, &request.encode(), &mut fast_bytes).unwrap();
+    assert_eq!(legacy_bytes, fast_bytes);
+
+    assert!(
+        fast * 5 <= legacy,
+        "fast path must allocate at least 5x less: fast={fast} legacy={legacy} over {ITERS} requests"
+    );
+    assert!(
+        fast / ITERS < 2,
+        "steady-state fast path should be (near) allocation-free per request: {fast} allocations over {ITERS} requests"
+    );
+}

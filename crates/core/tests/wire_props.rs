@@ -1,0 +1,259 @@
+//! Properties of the zero-copy wire path: borrowed views accept exactly
+//! the byte strings the owned decoder accepts, materialize to identical
+//! messages, never panic on garbage, and the buffer-reusing encoder is
+//! byte-identical to the allocating one.
+
+use proptest::prelude::*;
+use whopay_core::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
+use whopay_core::messages::{
+    CoinGrant, DepositReceipt, DepositRequest, PaymentInvite, PurchaseRequest, RenewalRequest,
+    TransferRequest,
+};
+use whopay_core::view::{RequestView, ResponseView};
+use whopay_core::wire::{wire_kind, Request, Response};
+use whopay_core::{CoinId, PeerId, Timestamp};
+use whopay_crypto::dsa::DsaSignature;
+use whopay_crypto::elgamal::ElGamalCiphertext;
+use whopay_crypto::group_sig::GroupSignature;
+use whopay_net::Handle;
+use whopay_num::BigUint;
+
+/// Pulls the next drawn magnitude; exhaustion wraps around so any draw
+/// count yields a well-formed message.
+struct Ints<'a> {
+    pool: &'a [Vec<u8>],
+    next: usize,
+}
+
+impl Ints<'_> {
+    fn int(&mut self) -> BigUint {
+        let v = BigUint::from_be_bytes(&self.pool[self.next % self.pool.len()]);
+        self.next += 1;
+        v
+    }
+
+    fn sig(&mut self, witness: bool) -> DsaSignature {
+        let (r, s) = (self.int(), self.int());
+        if witness {
+            DsaSignature::from_parts_with_witness(r, s, Some(self.int()))
+        } else {
+            DsaSignature::from_parts(r, s)
+        }
+    }
+
+    fn gsig(&mut self) -> GroupSignature {
+        GroupSignature::from_parts(
+            ElGamalCiphertext::from_parts(self.int(), self.int()),
+            self.int(),
+            self.int(),
+            self.int(),
+        )
+    }
+
+    fn minted(&mut self, owner: OwnerTag, witness: bool) -> MintedCoin {
+        MintedCoin::from_parts(owner, self.int(), self.sig(witness))
+    }
+
+    fn binding(&mut self, seq: u64, signer: BindingSigner, witness: bool) -> Binding {
+        Binding::from_parts(
+            self.int(),
+            self.int(),
+            seq,
+            Timestamp(seq ^ 0x5A),
+            signer,
+            self.sig(witness),
+        )
+    }
+
+    fn deposit(&mut self, owner: OwnerTag, witness: bool) -> DepositRequest {
+        DepositRequest {
+            minted: self.minted(owner, witness),
+            binding: self.binding(7, BindingSigner::CoinKey, witness),
+            holder_sig: self.sig(witness),
+            group_sig: self.gsig(),
+        }
+    }
+}
+
+fn owner_tag(kind: u64) -> OwnerTag {
+    match kind % 3 {
+        0 => OwnerTag::Identified(PeerId(kind)),
+        1 => OwnerTag::Anonymous,
+        _ => OwnerTag::AnonymousWithHandle(Handle([kind as u8; 32])),
+    }
+}
+
+fn build_request(kind: u64, flags: u64, ints: &mut Ints<'_>) -> Request {
+    let witness = flags & 1 != 0;
+    let downtime = flags & 2 != 0;
+    match kind % 7 {
+        0 => Request::Purchase(PurchaseRequest {
+            owner: owner_tag(flags >> 2),
+            coin_pk: ints.int(),
+            identity_sig: if flags & 4 != 0 { Some(ints.sig(witness)) } else { None },
+            group_sig: if flags & 4 == 0 && flags & 8 != 0 { Some(ints.gsig()) } else { None },
+        }),
+        1 => Request::Issue {
+            coin: CoinId([flags as u8; 32]),
+            invite: PaymentInvite {
+                holder_pk: ints.int(),
+                nonce: [(flags >> 8) as u8; 32],
+                group_sig: ints.gsig(),
+            },
+        },
+        2 => Request::Transfer {
+            request: TransferRequest {
+                current: ints.binding(flags, BindingSigner::CoinKey, witness),
+                new_holder_pk: ints.int(),
+                nonce: [flags as u8; 32],
+                holder_sig: ints.sig(witness),
+                group_sig: ints.gsig(),
+            },
+            downtime,
+        },
+        3 => Request::Renewal {
+            request: RenewalRequest {
+                current: ints.binding(flags, BindingSigner::Broker, witness),
+                holder_sig: ints.sig(witness),
+                group_sig: ints.gsig(),
+            },
+            downtime,
+        },
+        4 => Request::Deposit(ints.deposit(owner_tag(flags), witness)),
+        5 => Request::Sync {
+            peer: PeerId(flags),
+            challenge: vec![flags as u8; (flags % 40) as usize],
+            response: ints.sig(witness),
+        },
+        _ => {
+            Request::DepositBatch((0..flags % 4).map(|i| ints.deposit(owner_tag(i), witness)).collect())
+        }
+    }
+}
+
+fn build_response(kind: u64, flags: u64, ints: &mut Ints<'_>) -> Response {
+    let witness = flags & 1 != 0;
+    match kind % 7 {
+        0 => Response::Minted(ints.minted(owner_tag(flags), witness)),
+        1 => Response::Grant(Box::new(CoinGrant {
+            minted: ints.minted(owner_tag(flags), witness),
+            binding: ints.binding(flags, BindingSigner::CoinKey, witness),
+            ownership_proof: ints.sig(witness),
+        })),
+        2 => Response::Binding(ints.binding(flags, BindingSigner::Broker, witness)),
+        3 => Response::Receipt(DepositReceipt { coin: CoinId([flags as u8; 32]), value: flags }),
+        4 => Response::Bindings(
+            (0..flags % 4).map(|i| ints.binding(i, BindingSigner::CoinKey, witness)).collect(),
+        ),
+        5 => Response::Receipts(
+            (0..flags % 5)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Ok(DepositReceipt { coin: CoinId([i as u8; 32]), value: i })
+                    } else {
+                        Err(format!("rejected #{i}"))
+                    }
+                })
+                .collect(),
+        ),
+        _ => Response::Error(format!("failure {flags}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn views_and_owned_decoder_agree_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Exact accept/reject agreement, and identical materialization.
+        match (RequestView::parse(&bytes), Request::decode(&bytes)) {
+            (Ok(view), Ok(req)) => {
+                prop_assert_eq!(view.to_owned_request(), req);
+                prop_assert_eq!(view.kind(), wire_kind(&bytes));
+            }
+            (Err(_), Err(_)) => {}
+            (v, d) => prop_assert!(false, "request view/decoder disagree: {v:?} vs {d:?}"),
+        }
+        match (ResponseView::parse(&bytes), Response::decode(&bytes)) {
+            (Ok(view), Ok(resp)) => prop_assert_eq!(view.to_owned_response(), resp),
+            (Err(_), Err(_)) => {}
+            (v, d) => prop_assert!(false, "response view/decoder disagree: {v:?} vs {d:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_requests_survive_the_full_fast_path(
+        kind in 0u64..7,
+        flags in any::<u64>(),
+        pool in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 8..9),
+    ) {
+        let req = build_request(kind, flags, &mut Ints { pool: &pool, next: 0 });
+
+        // The buffer-reusing encoder matches the allocating one even when
+        // the buffer arrives dirty.
+        let fresh = req.encode();
+        let mut reused = vec![0xAA; 96];
+        req.encode_into(&mut reused);
+        prop_assert_eq!(&reused, &fresh);
+
+        // decode and view agree with each other and with the original.
+        let decoded = Request::decode(&fresh).unwrap();
+        let view = RequestView::parse(&fresh).unwrap();
+        prop_assert_eq!(view.to_owned_request(), decoded);
+        prop_assert_eq!(view.kind(), wire_kind(&fresh));
+        prop_assert_eq!(Request::decode(&fresh).unwrap().encode(), fresh.clone());
+    }
+
+    #[test]
+    fn generated_responses_survive_the_full_fast_path(
+        kind in 0u64..7,
+        flags in any::<u64>(),
+        pool in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 8..9),
+    ) {
+        let resp = build_response(kind, flags, &mut Ints { pool: &pool, next: 0 });
+
+        let fresh = resp.encode();
+        let mut reused = vec![0x55; 64];
+        resp.encode_into(&mut reused);
+        prop_assert_eq!(&reused, &fresh);
+
+        let decoded = Response::decode(&fresh).unwrap();
+        let view = ResponseView::parse(&fresh).unwrap();
+        prop_assert_eq!(view.to_owned_response(), decoded);
+        prop_assert_eq!(Response::decode(&fresh).unwrap().encode(), fresh);
+    }
+
+    #[test]
+    fn corrupted_frames_never_split_the_decoders(
+        kind in 0u64..7,
+        flags in any::<u64>(),
+        pool in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 8..9),
+        poke in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        // Flip one bit anywhere in a valid frame: the view parser and the
+        // owned decoder must still agree on accept/reject and value.
+        let mut frame = build_request(kind, flags, &mut Ints { pool: &pool, next: 0 }).encode();
+        let i = poke.index(frame.len());
+        frame[i] ^= 1 << bit;
+        match (RequestView::parse(&frame), Request::decode(&frame)) {
+            (Ok(view), Ok(req)) => prop_assert_eq!(view.to_owned_request(), req),
+            (Err(_), Err(_)) => {}
+            (v, d) => prop_assert!(false, "corrupt-frame disagreement: {v:?} vs {d:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_never_split_the_decoders(
+        kind in 0u64..7,
+        flags in any::<u64>(),
+        pool in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 8..9),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let frame = build_request(kind, flags, &mut Ints { pool: &pool, next: 0 }).encode();
+        let frame = &frame[..cut.index(frame.len())];
+        prop_assert!(RequestView::parse(frame).is_err() == Request::decode(frame).is_err());
+    }
+}

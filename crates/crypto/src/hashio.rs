@@ -43,8 +43,29 @@ impl Transcript {
     }
 
     /// Appends a big integer (as its minimal big-endian encoding).
-    pub fn int(self, v: &BigUint) -> Self {
-        self.bytes(&v.to_be_bytes())
+    ///
+    /// Streams the limbs straight into the hasher — hashing an integer
+    /// allocates nothing, which matters on the wire fast path where cache
+    /// keys are computed per message.
+    pub fn int(mut self, v: &BigUint) -> Self {
+        self.hasher.update(&(v.be_len() as u64).to_be_bytes());
+        let mut rest = v.limbs().iter().rev();
+        if let Some(top) = rest.next() {
+            let top_bytes = (64 - top.leading_zeros() as usize).div_ceil(8);
+            self.hasher.update(&top.to_be_bytes()[8 - top_bytes..]);
+            for &limb in rest {
+                self.hasher.update(&limb.to_be_bytes());
+            }
+        }
+        self
+    }
+
+    /// Appends a big integer given as its raw big-endian wire bytes,
+    /// producing the same digest as [`Transcript::int`] on the
+    /// materialized value. Leading zero bytes are stripped so attacker
+    /// padding cannot create a second encoding of the same integer.
+    pub fn int_be_bytes(self, be: &[u8]) -> Self {
+        self.bytes(&be[be.iter().take_while(|&&b| b == 0).count()..])
     }
 
     /// Appends a u64.
@@ -90,6 +111,29 @@ mod tests {
         let a = Transcript::new("t").int(&v).finish();
         let b = Transcript::new("t").bytes(&[1, 2]).finish();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_int_matches_materialized_encoding_at_all_widths() {
+        for bits in [0usize, 1, 8, 63, 64, 65, 128, 129, 512] {
+            let v = if bits == 0 { BigUint::zero() } else { BigUint::one() << (bits - 1) };
+            let v = &v + &BigUint::from(0x5Au64);
+            let streamed = Transcript::new("t").int(&v).finish();
+            let via_bytes = Transcript::new("t").bytes(&v.to_be_bytes()).finish();
+            assert_eq!(streamed, via_bytes, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn int_be_bytes_strips_padding_and_matches_int() {
+        let v = BigUint::from(0xBEEFu64);
+        let canonical = Transcript::new("t").int(&v).finish();
+        assert_eq!(Transcript::new("t").int_be_bytes(&[0xBE, 0xEF]).finish(), canonical);
+        assert_eq!(Transcript::new("t").int_be_bytes(&[0, 0, 0xBE, 0xEF]).finish(), canonical);
+        assert_eq!(
+            Transcript::new("t").int_be_bytes(&[]).finish(),
+            Transcript::new("t").int(&BigUint::zero()).finish()
+        );
     }
 
     #[test]

@@ -104,12 +104,32 @@ impl IndirectionLayer {
         handle: Handle,
         request: Vec<u8>,
     ) -> Result<Vec<u8>, IndirectionError> {
-        let target = *self.triggers.get(&handle).ok_or(IndirectionError::DanglingHandle(handle))?;
-        let req_len = request.len();
-        net.account_relay(req_len);
-        let response = net.request(from, target, request).map_err(IndirectionError::Delivery)?;
-        net.account_relay(response.len());
+        let mut response = Vec::new();
+        self.request_via_into(net, from, handle, &request, &mut response)?;
         Ok(response)
+    }
+
+    /// The allocation-lean form of [`IndirectionLayer::request_via`]: the
+    /// forwarded payload is borrowed rather than owned per hop, and the
+    /// response lands in a caller-reused buffer. Relay accounting is
+    /// identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IndirectionLayer::request_via`].
+    pub fn request_via_into(
+        &self,
+        net: &mut Network,
+        from: EndpointId,
+        handle: Handle,
+        request: &[u8],
+        response: &mut Vec<u8>,
+    ) -> Result<(), IndirectionError> {
+        let target = *self.triggers.get(&handle).ok_or(IndirectionError::DanglingHandle(handle))?;
+        net.account_relay(request.len());
+        net.request_into(from, target, request, response).map_err(IndirectionError::Delivery)?;
+        net.account_relay(response.len());
+        Ok(())
     }
 
     /// Whether a trigger resolves to an *online* endpoint — the anonymous

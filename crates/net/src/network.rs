@@ -49,8 +49,11 @@ impl fmt::Display for RequestError {
 impl std::error::Error for RequestError {}
 
 /// A request handler: consumes the request payload, may issue nested
-/// requests through the network it is handed, and produces a response.
-pub type Handler = Box<dyn FnMut(&mut Network, &[u8]) -> Vec<u8>>;
+/// requests through the network it is handed, and writes its response
+/// into the caller-provided buffer (which arrives cleared and keeps its
+/// capacity across deliveries, so steady-state handlers that encode with
+/// `encode_into` allocate nothing on the wire).
+pub type Handler = Box<dyn FnMut(&mut Network, &[u8], &mut Vec<u8>)>;
 
 /// Maps a request payload to a stable message-kind label for the
 /// per-kind traffic breakdown (installed via [`Network::set_classifier`]).
@@ -173,9 +176,26 @@ impl Network {
     }
 
     /// Registers an endpoint whose handler may issue nested requests.
-    pub fn register_with_net<F>(&mut self, name: &str, handler: F) -> EndpointId
+    ///
+    /// The handler allocates a fresh response per call; hot-path services
+    /// should prefer [`Network::register_writer`], which reuses the
+    /// delivery buffer instead.
+    pub fn register_with_net<F>(&mut self, name: &str, mut handler: F) -> EndpointId
     where
         F: FnMut(&mut Network, &[u8]) -> Vec<u8> + 'static,
+    {
+        self.register_writer(name, move |net, req, out| {
+            let resp = handler(net, req);
+            out.extend_from_slice(&resp);
+        })
+    }
+
+    /// Registers an endpoint whose handler writes its response into a
+    /// reused buffer — the allocation-lean registration. The buffer
+    /// arrives cleared; its capacity persists across deliveries.
+    pub fn register_writer<F>(&mut self, name: &str, handler: F) -> EndpointId
+    where
+        F: FnMut(&mut Network, &[u8], &mut Vec<u8>) + 'static,
     {
         let id = EndpointId(self.endpoints.len() as u64);
         self.endpoints.push(EndpointSlot {
@@ -232,6 +252,29 @@ impl Network {
         to: EndpointId,
         request: Vec<u8>,
     ) -> Result<Vec<u8>, RequestError> {
+        let mut response = Vec::new();
+        self.request_into(from, to, &request, &mut response)?;
+        Ok(response)
+    }
+
+    /// The allocation-lean form of [`Network::request`]: the request is a
+    /// borrowed slice and the response is written into `response` (cleared
+    /// first, capacity preserved). Callers that hold a recycled buffer —
+    /// e.g. one taken from the codec's pool — complete a full round trip
+    /// with zero wire-layer allocations. Accounting (global stats,
+    /// per-endpoint counters, per-kind breakdown, observability events) is
+    /// identical to [`Network::request`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Network::request`].
+    pub fn request_into(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        request: &[u8],
+        response: &mut Vec<u8>,
+    ) -> Result<(), RequestError> {
         if to.0 as usize >= self.endpoints.len() {
             return Err(RequestError::UnknownEndpoint(to));
         }
@@ -245,13 +288,14 @@ impl Network {
         };
 
         let start = if self.obs.enabled() { Some(Instant::now()) } else { None };
-        let kind = self.classifier.as_ref().map(|classify| classify(&request));
+        let kind = self.classifier.as_ref().map(|classify| classify(request));
 
         self.account(from, to, request.len());
         if let Some(kind) = kind {
             self.breakdown.record(kind, request.len());
         }
-        let response = handler(self, &request);
+        response.clear();
+        handler(self, request, response);
         self.account(to, from, response.len());
         if let Some(kind) = kind {
             self.breakdown.record(kind, response.len());
@@ -268,7 +312,7 @@ impl Network {
             }
             self.obs.observe(event);
         }
-        Ok(response)
+        Ok(())
     }
 
     /// Reports an undeliverable request (no traffic was counted).
@@ -492,6 +536,45 @@ mod tests {
         let report = metrics.report();
         assert_eq!(report.counters["net.ping.messages"], 2);
         assert_eq!(report.counters["net.ping.bytes"], 6);
+    }
+
+    #[test]
+    fn request_into_reuses_buffer_and_counts_identically() {
+        let mut net = Network::new();
+        let server = net.register_writer("server", |_net, req, out| {
+            out.extend_from_slice(req);
+            out.push(b'!');
+        });
+        let client = net.register("client", |_: &[u8]| Vec::new());
+
+        let mut resp = Vec::with_capacity(64);
+        let ptr = resp.as_ptr();
+        net.request_into(client, server, b"hi", &mut resp).unwrap();
+        assert_eq!(resp, b"hi!");
+        net.request_into(client, server, b"stale content replaced", &mut resp).unwrap();
+        assert_eq!(resp, b"stale content replaced!");
+        assert_eq!(resp.as_ptr(), ptr, "round trips reuse the caller's buffer");
+        assert_eq!(net.stats(), TrafficStats { messages: 4, bytes: 2 + 3 + 22 + 23 });
+    }
+
+    #[test]
+    fn request_and_request_into_account_the_same() {
+        let mut a = Network::new();
+        let mut b = Network::new();
+        for net in [&mut a, &mut b] {
+            net.set_classifier(|_: &[u8]| "ping");
+            let server = net.register("server", |req: &[u8]| req.to_vec());
+            let client = net.register("client", |_: &[u8]| Vec::new());
+            net.set_role(server, Role::Broker);
+            let _ = (server, client);
+        }
+        a.request(EndpointId(1), EndpointId(0), vec![7; 9]).unwrap();
+        let mut resp = Vec::new();
+        b.request_into(EndpointId(1), EndpointId(0), &[7; 9], &mut resp).unwrap();
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.breakdown().get("ping"), b.breakdown().get("ping"));
+        assert_eq!(a.sent_stats(EndpointId(1)), b.sent_stats(EndpointId(1)));
+        assert_eq!(a.received_stats(EndpointId(0)), b.received_stats(EndpointId(0)));
     }
 
     #[test]

@@ -133,16 +133,61 @@ impl BigUint {
 
     /// Returns the minimal big-endian byte encoding (empty for zero).
     pub fn to_be_bytes(&self) -> Vec<u8> {
-        if self.is_zero() {
-            return Vec::new();
-        }
-        let mut out = Vec::with_capacity(self.limbs.len() * 8);
-        for &limb in self.limbs.iter().rev() {
+        let mut out = Vec::with_capacity(self.be_len());
+        self.extend_be_bytes(&mut out);
+        out
+    }
+
+    /// Length of the minimal big-endian encoding in bytes (zero for zero).
+    pub fn be_len(&self) -> usize {
+        self.bits().div_ceil(8)
+    }
+
+    /// Appends the minimal big-endian byte encoding to `out` without any
+    /// intermediate allocation — the streaming counterpart of
+    /// [`BigUint::to_be_bytes`] used by the zero-copy wire path.
+    pub fn extend_be_bytes(&self, out: &mut Vec<u8>) {
+        let mut rest = self.limbs.iter().rev();
+        let Some(top) = rest.next() else {
+            return;
+        };
+        let top_bytes = (64 - top.leading_zeros() as usize).div_ceil(8);
+        out.extend_from_slice(&top.to_be_bytes()[8 - top_bytes..]);
+        for &limb in rest {
             out.extend_from_slice(&limb.to_be_bytes());
         }
-        let skip = out.iter().take_while(|&&b| b == 0).count();
-        out.drain(..skip);
-        out
+    }
+
+    /// Compares against a big-endian byte slice (leading zeros allowed)
+    /// without materializing a `BigUint` — the borrowed-slice counterpart
+    /// of `self.cmp(&BigUint::from_be_bytes(be))`.
+    pub fn cmp_be_bytes(&self, be: &[u8]) -> Ordering {
+        let be = &be[be.iter().take_while(|&&b| b == 0).count()..];
+        match self.be_len().cmp(&be.len()) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+        // Equal minimal lengths: walk limbs from the most significant end.
+        // Chunking from the least-significant side keeps 8-byte groups
+        // aligned with limbs (only the top chunk may be partial).
+        for (limb, chunk) in self.limbs.iter().rev().zip(be.rchunks(8).rev().map(|c| {
+            let mut v = 0u64;
+            for &b in c {
+                v = v << 8 | b as u64;
+            }
+            v
+        })) {
+            match limb.cmp(&chunk) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Equality against a big-endian byte slice without allocating.
+    pub fn eq_be_bytes(&self, be: &[u8]) -> bool {
+        self.cmp_be_bytes(be) == Ordering::Equal
     }
 
     /// Returns a big-endian byte encoding zero-padded to `len` bytes.
@@ -548,6 +593,50 @@ mod tests {
     fn padded_bytes() {
         let v = BigUint::from(0xffu64);
         assert_eq!(v.to_be_bytes_padded(4), vec![0, 0, 0, 0xff]);
+    }
+
+    #[test]
+    fn extend_be_bytes_matches_to_be_bytes() {
+        let mut rng = crate::test_rng(0xBE);
+        for bits in [0usize, 1, 7, 8, 63, 64, 65, 127, 128, 129, 512, 1023] {
+            let v = if bits == 0 {
+                BigUint::zero()
+            } else {
+                // A random value with exactly `bits` significant bits.
+                let mut bytes = vec![0u8; bits.div_ceil(8)];
+                rand::Rng::fill_bytes(&mut rng, &mut bytes);
+                let mut v = BigUint::from_be_bytes(&bytes) >> (bytes.len() * 8 - (bits - 1));
+                v = v + (BigUint::one() << (bits - 1));
+                v
+            };
+            let mut streamed = vec![0xAA]; // pre-existing content must survive
+            v.extend_be_bytes(&mut streamed);
+            let mut expect = vec![0xAA];
+            expect.extend_from_slice(&v.to_be_bytes());
+            assert_eq!(streamed, expect, "bits={bits}");
+            assert_eq!(v.be_len(), v.to_be_bytes().len(), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn cmp_be_bytes_agrees_with_materialized_cmp() {
+        let mut rng = crate::test_rng(0xCB);
+        let mut cases: Vec<Vec<u8>> = vec![vec![], vec![0], vec![0, 0, 0], vec![1], vec![0, 1]];
+        for len in [1usize, 7, 8, 9, 16, 17, 33] {
+            for _ in 0..8 {
+                let mut b = vec![0u8; len];
+                rand::Rng::fill_bytes(&mut rng, &mut b);
+                cases.push(b);
+            }
+        }
+        let values: Vec<BigUint> =
+            cases.iter().map(|b| BigUint::from_be_bytes(b)).chain([BigUint::zero()]).collect();
+        for v in &values {
+            for b in &cases {
+                assert_eq!(v.cmp_be_bytes(b), v.cmp(&BigUint::from_be_bytes(b)), "{v} vs {b:?}");
+                assert_eq!(v.eq_be_bytes(b), *v == BigUint::from_be_bytes(b));
+            }
+        }
     }
 
     #[test]

@@ -18,4 +18,7 @@ cargo run --release --offline -q -p whopay-bench --bin bench_crypto_json
 echo "==> bench_verify_json (BENCH_verify.json)"
 cargo run --release --offline -q -p whopay-bench --bin bench_verify_json
 
+echo "==> bench_wire_json (BENCH_wire.json)"
+cargo run --release --offline -q -p whopay-bench --bin bench_wire_json
+
 echo "==> bench.sh: done"

@@ -21,6 +21,9 @@ cargo test -p whopay-num -q --release --offline
 echo "==> cargo test -p whopay-crypto --release (batch soundness + differential suite)"
 cargo test -p whopay-crypto -q --release --offline
 
+echo "==> cargo test -p whopay-core --release (wire fast-path: props, alloc regression, reconciliation)"
+cargo test -p whopay-core -q --release --offline --test wire_props --test alloc_regression --test wire_reconcile
+
 echo "==> WHOPAY_VPOOL_THREADS=1 cargo test -q (serial-pool determinism pass)"
 WHOPAY_VPOOL_THREADS=1 cargo test -q --offline
 
