@@ -12,15 +12,17 @@ use std::sync::Arc;
 use rand::Rng;
 use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
 use whopay_crypto::group_sig::{GroupPublicKey, GroupSignature};
-use whopay_num::BigUint;
+use whopay_num::{BigUint, SchnorrGroup};
 
 use crate::chain::BindingChain;
 use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
 use crate::error::CoreError;
+use crate::journal::{CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
 use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, PurchaseRequest, RenewalRequest, TransferRequest,
 };
 use crate::params::SystemParams;
+use crate::replay::ServedOp;
 use crate::sigcache::SigCache;
 use crate::types::{CoinId, PeerId, Timestamp};
 use crate::vpool::VerifyPool;
@@ -33,13 +35,16 @@ struct CoinRecord {
     downtime_binding: Option<Binding>,
     /// Set when the coin is redeemed; any later spend attempt is fraud.
     deposited: bool,
+    /// The last mutating op served for this coin — the replay memo that
+    /// makes re-delivered requests idempotent (see [`crate::replay`]).
+    last_served: Option<ServedOp>,
 }
 
 /// A fraud incident the broker can hand to the judge.
 ///
 /// The group signatures let the judge reveal exactly the parties of the
 /// offending transactions and nothing else (the fairness property, §4.3).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FraudCase {
     /// The coin involved.
     pub coin: CoinId,
@@ -65,6 +70,9 @@ pub struct BrokerStats {
     pub syncs: u64,
     /// Requests rejected (any reason).
     pub rejections: u64,
+    /// Duplicate requests answered from a replay memo instead of
+    /// re-applying (the idempotency defence under retries/duplication).
+    pub replays: u64,
 }
 
 /// The WhoPay broker.
@@ -81,6 +89,8 @@ pub struct Broker {
     sig_cache: Arc<SigCache>,
     /// Fan-out pool for batch verification (serial by default).
     vpool: VerifyPool,
+    /// Crash-recovery journal; `None` until [`Broker::enable_journal`].
+    journal: Option<Journal>,
 }
 
 impl Broker {
@@ -97,7 +107,42 @@ impl Broker {
             stats: BrokerStats::default(),
             sig_cache: Arc::new(SigCache::default()),
             vpool: VerifyPool::serial(),
+            journal: None,
         }
+    }
+
+    /// Appends a journal entry (no-op while journalling is off). Every
+    /// entry carries the post-op stats, so recovery restores counters by
+    /// adopting the last entry's snapshot rather than re-deriving them.
+    fn jrecord(&mut self, op: JournalOp) {
+        if let Some(journal) = &mut self.journal {
+            journal.append(JournalEntry { stats: self.stats, op });
+        }
+    }
+
+    /// Counts and journals a rejection, then returns the error.
+    fn reject<T>(&mut self, err: CoreError) -> Result<T, CoreError> {
+        self.stats.rejections += 1;
+        self.jrecord(JournalOp::Counters);
+        Err(err)
+    }
+
+    /// Whether `presented` supersedes stored downtime state: a strictly
+    /// newer, coin-key-signed, valid binding can only come from the coin
+    /// owner serving transfers again, so the parked downtime state is
+    /// obsolete and the broker releases it. (Sync no longer clears the
+    /// stored binding — the owner may re-fetch it after a crash — so this
+    /// rule is what lets post-downtime protocol flow resume.)
+    fn supersedes(
+        group: &SchnorrGroup,
+        broker_pk: &DsaPublicKey,
+        cache: &SigCache,
+        stored: &Binding,
+        presented: &Binding,
+    ) -> bool {
+        presented.seq() > stored.seq()
+            && presented.signer() == BindingSigner::CoinKey
+            && presented.verify_cached(group, broker_pk, cache)
     }
 
     /// The broker's signature-verdict cache.
@@ -125,7 +170,8 @@ impl Broker {
     /// Registers a peer's identity key (needed for identified purchases
     /// and proactive sync).
     pub fn register_peer(&mut self, id: PeerId, key: DsaPublicKey) {
-        self.registered.insert(id, key);
+        self.registered.insert(id, key.clone());
+        self.jrecord(JournalOp::Register { peer: id, key });
     }
 
     /// Fraud incidents detected so far.
@@ -161,47 +207,61 @@ impl Broker {
         request: &PurchaseRequest,
         rng: &mut R,
     ) -> Result<MintedCoin, CoreError> {
-        let group = self.params.group();
+        let group = self.params.group().clone();
         if !group.is_element(&request.coin_pk) {
-            self.stats.rejections += 1;
-            return Err(CoreError::Malformed);
+            return self.reject(CoreError::Malformed);
         }
         let id = CoinId::from_pk(&request.coin_pk);
-        if self.coins.contains_key(&id) {
+        if let Some(record) = self.coins.get(&id) {
+            // Exactly the request we already honoured: a retried or
+            // duplicated delivery. Return the original coin.
+            if let Some(minted) = record.last_served.as_ref().and_then(|s| s.replay_purchase(request)) {
+                let minted = minted.clone();
+                self.stats.replays += 1;
+                self.jrecord(JournalOp::Counters);
+                return Ok(minted);
+            }
             // Key collision or replay; the paper assumes collisions are
             // negligible and the broker "absorbs this risk" — we reject.
-            self.stats.rejections += 1;
-            return Err(CoreError::Malformed);
+            return self.reject(CoreError::Malformed);
         }
         let msg = PurchaseRequest::signed_bytes(&request.owner, &request.coin_pk);
         match request.owner {
             OwnerTag::Identified(peer) => {
-                let key = self.registered.get(&peer).ok_or(CoreError::UnknownPeer(peer))?;
-                let sig = request.identity_sig.as_ref().ok_or(CoreError::BadSignature)?;
-                if !key.verify(group, &msg, sig) {
-                    self.stats.rejections += 1;
-                    return Err(CoreError::BadSignature);
+                let ok = {
+                    let key = self.registered.get(&peer).ok_or(CoreError::UnknownPeer(peer))?;
+                    let sig = request.identity_sig.as_ref().ok_or(CoreError::BadSignature)?;
+                    key.verify(&group, &msg, sig)
+                };
+                if !ok {
+                    return self.reject(CoreError::BadSignature);
                 }
             }
             OwnerTag::Anonymous | OwnerTag::AnonymousWithHandle(_) => {
                 let sig = request.group_sig.as_ref().ok_or(CoreError::BadGroupSignature)?;
-                if !self.gpk.verify(group, &msg, sig) {
-                    self.stats.rejections += 1;
-                    return Err(CoreError::BadGroupSignature);
+                if !self.gpk.verify(&group, &msg, sig) {
+                    return self.reject(CoreError::BadGroupSignature);
                 }
             }
         }
         let mint_msg = MintedCoin::signed_bytes(&request.owner, &request.coin_pk);
-        let sig = self.keys.sign(group, &mint_msg, rng);
+        let sig = self.keys.sign(&group, &mint_msg, rng);
         let minted = MintedCoin::from_parts(request.owner, request.coin_pk.clone(), sig);
         // A signature we just produced is known-valid; priming means the
         // deposit-side re-verification of this coin is a cache hit.
-        self.sig_cache.prime(minted.mint_cache_key(group, self.keys.public()), true);
+        self.sig_cache.prime(minted.mint_cache_key(&group, self.keys.public()), true);
+        let served = ServedOp::Purchase { request: request.clone(), minted: minted.clone() };
         self.coins.insert(
             id,
-            CoinRecord { minted: minted.clone(), downtime_binding: None, deposited: false },
+            CoinRecord {
+                minted: minted.clone(),
+                downtime_binding: None,
+                deposited: false,
+                last_served: Some(served.clone()),
+            },
         );
         self.stats.purchases += 1;
+        self.jrecord(JournalOp::Mint { minted: minted.clone(), served });
         Ok(minted)
     }
 
@@ -226,50 +286,68 @@ impl Broker {
     ) -> Result<DepositReceipt, CoreError> {
         let group = self.params.group().clone();
         let id = request.minted.id();
-        let record = match self.coins.get_mut(&id) {
-            Some(r) => r,
-            None => {
-                self.stats.rejections += 1;
-                return Err(CoreError::NotCirculating(id));
-            }
-        };
+        if !self.coins.contains_key(&id) {
+            return self.reject(CoreError::NotCirculating(id));
+        }
+        // Exactly the deposit we already credited: a retried or duplicated
+        // delivery. Return the original receipt instead of calling it a
+        // double spend.
+        if let Some(receipt) =
+            self.coins[&id].last_served.as_ref().and_then(|s| s.replay_deposit(request))
+        {
+            let receipt = receipt.clone();
+            self.stats.replays += 1;
+            self.jrecord(JournalOp::Counters);
+            return Ok(receipt);
+        }
         if !request.minted.verify_cached(&group, self.keys.public(), &self.sig_cache)
             || request.binding.coin_pk() != request.minted.coin_pk()
             || !request.binding.verify_cached(&group, self.keys.public(), &self.sig_cache)
         {
-            self.stats.rejections += 1;
-            return Err(CoreError::BadSignature);
+            return self.reject(CoreError::BadSignature);
         }
-        if let Some(downtime) = &record.downtime_binding {
-            if *downtime != request.binding {
-                self.stats.rejections += 1;
-                return Err(CoreError::StaleBinding {
+        if let Some(downtime) = self.coins[&id].downtime_binding.clone() {
+            if downtime != request.binding
+                && !Self::supersedes(
+                    &group,
+                    self.keys.public(),
+                    &self.sig_cache,
+                    &downtime,
+                    &request.binding,
+                )
+            {
+                return self.reject(CoreError::StaleBinding {
                     expected_seq: downtime.seq(),
                     presented_seq: request.binding.seq(),
                 });
             }
         }
         if !request.verify_cached(&group, &self.gpk, &self.sig_cache) {
-            self.stats.rejections += 1;
-            return Err(CoreError::BadSignature);
+            return self.reject(CoreError::BadSignature);
         }
         if request.binding.is_expired(now) {
-            self.stats.rejections += 1;
-            return Err(CoreError::Expired { expired_at: request.binding.expires() });
+            return self.reject(CoreError::Expired { expired_at: request.binding.expires() });
         }
-        if record.deposited {
-            self.fraud.push(FraudCase {
+        if self.coins[&id].deposited {
+            let case = FraudCase {
                 coin: id,
                 description: "coin deposited twice".to_string(),
                 group_sigs: vec![request.group_sig.clone()],
-            });
+            };
+            self.fraud.push(case.clone());
             self.stats.rejections += 1;
+            self.jrecord(JournalOp::Fraud { case });
             return Err(CoreError::DoubleSpend(id));
         }
+        let receipt = DepositReceipt { coin: id, value: 1 };
+        let served = ServedOp::Deposit { request: request.clone(), receipt: receipt.clone() };
+        let record = self.coins.get_mut(&id).expect("checked above");
         record.deposited = true;
         record.downtime_binding = None;
+        record.last_served = Some(served.clone());
         self.stats.deposits += 1;
-        Ok(DepositReceipt { coin: id, value: 1 })
+        self.jrecord(JournalOp::Deposit { coin: id, served });
+        Ok(receipt)
     }
 
     /// Redeems a flood of coins: the batched fast path for
@@ -334,8 +412,17 @@ impl Broker {
         let group = self.params.group().clone();
         let id = request.current.coin_id();
         if !self.coins.contains_key(&id) {
-            self.stats.rejections += 1;
-            return Err(CoreError::NotCirculating(id));
+            return self.reject(CoreError::NotCirculating(id));
+        }
+        // Exactly the transfer we already served: return the original
+        // grant (the stored binding already reflects it).
+        if let Some(grant) =
+            self.coins[&id].last_served.as_ref().and_then(|s| s.replay_transfer(request))
+        {
+            let grant = grant.clone();
+            self.stats.replays += 1;
+            self.jrecord(JournalOp::Counters);
+            return Ok(grant);
         }
         self.verify_downtime_request(
             &id,
@@ -344,11 +431,11 @@ impl Broker {
             &request.holder_sig,
             &request.group_sig,
         )?;
-        let record = self.coins.get_mut(&id).expect("checked above");
+        let minted = self.coins[&id].minted.clone();
         let seq = request.current.seq() + 1;
         let expires = now.plus(self.params.renewal_period_secs());
         let msg = Binding::signed_bytes(
-            record.minted.coin_pk(),
+            minted.coin_pk(),
             &request.new_holder_pk,
             seq,
             expires,
@@ -356,19 +443,24 @@ impl Broker {
         );
         let sig = self.keys.sign(&group, &msg, rng);
         let binding = Binding::from_parts(
-            record.minted.coin_pk().clone(),
+            minted.coin_pk().clone(),
             request.new_holder_pk.clone(),
             seq,
             expires,
             BindingSigner::Broker,
             sig,
         );
-        record.downtime_binding = Some(binding.clone());
         let proof_msg =
-            CoinGrant::proof_bytes(record.minted.coin_pk(), &request.new_holder_pk, &request.nonce);
+            CoinGrant::proof_bytes(minted.coin_pk(), &request.new_holder_pk, &request.nonce);
         let ownership_proof = self.keys.sign(&group, &proof_msg, rng);
+        let grant = CoinGrant { minted, binding: binding.clone(), ownership_proof };
+        let served = ServedOp::Transfer { request: request.clone(), grant: grant.clone() };
+        let record = self.coins.get_mut(&id).expect("checked above");
+        record.downtime_binding = Some(binding.clone());
+        record.last_served = Some(served.clone());
         self.stats.downtime_transfers += 1;
-        Ok(CoinGrant { minted: record.minted.clone(), binding, ownership_proof })
+        self.jrecord(JournalOp::DowntimeBinding { coin: id, binding, served });
+        Ok(grant)
     }
 
     /// Downtime renewal: extends a binding for a coin whose owner is
@@ -386,8 +478,17 @@ impl Broker {
         let group = self.params.group().clone();
         let id = request.current.coin_id();
         if !self.coins.contains_key(&id) {
-            self.stats.rejections += 1;
-            return Err(CoreError::NotCirculating(id));
+            return self.reject(CoreError::NotCirculating(id));
+        }
+        // Exactly the renewal we already served: return the original
+        // binding.
+        if let Some(binding) =
+            self.coins[&id].last_served.as_ref().and_then(|s| s.replay_renewal(request))
+        {
+            let binding = binding.clone();
+            self.stats.replays += 1;
+            self.jrecord(JournalOp::Counters);
+            return Ok(binding);
         }
         self.verify_downtime_request(
             &id,
@@ -396,11 +497,11 @@ impl Broker {
             &request.holder_sig,
             &request.group_sig,
         )?;
-        let record = self.coins.get_mut(&id).expect("checked above");
+        let coin_pk = self.coins[&id].minted.coin_pk().clone();
         let seq = request.current.seq() + 1;
         let expires = now.plus(self.params.renewal_period_secs());
         let msg = Binding::signed_bytes(
-            record.minted.coin_pk(),
+            &coin_pk,
             request.current.holder_pk(),
             seq,
             expires,
@@ -408,15 +509,19 @@ impl Broker {
         );
         let sig = self.keys.sign(&group, &msg, rng);
         let binding = Binding::from_parts(
-            record.minted.coin_pk().clone(),
+            coin_pk,
             request.current.holder_pk().clone(),
             seq,
             expires,
             BindingSigner::Broker,
             sig,
         );
+        let served = ServedOp::Renewal { request: request.clone(), binding: binding.clone() };
+        let record = self.coins.get_mut(&id).expect("checked above");
         record.downtime_binding = Some(binding.clone());
+        record.last_served = Some(served.clone());
         self.stats.downtime_renewals += 1;
+        self.jrecord(JournalOp::DowntimeBinding { coin: id, binding: binding.clone(), served });
         Ok(binding)
     }
 
@@ -430,45 +535,68 @@ impl Broker {
         group_sig: &GroupSignature,
     ) -> Result<(), CoreError> {
         let group = self.params.group().clone();
-        let record = self.coins.get(id).expect("caller checked existence");
-        match &record.downtime_binding {
-            // Flavor two: bit-by-bit comparison against stored state.
-            Some(stored) => {
-                if stored != presented {
+        let verdict = {
+            let record = self.coins.get(id).expect("caller checked existence");
+            match &record.downtime_binding {
+                // Flavor two: bit-by-bit comparison against stored state —
+                // unless the presented binding *supersedes* it (a newer
+                // coin-key-signed binding means the owner came back and
+                // kept serving; the parked state is obsolete).
+                Some(stored) if stored == presented => Ok(()),
+                Some(stored)
+                    if Self::supersedes(
+                        &group,
+                        self.keys.public(),
+                        &self.sig_cache,
+                        stored,
+                        presented,
+                    ) =>
+                {
+                    Ok(())
+                }
+                Some(stored) => {
                     // A mismatching-but-valid binding pair is double-spend
                     // evidence against whoever signed them.
-                    self.stats.rejections += 1;
-                    return Err(CoreError::StaleBinding {
+                    Err(CoreError::StaleBinding {
                         expected_seq: stored.seq(),
                         presented_seq: presented.seq(),
-                    });
+                    })
+                }
+                // Flavor one: verify the owner's coin-key signature.
+                None => {
+                    if presented.verify_cached(&group, self.keys.public(), &self.sig_cache) {
+                        Ok(())
+                    } else {
+                        Err(CoreError::BadSignature)
+                    }
                 }
             }
-            // Flavor one: verify the owner's coin-key signature.
-            None => {
-                if !presented.verify_cached(&group, self.keys.public(), &self.sig_cache) {
-                    self.stats.rejections += 1;
-                    return Err(CoreError::BadSignature);
-                }
-            }
+        };
+        if let Err(e) = verdict {
+            return self.reject(e);
         }
         let holder_key = DsaPublicKey::from_element(presented.holder_pk().clone());
         if !group.is_element(presented.holder_pk()) || !holder_key.verify(&group, msg, holder_sig) {
-            self.stats.rejections += 1;
-            return Err(CoreError::BadSignature);
+            return self.reject(CoreError::BadSignature);
         }
         if !self.gpk.verify(&group, msg, group_sig) {
-            self.stats.rejections += 1;
-            return Err(CoreError::BadGroupSignature);
+            return self.reject(CoreError::BadGroupSignature);
         }
         Ok(())
     }
 
     // --- synchronization ---
 
-    /// Proactive sync for an identified owner: returns (and clears) the
-    /// broker-held bindings for that peer's coins. The peer must present a
-    /// valid identity signature over `challenge` (challenge–response).
+    /// Proactive sync for an identified owner: returns the broker-held
+    /// bindings for that peer's coins. The peer must present a valid
+    /// identity signature over `challenge` (challenge–response).
+    ///
+    /// Sync is read-only (idempotent): the broker keeps its downtime
+    /// state, so a retried or duplicated sync returns the same answer and
+    /// a crash between response and receipt loses nothing. The stored
+    /// binding is released when the owner resumes the protocol — a
+    /// deposit clears it, and a newer coin-key-signed binding supersedes
+    /// it (see `verify_downtime_request`).
     ///
     /// # Errors
     ///
@@ -479,27 +607,30 @@ impl Broker {
         challenge: &[u8],
         response: &whopay_crypto::dsa::DsaSignature,
     ) -> Result<Vec<Binding>, CoreError> {
-        let group = self.params.group();
-        let key = self.registered.get(&peer).ok_or(CoreError::UnknownPeer(peer))?;
-        if !key.verify(group, challenge, response) {
-            self.stats.rejections += 1;
-            return Err(CoreError::BadSignature);
+        let ok = {
+            let group = self.params.group();
+            let key = self.registered.get(&peer).ok_or(CoreError::UnknownPeer(peer))?;
+            key.verify(group, challenge, response)
+        };
+        if !ok {
+            return self.reject(CoreError::BadSignature);
         }
         let mut out = Vec::new();
-        for record in self.coins.values_mut() {
+        for record in self.coins.values() {
             if record.minted.owner() == &OwnerTag::Identified(peer) {
-                if let Some(binding) = record.downtime_binding.take() {
-                    out.push(binding);
+                if let Some(binding) = &record.downtime_binding {
+                    out.push(binding.clone());
                 }
             }
         }
         self.stats.syncs += 1;
+        self.jrecord(JournalOp::Counters);
         Ok(out)
     }
 
     /// Sync for a single anonymous coin: the claimant proves ownership by
-    /// signing `challenge` with the coin key; the broker returns (and
-    /// clears) its downtime binding.
+    /// signing `challenge` with the coin key; the broker returns its
+    /// downtime binding. Read-only, like [`Broker::sync_for_owner`].
     ///
     /// # Errors
     ///
@@ -510,22 +641,198 @@ impl Broker {
         challenge: &[u8],
         response: &whopay_crypto::dsa::DsaSignature,
     ) -> Result<Option<Binding>, CoreError> {
-        let group = self.params.group();
         let id = CoinId::from_pk(coin_pk);
-        let record = self.coins.get_mut(&id).ok_or(CoreError::NotCirculating(id))?;
+        if !self.coins.contains_key(&id) {
+            return Err(CoreError::NotCirculating(id));
+        }
         let key = DsaPublicKey::from_element(coin_pk.clone());
-        if !key.verify(group, challenge, response) {
-            self.stats.rejections += 1;
-            return Err(CoreError::BadSignature);
+        if !key.verify(self.params.group(), challenge, response) {
+            return self.reject(CoreError::BadSignature);
         }
         self.stats.syncs += 1;
-        Ok(record.downtime_binding.take())
+        self.jrecord(JournalOp::Counters);
+        Ok(self.coins[&id].downtime_binding.clone())
     }
 
     /// Records externally supplied double-spend evidence (e.g. from the
     /// real-time detection layer) as a fraud case for the judge.
     pub fn report_fraud(&mut self, coin: CoinId, description: String, group_sigs: Vec<GroupSignature>) {
-        self.fraud.push(FraudCase { coin, description, group_sigs });
+        let case = FraudCase { coin, description, group_sigs };
+        self.fraud.push(case.clone());
+        self.jrecord(JournalOp::Fraud { case });
+    }
+
+    // --- crash recovery ---
+
+    /// Turns on journalling: records an initial checkpoint of the current
+    /// state, then appends an entry for every mutation. Pair with
+    /// [`Broker::recover`] after a crash.
+    pub fn enable_journal(&mut self) {
+        let state = self.snapshot();
+        let mut journal = Journal::new();
+        journal.checkpoint(self.stats, state);
+        self.journal = Some(journal);
+    }
+
+    /// Folds the journal down to a single checkpoint entry (truncation,
+    /// bounding its growth). No-op while journalling is off.
+    pub fn checkpoint_journal(&mut self) {
+        if self.journal.is_some() {
+            let state = self.snapshot();
+            let stats = self.stats;
+            if let Some(journal) = &mut self.journal {
+                journal.checkpoint(stats, state);
+            }
+        }
+    }
+
+    /// The crash-recovery journal, if enabled.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// The broker's signing keys, for the operator to persist out of
+    /// band: the journal deliberately never contains the secret half, so
+    /// recovery needs the keys handed back explicitly.
+    pub fn export_keys(&self) -> DsaKeyPair {
+        self.keys.clone()
+    }
+
+    /// The broker's full state in canonical (sorted) order — the body of
+    /// a checkpoint, and the field-by-field oracle the recovery tests
+    /// compare against.
+    pub fn snapshot(&self) -> CheckpointState {
+        let mut registered: Vec<(PeerId, DsaPublicKey)> =
+            self.registered.iter().map(|(p, k)| (*p, k.clone())).collect();
+        registered.sort_by_key(|(p, _)| *p);
+        let mut coins: Vec<(CoinId, CoinSnapshot)> = self
+            .coins
+            .iter()
+            .map(|(id, r)| {
+                (
+                    *id,
+                    CoinSnapshot {
+                        minted: r.minted.clone(),
+                        downtime_binding: r.downtime_binding.clone(),
+                        deposited: r.deposited,
+                        last_served: r.last_served.clone(),
+                    },
+                )
+            })
+            .collect();
+        coins.sort_by_key(|(id, _)| id.0);
+        CheckpointState { registered, coins, fraud: self.fraud.clone() }
+    }
+
+    /// Rebuilds a broker from its journal after a crash.
+    ///
+    /// `params`, `gpk`, and `keys` come from the operator's out-of-band
+    /// configuration ([`Broker::export_keys`]); the journal supplies
+    /// everything else. Replay is deterministic: the recovered broker's
+    /// [`Broker::snapshot`] and [`Broker::stats`] equal the crashed
+    /// one's exactly, replay memos included, and its mint-signature
+    /// cache is re-primed so deposits of pre-crash coins stay fast.
+    /// Journalling is re-enabled (with a fresh checkpoint) so a second
+    /// crash recovers the same way.
+    pub fn recover(
+        params: SystemParams,
+        gpk: GroupPublicKey,
+        keys: DsaKeyPair,
+        journal: &Journal,
+    ) -> Broker {
+        let mut broker = Broker {
+            params,
+            keys,
+            gpk,
+            registered: HashMap::new(),
+            coins: HashMap::new(),
+            fraud: Vec::new(),
+            stats: BrokerStats::default(),
+            sig_cache: Arc::new(SigCache::default()),
+            vpool: VerifyPool::serial(),
+            journal: None,
+        };
+        for entry in journal.entries() {
+            broker.apply(entry);
+        }
+        broker.enable_journal();
+        broker
+    }
+
+    /// Applies one journal entry during recovery.
+    fn apply(&mut self, entry: &JournalEntry) {
+        let group = self.params.group().clone();
+        match &entry.op {
+            JournalOp::Checkpoint(state) => {
+                self.registered = state.registered.iter().cloned().collect();
+                self.coins.clear();
+                for (id, snap) in &state.coins {
+                    self.sig_cache.prime(snap.minted.mint_cache_key(&group, self.keys.public()), true);
+                    self.coins.insert(
+                        *id,
+                        CoinRecord {
+                            minted: snap.minted.clone(),
+                            downtime_binding: snap.downtime_binding.clone(),
+                            deposited: snap.deposited,
+                            last_served: snap.last_served.clone(),
+                        },
+                    );
+                }
+                self.fraud = state.fraud.clone();
+            }
+            JournalOp::Register { peer, key } => {
+                self.registered.insert(*peer, key.clone());
+            }
+            JournalOp::Mint { minted, served } => {
+                self.sig_cache.prime(minted.mint_cache_key(&group, self.keys.public()), true);
+                self.coins.insert(
+                    minted.id(),
+                    CoinRecord {
+                        minted: minted.clone(),
+                        downtime_binding: None,
+                        deposited: false,
+                        last_served: Some(served.clone()),
+                    },
+                );
+            }
+            JournalOp::Deposit { coin, served } => {
+                if let Some(record) = self.coins.get_mut(coin) {
+                    record.deposited = true;
+                    record.downtime_binding = None;
+                    record.last_served = Some(served.clone());
+                }
+            }
+            JournalOp::DowntimeBinding { coin, binding, served } => {
+                if let Some(record) = self.coins.get_mut(coin) {
+                    record.downtime_binding = Some(binding.clone());
+                    record.last_served = Some(served.clone());
+                }
+            }
+            JournalOp::Fraud { case } => self.fraud.push(case.clone()),
+            JournalOp::Counters => {}
+        }
+        self.stats = entry.stats;
+    }
+
+    /// Re-publishes every broker-managed downtime binding to the public
+    /// binding list after recovery, so real-time double-spend detection
+    /// (§5.1) resumes where it left off. Returns how many bindings were
+    /// published (already-newer DHT records are skipped, not errors).
+    pub fn republish_downtime_bindings<R: Rng + ?Sized>(
+        &self,
+        dht: &mut whopay_dht::Dht,
+        entry: whopay_dht::RingId,
+        rng: &mut R,
+    ) -> usize {
+        let mut published = 0;
+        for record in self.coins.values() {
+            if let Some(binding) = &record.downtime_binding {
+                if self.publish_binding(binding, dht, entry, rng).is_ok() {
+                    published += 1;
+                }
+            }
+        }
+        published
     }
 
     // --- real-time double-spending detection (§5.1) ---

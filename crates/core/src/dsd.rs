@@ -93,6 +93,40 @@ pub fn read_public_state(
     Binding::decode_public_state(&record.value).map_err(|_| CoreError::Malformed)
 }
 
+/// Owner-side binding re-sync after an offline window: for every owned
+/// coin with a public record, adopts the published state when it is
+/// newer than the local binding (lazy synchronization against the DHT
+/// instead of a broker round-trip — the complement of
+/// [`crate::service::sync_via`]). Coins with no public record are
+/// skipped: nothing moved while the owner was away.
+///
+/// Returns the number of bindings adopted.
+///
+/// # Errors
+///
+/// [`CoreError::Malformed`] if a public record fails to decode.
+pub fn resync_owner<R: Rng + ?Sized>(
+    peer: &mut Peer,
+    dht: &mut Dht,
+    entry: RingId,
+    rng: &mut R,
+) -> Result<usize, CoreError> {
+    let coins: Vec<(CoinId, BigUint)> =
+        peer.owned_coins().map(|(id, c)| (*id, c.minted.coin_pk().clone())).collect();
+    let mut adopted = 0;
+    for (coin, pk) in coins {
+        let state = match read_public_state(dht, entry, &pk) {
+            Ok(state) => state,
+            Err(CoreError::PublicBindingMissing) => continue,
+            Err(e) => return Err(e),
+        };
+        if peer.adopt_public_state(coin, &state, rng)? {
+            adopted += 1;
+        }
+    }
+    Ok(adopted)
+}
+
 /// Payee-side real-time check: "a peer does not accept payment until
 /// verifying that the relevant public binding has been properly updated."
 /// Call between receiving a grant and [`Peer::accept_grant`].

@@ -1,0 +1,493 @@
+//! The broker's append-only crash-recovery journal.
+//!
+//! Every state mutation the broker performs — registrations, mints,
+//! deposits, downtime bindings, fraud findings, and bare counter bumps —
+//! is appended as a [`JournalEntry`] before the response leaves the
+//! broker. Each entry carries the *post-op* [`BrokerStats`], so recovery
+//! never has to reconstruct counters from the ops: replaying entry by
+//! entry and adopting the last stats snapshot yields exactly the
+//! pre-crash numbers, rejections included.
+//!
+//! A [`JournalOp::Checkpoint`] folds the whole current state into one
+//! entry and truncates everything before it, bounding journal growth;
+//! [`crate::Broker::recover`] replays checkpoint-then-tail to a state
+//! bit-identical to the crashed broker (see `tests/chaos.rs`, which
+//! asserts this field by field).
+//!
+//! Persistence itself is out of scope — the journal serialises to the
+//! repo's length-prefixed binary codec ([`Journal::to_bytes`] /
+//! [`Journal::from_bytes`]) and the operator decides where the bytes
+//! live. The broker's secret key is deliberately *not* journalled;
+//! [`crate::Broker::export_keys`] hands it to the operator out of band.
+
+use whopay_crypto::dsa::DsaPublicKey;
+
+use crate::broker::{BrokerStats, FraudCase};
+use crate::codec::{DecodeError, Reader, Writer};
+use crate::coin::{Binding, MintedCoin};
+use crate::error::CoreError;
+use crate::messages::{DepositReceipt, PurchaseRequest, RenewalRequest, TransferRequest};
+use crate::replay::ServedOp;
+use crate::types::{CoinId, PeerId};
+use crate::wire::{
+    get_binding, get_deposit, get_grant, get_gsig, get_minted, get_nonce, get_owner_tag, get_sig,
+    put_binding, put_deposit, put_grant, put_gsig, put_minted, put_nonce, put_owner_tag, put_sig,
+};
+
+/// One coin's complete broker-side state, as frozen by a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoinSnapshot {
+    /// The broker-signed coin.
+    pub minted: MintedCoin,
+    /// Broker-managed downtime binding, if any.
+    pub downtime_binding: Option<Binding>,
+    /// Whether the coin has been redeemed.
+    pub deposited: bool,
+    /// The last mutating op served for this coin (the replay memo).
+    pub last_served: Option<ServedOp>,
+}
+
+/// The broker's full state at a checkpoint, in canonical (sorted) order
+/// so two snapshots of identical state compare equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointState {
+    /// Registered peers and their identity keys, sorted by peer id.
+    pub registered: Vec<(PeerId, DsaPublicKey)>,
+    /// All coin records, sorted by coin id.
+    pub coins: Vec<(CoinId, CoinSnapshot)>,
+    /// Fraud cases, in detection order.
+    pub fraud: Vec<FraudCase>,
+}
+
+/// One journalled broker mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A peer registered an identity key.
+    Register {
+        /// The registering peer.
+        peer: PeerId,
+        /// Its identity key.
+        key: DsaPublicKey,
+    },
+    /// A coin was minted.
+    Mint {
+        /// The minted coin.
+        minted: MintedCoin,
+        /// The replay memo set on the new record.
+        served: ServedOp,
+    },
+    /// A coin was redeemed.
+    Deposit {
+        /// The redeemed coin.
+        coin: CoinId,
+        /// The replay memo set on the record.
+        served: ServedOp,
+    },
+    /// A downtime transfer/renewal updated the broker-managed binding.
+    DowntimeBinding {
+        /// The coin whose binding changed.
+        coin: CoinId,
+        /// The new broker-signed binding.
+        binding: Binding,
+        /// The replay memo set on the record.
+        served: ServedOp,
+    },
+    /// A fraud case was recorded.
+    Fraud {
+        /// The recorded case.
+        case: FraudCase,
+    },
+    /// No structural change — only the stats snapshot riding on the
+    /// entry matters (rejections, syncs, replays).
+    Counters,
+    /// A full-state checkpoint; everything before it has been truncated.
+    Checkpoint(CheckpointState),
+}
+
+/// One journal entry: the op plus the broker's counters *after* it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Counters after the op applied.
+    pub stats: BrokerStats,
+    /// The mutation.
+    pub op: JournalOp,
+}
+
+/// An append-only, checkpoint-truncated record of broker mutations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends one entry.
+    pub fn append(&mut self, entry: JournalEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Folds the given full state into a single checkpoint entry and
+    /// drops everything recorded before it.
+    pub fn checkpoint(&mut self, stats: BrokerStats, state: CheckpointState) {
+        self.entries.clear();
+        self.entries.push(JournalEntry { stats, op: JournalOp::Checkpoint(state) });
+    }
+
+    /// The entries since the last checkpoint (inclusive).
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been journalled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialises the journal with the repo's length-prefixed codec.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.entries.len() as u64);
+        for entry in &self.entries {
+            put_stats(&mut w, &entry.stats);
+            put_op(&mut w, &entry.op);
+        }
+        w.finish()
+    }
+
+    /// Decodes a journal produced by [`Journal::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] on any decode failure.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Journal, CoreError> {
+        decode_journal(bytes).map_err(|DecodeError| CoreError::Malformed)
+    }
+}
+
+fn decode_journal(bytes: &[u8]) -> Result<Journal, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u64()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let stats = get_stats(&mut r)?;
+        let op = get_op(&mut r)?;
+        entries.push(JournalEntry { stats, op });
+    }
+    r.finish()?;
+    Ok(Journal { entries })
+}
+
+// --- field encodings ---
+
+fn put_stats(w: &mut Writer, s: &BrokerStats) {
+    w.u64(s.purchases)
+        .u64(s.deposits)
+        .u64(s.downtime_transfers)
+        .u64(s.downtime_renewals)
+        .u64(s.syncs)
+        .u64(s.rejections)
+        .u64(s.replays);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<BrokerStats, DecodeError> {
+    Ok(BrokerStats {
+        purchases: r.u64()?,
+        deposits: r.u64()?,
+        downtime_transfers: r.u64()?,
+        downtime_renewals: r.u64()?,
+        syncs: r.u64()?,
+        rejections: r.u64()?,
+        replays: r.u64()?,
+    })
+}
+
+fn put_coin_id(w: &mut Writer, id: &CoinId) {
+    w.bytes(&id.0);
+}
+
+fn get_coin_id(r: &mut Reader<'_>) -> Result<CoinId, DecodeError> {
+    let b = r.bytes()?;
+    Ok(CoinId(b.try_into().map_err(|_| DecodeError)?))
+}
+
+fn put_purchase(w: &mut Writer, p: &PurchaseRequest) {
+    put_owner_tag(w, &p.owner);
+    w.int(&p.coin_pk);
+    match &p.identity_sig {
+        Some(sig) => {
+            w.u64(1);
+            put_sig(w, sig);
+        }
+        None => {
+            w.u64(0);
+        }
+    }
+    match &p.group_sig {
+        Some(sig) => {
+            w.u64(1);
+            put_gsig(w, sig);
+        }
+        None => {
+            w.u64(0);
+        }
+    }
+}
+
+fn get_purchase(r: &mut Reader<'_>) -> Result<PurchaseRequest, DecodeError> {
+    let owner = get_owner_tag(r)?;
+    let coin_pk = r.int()?;
+    let identity_sig = match r.u64()? {
+        0 => None,
+        1 => Some(get_sig(r)?),
+        _ => return Err(DecodeError),
+    };
+    let group_sig = match r.u64()? {
+        0 => None,
+        1 => Some(get_gsig(r)?),
+        _ => return Err(DecodeError),
+    };
+    Ok(PurchaseRequest { owner, coin_pk, identity_sig, group_sig })
+}
+
+fn put_transfer(w: &mut Writer, t: &TransferRequest) {
+    put_binding(w, &t.current);
+    w.int(&t.new_holder_pk);
+    put_nonce(w, &t.nonce);
+    put_sig(w, &t.holder_sig);
+    put_gsig(w, &t.group_sig);
+}
+
+fn get_transfer(r: &mut Reader<'_>) -> Result<TransferRequest, DecodeError> {
+    Ok(TransferRequest {
+        current: get_binding(r)?,
+        new_holder_pk: r.int()?,
+        nonce: get_nonce(r)?,
+        holder_sig: get_sig(r)?,
+        group_sig: get_gsig(r)?,
+    })
+}
+
+fn put_renewal(w: &mut Writer, t: &RenewalRequest) {
+    put_binding(w, &t.current);
+    put_sig(w, &t.holder_sig);
+    put_gsig(w, &t.group_sig);
+}
+
+fn get_renewal(r: &mut Reader<'_>) -> Result<RenewalRequest, DecodeError> {
+    Ok(RenewalRequest { current: get_binding(r)?, holder_sig: get_sig(r)?, group_sig: get_gsig(r)? })
+}
+
+fn put_receipt(w: &mut Writer, receipt: &DepositReceipt) {
+    put_coin_id(w, &receipt.coin);
+    w.u64(receipt.value);
+}
+
+fn get_receipt(r: &mut Reader<'_>) -> Result<DepositReceipt, DecodeError> {
+    Ok(DepositReceipt { coin: get_coin_id(r)?, value: r.u64()? })
+}
+
+fn put_served(w: &mut Writer, op: &ServedOp) {
+    match op {
+        ServedOp::Purchase { request, minted } => {
+            w.u64(0);
+            put_purchase(w, request);
+            put_minted(w, minted);
+        }
+        ServedOp::Issue { holder_pk, nonce, grant } => {
+            w.u64(1).int(holder_pk);
+            put_nonce(w, nonce);
+            put_grant(w, grant);
+        }
+        ServedOp::Transfer { request, grant } => {
+            w.u64(2);
+            put_transfer(w, request);
+            put_grant(w, grant);
+        }
+        ServedOp::Renewal { request, binding } => {
+            w.u64(3);
+            put_renewal(w, request);
+            put_binding(w, binding);
+        }
+        ServedOp::Deposit { request, receipt } => {
+            w.u64(4);
+            put_deposit(w, request);
+            put_receipt(w, receipt);
+        }
+    }
+}
+
+fn get_served(r: &mut Reader<'_>) -> Result<ServedOp, DecodeError> {
+    match r.u64()? {
+        0 => Ok(ServedOp::Purchase { request: get_purchase(r)?, minted: get_minted(r)? }),
+        1 => Ok(ServedOp::Issue { holder_pk: r.int()?, nonce: get_nonce(r)?, grant: get_grant(r)? }),
+        2 => Ok(ServedOp::Transfer { request: get_transfer(r)?, grant: get_grant(r)? }),
+        3 => Ok(ServedOp::Renewal { request: get_renewal(r)?, binding: get_binding(r)? }),
+        4 => Ok(ServedOp::Deposit { request: get_deposit(r)?, receipt: get_receipt(r)? }),
+        _ => Err(DecodeError),
+    }
+}
+
+fn put_opt_served(w: &mut Writer, op: &Option<ServedOp>) {
+    match op {
+        Some(op) => {
+            w.u64(1);
+            put_served(w, op);
+        }
+        None => {
+            w.u64(0);
+        }
+    }
+}
+
+fn get_opt_served(r: &mut Reader<'_>) -> Result<Option<ServedOp>, DecodeError> {
+    match r.u64()? {
+        0 => Ok(None),
+        1 => Ok(Some(get_served(r)?)),
+        _ => Err(DecodeError),
+    }
+}
+
+fn put_fraud(w: &mut Writer, case: &FraudCase) {
+    put_coin_id(w, &case.coin);
+    w.bytes(case.description.as_bytes());
+    w.u64(case.group_sigs.len() as u64);
+    for sig in &case.group_sigs {
+        put_gsig(w, sig);
+    }
+}
+
+fn get_fraud(r: &mut Reader<'_>) -> Result<FraudCase, DecodeError> {
+    let coin = get_coin_id(r)?;
+    let description = String::from_utf8(r.bytes()?.to_vec()).map_err(|_| DecodeError)?;
+    let n = r.u64()? as usize;
+    let mut group_sigs = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        group_sigs.push(get_gsig(r)?);
+    }
+    Ok(FraudCase { coin, description, group_sigs })
+}
+
+fn put_checkpoint(w: &mut Writer, state: &CheckpointState) {
+    w.u64(state.registered.len() as u64);
+    for (peer, key) in &state.registered {
+        w.u64(peer.0).int(key.element());
+    }
+    w.u64(state.coins.len() as u64);
+    for (id, snap) in &state.coins {
+        put_coin_id(w, id);
+        put_minted(w, &snap.minted);
+        match &snap.downtime_binding {
+            Some(b) => {
+                w.u64(1);
+                put_binding(w, b);
+            }
+            None => {
+                w.u64(0);
+            }
+        }
+        w.u64(u64::from(snap.deposited));
+        put_opt_served(w, &snap.last_served);
+    }
+    w.u64(state.fraud.len() as u64);
+    for case in &state.fraud {
+        put_fraud(w, case);
+    }
+}
+
+fn get_checkpoint(r: &mut Reader<'_>) -> Result<CheckpointState, DecodeError> {
+    let n = r.u64()? as usize;
+    let mut registered = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let peer = PeerId(r.u64()?);
+        let key = DsaPublicKey::from_element(r.int()?);
+        registered.push((peer, key));
+    }
+    let n = r.u64()? as usize;
+    let mut coins = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let id = get_coin_id(r)?;
+        let minted = get_minted(r)?;
+        let downtime_binding = match r.u64()? {
+            0 => None,
+            1 => Some(get_binding(r)?),
+            _ => return Err(DecodeError),
+        };
+        let deposited = match r.u64()? {
+            0 => false,
+            1 => true,
+            _ => return Err(DecodeError),
+        };
+        let last_served = get_opt_served(r)?;
+        coins.push((id, CoinSnapshot { minted, downtime_binding, deposited, last_served }));
+    }
+    let n = r.u64()? as usize;
+    let mut fraud = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        fraud.push(get_fraud(r)?);
+    }
+    Ok(CheckpointState { registered, coins, fraud })
+}
+
+fn put_op(w: &mut Writer, op: &JournalOp) {
+    match op {
+        JournalOp::Register { peer, key } => {
+            w.u64(0).u64(peer.0).int(key.element());
+        }
+        JournalOp::Mint { minted, served } => {
+            w.u64(1);
+            put_minted(w, minted);
+            put_served(w, served);
+        }
+        JournalOp::Deposit { coin, served } => {
+            w.u64(2);
+            put_coin_id(w, coin);
+            put_served(w, served);
+        }
+        JournalOp::DowntimeBinding { coin, binding, served } => {
+            w.u64(3);
+            put_coin_id(w, coin);
+            put_binding(w, binding);
+            put_served(w, served);
+        }
+        JournalOp::Fraud { case } => {
+            w.u64(4);
+            put_fraud(w, case);
+        }
+        JournalOp::Counters => {
+            w.u64(5);
+        }
+        JournalOp::Checkpoint(state) => {
+            w.u64(6);
+            put_checkpoint(w, state);
+        }
+    }
+}
+
+fn get_op(r: &mut Reader<'_>) -> Result<JournalOp, DecodeError> {
+    match r.u64()? {
+        0 => Ok(JournalOp::Register {
+            peer: PeerId(r.u64()?),
+            key: DsaPublicKey::from_element(r.int()?),
+        }),
+        1 => Ok(JournalOp::Mint { minted: get_minted(r)?, served: get_served(r)? }),
+        2 => Ok(JournalOp::Deposit { coin: get_coin_id(r)?, served: get_served(r)? }),
+        3 => Ok(JournalOp::DowntimeBinding {
+            coin: get_coin_id(r)?,
+            binding: get_binding(r)?,
+            served: get_served(r)?,
+        }),
+        4 => Ok(JournalOp::Fraud { case: get_fraud(r)? }),
+        5 => Ok(JournalOp::Counters),
+        6 => Ok(JournalOp::Checkpoint(get_checkpoint(r)?)),
+        _ => Err(DecodeError),
+    }
+}

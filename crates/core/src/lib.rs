@@ -87,12 +87,14 @@ pub mod codec;
 pub mod coin;
 pub mod dsd;
 pub mod error;
+pub mod journal;
 pub mod judge;
 pub mod layered;
 pub mod messages;
 pub mod micropay;
 pub mod params;
 pub mod peer;
+pub mod replay;
 pub mod service;
 pub mod shop;
 pub mod sigcache;
@@ -105,6 +107,7 @@ pub use broker::{Broker, BrokerStats, FraudCase};
 pub use chain::BindingChain;
 pub use coin::{Binding, BindingSigner, DoubleSpendEvidence, MintedCoin, OwnerTag, PublicBindingState};
 pub use error::CoreError;
+pub use journal::{CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
 pub use judge::{Judge, RevealedIdentity};
 pub use messages::{
     CoinGrant, DepositReceipt, DepositRequest, PaymentInvite, PurchaseRequest, ReceiveSession,
@@ -112,6 +115,7 @@ pub use messages::{
 };
 pub use params::SystemParams;
 pub use peer::{HeldCoin, OwnedCoin, Peer, PendingPurchase, PurchaseMode};
+pub use replay::ServedOp;
 pub use shop::CoinShop;
 pub use sigcache::{CacheKeyer, SigCache};
 pub use types::{CoinId, PeerId, Timestamp};

@@ -42,6 +42,11 @@ pub struct OwnedCoin {
     /// Whether the coin has been issued (bound to someone else's holder
     /// key) or is still self-held and spendable by *issue*.
     pub issued: bool,
+    /// The last mutating op served for this coin — the replay memo that
+    /// lets re-delivered issue/transfer/renewal requests get the original
+    /// answer instead of a `StaleBinding` rejection (see
+    /// [`crate::replay`]).
+    pub last_served: Option<crate::replay::ServedOp>,
 }
 
 /// Holder-side state for one coin in this peer's wallet.
@@ -232,8 +237,16 @@ impl Peer {
             now,
             rng,
         );
-        self.owned
-            .insert(id, OwnedCoin { minted, coin_keys: pending.coin_keys, binding, issued: false });
+        self.owned.insert(
+            id,
+            OwnedCoin {
+                minted,
+                coin_keys: pending.coin_keys,
+                binding,
+                issued: false,
+                last_served: None,
+            },
+        );
         Ok(id)
     }
 
@@ -354,6 +367,15 @@ impl Peer {
         }
         let owned = self.owned.get_mut(&coin).ok_or(CoreError::NotOwner(coin))?;
         if owned.issued {
+            // Exactly the issue we already served: a retried or duplicated
+            // delivery. Return the original grant instead of NotHolder.
+            if let Some(grant) = owned
+                .last_served
+                .as_ref()
+                .and_then(|s| s.replay_issue(&invite.holder_pk, &invite.nonce))
+            {
+                return Ok(grant.clone());
+            }
             return Err(CoreError::NotHolder(coin));
         }
         let seq = owned.binding.seq() + 1;
@@ -371,7 +393,13 @@ impl Peer {
         let proof_msg =
             CoinGrant::proof_bytes(owned.minted.coin_pk(), &invite.holder_pk, &invite.nonce);
         let ownership_proof = owned.coin_keys.sign(&group, &proof_msg, rng);
-        Ok(CoinGrant { minted: owned.minted.clone(), binding, ownership_proof })
+        let grant = CoinGrant { minted: owned.minted.clone(), binding, ownership_proof };
+        owned.last_served = Some(crate::replay::ServedOp::Issue {
+            holder_pk: invite.holder_pk.clone(),
+            nonce: invite.nonce,
+            grant: grant.clone(),
+        });
+        Ok(grant)
     }
 
     /// Builds a transfer request for a held coin toward `invite`'s holder
@@ -509,6 +537,12 @@ impl Peer {
         let group = self.params.group().clone();
         let coin = request.current.coin_id();
         let owned = self.owned.get_mut(&coin).ok_or(CoreError::NotOwner(coin))?;
+        // Exactly the transfer we already served: a retried or duplicated
+        // delivery. Return the original grant without re-rebinding (and
+        // without re-logging the relinquishment).
+        if let Some(grant) = owned.last_served.as_ref().and_then(|s| s.replay_transfer(&request)) {
+            return Ok(grant.clone());
+        }
         if request.current.seq() != owned.binding.seq()
             || request.current.holder_pk() != owned.binding.holder_pk()
         {
@@ -542,8 +576,11 @@ impl Peer {
             CoinGrant::proof_bytes(owned.minted.coin_pk(), &request.new_holder_pk, &request.nonce);
         let ownership_proof = owned.coin_keys.sign(&group, &proof_msg, rng);
         let minted = owned.minted.clone();
+        let grant = CoinGrant { minted, binding, ownership_proof };
+        owned.last_served =
+            Some(crate::replay::ServedOp::Transfer { request: request.clone(), grant: grant.clone() });
         self.relinquish_log.push(request);
-        Ok(CoinGrant { minted, binding, ownership_proof })
+        Ok(grant)
     }
 
     /// Handles a renewal request for a coin this peer owns: verifies,
@@ -561,6 +598,11 @@ impl Peer {
         let group = self.params.group().clone();
         let coin = request.current.coin_id();
         let owned = self.owned.get_mut(&coin).ok_or(CoreError::NotOwner(coin))?;
+        // Exactly the renewal we already served: return the original
+        // renewed binding.
+        if let Some(binding) = owned.last_served.as_ref().and_then(|s| s.replay_renewal(&request)) {
+            return Ok(binding.clone());
+        }
         if request.current.seq() != owned.binding.seq()
             || request.current.holder_pk() != owned.binding.holder_pk()
         {
@@ -588,6 +630,10 @@ impl Peer {
             rng,
         );
         owned.binding = binding.clone();
+        owned.last_served = Some(crate::replay::ServedOp::Renewal {
+            request: request.clone(),
+            binding: binding.clone(),
+        });
         Ok(binding)
     }
 

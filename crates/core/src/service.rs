@@ -29,7 +29,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use rand::SeedableRng;
-use whopay_net::{EndpointId, Network, RequestError};
+use whopay_net::{Classify, EndpointId, ErrorClass, Network, RequestError, RetryPolicy};
 use whopay_obs::{Obs, OpKind, Role, Span};
 
 use crate::broker::Broker;
@@ -243,6 +243,59 @@ impl std::fmt::Display for CallError {
 }
 
 impl std::error::Error for CallError {}
+
+/// Whether a remote rejection message is *verification-shaped* — the
+/// rejection a request corrupted in flight produces at the server — and
+/// therefore worth retrying with the intact request. State-shaped
+/// rejections (double spend, stale binding, unknown coin, …) describe
+/// the protocol state itself, which a resend cannot change.
+fn remote_is_retryable(msg: &str) -> bool {
+    [
+        CoreError::Malformed,
+        CoreError::BadSignature,
+        CoreError::BadGroupSignature,
+        CoreError::BadOwnershipProof,
+    ]
+    .iter()
+    .any(|e| msg == e.to_string())
+}
+
+impl Classify for CallError {
+    fn class(&self) -> ErrorClass {
+        match self {
+            CallError::Network(e) => e.class(),
+            // The remote saw garbage where the client sent a well-formed
+            // request: the corruption happened in flight, resend.
+            CallError::Remote(msg) if remote_is_retryable(msg) => ErrorClass::Retryable,
+            CallError::Remote(_) => ErrorClass::Fatal,
+            // The response failed to decode or verify locally: response
+            // corrupted in flight, the remote's mutation (if any) is
+            // memoised, resend and collect the replay.
+            CallError::Protocol(
+                CoreError::Malformed
+                | CoreError::BadSignature
+                | CoreError::BadGroupSignature
+                | CoreError::BadOwnershipProof,
+            ) => ErrorClass::Retryable,
+            CallError::Protocol(_) => ErrorClass::Fatal,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self.class() {
+            ErrorClass::Retryable => match self {
+                CallError::Network(e) => e.label(),
+                CallError::Remote(_) => "remote verification failure",
+                CallError::Protocol(_) => "response corrupted",
+            },
+            ErrorClass::Fatal => match self {
+                CallError::Network(e) => e.label(),
+                CallError::Remote(_) => "remote rejection",
+                CallError::Protocol(_) => "protocol failure",
+            },
+        }
+    }
+}
 
 /// One request/response exchange, attributing both directions' traffic
 /// to the caller's span (2 messages, request + response payload bytes —
@@ -600,4 +653,213 @@ pub fn sync_via_obs<R: rand::Rng + ?Sized>(
     };
     finish_call(span, &result);
     result
+}
+
+// ---------------------------------------------------------------------
+// Resilient calls: the retry-wrapped client helpers.
+//
+// Each helper builds its request ONCE and resends the identical bytes on
+// every attempt, which is what makes retries safe: the server-side
+// replay memos (`crate::replay`) key on the whole request, so an attempt
+// whose mutation applied but whose response was lost is answered from
+// the memo instead of double-applying. Each attempt gets its own span —
+// an abandoned attempt is a real failed operation in the traces.
+// ---------------------------------------------------------------------
+
+/// [`purchase_via_obs`] with resilient retries: the purchase request is
+/// created once and resent verbatim until it succeeds, fails fatally, or
+/// `policy` gives up.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+#[allow(clippy::too_many_arguments)]
+pub fn purchase_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    peer: &mut Peer,
+    mode: PurchaseMode,
+    now: Timestamp,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<CoinId, CallError> {
+    let (req, pending) = peer.create_purchase_request(mode, rng);
+    let request = Request::Purchase(req);
+    let minted = policy.run(rng, |_| {
+        let mut span = obs.span(Role::Broker, OpKind::Purchase);
+        let result = match call_traced(net, me, broker_ep, &request, &mut span) {
+            Ok(Response::Minted(minted)) => Ok(minted),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        finish_call(span, &result);
+        result
+    })?;
+    peer.complete_purchase(minted, pending, now, rng).map_err(CallError::Protocol)
+}
+
+/// [`request_issue_via_obs`] with resilient retries.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+#[allow(clippy::too_many_arguments)]
+pub fn request_issue_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    owner_ep: EndpointId,
+    coin: CoinId,
+    invite: &PaymentInvite,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<CoinGrant, CallError> {
+    let request = Request::Issue { coin, invite: invite.clone() };
+    policy.run(rng, |_| {
+        let mut span = obs.span(Role::Peer, OpKind::Issue);
+        let result = match call_traced(net, me, owner_ep, &request, &mut span) {
+            Ok(Response::Grant(grant)) => Ok(*grant),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        finish_call(span, &result);
+        result
+    })
+}
+
+/// [`request_transfer_via_obs`] with resilient retries.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+#[allow(clippy::too_many_arguments)]
+pub fn request_transfer_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    target_ep: EndpointId,
+    request: crate::messages::TransferRequest,
+    downtime: bool,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<CoinGrant, CallError> {
+    let (role, op) = if downtime {
+        (Role::Broker, OpKind::DowntimeTransfer)
+    } else {
+        (Role::Peer, OpKind::Transfer)
+    };
+    let request = Request::Transfer { request, downtime };
+    policy.run(rng, |_| {
+        let mut span = obs.span(role, op);
+        let result = match call_traced(net, me, target_ep, &request, &mut span) {
+            Ok(Response::Grant(grant)) => Ok(*grant),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        finish_call(span, &result);
+        result
+    })
+}
+
+/// [`request_renewal_via_obs`] with resilient retries.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+#[allow(clippy::too_many_arguments)]
+pub fn request_renewal_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    target_ep: EndpointId,
+    request: crate::messages::RenewalRequest,
+    downtime: bool,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<crate::coin::Binding, CallError> {
+    let (role, op) =
+        if downtime { (Role::Broker, OpKind::DowntimeRenewal) } else { (Role::Peer, OpKind::Renewal) };
+    let request = Request::Renewal { request, downtime };
+    policy.run(rng, |_| {
+        let mut span = obs.span(role, op);
+        let result = match call_traced(net, me, target_ep, &request, &mut span) {
+            Ok(Response::Binding(binding)) => Ok(binding),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        finish_call(span, &result);
+        result
+    })
+}
+
+/// [`deposit_via_obs`] with resilient retries: a deposit whose receipt
+/// was lost in flight is resent and answered from the broker's replay
+/// memo — credited exactly once.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+#[allow(clippy::too_many_arguments)]
+pub fn deposit_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    request: crate::messages::DepositRequest,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<DepositReceipt, CallError> {
+    let request = Request::Deposit(request);
+    policy.run(rng, |_| {
+        let mut span = obs.span(Role::Broker, OpKind::Deposit);
+        let result = match call_traced(net, me, broker_ep, &request, &mut span) {
+            Ok(Response::Receipt(receipt)) => Ok(receipt),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        finish_call(span, &result);
+        result
+    })
+}
+
+/// [`sync_via_obs`] with resilient retries: the identity challenge is
+/// signed once and resent verbatim; adoption runs on the first successful
+/// response (sync is read-only on the broker, so re-serving it is safe).
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+#[allow(clippy::too_many_arguments)]
+pub fn sync_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    peer: &mut Peer,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<usize, CallError> {
+    let mut challenge = [0u8; 32];
+    rng.fill_bytes(&mut challenge);
+    let response = peer.sign_identity_challenge(&challenge, rng);
+    let req = Request::Sync { peer: peer.id(), challenge: challenge.to_vec(), response };
+    let bindings = policy.run(rng, |_| {
+        let mut span = obs.span(Role::Broker, OpKind::Sync);
+        let result = match call_traced(net, me, broker_ep, &req, &mut span) {
+            Ok(Response::Bindings(bindings)) => Ok(bindings),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        finish_call(span, &result);
+        result
+    })?;
+    let mut adopted = 0;
+    for b in bindings {
+        if peer.adopt_broker_binding(b).map_err(CallError::Protocol)? {
+            adopted += 1;
+        }
+    }
+    Ok(adopted)
 }

@@ -86,7 +86,7 @@ pub enum Response {
 
 // --- primitive helpers ---
 
-fn put_sig(w: &mut Writer, sig: &DsaSignature) {
+pub(crate) fn put_sig(w: &mut Writer, sig: &DsaSignature) {
     w.int(sig.r()).int(sig.s());
     // The witness `R = g^k mod p` rides along when present so receivers
     // can batch-verify; signatures compare equal with or without it.
@@ -100,7 +100,7 @@ fn put_sig(w: &mut Writer, sig: &DsaSignature) {
     }
 }
 
-fn get_sig(r: &mut Reader<'_>) -> Result<DsaSignature, DecodeError> {
+pub(crate) fn get_sig(r: &mut Reader<'_>) -> Result<DsaSignature, DecodeError> {
     let sig_r = r.int()?;
     let sig_s = r.int()?;
     let witness = match r.u64()? {
@@ -111,7 +111,7 @@ fn get_sig(r: &mut Reader<'_>) -> Result<DsaSignature, DecodeError> {
     Ok(DsaSignature::from_parts_with_witness(sig_r, sig_s, witness))
 }
 
-fn put_gsig(w: &mut Writer, sig: &GroupSignature) {
+pub(crate) fn put_gsig(w: &mut Writer, sig: &GroupSignature) {
     w.int(sig.ciphertext().c1())
         .int(sig.ciphertext().c2())
         .int(sig.challenge_scalar())
@@ -119,21 +119,21 @@ fn put_gsig(w: &mut Writer, sig: &GroupSignature) {
         .int(sig.z_x());
 }
 
-fn get_gsig(r: &mut Reader<'_>) -> Result<GroupSignature, DecodeError> {
+pub(crate) fn get_gsig(r: &mut Reader<'_>) -> Result<GroupSignature, DecodeError> {
     let ct = ElGamalCiphertext::from_parts(r.int()?, r.int()?);
     Ok(GroupSignature::from_parts(ct, r.int()?, r.int()?, r.int()?))
 }
 
-fn put_nonce(w: &mut Writer, nonce: &Nonce) {
+pub(crate) fn put_nonce(w: &mut Writer, nonce: &Nonce) {
     w.bytes(nonce);
 }
 
-fn get_nonce(r: &mut Reader<'_>) -> Result<Nonce, DecodeError> {
+pub(crate) fn get_nonce(r: &mut Reader<'_>) -> Result<Nonce, DecodeError> {
     let b = r.bytes()?;
     b.try_into().map_err(|_| DecodeError)
 }
 
-fn put_owner_tag(w: &mut Writer, tag: &OwnerTag) {
+pub(crate) fn put_owner_tag(w: &mut Writer, tag: &OwnerTag) {
     match tag {
         OwnerTag::Identified(p) => {
             w.u64(0).u64(p.0);
@@ -147,7 +147,7 @@ fn put_owner_tag(w: &mut Writer, tag: &OwnerTag) {
     }
 }
 
-fn get_owner_tag(r: &mut Reader<'_>) -> Result<OwnerTag, DecodeError> {
+pub(crate) fn get_owner_tag(r: &mut Reader<'_>) -> Result<OwnerTag, DecodeError> {
     match r.u64()? {
         0 => Ok(OwnerTag::Identified(PeerId(r.u64()?))),
         1 => {
@@ -163,20 +163,20 @@ fn get_owner_tag(r: &mut Reader<'_>) -> Result<OwnerTag, DecodeError> {
     }
 }
 
-fn put_minted(w: &mut Writer, m: &MintedCoin) {
+pub(crate) fn put_minted(w: &mut Writer, m: &MintedCoin) {
     put_owner_tag(w, m.owner());
     w.int(m.coin_pk());
     put_sig(w, m.broker_sig());
 }
 
-fn get_minted(r: &mut Reader<'_>) -> Result<MintedCoin, DecodeError> {
+pub(crate) fn get_minted(r: &mut Reader<'_>) -> Result<MintedCoin, DecodeError> {
     let owner = get_owner_tag(r)?;
     let pk = r.int()?;
     let sig = get_sig(r)?;
     Ok(MintedCoin::from_parts(owner, pk, sig))
 }
 
-fn put_binding(w: &mut Writer, b: &Binding) {
+pub(crate) fn put_binding(w: &mut Writer, b: &Binding) {
     w.int(b.coin_pk()).int(b.holder_pk()).u64(b.seq()).u64(b.expires().0);
     w.u64(match b.signer() {
         BindingSigner::CoinKey => 0,
@@ -185,7 +185,7 @@ fn put_binding(w: &mut Writer, b: &Binding) {
     put_sig(w, b.raw_sig());
 }
 
-fn get_binding(r: &mut Reader<'_>) -> Result<Binding, DecodeError> {
+pub(crate) fn get_binding(r: &mut Reader<'_>) -> Result<Binding, DecodeError> {
     let coin_pk = r.int()?;
     let holder_pk = r.int()?;
     let seq = r.u64()?;
@@ -199,30 +199,30 @@ fn get_binding(r: &mut Reader<'_>) -> Result<Binding, DecodeError> {
     Ok(Binding::from_parts(coin_pk, holder_pk, seq, expires, signer, sig))
 }
 
-fn put_invite(w: &mut Writer, i: &PaymentInvite) {
+pub(crate) fn put_invite(w: &mut Writer, i: &PaymentInvite) {
     w.int(&i.holder_pk);
     put_nonce(w, &i.nonce);
     put_gsig(w, &i.group_sig);
 }
 
-fn get_invite(r: &mut Reader<'_>) -> Result<PaymentInvite, DecodeError> {
+pub(crate) fn get_invite(r: &mut Reader<'_>) -> Result<PaymentInvite, DecodeError> {
     Ok(PaymentInvite { holder_pk: r.int()?, nonce: get_nonce(r)?, group_sig: get_gsig(r)? })
 }
 
-fn put_grant(w: &mut Writer, g: &CoinGrant) {
+pub(crate) fn put_grant(w: &mut Writer, g: &CoinGrant) {
     put_minted(w, &g.minted);
     put_binding(w, &g.binding);
     put_sig(w, &g.ownership_proof);
 }
 
-fn put_deposit(w: &mut Writer, d: &DepositRequest) {
+pub(crate) fn put_deposit(w: &mut Writer, d: &DepositRequest) {
     put_minted(w, &d.minted);
     put_binding(w, &d.binding);
     put_sig(w, &d.holder_sig);
     put_gsig(w, &d.group_sig);
 }
 
-fn get_deposit(r: &mut Reader<'_>) -> Result<DepositRequest, DecodeError> {
+pub(crate) fn get_deposit(r: &mut Reader<'_>) -> Result<DepositRequest, DecodeError> {
     Ok(DepositRequest {
         minted: get_minted(r)?,
         binding: get_binding(r)?,
@@ -231,7 +231,7 @@ fn get_deposit(r: &mut Reader<'_>) -> Result<DepositRequest, DecodeError> {
     })
 }
 
-fn get_grant(r: &mut Reader<'_>) -> Result<CoinGrant, DecodeError> {
+pub(crate) fn get_grant(r: &mut Reader<'_>) -> Result<CoinGrant, DecodeError> {
     Ok(CoinGrant { minted: get_minted(r)?, binding: get_binding(r)?, ownership_proof: get_sig(r)? })
 }
 

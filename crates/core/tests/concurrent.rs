@@ -84,12 +84,20 @@ fn parallel_payment_chains_conserve_coins() {
                     // deposit (locks broker)
                     let dep = payee.request_deposit(coin, &mut rng).unwrap();
                     let receipt = broker.lock().unwrap().handle_deposit(&dep, now).unwrap();
-                    payee.complete_deposit(coin);
                     assert_eq!(receipt.coin, coin);
 
-                    // replayed deposit must fail even under concurrency
-                    let err = broker.lock().unwrap().handle_deposit(&dep, now).unwrap_err();
+                    // the identical request re-delivered is an idempotent
+                    // replay: same receipt, no double credit
+                    let replayed = broker.lock().unwrap().handle_deposit(&dep, now).unwrap();
+                    assert_eq!(replayed, receipt);
+
+                    // a *distinct* re-deposit of the same coin must still
+                    // fail even under concurrency
+                    let dep2 = payee.request_deposit(coin, &mut rng).unwrap();
+                    assert_ne!(dep2, dep, "fresh signatures make a distinct request");
+                    let err = broker.lock().unwrap().handle_deposit(&dep2, now).unwrap_err();
                     assert_eq!(err, CoreError::DoubleSpend(coin));
+                    payee.complete_deposit(coin);
                     deposited.lock().unwrap().push(coin);
                 }
             });
@@ -97,7 +105,8 @@ fn parallel_payment_chains_conserve_coins() {
     });
 
     // Conservation: exactly THREADS * COINS_PER_THREAD distinct coins were
-    // deposited; each triggered exactly one fraud case from the replay.
+    // deposited; each triggered exactly one fraud case from the distinct
+    // re-deposit (the identical replay is answered from the memo instead).
     let mut coins = deposited.lock().unwrap().clone();
     let total = coins.len();
     coins.sort();
@@ -108,6 +117,7 @@ fn parallel_payment_chains_conserve_coins() {
     let stats = broker.stats();
     assert_eq!(stats.purchases as usize, total);
     assert_eq!(stats.deposits as usize, total);
+    assert_eq!(stats.replays as usize, total, "one memo replay per coin");
     assert_eq!(broker.fraud_cases().len(), total, "one replay caught per coin");
     for coin in &coins {
         assert!(!broker.is_circulating(coin));

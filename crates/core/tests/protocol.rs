@@ -151,9 +151,14 @@ fn double_deposit_detected_and_judge_reveals_depositor() {
     w.issue(0, 1, coin, t0);
 
     let dep = w.peers[1].request_deposit(coin, &mut w.rng).unwrap();
-    w.broker.handle_deposit(&dep, t0).unwrap();
-    // Replay the same deposit.
-    let err = w.broker.handle_deposit(&dep, t0).unwrap_err();
+    let receipt = w.broker.handle_deposit(&dep, t0).unwrap();
+    // Re-delivering the *identical* request is an idempotent replay: the
+    // broker answers from its memo instead of raising fraud.
+    assert_eq!(w.broker.handle_deposit(&dep, t0).unwrap(), receipt);
+    // A freshly signed second deposit of the same coin is the real double
+    // deposit.
+    let dep2 = w.peers[1].request_deposit(coin, &mut w.rng).unwrap();
+    let err = w.broker.handle_deposit(&dep2, t0).unwrap_err();
     assert_eq!(err, CoreError::DoubleSpend(coin));
 
     // Fairness: the broker refers the case; the judge opens the group
@@ -334,7 +339,10 @@ fn judge_quorum_reconstruction_via_shamir() {
     w.issue(0, 1, coin, t0);
     let dep = w.peers[1].request_deposit(coin, &mut w.rng).unwrap();
     w.broker.handle_deposit(&dep, t0).unwrap();
-    let _ = w.broker.handle_deposit(&dep, t0); // provoke a fraud case
+    // Provoke a fraud case with a freshly signed second deposit (the
+    // identical request would be answered from the replay memo).
+    let dep2 = w.peers[1].request_deposit(coin, &mut w.rng).unwrap();
+    let _ = w.broker.handle_deposit(&dep2, t0);
 
     // Split the judge key 3-of-5, rebuild from shares 1, 3, 4.
     let shares = w.judge.split_master(3, 5, &mut w.rng);

@@ -13,7 +13,10 @@
 
 use std::collections::HashMap;
 
+use rand::Rng;
+
 use crate::network::{EndpointId, Network, RequestError};
+use crate::retry::RetryPolicy;
 
 /// An opaque indirection handle (an i3 trigger identifier).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -136,6 +139,29 @@ impl IndirectionLayer {
     /// analogue of "is the coin owner online?".
     pub fn is_reachable(&self, net: &Network, handle: Handle) -> bool {
         self.triggers.get(&handle).is_some_and(|&t| net.is_online(t))
+    }
+
+    /// [`IndirectionLayer::request_via_into`] wrapped in a
+    /// [`RetryPolicy`]: transient delivery faults (lost / timed-out /
+    /// partitioned) are retried with backoff, while fatal outcomes —
+    /// dangling handles, offline or unknown targets, re-entrant cycles —
+    /// return immediately.
+    ///
+    /// # Errors
+    ///
+    /// The last error once the policy gives up, or the first fatal one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn request_via_retry<R: Rng>(
+        &self,
+        net: &mut Network,
+        from: EndpointId,
+        handle: Handle,
+        request: &[u8],
+        response: &mut Vec<u8>,
+        policy: &RetryPolicy,
+        rng: &mut R,
+    ) -> Result<(), IndirectionError> {
+        policy.run(rng, |_| self.request_via_into(net, from, handle, request, response))
     }
 }
 

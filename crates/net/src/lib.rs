@@ -17,6 +17,14 @@
 //!   owner-anonymous coin extension (§5.2, approach 3): owners register
 //!   triggers on opaque handles; payers send to the handle and cannot tell
 //!   the owner from a forwarder.
+//! * [`faults`] — a deterministic, seed-driven fault injector
+//!   ([`FaultPlan`] / [`FaultInjector`]) that drops, duplicates,
+//!   corrupts, delays, or partitions deliveries on the fabric, with
+//!   per-link and per-kind overrides and `net.fault.*` counters.
+//! * [`retry`] — the resilience layer: [`ErrorClass`] / [`Classify`]
+//!   split failures into retryable vs fatal, and [`RetryPolicy`] wraps
+//!   fallible calls in bounded exponential backoff with RNG-drawn
+//!   jitter and a per-call deadline budget.
 //!
 //! # Example
 //!
@@ -35,10 +43,16 @@
 //! assert_eq!(net.stats().messages, 2); // request + response
 //! ```
 
+pub mod faults;
 pub mod indirection;
 mod network;
+pub mod retry;
 mod stats;
 
+pub use faults::{
+    FaultInjector, FaultKind, FaultPlan, FaultRates, FaultStats, InjectedFault, PartitionWindow,
+};
 pub use indirection::{Handle, IndirectionLayer};
 pub use network::{Classifier, EndpointId, Network, RequestError};
+pub use retry::{Classify, ErrorClass, RetryPolicy, RetryStats};
 pub use stats::{TrafficBreakdown, TrafficStats};

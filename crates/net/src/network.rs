@@ -5,6 +5,8 @@ use std::time::Instant;
 
 use whopay_obs::{Event, Metrics, Obs, OpKind, Role};
 
+use crate::faults::{flip_bit, FaultInjector, FaultKind, FaultStats};
+use crate::retry::Classify;
 use crate::stats::{TrafficBreakdown, TrafficStats};
 
 /// Identifies a registered endpoint on a [`Network`].
@@ -15,6 +17,12 @@ impl EndpointId {
     /// The raw numeric id.
     pub fn index(self) -> u64 {
         self.0
+    }
+
+    /// In-crate constructor for tests and fixtures.
+    #[cfg(test)]
+    pub(crate) fn from_index(i: u64) -> Self {
+        EndpointId(i)
     }
 }
 
@@ -33,7 +41,17 @@ pub enum RequestError {
     Offline(EndpointId),
     /// The target is already handling a request on this call stack —
     /// a protocol cycle (e.g. an owner transferring through itself).
+    /// Classified fatal: resending the identical request re-enters the
+    /// same cycle, so the retry layer never retries it.
     ReentrantCall(EndpointId),
+    /// An injected fault dropped the request in flight (transient).
+    Lost(EndpointId),
+    /// The request was delivered and applied, but the response was
+    /// delayed past the caller's patience (transient; the target's state
+    /// may have changed).
+    TimedOut(EndpointId),
+    /// A scheduled partition window blocked the link (transient).
+    Partitioned(EndpointId),
 }
 
 impl fmt::Display for RequestError {
@@ -42,6 +60,9 @@ impl fmt::Display for RequestError {
             RequestError::UnknownEndpoint(id) => write!(f, "unknown endpoint {id}"),
             RequestError::Offline(id) => write!(f, "endpoint {id} is offline"),
             RequestError::ReentrantCall(id) => write!(f, "re-entrant request to endpoint {id}"),
+            RequestError::Lost(id) => write!(f, "request to endpoint {id} lost in flight"),
+            RequestError::TimedOut(id) => write!(f, "request to endpoint {id} timed out"),
+            RequestError::Partitioned(id) => write!(f, "link to endpoint {id} partitioned"),
         }
     }
 }
@@ -89,6 +110,8 @@ pub struct Network {
     classifier: Option<Classifier>,
     /// Per-kind traffic split (populated only while a classifier is set).
     breakdown: TrafficBreakdown,
+    /// Optional deterministic fault injector consulted per delivery.
+    faults: Option<FaultInjector>,
 }
 
 impl fmt::Debug for Network {
@@ -99,6 +122,7 @@ impl fmt::Debug for Network {
             .field("relay_hops", &self.relay_hops)
             .field("obs", &self.obs)
             .field("classified", &self.classifier.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -119,7 +143,38 @@ impl Network {
             obs: Obs::disabled(),
             classifier: None,
             breakdown: TrafficBreakdown::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault injector: from now on every delivery attempted
+    /// through [`Network::request`] / [`Network::request_into`] consults
+    /// it (see [`crate::faults`] for the exact fault semantics).
+    pub fn install_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Removes the fault injector, returning it (with its history) so a
+    /// harness can drain remaining work fault-free and still reconcile.
+    pub fn clear_faults(&mut self) -> Option<FaultInjector> {
+        self.faults.take()
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Counters of injected faults (all zero when no injector is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
+    }
+
+    /// Exports the fault counters into a metrics registry under
+    /// `net.fault.*`.
+    pub fn export_fault_metrics(&self, metrics: &Metrics) {
+        self.fault_stats().export_metrics(metrics);
     }
 
     /// Attaches an observability context. Every delivered request then
@@ -279,12 +334,72 @@ impl Network {
             return Err(RequestError::UnknownEndpoint(to));
         }
         if !self.endpoints[to.0 as usize].online {
-            self.observe_failure(to, "offline");
-            return Err(RequestError::Offline(to));
+            let err = RequestError::Offline(to);
+            self.observe_failure(to, err.label());
+            return Err(err);
         }
+        let fault = match self.faults.as_mut() {
+            Some(inj) => {
+                let kind = self.classifier.as_ref().map(|classify| classify(request));
+                inj.decide(from, to, kind)
+            }
+            None => None,
+        };
+        match fault {
+            None => self.deliver(from, to, request, response),
+            Some(FaultKind::Partition) => {
+                let err = RequestError::Partitioned(to);
+                self.observe_failure(to, err.label());
+                Err(err)
+            }
+            Some(FaultKind::Drop) => {
+                let err = RequestError::Lost(to);
+                self.observe_failure(to, err.label());
+                Err(err)
+            }
+            Some(FaultKind::Corrupt { in_request: true, bit }) => {
+                let mut corrupted = request.to_vec();
+                flip_bit(&mut corrupted, bit);
+                self.deliver(from, to, &corrupted, response)
+            }
+            Some(FaultKind::Corrupt { in_request: false, bit }) => {
+                self.deliver(from, to, request, response)?;
+                flip_bit(response, bit);
+                Ok(())
+            }
+            Some(FaultKind::Duplicate) => {
+                // The request reaches the target twice; the caller sees the
+                // second response. Both deliveries are fully accounted.
+                self.deliver(from, to, request, response)?;
+                self.deliver(from, to, request, response)
+            }
+            Some(FaultKind::Timeout) => {
+                // The request was delivered and applied, but the response is
+                // modelled as arriving too late: the caller gets nothing.
+                self.deliver(from, to, request, response)?;
+                response.clear();
+                let err = RequestError::TimedOut(to);
+                self.observe_failure(to, err.label());
+                Err(err)
+            }
+        }
+    }
+
+    /// One fully-accounted delivery: takes the handler (re-entrancy
+    /// guard), counts traffic both ways, invokes the handler, and emits
+    /// the obs event. Shared by the clean path and every fault flavour
+    /// that still reaches the target.
+    fn deliver(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        request: &[u8],
+        response: &mut Vec<u8>,
+    ) -> Result<(), RequestError> {
         let Some(mut handler) = self.endpoints[to.0 as usize].handler.take() else {
-            self.observe_failure(to, "reentrant call");
-            return Err(RequestError::ReentrantCall(to));
+            let err = RequestError::ReentrantCall(to);
+            self.observe_failure(to, err.label());
+            return Err(err);
         };
 
         let start = if self.obs.enabled() { Some(Instant::now()) } else { None };
@@ -583,5 +698,176 @@ mod tests {
         let id = net.register("broker", |_: &[u8]| Vec::new());
         assert_eq!(net.name(id), Some("broker"));
         assert_eq!(net.name(EndpointId(42)), None);
+    }
+
+    #[test]
+    fn dropped_requests_carry_no_traffic() {
+        use crate::faults::{FaultPlan, FaultRates};
+
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.install_faults(FaultInjector::new(
+            FaultPlan::new().with_default(FaultRates { drop: 1.0, ..FaultRates::default() }),
+            7,
+        ));
+        assert_eq!(net.request(client, server, vec![0; 5]), Err(RequestError::Lost(server)));
+        assert_eq!(net.stats(), TrafficStats::default(), "lost requests count no traffic");
+        assert_eq!(net.fault_stats().drops, 1);
+
+        let injector = net.clear_faults().expect("injector was installed");
+        assert_eq!(injector.history().len(), 1);
+        assert!(net.request(client, server, vec![0; 5]).is_ok(), "cleared faults stop injecting");
+    }
+
+    #[test]
+    fn timeouts_apply_the_request_but_starve_the_caller() {
+        use crate::faults::{FaultPlan, FaultRates};
+        use std::sync::Arc;
+        use whopay_obs::{MemoryRecorder, Outcome, Tracer};
+
+        let recorder = Arc::new(MemoryRecorder::new());
+        let mut net = Network::new();
+        net.set_obs(Obs::with_tracer(Tracer::new(recorder.clone())));
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.install_faults(FaultInjector::new(
+            FaultPlan::new().with_default(FaultRates { timeout: 1.0, ..FaultRates::default() }),
+            7,
+        ));
+
+        let mut resp = vec![1, 2, 3];
+        let err = net.request_into(client, server, &[0; 5], &mut resp);
+        assert_eq!(err, Err(RequestError::TimedOut(server)));
+        assert!(resp.is_empty(), "the late response never reaches the caller");
+        // The request *was* delivered and applied, so both legs are counted.
+        assert_eq!(net.stats(), TrafficStats { messages: 2, bytes: 10 });
+
+        let events = recorder.take();
+        assert_eq!(events.len(), 2, "one delivery event plus one failure event");
+        assert_eq!(events[0].outcome, Outcome::Ok);
+        assert_eq!(events[0].messages, 2);
+        assert_eq!(events[1].outcome, Outcome::Error);
+        assert_eq!(events[1].messages, 0, "the failure event carries no traffic");
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_and_count_four_messages() {
+        use crate::faults::{FaultPlan, FaultRates};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let calls = Rc::new(Cell::new(0u32));
+        let seen = calls.clone();
+        let mut net = Network::new();
+        let server = net.register("server", move |req: &[u8]| {
+            seen.set(seen.get() + 1);
+            req.to_vec()
+        });
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.install_faults(FaultInjector::new(
+            FaultPlan::new().with_default(FaultRates { duplicate: 1.0, ..FaultRates::default() }),
+            7,
+        ));
+
+        let resp = net.request(client, server, vec![0; 5]).unwrap();
+        assert_eq!(resp, vec![0; 5]);
+        assert_eq!(calls.get(), 2, "the handler ran once per delivered copy");
+        assert_eq!(net.stats(), TrafficStats { messages: 4, bytes: 20 });
+        assert_eq!(net.fault_stats().duplicates, 1);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        use crate::faults::{FaultPlan, FaultRates};
+
+        let mut net = Network::new();
+        // Echo server: a corrupted request comes straight back, so the
+        // caller can count the damage regardless of which side was hit.
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.install_faults(FaultInjector::new(
+            FaultPlan::new().with_default(FaultRates { corrupt: 1.0, ..FaultRates::default() }),
+            7,
+        ));
+
+        let resp = net.request(client, server, vec![0u8; 8]).unwrap();
+        let flipped: u32 = resp.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit differs from the original payload");
+        let stats = net.fault_stats();
+        assert_eq!(stats.corrupt_requests + stats.corrupt_responses, 1);
+    }
+
+    #[test]
+    fn partition_windows_sever_the_link_and_then_heal() {
+        use crate::faults::FaultPlan;
+
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        // Deliveries 0 and 1 are blocked; delivery 2 goes through.
+        net.install_faults(FaultInjector::new(FaultPlan::new().partition(client, server, 0, 2), 7));
+
+        assert_eq!(net.request(client, server, vec![1]), Err(RequestError::Partitioned(server)));
+        assert_eq!(net.request(client, server, vec![1]), Err(RequestError::Partitioned(server)));
+        assert!(net.request(client, server, vec![1]).is_ok(), "the window closes");
+        assert_eq!(net.fault_stats().partitions, 2);
+    }
+
+    #[test]
+    fn fault_metrics_export_under_expected_names() {
+        use crate::faults::{FaultPlan, FaultRates};
+
+        let mut net = Network::new();
+        let server = net.register("server", |req: &[u8]| req.to_vec());
+        let client = net.register("client", |_: &[u8]| Vec::new());
+        net.install_faults(FaultInjector::new(
+            FaultPlan::new().with_default(FaultRates { drop: 1.0, ..FaultRates::default() }),
+            7,
+        ));
+        let _ = net.request(client, server, vec![1]);
+
+        let metrics = Metrics::new();
+        net.export_fault_metrics(&metrics);
+        let report = metrics.report();
+        assert_eq!(report.counters["net.fault.decisions"], 1);
+        assert_eq!(report.counters["net.fault.drops"], 1);
+    }
+
+    #[test]
+    fn reentrant_calls_fail_fatally_and_are_never_retried() {
+        use crate::retry::{ErrorClass, RetryPolicy};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut net = Network::new();
+        // The server calls itself while handling — a protocol cycle. The
+        // nested call runs under a retry policy; the dedicated
+        // ReentrantCall variant is classified fatal, so the cycle is
+        // attempted exactly once instead of being retried to exhaustion.
+        let policy = Rc::new(RetryPolicy::new(5));
+        let inner_policy = policy.clone();
+        let server_slot = Rc::new(Cell::new(EndpointId(0)));
+        let server_id = server_slot.clone();
+        let server = net.register_writer("server", move |net, _req, out| {
+            let me = server_id.get();
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut inner = Vec::new();
+            let nested = inner_policy.run(&mut rng, |_| net.request_into(me, me, b"cycle", &mut inner));
+            assert_eq!(nested, Err(RequestError::ReentrantCall(me)));
+            out.push(1);
+        });
+        server_slot.set(server);
+        let client = net.register("client", |_: &[u8]| Vec::new());
+
+        assert_eq!(RequestError::ReentrantCall(server).class(), ErrorClass::Fatal);
+        assert_eq!(RequestError::ReentrantCall(server).label(), "reentrant call");
+        net.request(client, server, b"go".to_vec()).unwrap();
+        let stats = policy.stats();
+        assert_eq!(stats.attempts, 1, "a fatal reentrant call is attempted exactly once");
+        assert_eq!(stats.fatal, 1);
+        assert_eq!(stats.retries, 0);
     }
 }

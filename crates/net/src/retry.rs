@@ -1,0 +1,368 @@
+//! Retryable-vs-fatal error classification and the resilient call loop.
+//!
+//! The fault layer ([`crate::faults`]) makes deliveries fail in transient
+//! ways (lost, timed out, partitioned) that a resend can fix, alongside
+//! the pre-existing permanent ways (unknown endpoint, re-entrant cycle)
+//! that it cannot. [`Classify`] is the single taxonomy both the retry
+//! loop and observability failure labels draw from, and [`RetryPolicy`]
+//! is the budgeted exponential-backoff loop the protocol layer wraps
+//! around its client calls. Backoff time is *simulated* — the fabric is
+//! synchronous — but the budget arithmetic and RNG-drawn jitter match
+//! what a wall-clock implementation would do, and every failed attempt
+//! consumes exactly one jitter draw so retry schedules are reproducible.
+
+use std::cell::Cell;
+
+use whopay_obs::Metrics;
+
+use crate::indirection::IndirectionError;
+use crate::network::RequestError;
+
+/// Whether an error is worth retrying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient: a resend of the identical request may succeed.
+    Retryable,
+    /// Permanent: resending the identical request cannot help.
+    Fatal,
+}
+
+/// The one classification every failure-reporting layer shares: the retry
+/// loop keys its continue/give-up decision on [`Classify::class`], and
+/// the network's failed-delivery obs events use [`Classify::label`] as
+/// their detail string.
+pub trait Classify {
+    /// Retryable or fatal.
+    fn class(&self) -> ErrorClass;
+    /// Stable label for metrics/obs (lowercase, stateless).
+    fn label(&self) -> &'static str;
+}
+
+impl Classify for RequestError {
+    fn class(&self) -> ErrorClass {
+        match self {
+            // Offline is fatal here: the fabric is synchronous, so no time
+            // passes between attempts — the protocol's downtime fallback
+            // (broker stand-in) is the designed reaction, not a resend.
+            RequestError::UnknownEndpoint(_)
+            | RequestError::Offline(_)
+            | RequestError::ReentrantCall(_) => ErrorClass::Fatal,
+            RequestError::Lost(_) | RequestError::TimedOut(_) | RequestError::Partitioned(_) => {
+                ErrorClass::Retryable
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            RequestError::UnknownEndpoint(_) => "unknown endpoint",
+            RequestError::Offline(_) => "offline",
+            RequestError::ReentrantCall(_) => "reentrant call",
+            RequestError::Lost(_) => "lost",
+            RequestError::TimedOut(_) => "timed out",
+            RequestError::Partitioned(_) => "partitioned",
+        }
+    }
+}
+
+impl Classify for IndirectionError {
+    fn class(&self) -> ErrorClass {
+        match self {
+            // A dangling handle is a configuration state, not noise.
+            IndirectionError::DanglingHandle(_) => ErrorClass::Fatal,
+            IndirectionError::Delivery(e) => e.class(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            IndirectionError::DanglingHandle(_) => "dangling handle",
+            IndirectionError::Delivery(e) => e.label(),
+        }
+    }
+}
+
+/// Counters a [`RetryPolicy`] accumulates across calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Retry-wrapped calls started.
+    pub calls: u64,
+    /// Individual attempts (first tries + retries).
+    pub attempts: u64,
+    /// Attempts beyond the first.
+    pub retries: u64,
+    /// Calls that eventually succeeded.
+    pub successes: u64,
+    /// Calls abandoned on a fatal error.
+    pub fatal: u64,
+    /// Calls abandoned with attempts or budget exhausted.
+    pub exhausted: u64,
+    /// Total simulated backoff time spent (ms).
+    pub backoff_ms: u64,
+}
+
+impl RetryStats {
+    /// Exports the counters into a metrics registry under `retry.*`.
+    pub fn export_metrics(&self, metrics: &Metrics) {
+        metrics.counter("retry.calls").add(self.calls);
+        metrics.counter("retry.attempts").add(self.attempts);
+        metrics.counter("retry.retries").add(self.retries);
+        metrics.counter("retry.successes").add(self.successes);
+        metrics.counter("retry.fatal").add(self.fatal);
+        metrics.counter("retry.exhausted").add(self.exhausted);
+        metrics.counter("retry.backoff_ms").add(self.backoff_ms);
+    }
+}
+
+/// Interior-mutable counter cells, so a shared `&RetryPolicy` can be
+/// threaded through deeply-borrowing call sites.
+#[derive(Debug, Clone, Default)]
+struct StatCells {
+    calls: Cell<u64>,
+    attempts: Cell<u64>,
+    retries: Cell<u64>,
+    successes: Cell<u64>,
+    fatal: Cell<u64>,
+    exhausted: Cell<u64>,
+    backoff_ms: Cell<u64>,
+}
+
+/// Budgeted exponential backoff with RNG-drawn jitter.
+///
+/// An attempt that fails with a [`ErrorClass::Retryable`] error is
+/// retried after a simulated wait of `backoff + jitter` ms (jitter
+/// uniform in `[0, backoff)`), with the backoff doubling up to a cap;
+/// the call gives up when attempts run out, when the accumulated wait
+/// would exceed the deadline budget, or immediately on a
+/// [`ErrorClass::Fatal`] error.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_backoff_ms: u64,
+    max_backoff_ms: u64,
+    budget_ms: u64,
+    stats: StatCells,
+}
+
+impl RetryPolicy {
+    /// A policy allowing up to `max_attempts` attempts with the default
+    /// backoff curve (10 ms base, 1 s cap, 5 s budget).
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            budget_ms: 5_000,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        Self::new(1)
+    }
+
+    /// Sets the backoff curve (base and cap, simulated ms).
+    pub fn backoff(mut self, base_ms: u64, max_ms: u64) -> Self {
+        self.base_backoff_ms = base_ms.max(1);
+        self.max_backoff_ms = max_ms.max(self.base_backoff_ms);
+        self
+    }
+
+    /// Sets the per-call deadline budget (simulated ms): the loop stops
+    /// retrying once the accumulated backoff would exceed it.
+    pub fn budget(mut self, budget_ms: u64) -> Self {
+        self.budget_ms = budget_ms;
+        self
+    }
+
+    /// Runs `attempt` (passed the 0-based attempt index) until it
+    /// succeeds, fails fatally, or the policy gives up. The terminal
+    /// error of an abandoned call is returned unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error when the call is abandoned.
+    pub fn run<T, E, R, F>(&self, rng: &mut R, mut attempt: F) -> Result<T, E>
+    where
+        E: Classify,
+        R: rand::Rng + ?Sized,
+        F: FnMut(u32) -> Result<T, E>,
+    {
+        self.stats.calls.set(self.stats.calls.get() + 1);
+        let mut elapsed = 0u64;
+        let mut backoff = self.base_backoff_ms;
+        for i in 0..self.max_attempts {
+            self.stats.attempts.set(self.stats.attempts.get() + 1);
+            if i > 0 {
+                self.stats.retries.set(self.stats.retries.get() + 1);
+            }
+            let err = match attempt(i) {
+                Ok(v) => {
+                    self.stats.successes.set(self.stats.successes.get() + 1);
+                    return Ok(v);
+                }
+                Err(e) => e,
+            };
+            if err.class() == ErrorClass::Fatal {
+                self.stats.fatal.set(self.stats.fatal.get() + 1);
+                return Err(err);
+            }
+            // Exactly one jitter draw per failed retryable attempt (even
+            // the last), so retry schedules replay deterministically.
+            let wait = backoff + rng.next_u64() % backoff;
+            if i + 1 >= self.max_attempts || elapsed + wait > self.budget_ms {
+                self.stats.exhausted.set(self.stats.exhausted.get() + 1);
+                return Err(err);
+            }
+            elapsed += wait;
+            self.stats.backoff_ms.set(self.stats.backoff_ms.get() + wait);
+            backoff = (backoff * 2).min(self.max_backoff_ms);
+        }
+        unreachable!("loop returns on the final attempt")
+    }
+
+    /// Snapshot of the accumulated counters.
+    pub fn stats(&self) -> RetryStats {
+        RetryStats {
+            calls: self.stats.calls.get(),
+            attempts: self.stats.attempts.get(),
+            retries: self.stats.retries.get(),
+            successes: self.stats.successes.get(),
+            fatal: self.stats.fatal.get(),
+            exhausted: self.stats.exhausted.get(),
+            backoff_ms: self.stats.backoff_ms.get(),
+        }
+    }
+
+    /// Resets the counters.
+    pub fn reset_stats(&self) {
+        self.stats.calls.set(0);
+        self.stats.attempts.set(0);
+        self.stats.retries.set(0);
+        self.stats.successes.set(0);
+        self.stats.fatal.set(0);
+        self.stats.exhausted.set(0);
+        self.stats.backoff_ms.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::network::EndpointId;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn transient_errors_retry_until_success() {
+        let policy = RetryPolicy::new(5);
+        let mut failures = 3;
+        let out: Result<u32, RequestError> = policy.run(&mut rng(), |i| {
+            if failures > 0 {
+                failures -= 1;
+                Err(RequestError::Lost(EndpointId::from_index(1)))
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        let stats = policy.stats();
+        assert_eq!(stats.attempts, 4);
+        assert_eq!(stats.retries, 3);
+        assert_eq!(stats.successes, 1);
+        assert!(stats.backoff_ms > 0);
+    }
+
+    #[test]
+    fn fatal_errors_never_retry() {
+        for fatal in [
+            RequestError::UnknownEndpoint(EndpointId::from_index(9)),
+            RequestError::Offline(EndpointId::from_index(9)),
+            RequestError::ReentrantCall(EndpointId::from_index(9)),
+        ] {
+            let policy = RetryPolicy::new(10);
+            let mut calls = 0;
+            let out: Result<(), RequestError> = policy.run(&mut rng(), |_| {
+                calls += 1;
+                Err(fatal)
+            });
+            assert_eq!(out, Err(fatal));
+            assert_eq!(calls, 1, "{fatal:?} must not be retried");
+            assert_eq!(policy.stats().fatal, 1);
+        }
+    }
+
+    #[test]
+    fn attempts_exhaust() {
+        let policy = RetryPolicy::new(3);
+        let mut calls = 0;
+        let out: Result<(), RequestError> = policy.run(&mut rng(), |_| {
+            calls += 1;
+            Err(RequestError::TimedOut(EndpointId::from_index(0)))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+        assert_eq!(policy.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn budget_limits_retries_before_attempts_do() {
+        let policy = RetryPolicy::new(100).backoff(50, 50).budget(120);
+        let mut calls = 0;
+        let out: Result<(), RequestError> = policy.run(&mut rng(), |_| {
+            calls += 1;
+            Err(RequestError::Lost(EndpointId::from_index(0)))
+        });
+        assert!(out.is_err());
+        // Each wait is in [50, 100); at most two fit a 120 ms budget.
+        assert!(calls <= 3, "budget should stop the loop early, got {calls} attempts");
+        assert_eq!(policy.stats().exhausted, 1);
+    }
+
+    #[test]
+    fn same_seed_same_retry_schedule() {
+        let run = |seed: u64| {
+            let policy = RetryPolicy::new(6);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut left = 4;
+            let _: Result<(), RequestError> = policy.run(&mut rng, |_| {
+                left -= 1;
+                if left == 0 {
+                    Ok(())
+                } else {
+                    Err(RequestError::Lost(EndpointId::from_index(0)))
+                }
+            });
+            policy.stats()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn classification_covers_indirection_errors() {
+        use crate::indirection::{Handle, IndirectionError};
+        let dangling = IndirectionError::DanglingHandle(Handle::from_bytes(b"x"));
+        assert_eq!(dangling.class(), ErrorClass::Fatal);
+        let lost = IndirectionError::Delivery(RequestError::Lost(EndpointId::from_index(2)));
+        assert_eq!(lost.class(), ErrorClass::Retryable);
+        assert_eq!(lost.label(), "lost");
+    }
+
+    #[test]
+    fn stats_export_under_expected_names() {
+        let policy = RetryPolicy::new(2);
+        let _: Result<(), RequestError> =
+            policy.run(&mut rng(), |_| Err(RequestError::Lost(EndpointId::from_index(0))));
+        let metrics = Metrics::new();
+        policy.stats().export_metrics(&metrics);
+        let report = metrics.report();
+        assert_eq!(report.counters["retry.calls"], 1);
+        assert_eq!(report.counters["retry.attempts"], 2);
+        assert!(report.counters.contains_key("retry.backoff_ms"));
+    }
+}

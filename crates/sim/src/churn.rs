@@ -86,6 +86,19 @@ impl ChurnProcess {
         self.next_toggle += next_len;
         self.online
     }
+
+    /// Advances the process to absolute time `t`, applying every toggle
+    /// that fires at or before `t`, and returns the online state at `t`.
+    ///
+    /// This is the driver for coarse-grained harnesses (chaos/downtime
+    /// tests) that sample availability at operation times instead of
+    /// processing an event queue.
+    pub fn advance_to<R: Rng + ?Sized>(&mut self, t: SimTime, rng: &mut R) -> bool {
+        while self.next_toggle <= t {
+            self.toggle(rng);
+        }
+        self.online
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +160,23 @@ mod tests {
             let now = churn.toggle(&mut rng);
             assert_ne!(now, prev, "state alternates");
             prev = now;
+        }
+    }
+
+    #[test]
+    fn advance_to_matches_manual_toggling() {
+        let mut rng_a = sim_rng(6);
+        let mut rng_b = sim_rng(6);
+        let mut a = ChurnProcess::start(SimTime::from_hours(1), SimTime::from_hours(3), &mut rng_a);
+        let mut b = ChurnProcess::start(SimTime::from_hours(1), SimTime::from_hours(3), &mut rng_b);
+        for step in 1..200u64 {
+            let t = SimTime::from_mins(step * 37);
+            let online = a.advance_to(t, &mut rng_a);
+            while b.next_toggle() <= t {
+                b.toggle(&mut rng_b);
+            }
+            assert_eq!(online, b.is_online(), "divergence at step {step}");
+            assert_eq!(a.next_toggle(), b.next_toggle());
         }
     }
 

@@ -85,13 +85,21 @@ fn main() {
     //    holdership without learning who she is.
     let dep = peers[2].request_deposit(coin, &mut rng).expect("deposit request");
     let receipt = broker.handle_deposit(&dep, now.plus(180)).expect("deposit");
+    // (A greedy Carol signs a second deposit before settling — used below.)
+    let dep2 = peers[2].request_deposit(coin, &mut rng).expect("deposit request");
     peers[2].complete_deposit(coin);
     println!("5. deposit  : broker paid out {} unit(s) for {}", receipt.value, receipt.coin);
 
-    // Anyone attempting to redeem again is caught, and the judge can
-    // reveal exactly the party of the offending transaction.
-    let err = broker.handle_deposit(&dep, now.plus(240)).unwrap_err();
-    println!("\nreplayed deposit rejected: {err}");
+    // Re-delivering the *identical* request is an idempotent replay: the
+    // broker answers with the original receipt instead of double-crediting.
+    let replayed = broker.handle_deposit(&dep, now.plus(240)).expect("idempotent replay");
+    assert_eq!(replayed, receipt);
+    println!("\nreplayed deposit answered idempotently: {:?}", replayed.coin);
+
+    // A *freshly signed* second deposit of the same coin is real fraud:
+    // it is caught, and the judge reveals exactly the offending party.
+    let err = broker.handle_deposit(&dep2, now.plus(240)).unwrap_err();
+    println!("double deposit rejected: {err}");
     for case in broker.fraud_cases() {
         println!(
             "judge opens fraud case '{}': parties {:?}",

@@ -27,6 +27,15 @@ cargo test -p whopay-core -q --release --offline --test wire_props --test alloc_
 echo "==> WHOPAY_VPOOL_THREADS=1 cargo test -q (serial-pool determinism pass)"
 WHOPAY_VPOOL_THREADS=1 cargo test -q --offline
 
+echo "==> cargo test --release --test chaos (chaos suite, pinned seed)"
+cargo test -q --release --offline --test chaos
+
+echo "==> WHOPAY_CHAOS_SEED=20260807 cargo test --release --test chaos (chaos suite, alternate seed)"
+WHOPAY_CHAOS_SEED=20260807 cargo test -q --release --offline --test chaos
+
+echo "==> cargo test -p whopay-net --release (fault-schedule determinism props)"
+cargo test -p whopay-net -q --release --offline --test fault_props
+
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --offline
 

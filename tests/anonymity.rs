@@ -180,7 +180,10 @@ fn fairness_reveals_only_the_transactions_parties() {
     w.peers[1].accept_grant(grant2, session2, now).unwrap();
     let dep = w.peers[1].request_deposit(c2, &mut w.rng).unwrap();
     w.broker.handle_deposit(&dep, now).unwrap();
-    let _ = w.broker.handle_deposit(&dep, now);
+    // A *freshly signed* second deposit (an identical resend would be an
+    // idempotent replay, not fraud).
+    let dep2 = w.peers[1].request_deposit(c2, &mut w.rng).unwrap();
+    let _ = w.broker.handle_deposit(&dep2, now);
 
     // Exactly one fraud case, naming exactly the double-depositor.
     let cases = w.broker.fraud_cases();

@@ -177,7 +177,10 @@ fn fraud_pipeline_broker_judge_quorum() {
     s.peers[1].accept_grant(grant, session, now).unwrap();
     let dep = s.peers[1].request_deposit(coin, &mut s.rng).unwrap();
     s.broker.handle_deposit(&dep, now).unwrap();
-    assert!(s.broker.handle_deposit(&dep, now).is_err());
+    // A freshly signed second deposit is fraud; an identical resend would
+    // only be an idempotent replay.
+    let dep2 = s.peers[1].request_deposit(coin, &mut s.rng).unwrap();
+    assert!(s.broker.handle_deposit(&dep2, now).is_err());
 
     let shares = s.judge.split_master(2, 3, &mut s.rng);
     let registry = s.judge.export_registry();
