@@ -103,6 +103,8 @@ fn main() {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"generated_by\": \"crates/bench/src/bin/bench_crypto_json.rs\",").unwrap();
+    writeln!(json, "  \"host_cpus\": {},", std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap();
     writeln!(json, "  \"table2_dsa_1024_ns\": {{").unwrap();
     writeln!(json, "    \"keygen\": {},", keygen.as_nanos()).unwrap();
     writeln!(json, "    \"sign\": {},", sign.as_nanos()).unwrap();

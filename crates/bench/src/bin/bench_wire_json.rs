@@ -206,6 +206,8 @@ fn main() {
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"generated_by\": \"crates/bench/src/bin/bench_wire_json.rs\",").unwrap();
+    writeln!(json, "  \"host_cpus\": {},", std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap();
     writeln!(json, "  \"workload\": \"downtime transfer request (512-bit magnitudes) answered with a coin grant\",").unwrap();
     writeln!(
         json,

@@ -14,6 +14,7 @@ use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
 use whopay_crypto::group_sig::{GroupPublicKey, GroupSignature};
 use whopay_num::{BigUint, SchnorrGroup};
 
+use crate::audit::Auditor;
 use crate::chain::BindingChain;
 use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
 use crate::error::CoreError;
@@ -91,6 +92,9 @@ pub struct Broker {
     vpool: VerifyPool,
     /// Crash-recovery journal; `None` until [`Broker::enable_journal`].
     journal: Option<Journal>,
+    /// Always-on invariant auditor observing every committed mutation
+    /// (see [`crate::audit`]).
+    audit: Auditor,
 }
 
 impl Broker {
@@ -108,6 +112,7 @@ impl Broker {
             sig_cache: Arc::new(SigCache::default()),
             vpool: VerifyPool::serial(),
             journal: None,
+            audit: Auditor::new(),
         }
     }
 
@@ -172,6 +177,11 @@ impl Broker {
     pub fn register_peer(&mut self, id: PeerId, key: DsaPublicKey) {
         self.registered.insert(id, key.clone());
         self.jrecord(JournalOp::Register { peer: id, key });
+    }
+
+    /// The always-on invariant auditor (see [`crate::audit`]).
+    pub fn audit(&self) -> &Auditor {
+        &self.audit
     }
 
     /// Fraud incidents detected so far.
@@ -261,6 +271,7 @@ impl Broker {
             },
         );
         self.stats.purchases += 1;
+        self.audit.on_mint(id);
         self.jrecord(JournalOp::Mint { minted: minted.clone(), served });
         Ok(minted)
     }
@@ -346,6 +357,7 @@ impl Broker {
         record.downtime_binding = None;
         record.last_served = Some(served.clone());
         self.stats.deposits += 1;
+        self.audit.on_deposit(id);
         self.jrecord(JournalOp::Deposit { coin: id, served });
         Ok(receipt)
     }
@@ -459,6 +471,7 @@ impl Broker {
         record.downtime_binding = Some(binding.clone());
         record.last_served = Some(served.clone());
         self.stats.downtime_transfers += 1;
+        self.audit.on_binding(id, seq);
         self.jrecord(JournalOp::DowntimeBinding { coin: id, binding, served });
         Ok(grant)
     }
@@ -521,6 +534,7 @@ impl Broker {
         record.downtime_binding = Some(binding.clone());
         record.last_served = Some(served.clone());
         self.stats.downtime_renewals += 1;
+        self.audit.on_binding(id, seq);
         self.jrecord(JournalOp::DowntimeBinding { coin: id, binding: binding.clone(), served });
         Ok(binding)
     }
@@ -751,6 +765,7 @@ impl Broker {
             sig_cache: Arc::new(SigCache::default()),
             vpool: VerifyPool::serial(),
             journal: None,
+            audit: Auditor::new(),
         };
         for entry in journal.entries() {
             broker.apply(entry);
@@ -779,12 +794,18 @@ impl Broker {
                     );
                 }
                 self.fraud = state.fraud.clone();
+                // The auditor re-baselines on the checkpoint summary and
+                // then re-audits the tail of the journal as it replays.
+                self.audit.rebuild(state.coins.iter().map(|(id, snap)| {
+                    (*id, snap.deposited, snap.downtime_binding.as_ref().map(Binding::seq))
+                }));
             }
             JournalOp::Register { peer, key } => {
                 self.registered.insert(*peer, key.clone());
             }
             JournalOp::Mint { minted, served } => {
                 self.sig_cache.prime(minted.mint_cache_key(&group, self.keys.public()), true);
+                self.audit.on_mint(minted.id());
                 self.coins.insert(
                     minted.id(),
                     CoinRecord {
@@ -800,12 +821,14 @@ impl Broker {
                     record.deposited = true;
                     record.downtime_binding = None;
                     record.last_served = Some(served.clone());
+                    self.audit.on_deposit(*coin);
                 }
             }
             JournalOp::DowntimeBinding { coin, binding, served } => {
                 if let Some(record) = self.coins.get_mut(coin) {
                     record.downtime_binding = Some(binding.clone());
                     record.last_served = Some(served.clone());
+                    self.audit.on_binding(*coin, binding.seq());
                 }
             }
             JournalOp::Fraud { case } => self.fraud.push(case.clone()),

@@ -257,7 +257,10 @@ impl HoldingMonitor {
     /// [`HoldingMonitor::poll`] with an observability context: every
     /// raised alarm is reported as a failed [`OpKind::DsdAlarm`] event
     /// ([`Role::Peer`]), so double-spends in progress show up in the
-    /// metrics report and event stream.
+    /// metrics report and event stream. When a flight recorder backs
+    /// `obs`, an alarm also dumps the recorded event history to stderr —
+    /// an alarm means money is being double-spent right now, and the
+    /// events leading up to it are the evidence.
     pub fn poll_obs(&mut self, dht: &mut Dht, obs: &Obs) -> Vec<DoubleSpendAlarm> {
         let mut alarms = Vec::new();
         for (coin, (sub, held_seq)) in &self.subscriptions {
@@ -274,6 +277,12 @@ impl HoldingMonitor {
                         ));
                     }
                 }
+            }
+        }
+        if !alarms.is_empty() {
+            if let Some(dump) = obs.flight_dump() {
+                eprintln!("--- flight recorder: double-spend alarm ---");
+                eprint!("{dump}");
             }
         }
         alarms

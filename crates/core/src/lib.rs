@@ -81,6 +81,7 @@
 //! * Layered coins for offline transfer — [`layered`].
 //! * PayWord micropayment aggregation over WhoPay — [`micropay`].
 
+pub mod audit;
 pub mod broker;
 pub mod chain;
 pub mod codec;
@@ -103,6 +104,7 @@ pub mod view;
 pub mod vpool;
 pub mod wire;
 
+pub use audit::{Auditor, Invariant, Violation};
 pub use broker::{Broker, BrokerStats, FraudCase};
 pub use chain::BindingChain;
 pub use coin::{Binding, BindingSigner, DoubleSpendEvidence, MintedCoin, OwnerTag, PublicBindingState};

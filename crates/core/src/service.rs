@@ -30,7 +30,7 @@ use std::rc::Rc;
 
 use rand::SeedableRng;
 use whopay_net::{Classify, EndpointId, ErrorClass, Network, RequestError, RetryPolicy};
-use whopay_obs::{Obs, OpKind, Role, Span};
+use whopay_obs::{Event, Obs, OpKind, Role, Span, TraceContext};
 
 use crate::broker::Broker;
 use crate::codec;
@@ -63,6 +63,29 @@ fn finish_dispatch(mut span: Span<'_>, response: &Response) {
     span.finish();
 }
 
+/// Surfaces invariant violations the broker's auditor detected during
+/// the dispatch that just ran: each new violation becomes a failed
+/// broker event, and the flight recorder (when one backs `obs`) dumps
+/// the events leading up to it to stderr.
+fn surface_violations(broker: &Broker, obs: &Obs, seen: &Cell<usize>) {
+    let violations = broker.audit().violations();
+    if violations.len() <= seen.get() {
+        return;
+    }
+    for v in &violations[seen.get()..] {
+        obs.observe(Event::new(Role::Broker, OpKind::Other).failed().with_detail(format!(
+            "invariant violation: {} ({})",
+            v.invariant.label(),
+            v.detail
+        )));
+    }
+    seen.set(violations.len());
+    if let Some(dump) = obs.flight_dump() {
+        eprintln!("--- flight recorder: invariant violation ---");
+        eprint!("{dump}");
+    }
+}
+
 /// Attaches a broker to the network. All broker-side operations
 /// (purchase, deposit, downtime transfer/renewal, sync) become available
 /// at the returned endpoint.
@@ -87,12 +110,21 @@ pub fn attach_broker_obs(
     obs: Obs,
 ) -> EndpointId {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let audited = Cell::new(0usize);
     let id = net.register_writer("broker", move |_net, bytes: &[u8], out: &mut Vec<u8>| {
         let now = clock.get();
-        let mut span = obs.span(Role::Broker, OpKind::Other);
+        // A traced client appends a context trailer after the frame; the
+        // dispatch span joins that trace so client and server halves of
+        // the exchange link up. Untagged frames dispatch under a fresh
+        // (or disabled) span exactly as before.
+        let (payload, caller) = TraceContext::split(bytes);
+        let mut span = match &caller {
+            Some(parent) => obs.child_span(Role::Broker, OpKind::Other, parent),
+            None => obs.span(Role::Broker, OpKind::Other),
+        };
         // Parse a borrowed view: classification and dispatch run over the
         // wire bytes; each arm materializes only the message it handles.
-        let parsed = RequestView::parse(bytes);
+        let parsed = RequestView::parse(payload);
         if let Ok(view) = &parsed {
             span.set_op(view.op_kind());
         }
@@ -149,8 +181,16 @@ pub fn attach_broker_obs(
             }
             Ok(_) => Response::Error("request not handled by the broker".into()),
         };
+        // Echo the dispatch span's context on the response, but only to
+        // callers that traced the request — untraced callers keep
+        // byte-identical responses.
+        let reply = if caller.is_some() { span.context() } else { None };
         finish_dispatch(span, &response);
+        surface_violations(&broker.borrow(), &obs, &audited);
         response.encode_into(out);
+        if let Some(ctx) = reply {
+            ctx.append_to(out);
+        }
     });
     net.set_role(id, Role::Broker);
     id
@@ -175,8 +215,12 @@ pub fn attach_peer_obs(
     let name = format!("peer-{}", peer.borrow().id());
     let id = net.register_writer(&name, move |_net, bytes: &[u8], out: &mut Vec<u8>| {
         let now = clock.get();
-        let mut span = obs.span(Role::Peer, OpKind::Other);
-        let parsed = RequestView::parse(bytes);
+        let (payload, caller) = TraceContext::split(bytes);
+        let mut span = match &caller {
+            Some(parent) => obs.child_span(Role::Peer, OpKind::Other, parent),
+            None => obs.span(Role::Peer, OpKind::Other),
+        };
+        let parsed = RequestView::parse(payload);
         if let Ok(view) = &parsed {
             span.set_op(view.op_kind());
         }
@@ -208,8 +252,12 @@ pub fn attach_peer_obs(
             }
             Ok(_) => Response::Error("request not handled by a peer".into()),
         };
+        let reply = if caller.is_some() { span.context() } else { None };
         finish_dispatch(span, &response);
         response.encode_into(out);
+        if let Some(ctx) = reply {
+            ctx.append_to(out);
+        }
     });
     net.set_role(id, Role::Peer);
     id
@@ -311,10 +359,18 @@ fn call_traced(
     // exchange allocates nothing on the wire itself.
     let mut req_buf = codec::pooled();
     request.encode_into(&mut req_buf);
+    // A traced span stamps its context after the frame so the server
+    // dispatch (and any failure the network reports) joins this trace.
+    if let Some(ctx) = span.context() {
+        ctx.append_to(&mut req_buf);
+    }
     let mut resp_buf = codec::pooled();
     net.request_into(from, to, &req_buf, &mut resp_buf).map_err(CallError::Network)?;
+    // Traffic is attributed over the bytes that crossed the wire —
+    // trailers included — so span totals reconcile with `TrafficStats`.
     span.add_traffic(2, (req_buf.len() + resp_buf.len()) as u64);
-    match Response::decode(&resp_buf).map_err(CallError::Protocol)? {
+    let (reply, _server_ctx) = TraceContext::split(&resp_buf);
+    match Response::decode(reply).map_err(CallError::Protocol)? {
         Response::Error(e) => Err(CallError::Remote(e)),
         other => Ok(other),
     }
@@ -663,7 +719,45 @@ pub fn sync_via_obs<R: rand::Rng + ?Sized>(
 // replay memos (`crate::replay`) key on the whole request, so an attempt
 // whose mutation applied but whose response was lost is answered from
 // the memo instead of double-applying. Each attempt gets its own span —
-// an abandoned attempt is a real failed operation in the traces.
+// an abandoned attempt is a real failed operation in the traces — and
+// when tracing is enabled the attempts chain causally: attempt N is a
+// child of the failed attempt N-1, tagged with the error class that
+// killed it, so a trace viewer reconstructs the whole retry story.
+// ---------------------------------------------------------------------
+
+/// Opens the span for one retry attempt: a fresh root span for the first
+/// attempt, or a child of the failed predecessor tagged with the retry
+/// ordinal and the predecessor's failure label.
+fn attempt_span<'a>(
+    obs: &'a Obs,
+    role: Role,
+    op: OpKind,
+    attempt: u32,
+    prev: &Option<(TraceContext, &'static str)>,
+) -> Span<'a> {
+    match prev {
+        Some((ctx, after)) => {
+            let mut span = obs.child_span(role, op, ctx);
+            span.mark_retry(attempt, after);
+            span
+        }
+        None => obs.span(role, op),
+    }
+}
+
+/// Records a failed attempt's context and failure label so the next
+/// attempt can chain under it.
+fn note_attempt_failure<T>(
+    prev: &mut Option<(TraceContext, &'static str)>,
+    span: &Span<'_>,
+    result: &Result<T, CallError>,
+) {
+    if let Err(e) = result {
+        if let Some(ctx) = span.context() {
+            *prev = Some((ctx, e.label()));
+        }
+    }
+}
 // ---------------------------------------------------------------------
 
 /// [`purchase_via_obs`] with resilient retries: the purchase request is
@@ -687,13 +781,15 @@ pub fn purchase_via_retry<R: rand::Rng + ?Sized>(
 ) -> Result<CoinId, CallError> {
     let (req, pending) = peer.create_purchase_request(mode, rng);
     let request = Request::Purchase(req);
-    let minted = policy.run(rng, |_| {
-        let mut span = obs.span(Role::Broker, OpKind::Purchase);
+    let mut prev = None;
+    let minted = policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, Role::Broker, OpKind::Purchase, attempt, &prev);
         let result = match call_traced(net, me, broker_ep, &request, &mut span) {
             Ok(Response::Minted(minted)) => Ok(minted),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };
+        note_attempt_failure(&mut prev, &span, &result);
         finish_call(span, &result);
         result
     })?;
@@ -717,13 +813,15 @@ pub fn request_issue_via_retry<R: rand::Rng + ?Sized>(
     obs: &Obs,
 ) -> Result<CoinGrant, CallError> {
     let request = Request::Issue { coin, invite: invite.clone() };
-    policy.run(rng, |_| {
-        let mut span = obs.span(Role::Peer, OpKind::Issue);
+    let mut prev = None;
+    policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, Role::Peer, OpKind::Issue, attempt, &prev);
         let result = match call_traced(net, me, owner_ep, &request, &mut span) {
             Ok(Response::Grant(grant)) => Ok(*grant),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };
+        note_attempt_failure(&mut prev, &span, &result);
         finish_call(span, &result);
         result
     })
@@ -751,13 +849,15 @@ pub fn request_transfer_via_retry<R: rand::Rng + ?Sized>(
         (Role::Peer, OpKind::Transfer)
     };
     let request = Request::Transfer { request, downtime };
-    policy.run(rng, |_| {
-        let mut span = obs.span(role, op);
+    let mut prev = None;
+    policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, role, op, attempt, &prev);
         let result = match call_traced(net, me, target_ep, &request, &mut span) {
             Ok(Response::Grant(grant)) => Ok(*grant),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };
+        note_attempt_failure(&mut prev, &span, &result);
         finish_call(span, &result);
         result
     })
@@ -782,13 +882,15 @@ pub fn request_renewal_via_retry<R: rand::Rng + ?Sized>(
     let (role, op) =
         if downtime { (Role::Broker, OpKind::DowntimeRenewal) } else { (Role::Peer, OpKind::Renewal) };
     let request = Request::Renewal { request, downtime };
-    policy.run(rng, |_| {
-        let mut span = obs.span(role, op);
+    let mut prev = None;
+    policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, role, op, attempt, &prev);
         let result = match call_traced(net, me, target_ep, &request, &mut span) {
             Ok(Response::Binding(binding)) => Ok(binding),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };
+        note_attempt_failure(&mut prev, &span, &result);
         finish_call(span, &result);
         result
     })
@@ -796,7 +898,9 @@ pub fn request_renewal_via_retry<R: rand::Rng + ?Sized>(
 
 /// [`deposit_via_obs`] with resilient retries: a deposit whose receipt
 /// was lost in flight is resent and answered from the broker's replay
-/// memo — credited exactly once.
+/// memo — credited exactly once. A receipt naming any coin other than
+/// the deposited one can only be a corrupted response (receipts carry
+/// no signature to check) and is retried like one.
 ///
 /// # Errors
 ///
@@ -811,14 +915,17 @@ pub fn deposit_via_retry<R: rand::Rng + ?Sized>(
     rng: &mut R,
     obs: &Obs,
 ) -> Result<DepositReceipt, CallError> {
+    let coin = request.minted.id();
     let request = Request::Deposit(request);
-    policy.run(rng, |_| {
-        let mut span = obs.span(Role::Broker, OpKind::Deposit);
+    let mut prev = None;
+    policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, Role::Broker, OpKind::Deposit, attempt, &prev);
         let result = match call_traced(net, me, broker_ep, &request, &mut span) {
-            Ok(Response::Receipt(receipt)) => Ok(receipt),
+            Ok(Response::Receipt(receipt)) if receipt.coin == coin => Ok(receipt),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };
+        note_attempt_failure(&mut prev, &span, &result);
         finish_call(span, &result);
         result
     })
@@ -845,13 +952,15 @@ pub fn sync_via_retry<R: rand::Rng + ?Sized>(
     rng.fill_bytes(&mut challenge);
     let response = peer.sign_identity_challenge(&challenge, rng);
     let req = Request::Sync { peer: peer.id(), challenge: challenge.to_vec(), response };
-    let bindings = policy.run(rng, |_| {
-        let mut span = obs.span(Role::Broker, OpKind::Sync);
+    let mut prev = None;
+    let bindings = policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, Role::Broker, OpKind::Sync, attempt, &prev);
         let result = match call_traced(net, me, broker_ep, &req, &mut span) {
             Ok(Response::Bindings(bindings)) => Ok(bindings),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };
+        note_attempt_failure(&mut prev, &span, &result);
         finish_call(span, &result);
         result
     })?;

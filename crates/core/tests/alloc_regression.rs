@@ -22,6 +22,7 @@ use whopay_crypto::elgamal::ElGamalCiphertext;
 use whopay_crypto::group_sig::GroupSignature;
 use whopay_net::Network;
 use whopay_num::BigUint;
+use whopay_obs::TraceContext;
 
 struct CountingAlloc;
 
@@ -147,7 +148,12 @@ fn fast_wire_path_allocates_at_least_5x_less_than_legacy() {
     fast_net.set_classifier(wire_kind);
     let fast_resp = grant_response();
     let server = fast_net.register_writer("broker", move |_net, bytes, out| {
-        let view = RequestView::parse(bytes).expect("valid frame");
+        // Mirror the production dispatch: strip any trace trailer first.
+        // With tracing disabled no trailer exists, and the split itself
+        // must stay allocation-free.
+        let (payload, caller) = TraceContext::split(bytes);
+        assert!(caller.is_none(), "disabled tracing must leave frames untagged");
+        let view = RequestView::parse(payload).expect("valid frame");
         assert!(matches!(view, RequestView::Transfer { downtime: true, .. }));
         assert_eq!(view.kind(), "downtime_transfer");
         fast_resp.encode_into(out);

@@ -9,7 +9,7 @@
 //! ([`crate::cost`]) turns into the CPU and communication loads of
 //! Figures 2–11.
 
-use whopay_obs::{Event as ObsEvent, Obs, Role};
+use whopay_obs::{Event as ObsEvent, Obs, Role, TraceContext};
 use whopay_sim::churn::ChurnProcess;
 use whopay_sim::dist::Exponential;
 use whopay_sim::{sim_rng, EventQueue, SimTime};
@@ -216,16 +216,23 @@ impl<'a> LoadSim<'a> {
     }
 
     /// Counts one operation, and reports it to the observability context
-    /// in cost-model units (see [`run_with_obs`]).
+    /// in cost-model units (see [`run_with_obs`]). Each simulated
+    /// operation is one trace: the peer side is the root span, the
+    /// broker's share (when the op touches the broker) a child of it.
     fn note(&mut self, op: Op) {
         self.counts.bump(op);
         if self.obs.enabled() {
             let kind = op.obs_kind();
+            let root = TraceContext::root();
             let broker = broker_messages(op);
             if broker > 0 {
-                self.obs.observe(ObsEvent::new(Role::Broker, kind).with_traffic(broker, 0));
+                self.obs.observe(
+                    ObsEvent::new(Role::Broker, kind).with_traffic(broker, 0).with_trace(root.child()),
+                );
             }
-            self.obs.observe(ObsEvent::new(Role::Peer, kind).with_traffic(peer_messages(op), 0));
+            self.obs.observe(
+                ObsEvent::new(Role::Peer, kind).with_traffic(peer_messages(op), 0).with_trace(root),
+            );
         }
     }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Instant;
 
-use whopay_obs::{Event, Metrics, Obs, OpKind, Role};
+use whopay_obs::{Event, Metrics, Obs, OpKind, Role, TraceContext};
 
 use crate::faults::{flip_bit, FaultInjector, FaultKind, FaultStats};
 use crate::retry::Classify;
@@ -335,7 +335,7 @@ impl Network {
         }
         if !self.endpoints[to.0 as usize].online {
             let err = RequestError::Offline(to);
-            self.observe_failure(to, err.label());
+            self.observe_failure(to, err.label(), request);
             return Err(err);
         }
         let fault = match self.faults.as_mut() {
@@ -349,12 +349,12 @@ impl Network {
             None => self.deliver(from, to, request, response),
             Some(FaultKind::Partition) => {
                 let err = RequestError::Partitioned(to);
-                self.observe_failure(to, err.label());
+                self.observe_failure(to, err.label(), request);
                 Err(err)
             }
             Some(FaultKind::Drop) => {
                 let err = RequestError::Lost(to);
-                self.observe_failure(to, err.label());
+                self.observe_failure(to, err.label(), request);
                 Err(err)
             }
             Some(FaultKind::Corrupt { in_request: true, bit }) => {
@@ -379,7 +379,7 @@ impl Network {
                 self.deliver(from, to, request, response)?;
                 response.clear();
                 let err = RequestError::TimedOut(to);
-                self.observe_failure(to, err.label());
+                self.observe_failure(to, err.label(), request);
                 Err(err)
             }
         }
@@ -398,7 +398,7 @@ impl Network {
     ) -> Result<(), RequestError> {
         let Some(mut handler) = self.endpoints[to.0 as usize].handler.take() else {
             let err = RequestError::ReentrantCall(to);
-            self.observe_failure(to, err.label());
+            self.observe_failure(to, err.label(), request);
             return Err(err);
         };
 
@@ -425,19 +425,28 @@ impl Network {
             if let Some(kind) = kind {
                 event = event.with_detail(kind);
             }
+            // A traced request parents the delivery event under the
+            // sender's span, so the wire hop shows up in the span tree.
+            if let Some((ctx, _)) = TraceContext::strip(request) {
+                event = event.with_trace(ctx.child());
+            }
             self.obs.observe(event);
         }
         Ok(())
     }
 
-    /// Reports an undeliverable request (no traffic was counted).
-    fn observe_failure(&self, to: EndpointId, why: &'static str) {
+    /// Reports an undeliverable request (no traffic was counted); a
+    /// traced request tags the failure with its causal context, so fault
+    /// impacts land inside the right span tree.
+    fn observe_failure(&self, to: EndpointId, why: &'static str, request: &[u8]) {
         if self.obs.enabled() {
-            self.obs.observe(
-                Event::new(self.endpoints[to.0 as usize].role, OpKind::NetRequest)
-                    .failed()
-                    .with_detail(why),
-            );
+            let mut event = Event::new(self.endpoints[to.0 as usize].role, OpKind::NetRequest)
+                .failed()
+                .with_detail(why);
+            if let Some((ctx, _)) = TraceContext::strip(request) {
+                event = event.with_trace(ctx.child());
+            }
+            self.obs.observe(event);
         }
     }
 

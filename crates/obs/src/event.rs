@@ -2,6 +2,18 @@
 
 use std::time::Duration;
 
+use crate::ctx::TraceContext;
+
+/// Why a retry attempt exists: its 1-based attempt number and the
+/// `ErrorClass` label of the failure that killed its predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryNote {
+    /// 1-based retry attempt number (attempt 0 carries no note).
+    pub attempt: u32,
+    /// Stable label of the predecessor's failure (e.g. `"lost"`).
+    pub after: &'static str,
+}
+
 /// The endpoint role an event is attributed to.
 ///
 /// Mirrors the load split the paper's evaluation reports: broker load
@@ -196,6 +208,14 @@ pub struct Event {
     /// batch (e.g. a `DepositBatch` dispatch); `None` for single-item
     /// operations.
     pub batch: Option<u64>,
+    /// The event's place in a causal trace, when tracing was active.
+    pub trace: Option<TraceContext>,
+    /// Set on retry attempts: which attempt, and what killed the
+    /// previous one.
+    pub retry: Option<RetryNote>,
+    /// Span start in microseconds since the process trace epoch (set by
+    /// timed spans; feeds the chrome-trace exporter's timeline).
+    pub start_us: Option<u64>,
     /// Free-form context (message kind, error text); kept short.
     pub detail: Option<String>,
 }
@@ -211,6 +231,9 @@ impl Event {
             messages: 0,
             bytes: 0,
             batch: None,
+            trace: None,
+            retry: None,
+            start_us: None,
             detail: None,
         }
     }
@@ -251,6 +274,20 @@ impl Event {
         self
     }
 
+    /// Attaches a trace context.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a retry note.
+    #[must_use]
+    pub fn with_retry(mut self, attempt: u32, after: &'static str) -> Self {
+        self.retry = Some(RetryNote { attempt, after });
+        self
+    }
+
     /// Serializes the event as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
@@ -276,6 +313,30 @@ impl Event {
         if let Some(batch) = self.batch {
             out.push_str(",\"batch\":");
             out.push_str(&batch.to_string());
+        }
+        if let Some(retry) = self.retry {
+            out.push_str(",\"retry\":");
+            out.push_str(&retry.attempt.to_string());
+            out.push_str(",\"after\":\"");
+            crate::json::escape_into(retry.after, &mut out);
+            out.push('"');
+        }
+        if let Some(trace) = self.trace {
+            out.push_str(&format!(
+                ",\"trace\":\"{:016x}\",\"span\":\"{:016x}\"",
+                trace.trace_id, trace.span_id
+            ));
+            if trace.parent_span_id != 0 {
+                out.push_str(&format!(",\"parent\":\"{:016x}\"", trace.parent_span_id));
+            }
+            if trace.hop != 0 {
+                out.push_str(",\"hop\":");
+                out.push_str(&trace.hop.to_string());
+            }
+        }
+        if let Some(start_us) = self.start_us {
+            out.push_str(",\"start_us\":");
+            out.push_str(&start_us.to_string());
         }
         if let Some(detail) = &self.detail {
             out.push_str(",\"detail\":\"");
@@ -317,6 +378,20 @@ mod tests {
     fn json_skips_empty_fields() {
         let ev = Event::new(Role::Broker, OpKind::Purchase);
         assert_eq!(ev.to_json(), r#"{"role":"broker","op":"purchase","outcome":"ok"}"#);
+    }
+
+    #[test]
+    fn json_carries_trace_fields() {
+        let trace = TraceContext { trace_id: 0xABC, span_id: 0xDEF, parent_span_id: 0x123, hop: 2 };
+        let ev = Event::new(Role::Broker, OpKind::Deposit).with_trace(trace).with_retry(1, "lost");
+        assert_eq!(
+            ev.to_json(),
+            concat!(
+                r#"{"role":"broker","op":"deposit","outcome":"ok","retry":1,"after":"lost","#,
+                r#""trace":"0000000000000abc","span":"0000000000000def","#,
+                r#""parent":"0000000000000123","hop":2}"#
+            )
+        );
     }
 
     #[test]

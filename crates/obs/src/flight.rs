@@ -1,0 +1,225 @@
+//! The flight recorder: a lock-striped, fixed-size ring of the most
+//! recent events, dumped as JSON lines when something goes wrong.
+//!
+//! A [`FlightRecorder`] is an always-on [`Recorder`] whose memory is
+//! bounded by construction: events land in one of a power-of-two number
+//! of stripes (chosen by a per-thread tag, so unrelated threads rarely
+//! contend on the same mutex), and each stripe is a ring that overwrites
+//! its oldest slot. A global sequence counter stamps every event so a
+//! dump can interleave the stripes back into arrival order.
+//!
+//! Dumps happen on demand ([`FlightRecorder::dump_jsonl`]), when an
+//! invariant auditor trips (the service layer asks the attached recorder
+//! via `Recorder::flight_dump`), or on panic once
+//! [`install_panic_hook`] has been called — which is how a chaos-test
+//! failure leaves behind the last moments of every lifecycle in flight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
+
+use crate::event::Event;
+use crate::trace::Recorder;
+
+/// Default stripe count (rounded to a power of two).
+const DEFAULT_STRIPES: usize = 8;
+/// Default events retained per stripe.
+const DEFAULT_CAPACITY: usize = 256;
+
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+}
+
+#[derive(Debug, Default)]
+struct Stripe {
+    /// `(sequence, event)` slots; grows to capacity, then wraps.
+    slots: Vec<(u64, Event)>,
+    /// Next slot to overwrite once full.
+    next: usize,
+}
+
+/// A bounded, lock-striped ring of the last N events (see module docs).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    stripes: Vec<Mutex<Stripe>>,
+    capacity: usize,
+    seq: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::with_shape(DEFAULT_STRIPES, DEFAULT_CAPACITY)
+    }
+}
+
+/// Takes a stripe lock, surviving poisoning (a panic mid-`record` must
+/// not lose the dump the panic hook is about to take).
+fn lock(stripe: &Mutex<Stripe>) -> MutexGuard<'_, Stripe> {
+    stripe.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl FlightRecorder {
+    /// A recorder with the default shape (8 stripes × 256 events).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A recorder with `stripes` stripes (rounded up to a power of two)
+    /// of `capacity` events each.
+    pub fn with_shape(stripes: usize, capacity: usize) -> Self {
+        let stripes = stripes.max(1).next_power_of_two();
+        FlightRecorder {
+            stripes: (0..stripes).map(|_| Mutex::new(Stripe::default())).collect(),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Total events retained right now (≤ stripes × capacity).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock(s).slots.len()).sum()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every retained event.
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            let mut s = lock(stripe);
+            s.slots.clear();
+            s.next = 0;
+        }
+    }
+
+    /// The retained events, oldest first (arrival order across stripes).
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut tagged: Vec<(u64, Event)> = Vec::new();
+        for stripe in &self.stripes {
+            tagged.extend(lock(stripe).slots.iter().cloned());
+        }
+        tagged.sort_by_key(|(seq, _)| *seq);
+        tagged.into_iter().map(|(_, ev)| ev).collect()
+    }
+
+    /// The retained events as JSON lines (one event per line, oldest
+    /// first) — the dump format auditors and the panic hook emit.
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn record(&self, event: &Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tag = THREAD_TAG.with(|t| *t) as usize;
+        let mut stripe = lock(&self.stripes[tag & (self.stripes.len() - 1)]);
+        if stripe.slots.len() < self.capacity {
+            stripe.slots.push((seq, event.clone()));
+        } else {
+            let next = stripe.next;
+            stripe.slots[next] = (seq, event.clone());
+            stripe.next = (next + 1) % self.capacity;
+        }
+    }
+
+    fn flight_dump(&self) -> Option<String> {
+        Some(self.dump_jsonl())
+    }
+}
+
+static PANIC_DUMPS: OnceLock<Mutex<Vec<Weak<FlightRecorder>>>> = OnceLock::new();
+
+/// Registers `recorder` to dump itself to stderr when the process
+/// panics. The first call chains onto the existing panic hook; later
+/// calls only extend the registry. Dropped recorders fall out (the
+/// registry holds weak references).
+pub fn install_panic_hook(recorder: &Arc<FlightRecorder>) {
+    let registry = PANIC_DUMPS.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            prev(info);
+            let Some(registry) = PANIC_DUMPS.get() else { return };
+            let Ok(registry) = registry.lock() else { return };
+            for recorder in registry.iter().filter_map(Weak::upgrade) {
+                eprintln!("--- flight recorder: last {} events ---", recorder.len());
+                eprint!("{}", recorder.dump_jsonl());
+                eprintln!("--- end of flight record ---");
+            }
+        }));
+        Mutex::new(Vec::new())
+    });
+    registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Arc::downgrade(recorder));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{OpKind, Role};
+    use crate::trace::{Obs, Tracer};
+
+    fn ev(bytes: u64) -> Event {
+        Event::new(Role::Peer, OpKind::Transfer).with_traffic(1, bytes)
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let rec = FlightRecorder::with_shape(1, 4);
+        for i in 0..10 {
+            rec.record(&ev(i));
+        }
+        let kept = rec.snapshot();
+        assert_eq!(kept.len(), 4);
+        let bytes: Vec<u64> = kept.iter().map(|e| e.bytes).collect();
+        assert_eq!(bytes, vec![6, 7, 8, 9], "oldest first, newest retained");
+    }
+
+    #[test]
+    fn snapshot_orders_across_stripes() {
+        let rec = Arc::new(FlightRecorder::with_shape(4, 64));
+        // Record from several threads; per-event sequence numbers must
+        // still produce a globally ordered snapshot.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        rec.record(&ev(i));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.len(), 200);
+        assert_eq!(rec.snapshot().len(), 200);
+    }
+
+    #[test]
+    fn dump_is_json_lines() {
+        let rec = FlightRecorder::new();
+        rec.record(&ev(7));
+        let dump = rec.dump_jsonl();
+        assert_eq!(dump.lines().count(), 1);
+        assert!(dump.starts_with("{\"role\":\"peer\""), "{dump}");
+        rec.clear();
+        assert!(rec.is_empty());
+        assert!(rec.dump_jsonl().is_empty());
+    }
+
+    #[test]
+    fn obs_surfaces_the_flight_dump() {
+        let rec = Arc::new(FlightRecorder::new());
+        let obs = Obs::with_tracer(Tracer::new(rec.clone()));
+        obs.span(Role::Broker, OpKind::Deposit).finish();
+        let dump = obs.flight_dump().expect("flight recorder attached");
+        assert_eq!(dump.lines().count(), 1);
+        assert!(Obs::disabled().flight_dump().is_none());
+    }
+}

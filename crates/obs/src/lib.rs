@@ -48,12 +48,18 @@
 //! println!("{}", report.render_table());
 //! ```
 
+pub mod ctx;
 pub mod event;
+pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
-pub use event::{Event, OpKind, Outcome, Role};
+pub use ctx::{TraceContext, TRACE_TRAILER_LEN};
+pub use event::{Event, OpKind, Outcome, RetryNote, Role};
+pub use export::{chrome_trace, prometheus_text};
+pub use flight::{install_panic_hook, FlightRecorder};
 pub use json::JsonLinesRecorder;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Metrics, MetricsReport, OpRow};
-pub use trace::{MemoryRecorder, NullRecorder, Obs, Recorder, Span, Tracer};
+pub use trace::{trace_epoch, MemoryRecorder, NullRecorder, Obs, Recorder, Span, Tracer};

@@ -187,6 +187,24 @@ impl Histogram {
     pub fn percentiles(&self) -> (u64, u64, u64) {
         (self.quantile(0.50), self.quantile(0.90), self.quantile(0.99))
     }
+
+    /// Cumulative `(upper_bound_ns, cumulative_count)` pairs at every
+    /// occupied bucket boundary — the log-bucket distribution in the
+    /// shape Prometheus histogram exposition wants (`le` labels).
+    /// Empty buckets are skipped; callers add the `+Inf` bound from
+    /// [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                cumulative += n;
+                out.push((bucket_upper_bound(i), cumulative));
+            }
+        }
+        out
+    }
 }
 
 /// The per-`(Role, OpKind)` aggregate cell.
@@ -298,6 +316,16 @@ impl Metrics {
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         let mut map = self.histograms.lock().expect("histogram registry poisoned");
         map.entry(name.to_string()).or_insert_with(|| Arc::new(Histogram::new())).clone()
+    }
+
+    /// The named histograms currently registered, for exporters.
+    pub fn named_histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.clone()))
+            .collect()
     }
 
     /// Snapshot of one cell.
@@ -539,6 +567,20 @@ mod tests {
         // p99 lands in the slow bucket: [2^19, 2^20) ns.
         assert_eq!(h.quantile(0.99), (1 << 20) - 1);
         assert_eq!(h.quantile(1.0), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_the_distribution() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_nanos(100); // bucket [64, 128)
+        }
+        for _ in 0..10 {
+            h.record_nanos(1_000_000);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets, vec![(127, 90), ((1 << 20) - 1, 100)]);
+        assert!(Histogram::new().cumulative_buckets().is_empty());
     }
 
     #[test]

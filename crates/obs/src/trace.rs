@@ -1,10 +1,21 @@
 //! Recorders, the shared [`Obs`] context, and timing [`Span`]s.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-use crate::event::{Event, OpKind, Outcome, Role};
+use crate::ctx::TraceContext;
+use crate::event::{Event, OpKind, Outcome, RetryNote, Role};
 use crate::metrics::Metrics;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process trace epoch: the instant the first enabled span (or the
+/// first explicit call) observed. All [`Span`] start offsets — and
+/// therefore the chrome-trace timeline — are measured from here, so
+/// spans from different [`Obs`] instances share one clock.
+pub fn trace_epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
 
 /// A sink for finished [`Event`]s.
 ///
@@ -18,6 +29,13 @@ pub trait Recorder: Send + Sync {
     /// events entirely when this returns `false`.
     fn enabled(&self) -> bool {
         true
+    }
+
+    /// A JSON-lines dump of recently retained events, if this recorder
+    /// retains any (see `FlightRecorder`). Invariant auditors request
+    /// this when a violation fires.
+    fn flight_dump(&self) -> Option<String> {
+        None
     }
 }
 
@@ -100,6 +118,11 @@ impl Tracer {
             recorder.record(event);
         }
     }
+
+    /// The recorder's flight dump, if it retains events.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.recorder.as_deref().and_then(Recorder::flight_dump)
+    }
 }
 
 /// The observability context instrumented layers carry: an event stream
@@ -154,18 +177,41 @@ impl Obs {
     }
 
     /// Starts a timed span for one operation. When the context is
-    /// disabled the span is inert (no clock read) and
-    /// [`Span::finish`] does nothing.
+    /// disabled the span is inert (no clock read, no trace id drawn) and
+    /// [`Span::finish`] does nothing. Enabled spans root a fresh trace;
+    /// use [`Obs::child_span`] to join an existing one.
     pub fn span(&self, role: Role, op: OpKind) -> Span<'_> {
-        let start = if self.enabled() { Some(Instant::now()) } else { None };
+        self.span_with(role, op, TraceContext::root)
+    }
+
+    /// Starts a timed span as a child of `parent` (same trace, one hop
+    /// deeper). Inert when the context is disabled, like [`Obs::span`].
+    pub fn child_span(&self, role: Role, op: OpKind, parent: &TraceContext) -> Span<'_> {
+        self.span_with(role, op, || parent.child())
+    }
+
+    /// The trace dump of an attached flight recorder, if any.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.tracer.flight_dump()
+    }
+
+    fn span_with(&self, role: Role, op: OpKind, ctx: impl FnOnce() -> TraceContext) -> Span<'_> {
+        let (start, ctx) = if self.enabled() {
+            trace_epoch(); // pin the epoch before the first span starts
+            (Some(Instant::now()), Some(ctx()))
+        } else {
+            (None, None)
+        };
         Span {
             obs: self,
             role,
             op,
             start,
+            ctx,
             messages: 0,
             bytes: 0,
             batch: None,
+            retry: None,
             outcome: Outcome::Ok,
             detail: None,
         }
@@ -181,9 +227,11 @@ pub struct Span<'a> {
     role: Role,
     op: OpKind,
     start: Option<Instant>,
+    ctx: Option<TraceContext>,
     messages: u64,
     bytes: u64,
     batch: Option<u64>,
+    retry: Option<RetryNote>,
     outcome: Outcome,
     detail: Option<String>,
 }
@@ -193,6 +241,19 @@ impl Span<'_> {
     pub fn add_traffic(&mut self, messages: u64, bytes: u64) {
         self.messages = self.messages.saturating_add(messages);
         self.bytes = self.bytes.saturating_add(bytes);
+    }
+
+    /// This span's trace context (`None` when the context is disabled).
+    /// Callers append it to outgoing frames so the receiving side can
+    /// parent its dispatch span under this one.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.ctx
+    }
+
+    /// Marks this span as retry attempt `attempt` (1-based), caused by
+    /// a predecessor that failed with `after`.
+    pub fn mark_retry(&mut self, attempt: u32, after: &'static str) {
+        self.retry = Some(RetryNote { attempt, after });
     }
 
     /// Marks the operation failed, with a short reason.
@@ -219,6 +280,8 @@ impl Span<'_> {
     /// disabled.
     pub fn finish(self) {
         let Some(start) = self.start else { return };
+        let start_us = u64::try_from(start.saturating_duration_since(trace_epoch()).as_micros())
+            .unwrap_or(u64::MAX);
         let event = Event {
             role: self.role,
             op: self.op,
@@ -227,6 +290,9 @@ impl Span<'_> {
             messages: self.messages,
             bytes: self.bytes,
             batch: self.batch,
+            trace: self.ctx,
+            retry: self.retry,
+            start_us: Some(start_us),
             detail: self.detail,
         };
         self.obs.observe(event);
@@ -288,6 +354,40 @@ mod tests {
         assert!(!tracer.enabled());
         let obs = Obs::with_tracer(tracer);
         assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn enabled_spans_carry_linked_trace_contexts() {
+        let recorder = Arc::new(MemoryRecorder::new());
+        let obs = Obs::with_tracer(Tracer::new(recorder.clone()));
+
+        let parent = obs.span(Role::Client, OpKind::Purchase);
+        let parent_ctx = parent.context().expect("enabled span has a context");
+        let mut child = obs.child_span(Role::Broker, OpKind::Purchase, &parent_ctx);
+        child.mark_retry(1, "lost");
+        child.finish();
+        parent.finish();
+
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        let child_ev = &events[0];
+        let parent_ev = &events[1];
+        let ct = child_ev.trace.expect("child carries a context");
+        let pt = parent_ev.trace.expect("parent carries a context");
+        assert_eq!(ct.trace_id, pt.trace_id, "same trace");
+        assert_eq!(ct.parent_span_id, pt.span_id, "child links to parent");
+        assert_eq!(ct.hop, pt.hop + 1);
+        assert_eq!(child_ev.retry.map(|r| (r.attempt, r.after)), Some((1, "lost")));
+        assert!(child_ev.start_us.is_some() && parent_ev.start_us.is_some());
+    }
+
+    #[test]
+    fn disabled_spans_draw_no_trace_ids() {
+        let obs = Obs::disabled();
+        let span = obs.span(Role::Peer, OpKind::Transfer);
+        assert!(span.context().is_none());
+        let parent = TraceContext::root();
+        assert!(obs.child_span(Role::Peer, OpKind::Transfer, &parent).context().is_none());
     }
 
     #[test]

@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
 # Quick-mode crypto benchmark runner: the Table 2 primitive bench, the
-# arithmetic-backbone microbench, and the machine-readable summary
-# (BENCH_crypto.json at the repository root). Record tracked values in
-# EXPERIMENTS.md when they move.
+# arithmetic-backbone microbench, and the machine-readable summaries
+# (BENCH_*.json at the repository root). Record tracked values in
+# EXPERIMENTS.md when they move. Pass --ablation to also regenerate the
+# ablation/figure console logs under target/ablation/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CPUS="$(nproc 2>/dev/null || echo 1)"
+if [ "$CPUS" -le 1 ]; then
+    echo "!!> WARNING: only $CPUS CPU visible to this run." >&2
+    echo "!!> Threaded rows (parallel verify / vpool entries) measure time-sliced" >&2
+    echo "!!> scheduling, NOT parallel speedup. Check host_cpus in the BENCH_*.json" >&2
+    echo "!!> files before citing any threaded number." >&2
+fi
 
 echo "==> cargo bench: table2_dsa (DSA-1024 keygen/sign/verify)"
 cargo bench -p whopay-bench --bench table2_dsa --offline
@@ -20,5 +29,25 @@ cargo run --release --offline -q -p whopay-bench --bin bench_verify_json
 
 echo "==> bench_wire_json (BENCH_wire.json)"
 cargo run --release --offline -q -p whopay-bench --bin bench_wire_json
+
+echo "==> bench_obs_json (BENCH_obs.json + target/obs/ flight dump & chrome trace)"
+cargo run --release --offline -q -p whopay-bench --bin bench_obs_json
+
+if [ "${1:-}" = "--ablation" ]; then
+    # Console logs live under the (git-ignored) target tree; EXPERIMENTS.md
+    # quotes numbers from these runs.
+    mkdir -p target/ablation
+    echo "==> all_figures (target/ablation/figures_output.txt)"
+    cargo run --release --offline -q -p whopay-bench --bin all_figures \
+        | tee target/ablation/figures_output.txt
+    echo "==> table3_report (target/ablation/table3_output.txt)"
+    cargo run --release --offline -q -p whopay-bench --bin table3_report \
+        | tee target/ablation/table3_output.txt
+    for ab in downtime policies real_messages vs_centralized; do
+        echo "==> ablation_${ab} (target/ablation/ablation_${ab}_output.txt)"
+        cargo run --release --offline -q -p whopay-bench --bin "ablation_${ab}" \
+            | tee "target/ablation/ablation_${ab}_output.txt"
+    done
+fi
 
 echo "==> bench.sh: done"

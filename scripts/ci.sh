@@ -21,7 +21,7 @@ cargo test -p whopay-num -q --release --offline
 echo "==> cargo test -p whopay-crypto --release (batch soundness + differential suite)"
 cargo test -p whopay-crypto -q --release --offline
 
-echo "==> cargo test -p whopay-core --release (wire fast-path: props, alloc regression, reconciliation)"
+echo "==> cargo test -p whopay-core --release (wire fast-path: props, alloc guard [<2 allocs/request, tracing disabled], reconciliation)"
 cargo test -p whopay-core -q --release --offline --test wire_props --test alloc_regression --test wire_reconcile
 
 echo "==> WHOPAY_VPOOL_THREADS=1 cargo test -q (serial-pool determinism pass)"
@@ -35,6 +35,12 @@ WHOPAY_CHAOS_SEED=20260807 cargo test -q --release --offline --test chaos
 
 echo "==> cargo test -p whopay-net --release (fault-schedule determinism props)"
 cargo test -p whopay-net -q --release --offline --test fault_props
+
+echo "==> cargo test --release --test tracing (causal tracing: retry span chains, trace-id uniqueness)"
+cargo test -q --release --offline --test tracing
+
+echo "==> cargo test -p whopay-core --release audit (invariant auditor unit suite)"
+cargo test -p whopay-core -q --release --offline --lib audit
 
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --offline

@@ -34,7 +34,7 @@ use whopay::core::{
 };
 use whopay::crypto::testing::{test_rng, tiny_group};
 use whopay::net::{EndpointId, FaultInjector, FaultPlan, FaultRates, Network, RetryPolicy};
-use whopay::obs::Obs;
+use whopay::obs::{install_panic_hook, FlightRecorder, Obs, Tracer};
 
 const LIFECYCLES: u64 = 24;
 const CHECKPOINT_AT: u64 = 5;
@@ -151,7 +151,12 @@ fn lifecycles_under_faults_conserve_value() {
     let seed = chaos_seed();
     let mut w = chaos_world(seed);
     let policy = RetryPolicy::new(8).backoff(10, 1_000).budget(100_000);
-    let obs = Obs::disabled();
+    // Clients run traced: every retry attempt chains under its failed
+    // predecessor in the flight recorder, and if any assertion below
+    // trips, the panic hook dumps the recorded run for the post-mortem.
+    let flight = std::sync::Arc::new(FlightRecorder::new());
+    install_panic_hook(&flight);
+    let obs = Obs::with_tracer(Tracer::new(flight.clone()));
 
     let mut deposited: Vec<CoinId> = Vec::new();
     let mut stranded: Vec<Stranded> = Vec::new();
@@ -321,6 +326,23 @@ fn lifecycles_under_faults_conserve_value() {
     for coin in &deposited {
         assert!(!broker.is_circulating(coin), "deposited coin still circulating");
     }
+
+    // The always-on auditor watched every committed mutation (including
+    // the journal replay during the mid-run crash) and agrees.
+    let audit = broker.audit();
+    assert!(audit.ok(), "invariant auditor flagged violations: {:?}", audit.violations());
+    assert_eq!(audit.minted(), stats.purchases, "auditor saw every mint");
+    assert_eq!(audit.deposited(), stats.deposits, "auditor saw every deposit");
+
+    // The traced run left a usable flight record: at least one retried
+    // attempt chains under a failed predecessor span.
+    let events = flight.snapshot();
+    let retried = events.iter().find(|e| e.retry.is_some()).expect("faulted run records retries");
+    let trace = retried.trace.expect("retried spans are traced");
+    assert!(
+        events.iter().any(|e| e.trace.is_some_and(|t| t.span_id == trace.parent_span_id)),
+        "retry attempt's failed predecessor is in the flight record"
+    );
 }
 
 #[test]
