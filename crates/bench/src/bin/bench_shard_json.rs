@@ -1,0 +1,211 @@
+//! Machine-readable shard-scaling benchmark: emits `BENCH_shard.json`
+//! measuring broker throughput as coin state is split over 1/2/4/8
+//! shards, each shard served by its own parallel endpoint and the event
+//! queue drained with as many worker threads as shards.
+//!
+//! Two floods, with *separate* coin sets (a downtime transfer bumps the
+//! binding sequence, which would invalidate a later deposit of the same
+//! coin):
+//!
+//! * **Deposit flood** — every coin redeemed at its owning shard's
+//!   endpoint ([`ShardedBroker::shard_of_coin`] keeps each request on an
+//!   uncontended shard lock).
+//! * **Downtime-transfer flood** — holders transfer through the broker
+//!   (owner offline), again routed by owning shard.
+//!
+//! The scaling gate (≥ 1.6× combined throughput at 2 shards vs. 1) is
+//! asserted only when the host actually has more than one CPU; on a
+//! single-CPU host the numbers are recorded with `"scaling_asserted":
+//! false` and the run still succeeds — a serialized measurement proves
+//! nothing either way.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use whopay_bench::bench_group;
+use whopay_core::service::{
+    attach_client, attach_shard_endpoints, install_wire_classifier, shared_clock,
+};
+use whopay_core::wire::{Request, Response};
+use whopay_core::{
+    CoinId, Judge, Peer, PeerId, PurchaseMode, ShardedBroker, SystemParams, Timestamp, TransferRequest,
+};
+use whopay_crypto::testing::test_rng;
+use whopay_net::Network;
+
+const SHARD_CONFIGS: [usize; 4] = [1, 2, 4, 8];
+const DEPOSITS: usize = 16;
+const TRANSFERS: usize = 16;
+/// Combined-throughput floor at 2 shards, asserted on multi-core hosts.
+const MIN_SPEEDUP_2: f64 = 1.6;
+
+struct Row {
+    shards: usize,
+    deposit_ns: u128,
+    deposit_per_sec: f64,
+    transfer_ns: u128,
+    transfer_per_sec: f64,
+    combined_per_sec: f64,
+}
+
+fn ops_per_sec(ops: usize, d: Duration) -> f64 {
+    ops as f64 / d.as_secs_f64()
+}
+
+fn run_config(shards: usize) -> Row {
+    let mut rng = test_rng(0x5AAD ^ shards as u64);
+    let params = SystemParams::new(bench_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let sharded =
+        Arc::new(ShardedBroker::new(params.clone(), judge.public_key().clone(), shards, &mut rng));
+    let mk = |id: u64, judge: &mut Judge, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            sharded.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        sharded.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let mut owner = mk(1, &mut judge, &mut rng);
+    let mut depositor = mk(2, &mut judge, &mut rng);
+    let mut payer = mk(3, &mut judge, &mut rng);
+    let payee = mk(4, &mut judge, &mut rng);
+
+    let now = Timestamp(0);
+    let mut mint_to = |holder: &mut Peer, rng: &mut rand::rngs::StdRng| -> CoinId {
+        let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, rng);
+        let minted = sharded.handle_purchase(&req, rng).unwrap();
+        let coin = owner.complete_purchase(minted, pending, now, rng).unwrap();
+        let (invite, session) = holder.begin_receive(rng);
+        let grant = owner.issue_coin(coin, &invite, now, rng).unwrap();
+        holder.accept_grant(grant, session, now).unwrap();
+        coin
+    };
+    let deposit_coins: Vec<CoinId> = (0..DEPOSITS).map(|_| mint_to(&mut depositor, &mut rng)).collect();
+    let transfer_coins: Vec<CoinId> = (0..TRANSFERS).map(|_| mint_to(&mut payer, &mut rng)).collect();
+
+    let mut net = Network::new();
+    install_wire_classifier(&mut net);
+    let shard_eps = attach_shard_endpoints(&mut net, sharded.clone(), shared_clock(now), 0xEB5);
+    let client_ep = attach_client(&mut net, "flood-client");
+    net.set_drain_threads(shards);
+
+    // Deposit flood: submit everything, then drain once with `shards`
+    // worker threads.
+    for &coin in &deposit_coins {
+        let dreq = depositor.request_deposit(coin, &mut rng).unwrap();
+        let to = shard_eps[sharded.shard_of_coin(&coin)];
+        net.submit(client_ep, to, Request::Deposit(dreq).encode());
+    }
+    let started = Instant::now();
+    let deliveries = net.drain();
+    let deposit_elapsed = started.elapsed();
+    assert_eq!(deliveries.len(), DEPOSITS);
+    for d in &deliveries {
+        let response = Response::decode(d.result.as_deref().expect("fault-free delivery")).unwrap();
+        assert!(matches!(response, Response::Receipt(_)), "deposit refused: {response:?}");
+    }
+
+    // Downtime-transfer flood on the untouched coin set.
+    let transfer_reqs: Vec<(CoinId, TransferRequest)> = transfer_coins
+        .iter()
+        .map(|&coin| {
+            let (invite, _session) = payee.begin_receive(&mut rng);
+            (coin, payer.request_transfer(coin, &invite, &mut rng).unwrap())
+        })
+        .collect();
+    for (coin, treq) in transfer_reqs {
+        let to = shard_eps[sharded.shard_of_coin(&coin)];
+        net.submit(client_ep, to, Request::Transfer { request: treq, downtime: true }.encode());
+    }
+    let started = Instant::now();
+    let deliveries = net.drain();
+    let transfer_elapsed = started.elapsed();
+    assert_eq!(deliveries.len(), TRANSFERS);
+    for d in &deliveries {
+        let response = Response::decode(d.result.as_deref().expect("fault-free delivery")).unwrap();
+        assert!(matches!(response, Response::Grant(_)), "transfer refused: {response:?}");
+    }
+
+    assert!(sharded.audit_ok(), "bench flood tripped the auditors: {:?}", sharded.violations());
+    let combined = ops_per_sec(DEPOSITS + TRANSFERS, deposit_elapsed + transfer_elapsed);
+    Row {
+        shards,
+        deposit_ns: deposit_elapsed.as_nanos(),
+        deposit_per_sec: ops_per_sec(DEPOSITS, deposit_elapsed),
+        transfer_ns: transfer_elapsed.as_nanos(),
+        transfer_per_sec: ops_per_sec(TRANSFERS, transfer_elapsed),
+        combined_per_sec: combined,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_shard.json".to_string());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let assert_scaling = host_cpus > 1;
+    if !assert_scaling {
+        eprintln!(
+            "bench_shard_json: single-CPU host — shard workers serialize, \
+             recording throughput without asserting scaling"
+        );
+    }
+
+    let rows: Vec<Row> = SHARD_CONFIGS.iter().map(|&s| run_config(s)).collect();
+    let base = rows[0].combined_per_sec;
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"generated_by\": \"crates/bench/src/bin/bench_shard_json.rs\",").unwrap();
+    writeln!(json, "  \"group\": \"512/160\",").unwrap();
+    writeln!(json, "  \"host_cpus\": {host_cpus},").unwrap();
+    writeln!(json, "  \"scaling_asserted\": {assert_scaling},").unwrap();
+    writeln!(json, "  \"deposits\": {DEPOSITS}, \"transfers\": {TRANSFERS},").unwrap();
+    writeln!(json, "  \"configs\": [").unwrap();
+    for (i, row) in rows.iter().enumerate() {
+        let speedup = row.combined_per_sec / base;
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"shards\": {}, \"net_threads\": {},", row.shards, row.shards).unwrap();
+        writeln!(
+            json,
+            "      \"deposit_ns\": {}, \"deposit_per_sec\": {:.1},",
+            row.deposit_ns, row.deposit_per_sec
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"transfer_ns\": {}, \"transfer_per_sec\": {:.1},",
+            row.transfer_ns, row.transfer_per_sec
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "      \"combined_per_sec\": {:.1}, \"speedup_vs_1_shard\": {:.2}",
+            row.combined_per_sec, speedup
+        )
+        .unwrap();
+        writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" }).unwrap();
+    }
+    writeln!(json, "  ]").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_shard.json");
+    println!("wrote {out_path}:\n{json}");
+
+    if assert_scaling {
+        let speedup_2 = rows[1].combined_per_sec / base;
+        assert!(
+            speedup_2 >= MIN_SPEEDUP_2,
+            "2-shard combined throughput only {speedup_2:.2}x the 1-shard baseline \
+             (floor {MIN_SPEEDUP_2}x on a {host_cpus}-CPU host)"
+        );
+        println!("scaling gate passed: 2 shards = {speedup_2:.2}x (floor {MIN_SPEEDUP_2}x)");
+    } else {
+        println!("scaling gate skipped: host_cpus = 1");
+    }
+}

@@ -107,12 +107,12 @@ fn main() {
     }
 
     let speedup = |base: Duration, d: Duration| base.as_secs_f64() / d.as_secs_f64();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     writeln!(json, "{{").unwrap();
     writeln!(json, "  \"generated_by\": \"crates/bench/src/bin/bench_verify_json.rs\",").unwrap();
     writeln!(json, "  \"group\": \"512/160\",").unwrap();
-    writeln!(json, "  \"host_cpus\": {},", std::thread::available_parallelism().map_or(1, |n| n.get()))
-        .unwrap();
+    writeln!(json, "  \"host_cpus\": {host_cpus},").unwrap();
     writeln!(json, "  \"chains\": [").unwrap();
     for (row_idx, (len, sigs, serial, by_threads)) in rows.iter().enumerate() {
         writeln!(json, "    {{").unwrap();
@@ -121,9 +121,17 @@ fn main() {
         writeln!(json, "      \"per_signature_ns\": {},", serial.as_nanos()).unwrap();
         for (i, (t, d)) in by_threads.iter().enumerate() {
             let label = if *t == 1 { "batched".to_string() } else { format!("batched_parallel_{t}t") };
+            // A multi-thread row timed on a single-CPU host says nothing
+            // about parallel speedup; mark it so downstream tooling never
+            // treats the (serialized) number as evidence.
+            let unproven = if *t > 1 && host_cpus == 1 {
+                format!(", \"{label}_unproven\": true")
+            } else {
+                String::new()
+            };
             writeln!(
                 json,
-                "      \"{label}_ns\": {}, \"{label}_speedup\": {:.2}{}",
+                "      \"{label}_ns\": {}, \"{label}_speedup\": {:.2}{unproven}{}",
                 d.as_nanos(),
                 speedup(*serial, *d),
                 if i + 1 < by_threads.len() { "," } else { "" }

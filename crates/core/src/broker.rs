@@ -101,6 +101,15 @@ impl Broker {
     /// Creates a broker with fresh keys.
     pub fn new<R: Rng + ?Sized>(params: SystemParams, gpk: GroupPublicKey, rng: &mut R) -> Self {
         let keys = DsaKeyPair::generate(params.group(), rng);
+        Self::with_keys(params, gpk, keys)
+    }
+
+    /// Creates a broker around existing keys. Shards of a
+    /// [`crate::shard::ShardedBroker`] are built this way so every shard
+    /// signs and verifies under the *same* broker identity — a coin
+    /// minted by one shard must verify on whichever shard its id hashes
+    /// to after a resize.
+    pub fn with_keys(params: SystemParams, gpk: GroupPublicKey, keys: DsaKeyPair) -> Self {
         Broker {
             params,
             keys,
@@ -378,8 +387,18 @@ impl Broker {
         requests: &[DepositRequest],
         now: Timestamp,
     ) -> Vec<Result<DepositReceipt, CoreError>> {
+        self.prepare_deposit_batch(requests);
+        requests.iter().map(|request| self.handle_deposit(request, now)).collect()
+    }
+
+    /// Phase one of [`Broker::handle_deposit_batch`] on its own: settles
+    /// the batch's signature checks and primes the verdict cache without
+    /// mutating any coin state. Because it only reads, the sharded broker
+    /// runs prepares for different shards concurrently and commits
+    /// serially afterwards (see [`crate::shard`]).
+    pub fn prepare_deposit_batch(&self, requests: &[DepositRequest]) {
         let group = self.params.group().clone();
-        let mut chain = BindingChain::new(group.clone(), self.keys.public().clone());
+        let mut chain = BindingChain::new(group, self.keys.public().clone());
         for request in requests {
             let id = request.minted.id();
             // The serial path rejects unknown coins before any signature
@@ -400,7 +419,6 @@ impl Broker {
             }
         }
         chain.verify_each(Some(&self.sig_cache), &self.vpool);
-        requests.iter().map(|request| self.handle_deposit(request, now)).collect()
     }
 
     // --- downtime protocol ---
@@ -744,8 +762,10 @@ impl Broker {
     /// configuration ([`Broker::export_keys`]); the journal supplies
     /// everything else. Replay is deterministic: the recovered broker's
     /// [`Broker::snapshot`] and [`Broker::stats`] equal the crashed
-    /// one's exactly, replay memos included, and its mint-signature
-    /// cache is re-primed so deposits of pre-crash coins stay fast.
+    /// one's exactly, replay memos included. The mint-signature cache
+    /// starts empty and re-primes *lazily*: the first verification of
+    /// each pre-crash coin repopulates it (via the caching verify path),
+    /// so recovery time is linear in the journal, not journal × cache.
     /// Journalling is re-enabled (with a fresh checkpoint) so a second
     /// crash recovers the same way.
     pub fn recover(
@@ -754,19 +774,7 @@ impl Broker {
         keys: DsaKeyPair,
         journal: &Journal,
     ) -> Broker {
-        let mut broker = Broker {
-            params,
-            keys,
-            gpk,
-            registered: HashMap::new(),
-            coins: HashMap::new(),
-            fraud: Vec::new(),
-            stats: BrokerStats::default(),
-            sig_cache: Arc::new(SigCache::default()),
-            vpool: VerifyPool::serial(),
-            journal: None,
-            audit: Auditor::new(),
-        };
+        let mut broker = Broker::with_keys(params, gpk, keys);
         for entry in journal.entries() {
             broker.apply(entry);
         }
@@ -774,15 +782,14 @@ impl Broker {
         broker
     }
 
-    /// Applies one journal entry during recovery.
+    /// Applies one journal entry during recovery. Signature caches are
+    /// deliberately *not* primed here — see [`Broker::recover`].
     fn apply(&mut self, entry: &JournalEntry) {
-        let group = self.params.group().clone();
         match &entry.op {
             JournalOp::Checkpoint(state) => {
                 self.registered = state.registered.iter().cloned().collect();
                 self.coins.clear();
                 for (id, snap) in &state.coins {
-                    self.sig_cache.prime(snap.minted.mint_cache_key(&group, self.keys.public()), true);
                     self.coins.insert(
                         *id,
                         CoinRecord {
@@ -804,7 +811,6 @@ impl Broker {
                 self.registered.insert(*peer, key.clone());
             }
             JournalOp::Mint { minted, served } => {
-                self.sig_cache.prime(minted.mint_cache_key(&group, self.keys.public()), true);
                 self.audit.on_mint(minted.id());
                 self.coins.insert(
                     minted.id(),

@@ -97,6 +97,7 @@ pub mod params;
 pub mod peer;
 pub mod replay;
 pub mod service;
+pub mod shard;
 pub mod shop;
 pub mod sigcache;
 pub mod types;
@@ -118,6 +119,7 @@ pub use messages::{
 pub use params::SystemParams;
 pub use peer::{HeldCoin, OwnedCoin, Peer, PendingPurchase, PurchaseMode};
 pub use replay::ServedOp;
+pub use shard::{shard_of, CrossStats, ShardedBroker};
 pub use shop::CoinShop;
 pub use sigcache::{CacheKeyer, SigCache};
 pub use types::{CoinId, PeerId, Timestamp};

@@ -27,6 +27,8 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use rand::SeedableRng;
 use whopay_net::{Classify, EndpointId, ErrorClass, Network, RequestError, RetryPolicy};
@@ -37,6 +39,7 @@ use crate::codec;
 use crate::error::CoreError;
 use crate::messages::{CoinGrant, DepositReceipt, PaymentInvite, PurchaseRequest};
 use crate::peer::{Peer, PurchaseMode};
+use crate::shard::ShardedBroker;
 use crate::types::{CoinId, Timestamp};
 use crate::view::RequestView;
 use crate::wire::{wire_kind, Request, Response};
@@ -47,6 +50,15 @@ pub type Clock = Rc<Cell<Timestamp>>;
 /// Creates a clock starting at `t`.
 pub fn clock(t: Timestamp) -> Clock {
     Rc::new(Cell::new(t))
+}
+
+/// A thread-safe protocol clock for parallel (sharded) endpoints, which
+/// may read `now` from worker threads.
+pub type SharedClock = Arc<AtomicU64>;
+
+/// Creates a shared clock starting at `t`.
+pub fn shared_clock(t: Timestamp) -> SharedClock {
+    Arc::new(AtomicU64::new(t.0))
 }
 
 /// Installs [`wire_kind`] as the network's message classifier, so the
@@ -194,6 +206,154 @@ pub fn attach_broker_obs(
     });
     net.set_role(id, Role::Broker);
     id
+}
+
+/// [`surface_violations`] for the sharded broker: aggregates per-shard
+/// auditor violations and cross-ledger handoff violations. The seen
+/// counter is shared across shard endpoints, so each violation surfaces
+/// once no matter which endpoint's dispatch notices it.
+fn surface_sharded_violations(sharded: &ShardedBroker, obs: &Obs, seen: &AtomicUsize) {
+    let violations = sharded.violations();
+    let prev = seen.load(Ordering::SeqCst);
+    if violations.len() <= prev {
+        return;
+    }
+    for v in &violations[prev..] {
+        obs.observe(Event::new(Role::Broker, OpKind::Other).failed().with_detail(format!(
+            "invariant violation: {} ({})",
+            v.invariant.label(),
+            v.detail
+        )));
+    }
+    seen.store(violations.len(), Ordering::SeqCst);
+    if let Some(dump) = obs.flight_dump() {
+        eprintln!("--- flight recorder: invariant violation ---");
+        eprint!("{dump}");
+    }
+}
+
+/// Attaches one endpoint per shard of a [`ShardedBroker`] and returns
+/// their ids, index-aligned with the shard numbers.
+///
+/// Each endpoint is a *parallel* endpoint (`Send` handler), so an event
+/// queue drained with `WHOPAY_NET_THREADS > 1` serves different shards
+/// on different worker threads concurrently. Every endpoint accepts the
+/// full broker request set — the router inside [`ShardedBroker`] locks
+/// the owning shard regardless of which endpoint the request arrived at
+/// — but clients that route with [`ShardedBroker::shard_for`] keep each
+/// request on its owning shard's endpoint and its lock uncontended.
+pub fn attach_shard_endpoints(
+    net: &mut Network,
+    sharded: Arc<ShardedBroker>,
+    clock: SharedClock,
+    seed: u64,
+) -> Vec<EndpointId> {
+    attach_shard_endpoints_obs(net, sharded, clock, seed, Obs::disabled())
+}
+
+/// [`attach_shard_endpoints`] with an observability context: dispatch
+/// spans carry the serving shard's label (see `whopay_obs::Span::set_shard`),
+/// and invariant violations — per-shard or cross-ledger — surface as
+/// failed events with a flight-recorder dump.
+pub fn attach_shard_endpoints_obs(
+    net: &mut Network,
+    sharded: Arc<ShardedBroker>,
+    clock: SharedClock,
+    seed: u64,
+    obs: Obs,
+) -> Vec<EndpointId> {
+    let audited = Arc::new(AtomicUsize::new(0));
+    (0..sharded.shard_count())
+        .map(|i| {
+            let sharded = sharded.clone();
+            let clock = clock.clone();
+            let obs = obs.clone();
+            let audited = audited.clone();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+            let id = net.register_parallel(
+                &format!("broker-shard-{i}"),
+                move |bytes: &[u8], out: &mut Vec<u8>| {
+                    let now = Timestamp(clock.load(Ordering::SeqCst));
+                    let (payload, caller) = TraceContext::split(bytes);
+                    let mut span = match &caller {
+                        Some(parent) => obs.child_span(Role::Broker, OpKind::Other, parent),
+                        None => obs.span(Role::Broker, OpKind::Other),
+                    };
+                    let parsed = RequestView::parse(payload);
+                    if let Ok(view) = &parsed {
+                        span.set_op(view.op_kind());
+                        // Label the span with the owning shard — the
+                        // router's verdict — falling back to the serving
+                        // endpoint for fan-out requests.
+                        span.set_shard(sharded.shard_for(view).unwrap_or(i as u16));
+                    }
+                    let response = match parsed {
+                        Err(e) => Response::Error(e.to_string()),
+                        Ok(RequestView::Purchase { owner, coin_pk, identity_sig, group_sig }) => {
+                            let req = PurchaseRequest {
+                                owner,
+                                coin_pk: coin_pk.to_biguint(),
+                                identity_sig: identity_sig.map(|s| s.to_sig()),
+                                group_sig: group_sig.map(|g| g.to_gsig()),
+                            };
+                            match sharded.handle_purchase(&req, &mut rng) {
+                                Ok(minted) => Response::Minted(minted),
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        }
+                        Ok(RequestView::Deposit(d)) => {
+                            match sharded.handle_deposit(&d.to_deposit(), now) {
+                                Ok(receipt) => Response::Receipt(receipt),
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        }
+                        Ok(RequestView::DepositBatch(ds)) => {
+                            span.set_batch(ds.len() as u64);
+                            let reqs: Vec<_> = ds.iter().map(|d| d.to_deposit()).collect();
+                            let outcomes = sharded.handle_deposit_batch(&reqs, now);
+                            Response::Receipts(
+                                outcomes.into_iter().map(|r| r.map_err(|e| e.to_string())).collect(),
+                            )
+                        }
+                        Ok(view @ RequestView::Transfer { downtime: true, .. }) => {
+                            let Request::Transfer { request, .. } = view.to_owned_request() else {
+                                unreachable!("transfer view materializes a transfer")
+                            };
+                            match sharded.handle_downtime_transfer(&request, now, &mut rng) {
+                                Ok(grant) => Response::Grant(Box::new(grant)),
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        }
+                        Ok(view @ RequestView::Renewal { downtime: true, .. }) => {
+                            let Request::Renewal { request, .. } = view.to_owned_request() else {
+                                unreachable!("renewal view materializes a renewal")
+                            };
+                            match sharded.handle_downtime_renewal(&request, now, &mut rng) {
+                                Ok(binding) => Response::Binding(binding),
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        }
+                        Ok(RequestView::Sync { peer, challenge, response }) => {
+                            match sharded.sync_for_owner(peer, challenge, &response.to_sig()) {
+                                Ok(bindings) => Response::Bindings(bindings),
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        }
+                        Ok(_) => Response::Error("request not handled by the broker".into()),
+                    };
+                    let reply = if caller.is_some() { span.context() } else { None };
+                    finish_dispatch(span, &response);
+                    surface_sharded_violations(&sharded, &obs, &audited);
+                    response.encode_into(out);
+                    if let Some(ctx) = reply {
+                        ctx.append_to(out);
+                    }
+                },
+            );
+            net.set_role(id, Role::Broker);
+            id
+        })
+        .collect()
 }
 
 /// Attaches a peer's *owner-side* request loop to the network: issue

@@ -1,0 +1,131 @@
+//! Regression tests for lazy sig-cache re-priming during recovery.
+//!
+//! `Broker::recover` used to prime the mint-signature verdict cache
+//! eagerly for every checkpoint coin and every replayed mint — work
+//! proportional to journal length paid before serving a single request,
+//! and wasted entirely for coins never touched again. Recovery now
+//! leaves the cache empty; the first verification of each pre-crash coin
+//! re-primes it through the ordinary caching verify path. These tests
+//! pin the structural guarantee (recovery does zero cache work) and the
+//! wall-time ordering (recovering is strictly cheaper than recovering
+//! plus the verifications the old eager pass front-loaded).
+
+use std::time::Instant;
+
+use whopay_core::{
+    Broker, CoinId, Journal, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp,
+};
+use whopay_crypto::group_sig::GroupPublicKey;
+use whopay_crypto::testing::{test_rng, tiny_group};
+
+const COINS: usize = 32;
+
+struct World {
+    params: SystemParams,
+    gpk: GroupPublicKey,
+    broker: Broker,
+    holder: Peer,
+    rng: rand::rngs::StdRng,
+}
+
+/// A journalling broker with `COINS` coins minted by an owner and issued
+/// to a holder (deposit-ready), ready to crash.
+fn minted_world(seed: u64) -> (World, Vec<CoinId>) {
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let gpk = judge.public_key().clone();
+    let mut broker = Broker::new(params.clone(), gpk.clone(), &mut rng);
+    broker.enable_journal();
+    let enroll = |id: PeerId, judge: &mut Judge, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(id, rng);
+        Peer::new(id, params.clone(), broker.public_key().clone(), gpk.clone(), gk, rng)
+    };
+    let mut owner = enroll(PeerId(1), &mut judge, &mut rng);
+    let mut holder = enroll(PeerId(2), &mut judge, &mut rng);
+    broker.register_peer(owner.id(), owner.public_key().clone());
+    broker.register_peer(holder.id(), holder.public_key().clone());
+    let now = Timestamp(0);
+    let coins = (0..COINS)
+        .map(|_| {
+            let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+            let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+            let coin = owner.complete_purchase(minted, pending, now, &mut rng).unwrap();
+            let (invite, session) = holder.begin_receive(&mut rng);
+            let grant = owner.issue_coin(coin, &invite, now, &mut rng).unwrap();
+            holder.accept_grant(grant, session, now).unwrap();
+            coin
+        })
+        .collect();
+    (World { params, gpk, broker, holder, rng }, coins)
+}
+
+fn reload(journal: &Journal) -> Journal {
+    Journal::from_bytes(&journal.to_bytes()).unwrap()
+}
+
+#[test]
+fn recovery_does_not_prime_the_cache() {
+    let (w, _coins) = minted_world(41);
+    // The crashed broker primed its cache at mint time.
+    assert!(!w.broker.sig_cache().is_empty(), "live broker's cache is warm");
+
+    let journal = reload(w.broker.journal().unwrap());
+    let recovered = Broker::recover(w.params.clone(), w.gpk.clone(), w.broker.export_keys(), &journal);
+
+    assert_eq!(recovered.sig_cache().len(), 0, "recovery must not touch the verdict cache");
+    assert_eq!(recovered.snapshot(), w.broker.snapshot(), "state replay is unaffected");
+    assert_eq!(recovered.stats(), w.broker.stats());
+}
+
+#[test]
+fn first_verify_reprimes_and_deposits_succeed() {
+    let (mut w, coins) = minted_world(42);
+    let now = Timestamp(0);
+    let journal = reload(w.broker.journal().unwrap());
+    let mut recovered =
+        Broker::recover(w.params.clone(), w.gpk.clone(), w.broker.export_keys(), &journal);
+    assert_eq!(recovered.sig_cache().len(), 0);
+
+    // Deposit every pre-crash coin on the recovered broker: the first
+    // verification of each coin misses, verifies for real, and re-primes.
+    for &coin in &coins {
+        let dep = w.holder.request_deposit(coin, &mut w.rng).unwrap();
+        recovered.handle_deposit(&dep, now).unwrap();
+    }
+    assert!(
+        !recovered.sig_cache().is_empty(),
+        "deposits re-prime the cache through the caching verify path"
+    );
+    assert_eq!(recovered.stats().deposits, COINS as u64);
+}
+
+#[test]
+fn recovery_wall_time_excludes_the_priming_work() {
+    let (mut w, coins) = minted_world(43);
+    let now = Timestamp(0);
+    let journal = reload(w.broker.journal().unwrap());
+
+    // Lazy recovery alone.
+    let started = Instant::now();
+    let recovered = Broker::recover(w.params.clone(), w.gpk.clone(), w.broker.export_keys(), &journal);
+    let lazy = started.elapsed();
+    drop(recovered);
+
+    // Recovery plus the verification work the old eager pass front-loaded
+    // (every pre-crash coin's signatures verified cold). Lazy recovery
+    // must come in under this, or re-priming has crept back into replay.
+    let started = Instant::now();
+    let mut eager = Broker::recover(w.params.clone(), w.gpk.clone(), w.broker.export_keys(), &journal);
+    for &coin in &coins {
+        let dep = w.holder.request_deposit(coin, &mut w.rng).unwrap();
+        eager.handle_deposit(&dep, now).unwrap();
+    }
+    let recovered_plus_verifies = started.elapsed();
+
+    assert!(
+        lazy < recovered_plus_verifies,
+        "recovery ({lazy:?}) must be cheaper than recovery plus the \
+         front-loaded verifications ({recovered_plus_verifies:?})"
+    );
+}

@@ -3,11 +3,14 @@
 //! A [`FaultInjector`] sits inside [`Network::request_into`] and decides,
 //! per attempted delivery, whether to drop, duplicate, corrupt, or delay
 //! the exchange, or whether a partition window blocks the link entirely.
-//! Decisions are a pure function of the injector's seed and the delivery
-//! index: every [`FaultInjector::decide`] call consumes the same fixed
-//! number of RNG draws whether or not a fault fires, so the injected
-//! schedule is reproducible independently of payload contents or of
-//! which faults actually trigger (the `fault_props` suite pins this).
+//! Decisions are a pure function of `(plan, seed, event id)`: the draws
+//! for delivery `k` are derived by keyed hashing of the seed and `k`, not
+//! by walking a sequential RNG stream. The schedule for any event is
+//! therefore independent of how many decisions were made before it, of
+//! payload contents, and of which faults actually trigger — which is what
+//! lets the event queue evaluate fates for a batch up front and reach the
+//! identical schedule at any `WHOPAY_NET_THREADS` worker count (the
+//! `fault_props` suite pins this).
 //!
 //! Fault semantics against the fabric's accounting invariants:
 //!
@@ -31,8 +34,6 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use whopay_obs::Metrics;
 
 use crate::network::EndpointId;
@@ -221,16 +222,41 @@ impl FaultStats {
     }
 }
 
-/// Number of RNG draws consumed per decision, fault or no fault.
+/// Number of keyed draws derived per decision, fault or no fault.
 const DRAWS_PER_DECISION: usize = 6;
 
-/// The seeded decision engine: a [`FaultPlan`] plus a deterministic RNG,
-/// a delivery counter, per-kind counters, and a full history of injected
+/// One step of the splitmix64 sequence — the keyed generator behind
+/// per-event draws. Chosen for its full-avalanche finalizer: consecutive
+/// event ids decorrelate completely, and the vendored RNG stays out of
+/// the schedule's dependency set.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The draws for one delivery, as a pure function of `(seed, event id)`.
+fn keyed_draws(seed: u64, event: u64) -> [u64; DRAWS_PER_DECISION] {
+    // Mix the event id through an odd multiplier before xoring with the
+    // seed so that (seed, event) pairs along either axis land in distinct
+    // splitmix streams.
+    let mut state = seed ^ event.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut draws = [0u64; DRAWS_PER_DECISION];
+    for d in &mut draws {
+        *d = splitmix64(&mut state);
+    }
+    draws
+}
+
+/// The seeded decision engine: a [`FaultPlan`] plus a draw seed, a
+/// delivery counter, per-kind counters, and a full history of injected
 /// faults (for reconciling against `TrafficStats` and obs failures).
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    rng: StdRng,
+    seed: u64,
     deliveries: u64,
     stats: FaultStats,
     history: Vec<InjectedFault>,
@@ -239,20 +265,12 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Builds an injector for `plan`, seeded deterministically.
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
-        FaultInjector {
-            plan,
-            rng: StdRng::seed_from_u64(seed),
-            deliveries: 0,
-            stats: FaultStats::default(),
-            history: Vec::new(),
-        }
+        FaultInjector { plan, seed, deliveries: 0, stats: FaultStats::default(), history: Vec::new() }
     }
 
-    /// Decides the fate of one delivery. Consumes exactly
-    /// [`DRAWS_PER_DECISION`] RNG draws regardless of the outcome, so the
-    /// schedule depends only on the seed and the delivery index. At most
-    /// one fault fires per delivery, in fixed priority order: partition,
-    /// drop, corrupt, duplicate, timeout.
+    /// Decides the fate of the next delivery in sequence, numbering it
+    /// with the internal delivery counter. Equivalent to
+    /// [`FaultInjector::decide_event`] at the current counter value.
     pub fn decide(
         &mut self,
         from: EndpointId,
@@ -261,11 +279,24 @@ impl FaultInjector {
     ) -> Option<FaultKind> {
         let delivery = self.deliveries;
         self.deliveries += 1;
+        self.decide_event(delivery, from, to, kind)
+    }
+
+    /// Decides the fate of the delivery numbered `delivery`. The draws are
+    /// keyed on `(seed, delivery)` — not on how many decisions came before
+    /// — so callers that evaluate a batch of events out of order (or
+    /// across worker threads) reach the same schedule as a sequential
+    /// evaluation. At most one fault fires per delivery, in fixed priority
+    /// order: partition, drop, corrupt, duplicate, timeout.
+    pub fn decide_event(
+        &mut self,
+        delivery: u64,
+        from: EndpointId,
+        to: EndpointId,
+        kind: Option<&'static str>,
+    ) -> Option<FaultKind> {
         self.stats.decisions += 1;
-        let mut draws = [0u64; DRAWS_PER_DECISION];
-        for d in &mut draws {
-            *d = self.rng.next_u64();
-        }
+        let draws = keyed_draws(self.seed, delivery);
         let rates = self.plan.rates_for(from, to, kind);
         let fault = if self.plan.partitioned(from, to, delivery) {
             Some(FaultKind::Partition)
@@ -343,6 +374,24 @@ mod tests {
         assert_eq!(a.stats(), b.stats());
         assert_eq!(a.history(), b.history());
         assert!(a.stats().total() > 0, "20% rates over 500 deliveries inject something");
+    }
+
+    #[test]
+    fn draws_key_on_event_id_not_call_order() {
+        // Deciding the same event ids in a different order yields the
+        // same per-event fate — the property that makes the schedule
+        // thread-count invariant.
+        let plan = FaultPlan::new().with_default(FaultRates::uniform(0.3));
+        let from = EndpointId::from_index(0);
+        let to = EndpointId::from_index(1);
+        let mut forward = FaultInjector::new(plan.clone(), 99);
+        let mut backward = FaultInjector::new(plan, 99);
+        let fwd: Vec<_> = (0..200).map(|i| forward.decide_event(i, from, to, None)).collect();
+        let mut bwd: Vec<_> =
+            (0..200).rev().map(|i| (i, backward.decide_event(i, from, to, None))).collect();
+        bwd.sort_by_key(|(i, _)| *i);
+        assert_eq!(fwd, bwd.into_iter().map(|(_, f)| f).collect::<Vec<_>>());
+        assert_eq!(forward.stats(), backward.stats());
     }
 
     #[test]

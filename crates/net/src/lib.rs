@@ -17,6 +17,11 @@
 //!   owner-anonymous coin extension (§5.2, approach 3): owners register
 //!   triggers on opaque handles; payers send to the handle and cannot tell
 //!   the owner from a forwarder.
+//! * [`queue`] — the event-queue delivery path: [`Network::submit`]
+//!   enqueues requests, [`Network::drain`] delivers them via a worker
+//!   pool sized by `WHOPAY_NET_THREADS` (default 1, which is
+//!   bit-identical to the synchronous path). Endpoints registered with
+//!   [`Network::register_parallel`] may execute on worker threads.
 //! * [`faults`] — a deterministic, seed-driven fault injector
 //!   ([`FaultPlan`] / [`FaultInjector`]) that drops, duplicates,
 //!   corrupts, delays, or partitions deliveries on the fabric, with
@@ -46,6 +51,7 @@
 pub mod faults;
 pub mod indirection;
 mod network;
+pub mod queue;
 pub mod retry;
 mod stats;
 
@@ -53,6 +59,7 @@ pub use faults::{
     FaultInjector, FaultKind, FaultPlan, FaultRates, FaultStats, InjectedFault, PartitionWindow,
 };
 pub use indirection::{Handle, IndirectionLayer};
-pub use network::{Classifier, EndpointId, Network, RequestError};
+pub use network::{Classifier, EndpointId, Network, ParallelHandler, RequestError};
+pub use queue::{Delivery, EventId, NET_THREADS_ENV};
 pub use retry::{Classify, ErrorClass, RetryPolicy, RetryStats};
 pub use stats::{TrafficBreakdown, TrafficStats};

@@ -6,6 +6,9 @@ use std::time::Instant;
 use whopay_obs::{Event, Metrics, Obs, OpKind, Role, TraceContext};
 
 use crate::faults::{flip_bit, FaultInjector, FaultKind, FaultStats};
+use crate::queue::{
+    net_threads_from_env, run_item, Delivery, Envelope, EventId, Fate, WorkItem, WorkRecord,
+};
 use crate::retry::Classify;
 use crate::stats::{TrafficBreakdown, TrafficStats};
 
@@ -76,6 +79,12 @@ impl std::error::Error for RequestError {}
 /// `encode_into` allocate nothing on the wire).
 pub type Handler = Box<dyn FnMut(&mut Network, &[u8], &mut Vec<u8>)>;
 
+/// A `Send` request handler for endpoints registered via
+/// [`Network::register_parallel`]: no `&mut Network` access (and hence no
+/// nested requests), which is what lets [`Network::drain`] run it on a
+/// worker thread while the coordinator owns the fabric.
+pub type ParallelHandler = Box<dyn FnMut(&[u8], &mut Vec<u8>) + Send>;
+
 /// Maps a request payload to a stable message-kind label for the
 /// per-kind traffic breakdown (installed via [`Network::set_classifier`]).
 pub type Classifier = Box<dyn Fn(&[u8]) -> &'static str>;
@@ -88,6 +97,13 @@ struct EndpointSlot {
     role: Role,
     /// `None` while the handler is executing (re-entrancy guard).
     handler: Option<Handler>,
+    /// The `Send` handler of a parallel endpoint (`None` while executing,
+    /// or while lent to a drain worker).
+    parallel: Option<ParallelHandler>,
+    /// Whether this endpoint registered via
+    /// [`Network::register_parallel`] (distinguishes a lent-out parallel
+    /// handler from a classic endpoint mid-dispatch).
+    is_parallel: bool,
     sent: TrafficStats,
     received: TrafficStats,
 }
@@ -112,6 +128,12 @@ pub struct Network {
     breakdown: TrafficBreakdown,
     /// Optional deterministic fault injector consulted per delivery.
     faults: Option<FaultInjector>,
+    /// Events submitted via [`Network::submit`], awaiting a drain.
+    queue: Vec<Envelope>,
+    /// Next event id handed out by [`Network::submit`].
+    next_event: u64,
+    /// Worker count for [`Network::drain`] (1 = synchronous semantics).
+    drain_threads: usize,
 }
 
 impl fmt::Debug for Network {
@@ -144,6 +166,9 @@ impl Network {
             classifier: None,
             breakdown: TrafficBreakdown::new(),
             faults: None,
+            queue: Vec::new(),
+            next_event: 0,
+            drain_threads: net_threads_from_env(),
         }
     }
 
@@ -258,6 +283,31 @@ impl Network {
             online: true,
             role: Role::Client,
             handler: Some(Box::new(handler)),
+            parallel: None,
+            is_parallel: false,
+            sent: TrafficStats::default(),
+            received: TrafficStats::default(),
+        });
+        id
+    }
+
+    /// Registers an endpoint whose handler is `Send` and takes no network
+    /// access: [`Network::drain`] can then run its deliveries on a worker
+    /// thread, concurrently with other parallel endpoints. Synchronous
+    /// [`Network::request`] calls to the endpoint still work (delivered
+    /// inline); the handler itself can never issue nested requests.
+    pub fn register_parallel<F>(&mut self, name: &str, handler: F) -> EndpointId
+    where
+        F: FnMut(&[u8], &mut Vec<u8>) + Send + 'static,
+    {
+        let id = EndpointId(self.endpoints.len() as u64);
+        self.endpoints.push(EndpointSlot {
+            name: name.to_string(),
+            online: true,
+            role: Role::Client,
+            handler: None,
+            parallel: Some(Box::new(handler)),
+            is_parallel: true,
             sent: TrafficStats::default(),
             received: TrafficStats::default(),
         });
@@ -345,6 +395,20 @@ impl Network {
             }
             None => None,
         };
+        self.deliver_with_fault(from, to, request, response, fault)
+    }
+
+    /// Applies one already-decided fault fate to a delivery — the shared
+    /// tail of [`Network::request_into`] and the queue's inline drain
+    /// path, so both produce identical semantics for the same fate.
+    fn deliver_with_fault(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        request: &[u8],
+        response: &mut Vec<u8>,
+        fault: Option<FaultKind>,
+    ) -> Result<(), RequestError> {
         match fault {
             None => self.deliver(from, to, request, response),
             Some(FaultKind::Partition) => {
@@ -396,7 +460,17 @@ impl Network {
         request: &[u8],
         response: &mut Vec<u8>,
     ) -> Result<(), RequestError> {
-        let Some(mut handler) = self.endpoints[to.0 as usize].handler.take() else {
+        enum Took {
+            Classic(Handler),
+            Parallel(ParallelHandler),
+        }
+        let slot = &mut self.endpoints[to.0 as usize];
+        let took = if slot.is_parallel {
+            slot.parallel.take().map(Took::Parallel)
+        } else {
+            slot.handler.take().map(Took::Classic)
+        };
+        let Some(mut took) = took else {
             let err = RequestError::ReentrantCall(to);
             self.observe_failure(to, err.label(), request);
             return Err(err);
@@ -410,13 +484,19 @@ impl Network {
             self.breakdown.record(kind, request.len());
         }
         response.clear();
-        handler(self, request, response);
+        match &mut took {
+            Took::Classic(handler) => handler(self, request, response),
+            Took::Parallel(handler) => handler(request, response),
+        }
         self.account(to, from, response.len());
         if let Some(kind) = kind {
             self.breakdown.record(kind, response.len());
         }
 
-        self.endpoints[to.0 as usize].handler = Some(handler);
+        match took {
+            Took::Classic(handler) => self.endpoints[to.0 as usize].handler = Some(handler),
+            Took::Parallel(handler) => self.endpoints[to.0 as usize].parallel = Some(handler),
+        }
 
         if let Some(start) = start {
             let mut event = Event::new(self.endpoints[to.0 as usize].role, OpKind::NetRequest)
@@ -435,15 +515,232 @@ impl Network {
         Ok(())
     }
 
+    // --- event queue ---
+
+    /// Worker count [`Network::drain`] fans deliveries across (resolved
+    /// from `WHOPAY_NET_THREADS` at construction; at least 1).
+    pub fn drain_threads(&self) -> usize {
+        self.drain_threads.max(1)
+    }
+
+    /// Overrides the drain worker count (`0` re-resolves from the
+    /// environment). At 1 the drain is bit-identical to a synchronous
+    /// [`Network::request_into`] loop over the queue.
+    pub fn set_drain_threads(&mut self, threads: usize) {
+        self.drain_threads = if threads == 0 { net_threads_from_env() } else { threads };
+    }
+
+    /// Events currently queued for the next [`Network::drain`].
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a request for the next [`Network::drain`] and returns its
+    /// event id. Nothing is delivered, decided, or accounted yet — fault
+    /// fates are drawn at drain time, in submission order.
+    pub fn submit(&mut self, from: EndpointId, to: EndpointId, request: Vec<u8>) -> EventId {
+        let event = EventId(self.next_event);
+        self.next_event += 1;
+        self.queue.push(Envelope { event, from, to, request });
+        event
+    }
+
+    /// Delivers every queued event and returns the outcomes in submission
+    /// order (see [`crate::queue`] for the phase structure and ordering
+    /// guarantees). Fault decisions are drawn up front in submission
+    /// order, so the schedule for a given seed is identical at any
+    /// [`Network::drain_threads`] count.
+    pub fn drain(&mut self) -> Vec<Delivery> {
+        let mut envelopes = std::mem::take(&mut self.queue);
+        if envelopes.is_empty() {
+            return Vec::new();
+        }
+        // Phase 1: resolve every event's fate in submission order.
+        let fates: Vec<Fate> = envelopes
+            .iter()
+            .map(|env| {
+                if env.to.0 as usize >= self.endpoints.len() {
+                    return Fate::Fail(RequestError::UnknownEndpoint(env.to));
+                }
+                if !self.endpoints[env.to.0 as usize].online {
+                    return Fate::Fail(RequestError::Offline(env.to));
+                }
+                let kind = self.classifier.as_ref().map(|classify| classify(&env.request));
+                let fault = match self.faults.as_mut() {
+                    Some(inj) => inj.decide(env.from, env.to, kind),
+                    None => None,
+                };
+                Fate::Deliver { fault, kind }
+            })
+            .collect();
+
+        // Phase 2a: fan parallel-endpoint deliveries across workers.
+        let threads = self.drain_threads();
+        let mut records: Vec<Option<WorkRecord>> = (0..envelopes.len()).map(|_| None).collect();
+        if threads > 1 {
+            let mut groups: Vec<(usize, Vec<WorkItem>)> = Vec::new();
+            for (index, (env, fate)) in envelopes.iter_mut().zip(&fates).enumerate() {
+                let Fate::Deliver { fault, .. } = fate else { continue };
+                // Drop/partition never reach a handler; corrupt, duplicate
+                // and timeout semantics are applied inside the worker.
+                if matches!(fault, Some(FaultKind::Drop | FaultKind::Partition)) {
+                    continue;
+                }
+                let slot_index = env.to.0 as usize;
+                if !self.endpoints[slot_index].is_parallel {
+                    continue;
+                }
+                let trace = TraceContext::strip(&env.request).map(|(ctx, _)| ctx);
+                let item = WorkItem {
+                    index,
+                    to: env.to,
+                    request: std::mem::take(&mut env.request),
+                    fault: *fault,
+                    trace,
+                };
+                match groups.iter_mut().find(|(s, _)| *s == slot_index) {
+                    Some((_, items)) => items.push(item),
+                    None => groups.push((slot_index, vec![item])),
+                }
+            }
+            let mut taken: Vec<(usize, ParallelHandler, Vec<WorkItem>)> = Vec::new();
+            for (slot_index, items) in groups {
+                match self.endpoints[slot_index].parallel.take() {
+                    Some(handler) => taken.push((slot_index, handler, items)),
+                    None => {
+                        for item in items {
+                            records[item.index] = Some(WorkRecord {
+                                index: item.index,
+                                legs: Vec::new(),
+                                result: Err(RequestError::ReentrantCall(item.to)),
+                                trace: item.trace,
+                            });
+                        }
+                    }
+                }
+            }
+            let timed = self.obs.enabled();
+            let workers = threads.min(taken.len()).max(1);
+            let mut buckets: Vec<Vec<(usize, ParallelHandler, Vec<WorkItem>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, group) in taken.into_iter().enumerate() {
+                buckets[i % workers].push(group);
+            }
+            let produced: Vec<Vec<(usize, ParallelHandler, Vec<WorkRecord>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = buckets
+                        .into_iter()
+                        .map(|bucket| {
+                            scope.spawn(move || {
+                                bucket
+                                    .into_iter()
+                                    .map(|(slot_index, mut handler, items)| {
+                                        let recs: Vec<WorkRecord> = items
+                                            .into_iter()
+                                            .map(|item| run_item(&mut handler, item, timed))
+                                            .collect();
+                                        (slot_index, handler, recs)
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("drain worker panicked")).collect()
+                });
+            for (slot_index, handler, recs) in produced.into_iter().flatten() {
+                self.endpoints[slot_index].parallel = Some(handler);
+                for rec in recs {
+                    let index = rec.index;
+                    records[index] = Some(rec);
+                }
+            }
+        }
+
+        // Phases 2b + 3: remaining deliveries inline, and all accounting,
+        // in submission order.
+        let mut deliveries = Vec::with_capacity(envelopes.len());
+        for (index, (env, fate)) in envelopes.into_iter().zip(fates).enumerate() {
+            let result = match fate {
+                Fate::Fail(err) => {
+                    // The synchronous path reports unknown endpoints
+                    // without an obs event; mirror that exactly.
+                    if !matches!(err, RequestError::UnknownEndpoint(_)) {
+                        self.observe_failure(env.to, err.label(), &env.request);
+                    }
+                    Err(err)
+                }
+                Fate::Deliver { fault, kind } => match records[index].take() {
+                    Some(rec) => {
+                        self.replay_record(env.from, env.to, kind, &rec);
+                        rec.result
+                    }
+                    None => {
+                        let mut buf = Vec::new();
+                        self.deliver_with_fault(env.from, env.to, &env.request, &mut buf, fault)
+                            .map(|()| buf)
+                    }
+                },
+            };
+            deliveries.push(Delivery { event: env.event, from: env.from, to: env.to, result });
+        }
+        deliveries
+    }
+
+    /// Replays a worker's delivery record into the shared counters and
+    /// obs stream — the same accounting [`Network::deliver`] performs,
+    /// applied on the coordinator in submission order so totals and event
+    /// streams stay deterministic across thread counts.
+    fn replay_record(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        kind: Option<&'static str>,
+        rec: &WorkRecord,
+    ) {
+        for leg in &rec.legs {
+            self.account(from, to, leg.request_len);
+            if let Some(kind) = kind {
+                self.breakdown.record(kind, leg.request_len);
+            }
+            self.account(to, from, leg.response_len);
+            if let Some(kind) = kind {
+                self.breakdown.record(kind, leg.response_len);
+            }
+            if self.obs.enabled() {
+                let mut event = Event::new(self.endpoints[to.0 as usize].role, OpKind::NetRequest)
+                    .with_traffic(2, (leg.request_len + leg.response_len) as u64)
+                    .with_duration(leg.duration);
+                if let Some(kind) = kind {
+                    event = event.with_detail(kind);
+                }
+                if let Some(ctx) = &rec.trace {
+                    event = event.with_trace(ctx.child());
+                }
+                self.obs.observe(event);
+            }
+        }
+        if let Err(err) = &rec.result {
+            self.observe_failure_ctx(to, err.label(), rec.trace.as_ref());
+        }
+    }
+
     /// Reports an undeliverable request (no traffic was counted); a
     /// traced request tags the failure with its causal context, so fault
     /// impacts land inside the right span tree.
     fn observe_failure(&self, to: EndpointId, why: &'static str, request: &[u8]) {
+        let ctx = TraceContext::strip(request).map(|(ctx, _)| ctx);
+        self.observe_failure_ctx(to, why, ctx.as_ref());
+    }
+
+    /// [`Network::observe_failure`] with the causal context already
+    /// stripped (the queue path extracts it before handing the request
+    /// bytes to a worker).
+    fn observe_failure_ctx(&self, to: EndpointId, why: &'static str, ctx: Option<&TraceContext>) {
         if self.obs.enabled() {
             let mut event = Event::new(self.endpoints[to.0 as usize].role, OpKind::NetRequest)
                 .failed()
                 .with_detail(why);
-            if let Some((ctx, _)) = TraceContext::strip(request) {
+            if let Some(ctx) = ctx {
                 event = event.with_trace(ctx.child());
             }
             self.obs.observe(event);

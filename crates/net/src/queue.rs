@@ -1,0 +1,197 @@
+//! The event-queue delivery path: submitted requests drained by a
+//! worker pool.
+//!
+//! [`Network::request_into`] is a synchronous, recursive call — the
+//! caller's stack *is* the delivery schedule, so everything runs on one
+//! OS thread. The queue decouples submission from delivery:
+//! [`Network::submit`] enqueues an envelope and returns an [`EventId`];
+//! [`Network::drain`] delivers everything queued and returns the
+//! responses. Draining proceeds in three phases:
+//!
+//! 1. **Fate** — in submission order, the coordinator resolves
+//!    unknown/offline targets and consults the fault injector. Fault
+//!    draws key on the delivery index (see [`crate::faults`]), so this
+//!    up-front evaluation produces the identical schedule a sequential
+//!    delivery loop would.
+//! 2. **Delivery** — events whose target registered via
+//!    [`Network::register_parallel`] are grouped by target and fanned
+//!    across `min(WHOPAY_NET_THREADS, groups)` scoped workers; each
+//!    worker preserves its targets' per-endpoint submission order.
+//!    Events for classic (non-`Send`) endpoints run inline on the
+//!    coordinator. At one thread everything runs inline, in strict
+//!    submission order — byte- and counter-identical to calling
+//!    [`Network::request_into`] per event.
+//! 3. **Accounting** — the coordinator applies traffic counters,
+//!    per-kind breakdown, and obs events for worker deliveries in
+//!    submission order, so stats and event streams are deterministic at
+//!    any thread count.
+//!
+//! Semantics note: fates for a drained batch are all decided before any
+//! handler runs. A classic handler that issues *nested* synchronous
+//! requests during the drain draws fault decisions after the batch's —
+//! the one observable difference from interleaved sequential delivery,
+//! and only when queue and nested sync calls mix under faults.
+//!
+//! [`Network::request_into`]: crate::Network::request_into
+//! [`Network::submit`]: crate::Network::submit
+//! [`Network::drain`]: crate::Network::drain
+//! [`Network::register_parallel`]: crate::Network::register_parallel
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use whopay_obs::TraceContext;
+
+use crate::faults::{flip_bit, FaultKind};
+use crate::network::{EndpointId, ParallelHandler, RequestError};
+
+/// Environment variable overriding the drain worker count (`0` or unset
+/// means single-threaded, preserving synchronous semantics exactly).
+pub const NET_THREADS_ENV: &str = "WHOPAY_NET_THREADS";
+
+/// Resolves the drain worker count from [`NET_THREADS_ENV`]. Unlike the
+/// verify pool, the *default is 1*: multi-threaded delivery is an
+/// explicit opt-in because it reorders classic-endpoint handlers
+/// relative to parallel ones within a drain.
+pub(crate) fn net_threads_from_env() -> usize {
+    std::env::var(NET_THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Identifies one submitted event, in submission order per network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw submission index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+/// One queued request awaiting [`Network::drain`].
+///
+/// [`Network::drain`]: crate::Network::drain
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub event: EventId,
+    pub from: EndpointId,
+    pub to: EndpointId,
+    pub request: Vec<u8>,
+}
+
+/// The outcome of one drained event.
+#[derive(Debug)]
+pub struct Delivery {
+    /// The id [`Network::submit`] returned for this event.
+    ///
+    /// [`Network::submit`]: crate::Network::submit
+    pub event: EventId,
+    /// Sender.
+    pub from: EndpointId,
+    /// Target.
+    pub to: EndpointId,
+    /// The response, or why delivery failed — exactly the result the
+    /// synchronous path would have returned for the same fault fate.
+    pub result: Result<Vec<u8>, RequestError>,
+}
+
+/// What phase-one decided for one event (fault fates and errors resolved
+/// before any handler runs).
+#[derive(Debug)]
+pub(crate) enum Fate {
+    /// Deliver to the target, applying `fault` semantics if set.
+    Deliver { fault: Option<FaultKind>, kind: Option<&'static str> },
+    /// Fail without delivering (unknown/offline/drop/partition).
+    Fail(RequestError),
+}
+
+/// One accounted leg of a worker delivery: request and response byte
+/// counts plus the handler's wall time (measured only when obs is on).
+#[derive(Debug)]
+pub(crate) struct Leg {
+    pub request_len: usize,
+    pub response_len: usize,
+    pub duration: Duration,
+}
+
+/// What a worker did for one event, replayed into the coordinator's
+/// accounting in submission order.
+#[derive(Debug)]
+pub(crate) struct WorkRecord {
+    pub index: usize,
+    pub legs: Vec<Leg>,
+    pub result: Result<Vec<u8>, RequestError>,
+    /// Causal context stripped from the request before it moved into the
+    /// worker, so replayed obs events parent correctly.
+    pub trace: Option<TraceContext>,
+}
+
+/// One event assigned to a worker (fate already decided as `Deliver`).
+#[derive(Debug)]
+pub(crate) struct WorkItem {
+    pub index: usize,
+    pub to: EndpointId,
+    pub request: Vec<u8>,
+    pub fault: Option<FaultKind>,
+    pub trace: Option<TraceContext>,
+}
+
+/// Runs one parallel-endpoint delivery with full fault semantics,
+/// mirroring the synchronous path's `request_into` match arm for arm.
+/// The handler sees the same payloads in the same per-endpoint order; the
+/// coordinator later replays the returned legs into the shared counters.
+pub(crate) fn run_item(handler: &mut ParallelHandler, item: WorkItem, timed: bool) -> WorkRecord {
+    let mut legs = Vec::with_capacity(1);
+    let mut response = Vec::new();
+    let mut deliver = |request: &[u8], response: &mut Vec<u8>| {
+        let start = timed.then(Instant::now);
+        response.clear();
+        handler(request, response);
+        legs.push(Leg {
+            request_len: request.len(),
+            response_len: response.len(),
+            duration: start.map(|s| s.elapsed()).unwrap_or_default(),
+        });
+    };
+    let result = match item.fault {
+        None => {
+            deliver(&item.request, &mut response);
+            Ok(())
+        }
+        Some(FaultKind::Corrupt { in_request: true, bit }) => {
+            let mut corrupted = item.request.clone();
+            flip_bit(&mut corrupted, bit);
+            deliver(&corrupted, &mut response);
+            Ok(())
+        }
+        Some(FaultKind::Corrupt { in_request: false, bit }) => {
+            deliver(&item.request, &mut response);
+            flip_bit(&mut response, bit);
+            Ok(())
+        }
+        Some(FaultKind::Duplicate) => {
+            deliver(&item.request, &mut response);
+            deliver(&item.request, &mut response);
+            Ok(())
+        }
+        Some(FaultKind::Timeout) => {
+            deliver(&item.request, &mut response);
+            response.clear();
+            Err(RequestError::TimedOut(item.to))
+        }
+        // Drop and Partition never reach a worker: phase one fails them.
+        Some(FaultKind::Drop) => Err(RequestError::Lost(item.to)),
+        Some(FaultKind::Partition) => Err(RequestError::Partitioned(item.to)),
+    };
+    WorkRecord { index: item.index, legs, result: result.map(|()| response), trace: item.trace }
+}

@@ -10,6 +10,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 use whopay_net::faults::{FaultInjector, FaultPlan, FaultRates};
@@ -61,6 +62,78 @@ fn run_schedule(
     let injector = net.clear_faults().expect("installed above");
     let history = injector.history().iter().map(|f| format!("{f:?}")).collect();
     let final_ledger = *ledger.borrow();
+    (history, net.stats(), final_ledger, transcript)
+}
+
+/// The same toy ledger behind a `Send` handler (an `Arc<Mutex>` book),
+/// registered via `register_parallel` so queue drains may run it on
+/// worker threads. Registration order matches `ledger_world` (server
+/// first) so both worlds produce the same endpoint ids.
+#[allow(clippy::type_complexity)]
+fn parallel_ledger_world(
+) -> (Network, whopay_net::EndpointId, whopay_net::EndpointId, Arc<Mutex<[u64; 8]>>) {
+    let ledger = Arc::new(Mutex::new([0u64; 8]));
+    let state = ledger.clone();
+    let mut net = Network::new();
+    let server = net.register_parallel("ledger", move |req: &[u8], out: &mut Vec<u8>| {
+        if req.len() != 2 {
+            out.push(0xFF);
+            return;
+        }
+        let account = (req[0] % 8) as usize;
+        let mut book = state.lock().expect("ledger lock");
+        book[account] = book[account].wrapping_add(u64::from(req[1]));
+        out.extend_from_slice(&book[account].to_be_bytes());
+    });
+    let client = net.register("client", |_: &[u8]| Vec::new());
+    (net, server, client, ledger)
+}
+
+/// How to push the ops through the fabric: the synchronous call path, or
+/// the event queue drained at a given worker count.
+#[derive(Clone, Copy)]
+enum Mode {
+    Sync,
+    Queue(usize),
+}
+
+/// Runs `ops` against the parallel ledger under a uniform fault rate
+/// plus a partition window, in the given delivery mode. Returns the same
+/// observables as [`run_schedule`].
+#[allow(clippy::type_complexity)]
+fn run_parallel_schedule(
+    rate: f64,
+    seed: u64,
+    ops: &[u16],
+    mode: Mode,
+) -> (Vec<String>, whopay_net::TrafficStats, [u64; 8], Vec<Result<Vec<u8>, String>>) {
+    let (mut net, server, client, ledger) = parallel_ledger_world();
+    // Partition windows key on the delivery index, which the queue
+    // assigns in submission order — so the window must land on the same
+    // deliveries in every mode.
+    let plan =
+        FaultPlan::new().with_default(FaultRates::uniform(rate)).partition(client, server, 5, 20);
+    net.install_faults(FaultInjector::new(plan, seed));
+    let transcript: Vec<Result<Vec<u8>, String>> = match mode {
+        Mode::Sync => ops
+            .iter()
+            .map(|&op| {
+                let (account, amount) = decode_op(op);
+                net.request(client, server, vec![account, amount]).map_err(|e| e.to_string())
+            })
+            .collect(),
+        Mode::Queue(threads) => {
+            net.set_drain_threads(threads);
+            for &op in ops {
+                let (account, amount) = decode_op(op);
+                net.submit(client, server, vec![account, amount]);
+            }
+            net.drain().into_iter().map(|d| d.result.map_err(|e| e.to_string())).collect()
+        }
+    };
+    let injector = net.clear_faults().expect("installed above");
+    let history = injector.history().iter().map(|f| format!("{f:?}")).collect();
+    let final_ledger = *ledger.lock().expect("ledger lock");
     (history, net.stats(), final_ledger, transcript)
 }
 
@@ -121,5 +194,25 @@ proptest! {
         prop_assert_eq!(with.1, net.stats());
         prop_assert_eq!(with.2, *ledger.borrow());
         prop_assert_eq!(&with.3, &transcript);
+    }
+
+    #[test]
+    fn queue_matches_sync_at_any_thread_count(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(0u16..800, 1..60),
+    ) {
+        // Fault draws key on (plan, seed, event id), not global draw
+        // order, so the schedule — and therefore the ledger, traffic,
+        // and caller-visible outcomes — must be identical whether the
+        // ops run synchronously, through a single-threaded drain, or
+        // fanned across a worker pool.
+        let sync = run_parallel_schedule(0.08, seed, &ops, Mode::Sync);
+        for threads in [1usize, 4, 8] {
+            let queued = run_parallel_schedule(0.08, seed, &ops, Mode::Queue(threads));
+            prop_assert_eq!(&sync.0, &queued.0, "fault history at threads={}", threads);
+            prop_assert_eq!(sync.1, queued.1, "traffic stats at threads={}", threads);
+            prop_assert_eq!(sync.2, queued.2, "final ledger at threads={}", threads);
+            prop_assert_eq!(&sync.3, &queued.3, "outcomes at threads={}", threads);
+        }
     }
 }

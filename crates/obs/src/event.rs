@@ -216,6 +216,9 @@ pub struct Event {
     /// Span start in microseconds since the process trace epoch (set by
     /// timed spans; feeds the chrome-trace exporter's timeline).
     pub start_us: Option<u64>,
+    /// Which broker shard served the operation, when a sharded broker
+    /// dispatched it (`None` everywhere else).
+    pub shard: Option<u16>,
     /// Free-form context (message kind, error text); kept short.
     pub detail: Option<String>,
 }
@@ -234,6 +237,7 @@ impl Event {
             trace: None,
             retry: None,
             start_us: None,
+            shard: None,
             detail: None,
         }
     }
@@ -288,6 +292,13 @@ impl Event {
         self
     }
 
+    /// Attributes the event to a broker shard.
+    #[must_use]
+    pub fn with_shard(mut self, shard: u16) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Serializes the event as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
@@ -337,6 +348,10 @@ impl Event {
         if let Some(start_us) = self.start_us {
             out.push_str(",\"start_us\":");
             out.push_str(&start_us.to_string());
+        }
+        if let Some(shard) = self.shard {
+            out.push_str(",\"shard\":");
+            out.push_str(&shard.to_string());
         }
         if let Some(detail) = &self.detail {
             out.push_str(",\"detail\":\"");

@@ -213,6 +213,7 @@ impl Obs {
             batch: None,
             retry: None,
             outcome: Outcome::Ok,
+            shard: None,
             detail: None,
         }
     }
@@ -233,6 +234,7 @@ pub struct Span<'a> {
     batch: Option<u64>,
     retry: Option<RetryNote>,
     outcome: Outcome,
+    shard: Option<u16>,
     detail: Option<String>,
 }
 
@@ -276,6 +278,12 @@ impl Span<'_> {
         self.batch = Some(batch);
     }
 
+    /// Attributes this operation to a broker shard (sharded dispatch
+    /// sites; the label survives the queue hop into the event stream).
+    pub fn set_shard(&mut self, shard: u16) {
+        self.shard = Some(shard);
+    }
+
     /// Ends the span and reports the event. Inert when the context is
     /// disabled.
     pub fn finish(self) {
@@ -293,6 +301,7 @@ impl Span<'_> {
             trace: self.ctx,
             retry: self.retry,
             start_us: Some(start_us),
+            shard: self.shard,
             detail: self.detail,
         };
         self.obs.observe(event);

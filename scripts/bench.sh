@@ -3,7 +3,8 @@
 # arithmetic-backbone microbench, and the machine-readable summaries
 # (BENCH_*.json at the repository root). Record tracked values in
 # EXPERIMENTS.md when they move. Pass --ablation to also regenerate the
-# ablation/figure console logs under target/ablation/.
+# ablation/figure console logs under target/ablation/, or --shard to run
+# only the sharded-broker scaling bench (BENCH_shard.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,17 @@ if [ "$CPUS" -le 1 ]; then
     echo "!!> Threaded rows (parallel verify / vpool entries) measure time-sliced" >&2
     echo "!!> scheduling, NOT parallel speedup. Check host_cpus in the BENCH_*.json" >&2
     echo "!!> files before citing any threaded number." >&2
+fi
+
+if [ "${1:-}" = "--shard" ]; then
+    if [ "$CPUS" -le 1 ]; then
+        echo "!!> WARNING: shard workers serialize on $CPUS CPU; BENCH_shard.json will" >&2
+        echo "!!> carry \"scaling_asserted\": false and its speedups are not evidence." >&2
+    fi
+    echo "==> bench_shard_json (BENCH_shard.json)"
+    cargo run --release --offline -q -p whopay-bench --bin bench_shard_json
+    echo "==> bench.sh: done (--shard)"
+    exit 0
 fi
 
 echo "==> cargo bench: table2_dsa (DSA-1024 keygen/sign/verify)"
@@ -32,6 +44,9 @@ cargo run --release --offline -q -p whopay-bench --bin bench_wire_json
 
 echo "==> bench_obs_json (BENCH_obs.json + target/obs/ flight dump & chrome trace)"
 cargo run --release --offline -q -p whopay-bench --bin bench_obs_json
+
+echo "==> bench_shard_json (BENCH_shard.json)"
+cargo run --release --offline -q -p whopay-bench --bin bench_shard_json
 
 if [ "${1:-}" = "--ablation" ]; then
     # Console logs live under the (git-ignored) target tree; EXPERIMENTS.md

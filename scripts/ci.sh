@@ -33,8 +33,18 @@ cargo test -q --release --offline --test chaos
 echo "==> WHOPAY_CHAOS_SEED=20260807 cargo test --release --test chaos (chaos suite, alternate seed)"
 WHOPAY_CHAOS_SEED=20260807 cargo test -q --release --offline --test chaos
 
-echo "==> cargo test -p whopay-net --release (fault-schedule determinism props)"
-cargo test -p whopay-net -q --release --offline --test fault_props
+echo "==> cargo test --release --test chaos sharded (sharded broker: shard crash + lost-commit detection)"
+cargo test -q --release --offline --test chaos sharded
+cargo test -q --release --offline --test chaos lost_cross_shard
+
+echo "==> WHOPAY_NET_THREADS=1 cargo test -q --release (event-queue single-thread equivalence pass)"
+WHOPAY_NET_THREADS=1 cargo test -q --release --offline
+
+echo "==> cargo test -p whopay-net --release (fault-schedule determinism + queue/sync equivalence props)"
+cargo test -p whopay-net -q --release --offline --test fault_props --test queue_equiv
+
+echo "==> cargo test -p whopay-core --release --test recovery_lazy (lazy sig-cache re-priming on recovery)"
+cargo test -p whopay-core -q --release --offline --test recovery_lazy
 
 echo "==> cargo test --release --test tracing (causal tracing: retry span chains, trace-id uniqueness)"
 cargo test -q --release --offline --test tracing
@@ -44,6 +54,9 @@ cargo test -p whopay-core -q --release --offline --lib audit
 
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --offline
+
+echo "==> cargo build --release --bin bench_shard_json (shard-scaling bench stays buildable)"
+cargo build --release --offline -p whopay-bench --bin bench_shard_json
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"

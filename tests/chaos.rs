@@ -24,17 +24,22 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use whopay::core::service::{
-    attach_broker, attach_client, attach_peer, clock, deposit_via_retry, install_wire_classifier,
-    purchase_via_retry, request_issue_via_retry, request_renewal_via_retry, request_transfer_via_retry,
+    attach_broker, attach_client, attach_peer, attach_shard_endpoints, attach_shard_endpoints_obs,
+    clock, deposit_batch_via_obs, deposit_via_retry, install_wire_classifier, purchase_via_retry,
+    request_issue_via_retry, request_renewal_via_retry, request_transfer_via_retry, shared_clock,
+    SharedClock,
 };
 use whopay::core::{
-    Broker, CoinId, DepositRequest, Journal, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp,
+    Broker, CoinId, DepositRequest, Invariant, Journal, Judge, Peer, PeerId, PurchaseMode,
+    ShardedBroker, SystemParams, Timestamp,
 };
 use whopay::crypto::testing::{test_rng, tiny_group};
 use whopay::net::{EndpointId, FaultInjector, FaultPlan, FaultRates, Network, RetryPolicy};
-use whopay::obs::{install_panic_hook, FlightRecorder, Obs, Tracer};
+use whopay::obs::{install_panic_hook, FlightRecorder, Obs, Outcome, Tracer};
 
 const LIFECYCLES: u64 = 24;
 const CHECKPOINT_AT: u64 = 5;
@@ -342,6 +347,332 @@ fn lifecycles_under_faults_conserve_value() {
     assert!(
         events.iter().any(|e| e.trace.is_some_and(|t| t.span_id == trace.parent_span_id)),
         "retry attempt's failed predecessor is in the flight record"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-broker chaos: the same lifecycle storm against a broker whose
+// coin state is split across shards, including a mid-run crash of one
+// shard and an injected cross-shard commit loss.
+// ---------------------------------------------------------------------------
+
+const SHARDS: usize = 3;
+const CRASH_SHARD: usize = 1;
+
+struct ShardedWorld {
+    net: Network,
+    sharded: Arc<ShardedBroker>,
+    shard_eps: Vec<EndpointId>,
+    owner: Rc<RefCell<Peer>>,
+    owner_ep: EndpointId,
+    payer: Peer,
+    payer_ep: EndpointId,
+    payee: Peer,
+    payee_ep: EndpointId,
+    clk: whopay::core::service::Clock,
+    sclk: SharedClock,
+    rng: rand::rngs::StdRng,
+}
+
+fn sharded_world(seed: u64, shards: usize) -> ShardedWorld {
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let sharded =
+        Arc::new(ShardedBroker::new(params.clone(), judge.public_key().clone(), shards, &mut rng));
+    let mk = |id: u64, judge: &mut Judge, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            sharded.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        sharded.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let owner = mk(0, &mut judge, &mut rng);
+    let payer = mk(1, &mut judge, &mut rng);
+    let payee = mk(2, &mut judge, &mut rng);
+    sharded.enable_journals();
+
+    let mut net = Network::new();
+    install_wire_classifier(&mut net);
+    let clk = clock(Timestamp(0));
+    let sclk = shared_clock(Timestamp(0));
+    let shard_eps = attach_shard_endpoints(&mut net, sharded.clone(), sclk.clone(), 1000 + seed);
+    let owner = Rc::new(RefCell::new(owner));
+    let owner_ep = attach_peer(&mut net, owner.clone(), clk.clone(), 2000 + seed);
+    let payer_ep = attach_client(&mut net, "payer");
+    let payee_ep = attach_client(&mut net, "payee");
+
+    // Same storm as the single-broker run; the severed link covers the
+    // deposit path to shard 0.
+    let plan = FaultPlan::new()
+        .with_default(FaultRates { drop: 0.02, duplicate: 0.02, corrupt: 0.02, timeout: 0.02 })
+        .partition(payee_ep, shard_eps[0], 40, 80);
+    net.install_faults(FaultInjector::new(plan, seed ^ 0xFA17));
+
+    ShardedWorld {
+        net,
+        sharded,
+        shard_eps,
+        owner,
+        owner_ep,
+        payer,
+        payer_ep,
+        payee,
+        payee_ep,
+        clk,
+        sclk,
+        rng,
+    }
+}
+
+/// Crash one shard and rebuild it in place from its journal, asserting
+/// the recovered shard equals the pre-crash shard field by field while
+/// the other shards keep serving untouched.
+fn crash_and_recover_shard(sharded: &ShardedBroker, s: usize) {
+    let (pre_snapshot, pre_stats) = {
+        let b = sharded.lock_shard(s);
+        (b.snapshot(), b.stats())
+    };
+    let bytes = sharded.journal_bytes(s).expect("journalling enabled");
+    let journal = Journal::from_bytes(&bytes).expect("shard journal decodes");
+    sharded.recover_shard(s, &journal);
+    let b = sharded.lock_shard(s);
+    assert_eq!(b.snapshot(), pre_snapshot, "shard {s} recovery reconverges exactly");
+    assert_eq!(b.stats(), pre_stats, "shard {s} counters survive recovery");
+    assert_eq!(b.sig_cache().len(), 0, "shard recovery re-primes lazily, not during replay");
+}
+
+#[test]
+fn sharded_lifecycles_survive_faults_and_shard_crash() {
+    let seed = chaos_seed();
+    let mut w = sharded_world(seed, SHARDS);
+    let policy = RetryPolicy::new(8).backoff(10, 1_000).budget(100_000);
+    let obs = Obs::disabled();
+
+    let mut deposited: Vec<CoinId> = Vec::new();
+    let mut stranded: Vec<Stranded> = Vec::new();
+
+    for i in 0..LIFECYCLES {
+        let now = Timestamp(100 * i);
+        w.clk.set(now);
+        w.sclk.store(now.0, Ordering::SeqCst);
+
+        // Purchase: any shard endpoint accepts it — the router inside
+        // the sharded broker locks the owning shard either way.
+        let purchase_ep = w.shard_eps[(i as usize) % SHARDS];
+        let coin = {
+            let mut owner = w.owner.borrow_mut();
+            match purchase_via_retry(
+                &mut w.net,
+                w.owner_ep,
+                purchase_ep,
+                &mut owner,
+                PurchaseMode::Identified,
+                now,
+                &policy,
+                &mut w.rng,
+                &obs,
+            ) {
+                Ok(coin) => coin,
+                Err(_) => continue,
+            }
+        };
+
+        let (invite, session) = w.payer.begin_receive(&mut w.rng);
+        let grant = match request_issue_via_retry(
+            &mut w.net, w.payer_ep, w.owner_ep, coin, &invite, &policy, &mut w.rng, &obs,
+        ) {
+            Ok(grant) => grant,
+            Err(_) => continue,
+        };
+        if w.payer.accept_grant(grant, session, now).is_err() {
+            continue;
+        }
+
+        let (invite2, session2) = w.payee.begin_receive(&mut w.rng);
+        let treq = w.payer.request_transfer(coin, &invite2, &mut w.rng).expect("payer holds");
+        let transferred = match request_transfer_via_retry(
+            &mut w.net, w.payer_ep, w.owner_ep, treq, false, &policy, &mut w.rng, &obs,
+        ) {
+            Ok(grant2) => w.payee.accept_grant(grant2, session2, now).is_ok(),
+            Err(_) => false,
+        };
+        if !transferred {
+            stranded.push(Stranded::Payer(coin));
+            continue;
+        }
+        w.payer.complete_transfer(coin);
+
+        // Deposit on the coin's *owning* shard endpoint: the router keeps
+        // the request on an uncontended lock and the replay memo local.
+        let dep_ep = w.shard_eps[w.sharded.shard_of_coin(&coin)];
+        let dreq = w.payee.request_deposit(coin, &mut w.rng).expect("payee holds");
+        match deposit_via_retry(&mut w.net, w.payee_ep, dep_ep, dreq.clone(), &policy, &mut w.rng, &obs)
+        {
+            Ok(receipt) => {
+                assert_eq!(receipt.coin, coin);
+                w.payee.complete_deposit(coin);
+                deposited.push(coin);
+            }
+            Err(_) => stranded.push(Stranded::Payee(coin, dreq)),
+        }
+
+        if i == CHECKPOINT_AT {
+            w.sharded.checkpoint_journals();
+        }
+        if i == CRASH_AT {
+            crash_and_recover_shard(&w.sharded, CRASH_SHARD);
+        }
+    }
+
+    let injector = w.net.clear_faults().expect("injector installed");
+    let fstats = injector.stats();
+    assert!(fstats.total() > 0, "no faults injected: {fstats:?}");
+    assert!(policy.stats().retries > 0, "no retries exercised: {:?}", policy.stats());
+
+    // Fault-free drain, routed by owning shard.
+    let now = Timestamp(100 * LIFECYCLES);
+    w.clk.set(now);
+    w.sclk.store(now.0, Ordering::SeqCst);
+    for s in stranded {
+        match s {
+            Stranded::Payee(coin, dreq) => {
+                let dep_ep = w.shard_eps[w.sharded.shard_of_coin(&coin)];
+                let receipt =
+                    deposit_via_retry(&mut w.net, w.payee_ep, dep_ep, dreq, &policy, &mut w.rng, &obs)
+                        .expect("drained payee deposit");
+                assert_eq!(receipt.coin, coin);
+                w.payee.complete_deposit(coin);
+                deposited.push(coin);
+            }
+            Stranded::Payer(coin) => {
+                let dep_ep = w.shard_eps[w.sharded.shard_of_coin(&coin)];
+                let dreq = w.payer.request_deposit(coin, &mut w.rng).expect("payer holds");
+                let receipt =
+                    deposit_via_retry(&mut w.net, w.payer_ep, dep_ep, dreq, &policy, &mut w.rng, &obs)
+                        .expect("drained payer deposit");
+                assert_eq!(receipt.coin, coin);
+                w.payer.complete_deposit(coin);
+                deposited.push(coin);
+            }
+        }
+    }
+
+    // Value conservation across every shard's books: minted coins are
+    // deposited exactly once or still circulating, no shard raised a
+    // fraud case, and the aggregated auditors agree.
+    let stats = w.sharded.stats();
+    assert_eq!(stats.deposits as usize, deposited.len(), "each coin credited exactly once");
+    let mut unique = deposited.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), deposited.len(), "no coin deposited twice");
+    assert_eq!(w.sharded.total_minted(), stats.purchases, "auditors saw every mint");
+    assert_eq!(w.sharded.total_deposited(), stats.deposits, "auditors saw every deposit");
+    assert!(w.sharded.audit_ok(), "violations: {:?}", w.sharded.violations());
+    for i in 0..SHARDS {
+        let shard = w.sharded.lock_shard(i);
+        assert!(shard.fraud_cases().is_empty(), "shard {i} raised fraud: {:?}", shard.fraud_cases());
+    }
+    for coin in &deposited {
+        let shard = w.sharded.lock_shard(w.sharded.shard_of_coin(coin));
+        assert!(!shard.is_circulating(coin), "deposited coin still circulating");
+    }
+    // The run genuinely exercised the sharding: the coin-key hash spread
+    // traffic over more than one shard.
+    let shards_touched: std::collections::BTreeSet<usize> =
+        deposited.iter().map(|c| w.sharded.shard_of_coin(c)).collect();
+    assert!(shards_touched.len() >= 2, "coins all hashed to one shard: {shards_touched:?}");
+}
+
+#[test]
+fn lost_cross_shard_commit_raises_violation_and_dumps_flight() {
+    let seed = chaos_seed() ^ 0x10_57;
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let sharded = Arc::new(ShardedBroker::new(params.clone(), judge.public_key().clone(), 4, &mut rng));
+    let mk = |id: u64, judge: &mut Judge, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            sharded.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        sharded.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let mut owner = mk(1, &mut judge, &mut rng);
+    let mut holder = mk(2, &mut judge, &mut rng);
+
+    // Mint a handful of coins straight into the holder's wallet; the
+    // coin-id hash spreads them over several shards.
+    let now = Timestamp(0);
+    let coins: Vec<CoinId> = (0..8)
+        .map(|_| {
+            let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+            let minted = sharded.handle_purchase(&req, &mut rng).unwrap();
+            let coin = owner.complete_purchase(minted, pending, now, &mut rng).unwrap();
+            let (invite, session) = holder.begin_receive(&mut rng);
+            let grant = owner.issue_coin(coin, &invite, now, &mut rng).unwrap();
+            holder.accept_grant(grant, session, now).unwrap();
+            coin
+        })
+        .collect();
+    let shards_touched: std::collections::BTreeSet<usize> =
+        coins.iter().map(|c| sharded.shard_of_coin(c)).collect();
+    assert!(shards_touched.len() >= 2, "batch must cross shards: {shards_touched:?}");
+
+    let mut net = Network::new();
+    install_wire_classifier(&mut net);
+    let flight = std::sync::Arc::new(FlightRecorder::new());
+    let obs = Obs::with_tracer(Tracer::new(flight.clone()));
+    let sclk = shared_clock(now);
+    let shard_eps = attach_shard_endpoints_obs(&mut net, sharded.clone(), sclk, seed, obs.clone());
+    let holder_ep = attach_client(&mut net, "holder");
+
+    // Sabotage the next cross-shard batch: one shard's commit count is
+    // dropped on the way back to the cross-shard ledger. The deposits
+    // themselves still apply — the depositor sees nothing wrong.
+    let victim = sharded.shard_of_coin(&coins[0]);
+    sharded.inject_lost_commit(victim);
+
+    let requests: Vec<DepositRequest> =
+        coins.iter().map(|&c| holder.request_deposit(c, &mut rng).unwrap()).collect();
+    let outcomes =
+        deposit_batch_via_obs(&mut net, holder_ep, shard_eps[0], requests, &obs).expect("batch call");
+    assert_eq!(outcomes.len(), coins.len());
+    for outcome in &outcomes {
+        assert!(outcome.is_ok(), "lost commit must not surface to the depositor: {outcome:?}");
+    }
+    assert_eq!(sharded.stats().deposits, coins.len() as u64, "every deposit applied");
+
+    // …but the cross-shard ledger caught the handoff losing value.
+    let violations = sharded.violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.invariant == Invariant::ValueConservation && v.detail.contains("cross-shard")),
+        "lost commit not detected: {violations:?}"
+    );
+    assert!(!sharded.audit_ok(), "audit must fail after a lost commit");
+
+    // The violation surfaced through the endpoint's dispatch as a failed
+    // event, and the flight recorder holds the dump material.
+    let events = flight.snapshot();
+    assert!(
+        events.iter().any(|e| e.outcome == Outcome::Error
+            && e.detail.as_deref().is_some_and(|d| d.contains("value_conservation"))),
+        "violation event missing from flight record"
     );
 }
 
