@@ -5,7 +5,7 @@
 //! Both: candidate payments 1/5 min/peer, 3-day renewal period, 10
 //! simulated days.
 
-use whopay_sim::SimTime;
+use whopay_sim::{LifecycleConfig, SimTime};
 
 use crate::policy::{Policy, SyncStrategy};
 
@@ -18,6 +18,14 @@ pub struct SimConfig {
     pub mu: SimTime,
     /// Mean offline session length ν.
     pub nu: SimTime,
+    /// Mean time a rejoining peer spends discovering the overlay before
+    /// it can transact. Zero (the paper's model and the default) skips
+    /// the discovery state entirely — see
+    /// [`whopay_sim::LifecycleConfig::new`].
+    pub discovery_mean: SimTime,
+    /// Mean time a discovered peer spends pending (handshakes, binding
+    /// downloads) before it is connected. Zero (default) skips the state.
+    pub pending_mean: SimTime,
     /// Mean candidate-payment inter-arrival time per peer.
     pub payment_mean: SimTime,
     /// Coin renewal period.
@@ -56,6 +64,8 @@ impl SimConfig {
             n_peers: 1000,
             mu: SimTime::from_hours(2),
             nu: SimTime::from_hours(2),
+            discovery_mean: SimTime::ZERO,
+            pending_mean: SimTime::ZERO,
             payment_mean: SimTime::from_mins(5),
             renewal_period: SimTime::from_days(3),
             horizon: SimTime::from_days(10),
@@ -67,11 +77,18 @@ impl SimConfig {
         }
     }
 
-    /// Peer availability α = µ/(µ+ν).
+    /// The peer life-cycle this configuration induces. With the default
+    /// zero discovery/pending means this is exactly the paper's on/off
+    /// churn process.
+    pub fn lifecycle(&self) -> LifecycleConfig {
+        LifecycleConfig::new(self.discovery_mean, self.pending_mean, self.mu, self.nu)
+    }
+
+    /// Peer availability: the long-run connected fraction of the
+    /// life-cycle, α = µ/(µ + ν + d + p). Reduces to the paper's
+    /// µ/(µ+ν) when discovery and pending are disabled.
     pub fn availability(&self) -> f64 {
-        let mu = self.mu.as_millis() as f64;
-        let nu = self.nu.as_millis() as f64;
-        mu / (mu + nu)
+        self.lifecycle().availability()
     }
 
     /// A scaled-down configuration for fast tests (same structure,
@@ -81,6 +98,8 @@ impl SimConfig {
             n_peers: 50,
             mu: SimTime::from_hours(2),
             nu: SimTime::from_hours(2),
+            discovery_mean: SimTime::ZERO,
+            pending_mean: SimTime::ZERO,
             payment_mean: SimTime::from_mins(5),
             renewal_period: SimTime::from_days(3),
             horizon: SimTime::from_days(2),
@@ -143,6 +162,15 @@ mod tests {
         c.mu = SimTime::from_hours(8);
         c.nu = SimTime::from_hours(2);
         assert!((c.availability() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifecycle_states_lower_availability() {
+        let mut c = SimConfig::paper_defaults(Policy::I, SyncStrategy::Proactive);
+        c.discovery_mean = SimTime::from_mins(30);
+        c.pending_mean = SimTime::from_mins(30);
+        // µ = ν = 2 h plus one hour of connecting per cycle: 2/(2+2+1).
+        assert!((c.availability() - 0.4).abs() < 1e-12);
     }
 
     #[test]

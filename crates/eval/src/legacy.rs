@@ -1,0 +1,348 @@
+//! The seed per-peer-object load simulator, kept as the measured
+//! baseline.
+//!
+//! This is the original §6 simulator: one heap-allocated
+//! [`PeerState`]/[`Coin`] object per entity, `Vec` wallets searched and
+//! `retain`ed per spend, and a proactive sync that scans *every coin in
+//! the system* on each peer join. It is correct and matches the paper at
+//! 50–1000 peers, but the join scan is O(total coins) and the object
+//! graph has no locality, so it cannot reach 10⁵–10⁶ peers.
+//!
+//! [`crate::loadsim`] replaces it with index-based struct-of-arrays
+//! arenas and a calendar-queue scheduler. The two engines consume the
+//! random stream draw-for-draw identically (when the life-cycle
+//! extension is disabled), so `legacy::run` and `loadsim::run` must
+//! produce *equal* [`RunResult`]s — `tests/arena_equiv.rs` pins that —
+//! and `bench_loadsim_json` measures the events/sec ratio between them,
+//! which gates the ≥10× claim in `BENCH_loadsim.json`.
+
+use whopay_sim::churn::ChurnProcess;
+use whopay_sim::dist::Exponential;
+use whopay_sim::{sim_rng, BinaryHeapQueue, SimTime};
+
+use crate::config::SimConfig;
+use crate::loadsim::RunResult;
+use crate::ops::{Op, OpCounts};
+use crate::policy::{PaymentMethod, SyncStrategy};
+
+/// Where a coin currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoinState {
+    /// Owned and still held by its owner (spendable by *issue*).
+    SelfHeld,
+    /// Held by a peer other than via ownership (spendable by transfer or
+    /// deposit).
+    HeldBy(usize),
+    /// Redeemed; out of circulation.
+    Deposited,
+}
+
+#[derive(Debug)]
+struct Coin {
+    owner: usize,
+    state: CoinState,
+    /// When the current binding needs renewal.
+    next_renewal: SimTime,
+    /// Set when the holder missed a renewal while offline.
+    needs_renewal: bool,
+    /// Set when the broker last touched the coin (the owner's local
+    /// binding is stale until it syncs or checks).
+    dirty_for_owner: bool,
+}
+
+#[derive(Debug)]
+struct PeerState {
+    churn: ChurnProcess,
+    /// Coins held (indices into the coin table).
+    wallet: Vec<usize>,
+    /// Self-held owned coins.
+    unissued: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Toggle(usize),
+    Payment(usize),
+    RenewalDue(usize),
+}
+
+/// Runs one simulation to completion on the seed engine.
+///
+/// # Panics
+///
+/// Panics if the configuration enables the life-cycle extension
+/// (nonzero discovery/pending means) — the seed engine models on/off
+/// churn only.
+pub fn run(cfg: &SimConfig) -> RunResult {
+    assert!(
+        cfg.discovery_mean == SimTime::ZERO && cfg.pending_mean == SimTime::ZERO,
+        "the legacy engine models on/off churn only"
+    );
+    LoadSim::new(cfg).run()
+}
+
+struct LoadSim<'a> {
+    cfg: &'a SimConfig,
+    rng: rand::rngs::StdRng,
+    queue: BinaryHeapQueue<Event>,
+    payment_dist: Exponential,
+    peers: Vec<PeerState>,
+    coins: Vec<Coin>,
+    counts: OpCounts,
+    payments: u64,
+    failed_candidates: u64,
+    events: u64,
+}
+
+impl<'a> LoadSim<'a> {
+    fn new(cfg: &'a SimConfig) -> Self {
+        let mut rng = sim_rng(cfg.seed);
+        let mut queue = BinaryHeapQueue::new();
+        let payment_dist = Exponential::from_mean(cfg.payment_mean);
+        let peers: Vec<PeerState> = (0..cfg.n_peers)
+            .map(|i| {
+                let churn = ChurnProcess::start(cfg.mu, cfg.nu, &mut rng);
+                queue.schedule(churn.next_toggle(), Event::Toggle(i));
+                queue.schedule(SimTime::ZERO + payment_dist.sample_time(&mut rng), Event::Payment(i));
+                PeerState { churn, wallet: Vec::new(), unissued: Vec::new() }
+            })
+            .collect();
+        LoadSim {
+            cfg,
+            rng,
+            queue,
+            payment_dist,
+            peers,
+            coins: Vec::new(),
+            counts: OpCounts::new(),
+            payments: 0,
+            failed_candidates: 0,
+            events: 0,
+        }
+    }
+
+    fn run(mut self) -> RunResult {
+        while let Some((t, ev)) = self.queue.pop_until(self.cfg.horizon) {
+            self.events += 1;
+            match ev {
+                Event::Toggle(p) => self.handle_toggle(p),
+                Event::Payment(p) => self.handle_payment(p, t),
+                Event::RenewalDue(c) => self.handle_renewal_due(c, t),
+            }
+        }
+        RunResult {
+            n_peers: self.cfg.n_peers,
+            availability: self.cfg.availability(),
+            counts: self.counts,
+            payments: self.payments,
+            failed_candidates: self.failed_candidates,
+            events: self.events,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn note(&mut self, op: Op) {
+        self.counts.bump(op);
+    }
+
+    fn handle_toggle(&mut self, p: usize) {
+        let online = self.peers[p].churn.toggle(&mut self.rng);
+        let next = self.peers[p].churn.next_toggle();
+        self.queue.schedule(next, Event::Toggle(p));
+        if online {
+            self.on_join(p);
+        }
+    }
+
+    /// A peer rejoins: proactive sync ("exactly one synchronization is
+    /// performed for each peer join event") and catch-up renewals for
+    /// coins that fell due while it was offline.
+    fn on_join(&mut self, p: usize) {
+        if self.cfg.sync == SyncStrategy::Proactive && !self.cfg.centralized {
+            self.note(Op::Sync);
+            // The broker hands over everything it managed for this owner.
+            // O(total coins) — the scan that caps this engine's scale.
+            for c in &mut self.coins {
+                if c.owner == p {
+                    c.dirty_for_owner = false;
+                }
+            }
+        }
+        let now = self.now();
+        let held: Vec<usize> = self.peers[p].wallet.clone();
+        for ci in held {
+            if self.coins[ci].needs_renewal {
+                self.renew_coin(ci, now);
+            }
+        }
+    }
+
+    /// Candidate payment event: thin by payee availability (and payer
+    /// availability if the ablation flag is set), then pay per policy.
+    fn handle_payment(&mut self, payer: usize, _t: SimTime) {
+        // Schedule the next candidate regardless of this one's outcome.
+        let next = self.now() + self.payment_dist.sample_time(&mut self.rng);
+        self.queue.schedule(next, Event::Payment(payer));
+
+        if self.cfg.payer_must_be_online && !self.peers[payer].churn.is_online() {
+            self.failed_candidates += 1;
+            return;
+        }
+        let payee = self.random_other_peer(payer);
+        if !self.peers[payee].churn.is_online() {
+            self.failed_candidates += 1;
+            return;
+        }
+
+        let online_coin = self.find_wallet_coin(payer, true);
+        let offline_coin = self.find_wallet_coin(payer, false);
+        let has_unissued = !self.peers[payer].unissued.is_empty();
+        let method =
+            self.cfg.policy.choose(online_coin.is_some(), offline_coin.is_some(), has_unissued);
+        let now = self.now();
+        match method {
+            PaymentMethod::TransferOnline => {
+                let ci = online_coin.expect("method implies availability");
+                self.owner_lazy_check(ci);
+                self.note(Op::Transfer);
+                self.move_coin(ci, payer, payee, now);
+            }
+            PaymentMethod::TransferOffline => {
+                let ci = offline_coin.expect("method implies availability");
+                self.note(Op::DowntimeTransfer);
+                self.coins[ci].dirty_for_owner = true;
+                self.move_coin(ci, payer, payee, now);
+            }
+            PaymentMethod::IssueExisting => {
+                let ci = self.peers[payer].unissued.pop().expect("method implies availability");
+                self.note(Op::Issue);
+                self.issue_coin(ci, payee, now);
+            }
+            PaymentMethod::PurchaseAndIssue => {
+                let ci = self.purchase_coin(payer);
+                self.note(Op::Issue);
+                self.issue_coin(ci, payee, now);
+            }
+            PaymentMethod::DepositThenPurchaseAndIssue => {
+                let dep = offline_coin.expect("method implies availability");
+                self.note(Op::Deposit);
+                self.peers[payer].wallet.retain(|&c| c != dep);
+                self.coins[dep].state = CoinState::Deposited;
+                let ci = self.purchase_coin(payer);
+                self.note(Op::Issue);
+                self.issue_coin(ci, payee, now);
+            }
+        }
+        self.payments += 1;
+    }
+
+    fn handle_renewal_due(&mut self, ci: usize, t: SimTime) {
+        let coin = &mut self.coins[ci];
+        if t != coin.next_renewal {
+            return; // superseded by a later binding
+        }
+        match coin.state {
+            CoinState::Deposited | CoinState::SelfHeld => {}
+            CoinState::HeldBy(h) => {
+                if self.peers[h].churn.is_online() {
+                    self.renew_coin(ci, t);
+                } else {
+                    self.coins[ci].needs_renewal = true;
+                }
+            }
+        }
+    }
+
+    /// Renews a held coin via its owner if online, else via the broker
+    /// (always via the central entity in centralized mode).
+    fn renew_coin(&mut self, ci: usize, now: SimTime) {
+        let owner = self.coins[ci].owner;
+        if !self.cfg.centralized && self.peers[owner].churn.is_online() {
+            self.owner_lazy_check(ci);
+            self.note(Op::Renewal);
+        } else {
+            self.note(Op::DowntimeRenewal);
+            self.coins[ci].dirty_for_owner = true;
+        }
+        self.coins[ci].needs_renewal = false;
+        self.schedule_renewal(ci, now);
+    }
+
+    /// Lazy synchronization: an online owner about to handle a request
+    /// first checks the public binding list; if the broker moved the coin
+    /// meanwhile, the owner adopts the fresh state.
+    fn owner_lazy_check(&mut self, ci: usize) {
+        if self.cfg.sync != SyncStrategy::Lazy {
+            return;
+        }
+        self.note(Op::Check);
+        if self.coins[ci].dirty_for_owner {
+            self.note(Op::LazySync);
+            self.coins[ci].dirty_for_owner = false;
+        }
+    }
+
+    fn purchase_coin(&mut self, owner: usize) -> usize {
+        self.note(Op::Purchase);
+        let ci = self.coins.len();
+        self.coins.push(Coin {
+            owner,
+            state: CoinState::SelfHeld,
+            next_renewal: SimTime::ZERO,
+            needs_renewal: false,
+            dirty_for_owner: false,
+        });
+        ci
+    }
+
+    fn issue_coin(&mut self, ci: usize, payee: usize, now: SimTime) {
+        self.coins[ci].state = CoinState::HeldBy(payee);
+        self.peers[payee].wallet.push(ci);
+        self.schedule_renewal(ci, now);
+    }
+
+    fn move_coin(&mut self, ci: usize, from: usize, to: usize, now: SimTime) {
+        self.peers[from].wallet.retain(|&c| c != ci);
+        self.coins[ci].needs_renewal = false;
+        if to == self.coins[ci].owner {
+            // The coin came home: the owner holds it again and can
+            // re-issue it — the supply behind "issue an existing coin".
+            self.coins[ci].state = CoinState::SelfHeld;
+            self.peers[to].unissued.push(ci);
+        } else {
+            self.coins[ci].state = CoinState::HeldBy(to);
+            self.peers[to].wallet.push(ci);
+            self.schedule_renewal(ci, now);
+        }
+    }
+
+    fn schedule_renewal(&mut self, ci: usize, now: SimTime) {
+        let due = now + self.cfg.renewal_period;
+        self.coins[ci].next_renewal = due;
+        self.queue.schedule(due, Event::RenewalDue(ci));
+    }
+
+    /// A wallet coin of `peer` whose owner is online (`true`) or offline
+    /// (`false`), if any. Scans from the back so recently received coins
+    /// are spent first (keeps wallets short without biasing availability).
+    /// In centralized mode no owner ever serves transfers, so every coin
+    /// reports as "owner offline" and the broker handles all spends.
+    fn find_wallet_coin(&self, peer: usize, owner_online: bool) -> Option<usize> {
+        self.peers[peer].wallet.iter().rev().copied().find(|&ci| {
+            let online = !self.cfg.centralized && self.peers[self.coins[ci].owner].churn.is_online();
+            online == owner_online
+        })
+    }
+
+    fn random_other_peer(&mut self, not: usize) -> usize {
+        loop {
+            let p = rand::RngExt::random_range(&mut self.rng, 0..self.cfg.n_peers);
+            if p != not {
+                return p;
+            }
+        }
+    }
+}

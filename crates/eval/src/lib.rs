@@ -13,7 +13,11 @@
 //! * [`ops`] — the ten coarse-grained operations the simulator counts;
 //! * [`cost`] — the micro-operation CPU model (Table 3) and per-operation
 //!   message counts;
-//! * [`loadsim`] — the discrete-event simulator itself;
+//! * [`loadsim`] — the discrete-event simulator itself: index-based
+//!   struct-of-arrays arenas over a calendar-queue scheduler, with a
+//!   partitioned parallel runner that scales to 10⁵–10⁶ peers;
+//! * [`legacy`] — the seed per-peer-object simulator, kept as the
+//!   differential-testing oracle and the measured performance baseline;
 //! * [`report`] — figure-by-figure data series and text/CSV rendering.
 //!
 //! # Example
@@ -29,6 +33,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod legacy;
 pub mod loadsim;
 pub mod ops;
 pub mod policy;
@@ -36,6 +41,9 @@ pub mod report;
 
 pub use config::SimConfig;
 pub use cost::MicroWeights;
-pub use loadsim::{run, run_with_obs, RunResult};
+pub use loadsim::{
+    partition_configs, run, run_partitioned, run_partitioned_threads, run_with_obs, sim_threads,
+    BrokerLoad, RunResult,
+};
 pub use ops::{Op, OpCounts};
 pub use policy::{PaymentMethod, Policy, SyncStrategy};

@@ -112,6 +112,19 @@ impl OpCounts {
         self.counts[op.index()] += 1;
     }
 
+    /// Adds `n` occurrences of one operation (bulk merge from a
+    /// partition accumulator).
+    pub fn add(&mut self, op: Op, n: u64) {
+        self.counts[op.index()] += n;
+    }
+
+    /// Adds every count of `other` into `self`.
+    pub fn merge(&mut self, other: &OpCounts) {
+        for (slot, v) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += v;
+        }
+    }
+
     /// Reads one count.
     pub fn get(&self, op: Op) -> u64 {
         self.counts[op.index()]
@@ -142,6 +155,19 @@ mod tests {
         assert_eq!(c.get(Op::Sync), 1);
         assert_eq!(c.get(Op::Deposit), 0);
         assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn add_and_merge() {
+        let mut a = OpCounts::new();
+        a.add(Op::Purchase, 5);
+        let mut b = OpCounts::new();
+        b.add(Op::Purchase, 2);
+        b.bump(Op::Check);
+        a.merge(&b);
+        assert_eq!(a.get(Op::Purchase), 7);
+        assert_eq!(a.get(Op::Check), 1);
+        assert_eq!(a.total(), 8);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Differential suite: the arena engine ([`whopay_eval::loadsim`])
+//! must produce *equal* [`RunResult`]s to the seed per-peer-object
+//! engine ([`whopay_eval::legacy`]) for every configuration the paper
+//! sweeps — the two consume the random stream draw-for-draw
+//! identically, so any divergence is a bug, not noise.
+
+use whopay_eval::config::SimConfig;
+use whopay_eval::policy::{Policy, SyncStrategy};
+use whopay_eval::{legacy, loadsim};
+
+#[test]
+fn engines_agree_across_policies_and_sync_strategies() {
+    for policy in [Policy::I, Policy::IIa, Policy::IIb, Policy::III] {
+        for sync in [SyncStrategy::Proactive, SyncStrategy::Lazy] {
+            for seed in [7u64, 99, 0x5EED] {
+                let cfg = SimConfig::small_test(policy, sync, seed);
+                let new = loadsim::run(&cfg);
+                let old = legacy::run(&cfg);
+                assert_eq!(new, old, "{policy:?}/{sync:?} seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_with_payer_gating_and_long_horizons() {
+    let mut cfg = SimConfig::small_test(Policy::I, SyncStrategy::Proactive, 3);
+    cfg.payer_must_be_online = true;
+    cfg.horizon = whopay_sim::SimTime::from_days(8); // plenty of renewals
+    assert_eq!(loadsim::run(&cfg), legacy::run(&cfg));
+}
+
+#[test]
+fn engines_agree_in_centralized_mode() {
+    let mut cfg = SimConfig::small_test(Policy::I, SyncStrategy::Proactive, 31);
+    cfg.centralized = true;
+    assert_eq!(loadsim::run(&cfg), legacy::run(&cfg));
+}
+
+#[test]
+fn engines_agree_at_paper_scale() {
+    // The paper's own operating point: 1000 peers, shortened horizon to
+    // keep the legacy engine's O(coins)-per-join scan test-budget-sized.
+    let mut cfg = SimConfig::paper_defaults(Policy::I, SyncStrategy::Proactive);
+    cfg.horizon = whopay_sim::SimTime::from_hours(12);
+    assert_eq!(loadsim::run(&cfg), legacy::run(&cfg));
+}
+
+#[test]
+fn legacy_engine_rejects_lifecycle_extension() {
+    let mut cfg = SimConfig::small_test(Policy::I, SyncStrategy::Proactive, 1);
+    cfg.discovery_mean = whopay_sim::SimTime::from_mins(10);
+    let err = std::panic::catch_unwind(|| legacy::run(&cfg));
+    assert!(err.is_err(), "legacy engine must refuse lifecycle configs");
+}

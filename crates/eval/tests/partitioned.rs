@@ -1,0 +1,94 @@
+//! Determinism contract of the partitioned runner:
+//!
+//! * one partition *is* the serial run (same seed, same population);
+//! * the outcome depends only on `(cfg, partitions)`, never the
+//!   worker-thread count — one thread is bit-identical to many;
+//! * running each partition's configuration serially through
+//!   [`loadsim::run`] and merging in order reproduces the parallel
+//!   result exactly.
+
+use whopay_eval::config::SimConfig;
+use whopay_eval::policy::{Policy, SyncStrategy};
+use whopay_eval::{loadsim, BrokerLoad, RunResult};
+use whopay_obs::Obs;
+
+fn cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::small_test(Policy::I, SyncStrategy::Proactive, seed);
+    cfg.n_peers = 200;
+    cfg
+}
+
+#[test]
+fn one_partition_is_the_serial_run() {
+    let cfg = cfg(77);
+    assert_eq!(loadsim::run_partitioned(&cfg, 1), loadsim::run(&cfg));
+}
+
+#[test]
+fn thread_count_never_changes_the_outcome() {
+    let cfg = cfg(78);
+    let obs = Obs::disabled();
+    let serial = loadsim::run_partitioned_threads(&cfg, 4, 1, &obs);
+    for threads in [2, 4, 8] {
+        let parallel = loadsim::run_partitioned_threads(&cfg, 4, threads, &obs);
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_run_equals_serial_per_partition_merge() {
+    let cfg = cfg(79);
+    let parts: Vec<RunResult> = loadsim::partition_configs(&cfg, 5).iter().map(loadsim::run).collect();
+    assert_eq!(RunResult::merged(&parts), loadsim::run_partitioned(&cfg, 5));
+}
+
+#[test]
+fn partitions_split_the_population_exactly() {
+    let cfg = cfg(80); // 200 peers
+    let subs = loadsim::partition_configs(&cfg, 7);
+    assert_eq!(subs.iter().map(|c| c.n_peers).sum::<usize>(), 200);
+    assert!(subs.iter().all(|c| c.n_peers == 200 / 7 || c.n_peers == 200 / 7 + 1));
+    // Seeds decorrelate across partitions…
+    let mut seeds: Vec<u64> = subs.iter().map(|c| c.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), 7, "per-partition seeds must be distinct");
+    // …but a single partition keeps the original seed.
+    assert_eq!(loadsim::partition_configs(&cfg, 1)[0].seed, cfg.seed);
+}
+
+#[test]
+fn broker_load_accumulator_matches_merged_counts() {
+    let cfg = cfg(81);
+    let load = BrokerLoad::new();
+    let parts: Vec<RunResult> = loadsim::partition_configs(&cfg, 3)
+        .iter()
+        .map(|sub| {
+            let r = loadsim::run(sub);
+            load.record(&r.counts);
+            r
+        })
+        .collect();
+    let merged = RunResult::merged(&parts);
+    assert_eq!(load.snapshot(), merged.counts);
+    assert_eq!(load.broker_comm(), merged.broker_comm());
+}
+
+#[test]
+fn partitioned_obs_events_carry_partition_tags() {
+    use std::sync::Arc;
+    use whopay_obs::{MemoryRecorder, Obs, Tracer};
+
+    let cfg = cfg(82);
+    let recorder = Arc::new(MemoryRecorder::new());
+    let obs = Obs::with_tracer(Tracer::new(recorder.clone()));
+    let r = loadsim::run_partitioned_threads(&cfg, 3, 2, &obs);
+    let events = recorder.events();
+    assert!(!events.is_empty(), "instrumented run must emit");
+    assert!(
+        events.iter().all(|e| matches!(e.partition, Some(p) if p < 3)),
+        "every event is attributed to one of the 3 partitions"
+    );
+    // Tagged emission leaves the outcome untouched.
+    assert_eq!(r, loadsim::run_partitioned(&cfg, 3));
+}

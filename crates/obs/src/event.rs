@@ -219,6 +219,9 @@ pub struct Event {
     /// Which broker shard served the operation, when a sharded broker
     /// dispatched it (`None` everywhere else).
     pub shard: Option<u16>,
+    /// Which load-simulation partition the operation ran in, when a
+    /// partitioned sub-simulation emitted it (`None` everywhere else).
+    pub partition: Option<u32>,
     /// Free-form context (message kind, error text); kept short.
     pub detail: Option<String>,
 }
@@ -238,6 +241,7 @@ impl Event {
             retry: None,
             start_us: None,
             shard: None,
+            partition: None,
             detail: None,
         }
     }
@@ -299,6 +303,13 @@ impl Event {
         self
     }
 
+    /// Attributes the event to a load-simulation partition.
+    #[must_use]
+    pub fn with_partition(mut self, partition: u32) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
     /// Serializes the event as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
@@ -353,6 +364,10 @@ impl Event {
             out.push_str(",\"shard\":");
             out.push_str(&shard.to_string());
         }
+        if let Some(partition) = self.partition {
+            out.push_str(",\"partition\":");
+            out.push_str(&partition.to_string());
+        }
         if let Some(detail) = &self.detail {
             out.push_str(",\"detail\":\"");
             crate::json::escape_into(detail, &mut out);
@@ -406,6 +421,15 @@ mod tests {
                 r#""trace":"0000000000000abc","span":"0000000000000def","#,
                 r#""parent":"0000000000000123","hop":2}"#
             )
+        );
+    }
+
+    #[test]
+    fn json_carries_shard_and_partition() {
+        let ev = Event::new(Role::Sim, OpKind::Transfer).with_shard(3).with_partition(7);
+        assert_eq!(
+            ev.to_json(),
+            r#"{"role":"sim","op":"transfer","outcome":"ok","shard":3,"partition":7}"#
         );
     }
 

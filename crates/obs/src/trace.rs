@@ -214,6 +214,7 @@ impl Obs {
             retry: None,
             outcome: Outcome::Ok,
             shard: None,
+            partition: None,
             detail: None,
         }
     }
@@ -235,6 +236,7 @@ pub struct Span<'a> {
     retry: Option<RetryNote>,
     outcome: Outcome,
     shard: Option<u16>,
+    partition: Option<u32>,
     detail: Option<String>,
 }
 
@@ -284,6 +286,12 @@ impl Span<'_> {
         self.shard = Some(shard);
     }
 
+    /// Attributes this operation to a load-simulation partition
+    /// (partitioned sub-simulation runners).
+    pub fn set_partition(&mut self, partition: u32) {
+        self.partition = Some(partition);
+    }
+
     /// Ends the span and reports the event. Inert when the context is
     /// disabled.
     pub fn finish(self) {
@@ -302,6 +310,7 @@ impl Span<'_> {
             retry: self.retry,
             start_us: Some(start_us),
             shard: self.shard,
+            partition: self.partition,
             detail: self.detail,
         };
         self.obs.observe(event);

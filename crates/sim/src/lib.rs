@@ -15,7 +15,13 @@
 //! * [`dist`] — exponential and Poisson-process samplers built on a seeded
 //!   RNG;
 //! * [`churn`] — the alternating-renewal on/off session process the paper
-//!   uses to model peer availability.
+//!   uses to model peer availability;
+//! * [`lifecycle`] — the full discovery → pending → connected →
+//!   churn-out peer life-cycle state machine generalizing [`churn`].
+//!
+//! [`EventQueue`] is a calendar queue (O(1) amortized operations);
+//! [`BinaryHeapQueue`] keeps the original heap scheduler as the
+//! differential-testing oracle.
 //!
 //! # Example
 //!
@@ -33,10 +39,12 @@
 
 pub mod churn;
 pub mod dist;
+pub mod lifecycle;
 mod queue;
 mod time;
 
-pub use queue::EventQueue;
+pub use lifecycle::{LifecycleConfig, LifecycleProcess, LifecycleState};
+pub use queue::{BinaryHeapQueue, EventQueue, SchedKey};
 pub use time::SimTime;
 
 /// Deterministic RNG for simulations: a seeded `StdRng`.

@@ -1,22 +1,65 @@
-//! The event queue.
+//! The event queue: a calendar-queue scheduler with a binary-heap
+//! reference implementation.
+//!
+//! [`EventQueue`] is the production scheduler: a *calendar queue*
+//! (R. Brown, CACM 1988) with O(1) amortized insert and pop. Events are
+//! hashed into rotating day-buckets by timestamp; events more than one
+//! "year" (bucket count × bucket width) ahead wait in an overflow heap
+//! until the clock comes within a year of them. The bucket count doubles
+//! and halves with occupancy and the bucket width is re-estimated from
+//! the live event spread on every resize, so the average bucket holds
+//! O(1) events across six orders of magnitude of queue size.
+//!
+//! [`BinaryHeapQueue`] is the original `BinaryHeap`-backed scheduler,
+//! kept as the differential-testing oracle: `tests/queue_equiv.rs`
+//! proptests that both produce identical pop sequences (including
+//! simultaneous events) for random schedules.
+//!
+//! Both queues order events by the same [`SchedKey`] — strictly by
+//! `(time, seq)`, so simultaneous events pop in the order they were
+//! scheduled and runs replay deterministically.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// An entry in the heap: ordered by time, then by insertion sequence so
-/// that simultaneous events pop in the order they were scheduled
-/// (deterministic replay).
+/// The total order both schedulers pop in: time first, then insertion
+/// sequence (FIFO among simultaneous events).
+///
+/// The sequence number is a `u64` that increments once per scheduled
+/// event and must never wrap: at 10⁹ events/sec it would take ~580 years
+/// to overflow, so wrapping is treated as a logic error (debug-asserted
+/// at the increment) rather than handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedKey {
+    /// Event timestamp.
+    pub time: SimTime,
+    /// Insertion sequence number (unique per queue).
+    pub seq: u64,
+}
+
+impl PartialOrd for SchedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SchedKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// An entry in either queue: a key plus its payload.
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    key: SchedKey,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -28,43 +71,72 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want earliest first.
-        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
-/// A priority queue of timestamped events with a monotonic clock.
-///
-/// `pop` returns events in nondecreasing time order and advances
-/// [`EventQueue::now`]; scheduling an event before `now` is a logic error
-/// and panics, which catches causality bugs at their source.
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+/// Clock, sequence counter, and diagnostics shared by both queue
+/// implementations.
+#[derive(Debug)]
+struct QueueCore {
     now: SimTime,
     next_seq: u64,
     scheduled: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl QueueCore {
+    fn new() -> Self {
+        QueueCore { now: SimTime::ZERO, next_seq: 0, scheduled: 0 }
+    }
+
+    /// Validates `at`, then mints the next [`SchedKey`].
+    fn admit(&mut self, at: SimTime) -> SchedKey {
+        assert!(at >= self.now, "scheduling into the past: {at} < {now}", now = self.now);
+        debug_assert!(self.next_seq != u64::MAX, "event sequence counter exhausted");
+        let key = SchedKey { time: at, seq: self.next_seq };
+        self.next_seq += 1;
+        self.scheduled += 1;
+        key
+    }
+
+    fn advance(&mut self, to: SimTime) {
+        debug_assert!(to >= self.now);
+        self.now = to;
+    }
+}
+
+/// The original binary-heap scheduler, kept as the differential oracle
+/// for [`EventQueue`] (see the module docs). Same API, same
+/// deterministic `(time, seq)` pop order, O(log n) operations.
+pub struct BinaryHeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    core: QueueCore,
+}
+
+impl<E> Default for BinaryHeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> std::fmt::Debug for EventQueue<E> {
+impl<E> std::fmt::Debug for BinaryHeapQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue").field("now", &self.now).field("pending", &self.heap.len()).finish()
+        f.debug_struct("BinaryHeapQueue")
+            .field("now", &self.core.now)
+            .field("pending", &self.heap.len())
+            .finish()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> BinaryHeapQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: SimTime::ZERO, next_seq: 0, scheduled: 0 }
+        BinaryHeapQueue { heap: BinaryHeap::new(), core: QueueCore::new() }
     }
 
     /// The current simulated time (the timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
-        self.now
+        self.core.now
     }
 
     /// Number of pending events.
@@ -79,7 +151,7 @@ impl<E> EventQueue<E> {
 
     /// Total events ever scheduled (diagnostics).
     pub fn scheduled_count(&self) -> u64 {
-        self.scheduled
+        self.core.scheduled
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -89,23 +161,157 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is before the current time — events cannot be
     /// scheduled in the past.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {now}", now = self.now);
-        self.heap.push(Entry { time: at, seq: self.next_seq, event });
-        self.next_seq += 1;
-        self.scheduled += 1;
+        let key = self.core.admit(at);
+        self.heap.push(Entry { key, event });
     }
 
     /// Schedules `event` at `now + delay`.
     pub fn schedule_in(&mut self, delay: SimTime, event: E) {
-        self.schedule(self.now + delay, event);
+        self.schedule(self.core.now + delay, event);
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
-        self.now = entry.time;
-        Some((entry.time, entry.event))
+        self.core.advance(entry.key.time);
+        Some((entry.key.time, entry.event))
+    }
+
+    /// Pops the earliest event only if it is at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(entry) if entry.key.time <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.key.time)
+    }
+}
+
+/// Initial (and minimum) bucket count; always a power of two so the
+/// bucket index is a mask, not a modulo.
+const MIN_BUCKETS: usize = 4;
+
+/// A calendar-queue scheduler: a priority queue of timestamped events
+/// with a monotonic clock, O(1) amortized insert and pop.
+///
+/// `pop` returns events in nondecreasing `(time, seq)` order — exactly
+/// the order [`BinaryHeapQueue`] produces — and advances
+/// [`EventQueue::now`]; scheduling an event before `now` is a logic
+/// error and panics, which catches causality bugs at their source.
+///
+/// # Structure
+///
+/// * `buckets[i]` holds events whose timestamp hashes to day `i` of the
+///   current year (`bucket = (t / width) & mask`), each bucket sorted
+///   descending so its minimum is the last element;
+/// * events further than one year ahead of `now` wait in `overflow` (a
+///   min-heap) and migrate into buckets as the clock approaches them;
+/// * on every factor-of-two occupancy change the bucket array resizes
+///   and the width is re-estimated from the live event spread, keeping
+///   mean occupancy O(1).
+pub struct EventQueue<E> {
+    /// Each bucket sorted descending by [`SchedKey`]; min at the tail.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Bucket width in milliseconds (always ≥ 1).
+    width: u64,
+    /// `buckets.len() - 1`; bucket count is a power of two.
+    mask: usize,
+    /// `width * buckets.len()`: the calendar year in milliseconds.
+    year: u64,
+    /// Events ≥ one year ahead of `now`, as a min-heap.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Events currently in `buckets` (excludes `overflow`).
+    in_buckets: usize,
+    core: QueueCore,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.core.now)
+            .field("pending", &self.len())
+            .field("buckets", &self.buckets.len())
+            .field("width_ms", &self.width)
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1,
+            mask: MIN_BUCKETS - 1,
+            year: MIN_BUCKETS as u64,
+            overflow: BinaryHeap::new(),
+            in_buckets: 0,
+            core: QueueCore::new(),
+        }
+    }
+
+    /// The current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.in_buckets + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever scheduled (diagnostics).
+    pub fn scheduled_count(&self) -> u64 {
+        self.core.scheduled
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time — events cannot be
+    /// scheduled in the past.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let key = self.core.admit(at);
+        self.insert(Entry { key, event });
+        let n = self.len();
+        if n > 2 * self.buckets.len()
+            || (n < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS)
+        {
+            self.resize(n);
+        }
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.core.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.remove_min()?;
+        self.core.advance(entry.key.time);
+        let n = self.len();
+        if n > 0 && n < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            self.resize(n);
+        }
+        Some((entry.key.time, entry.event))
     }
 
     /// Pops the earliest event only if it is at or before `horizon`.
@@ -113,15 +319,151 @@ impl<E> EventQueue<E> {
     /// Use this to run a simulation to a fixed end time while leaving
     /// later events (e.g. pending renewals) unprocessed.
     pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
-        match self.heap.peek() {
-            Some(entry) if entry.time <= horizon => self.pop(),
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
             _ => None,
         }
     }
 
     /// The timestamp of the next event, if any.
+    ///
+    /// Bucketed events always precede overflow events (they are within
+    /// one year of `now`, overflow events beyond it), so no migration is
+    /// needed to answer the question.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if self.in_buckets > 0 {
+            Some(self.locate_min().time)
+        } else {
+            self.overflow.peek().map(|e| e.key.time)
+        }
+    }
+
+    /// Places an entry into its bucket or the overflow year.
+    ///
+    /// Invariant: every bucketed entry satisfies `time < insert_now +
+    /// year ≤ now + year` (the clock only advances), so a one-year lap
+    /// starting at `now`'s bucket always covers every bucketed event.
+    fn insert(&mut self, entry: Entry<E>) {
+        let t = entry.key.time.as_millis();
+        if t - self.core.now.as_millis() >= self.year {
+            self.overflow.push(entry);
+            return;
+        }
+        let bucket = &mut self.buckets[(t / self.width) as usize & self.mask];
+        // Sorted descending: find where this key slots so the tail stays
+        // the minimum. Most inserts land near the front (later times).
+        let pos = bucket.partition_point(|e| e.key > entry.key);
+        bucket.insert(pos, entry);
+        self.in_buckets += 1;
+    }
+
+    /// Moves overflow events that are now within one year of the clock
+    /// into their buckets.
+    fn migrate_overflow(&mut self) {
+        let now = self.core.now.as_millis();
+        while let Some(head) = self.overflow.peek() {
+            if head.key.time.as_millis() - now >= self.year {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry");
+            let t = entry.key.time.as_millis();
+            let bucket = &mut self.buckets[(t / self.width) as usize & self.mask];
+            let pos = bucket.partition_point(|e| e.key > entry.key);
+            bucket.insert(pos, entry);
+            self.in_buckets += 1;
+        }
+    }
+
+    /// The bucket holding the minimum bucketed entry. Requires
+    /// `in_buckets > 0`.
+    ///
+    /// Scans one calendar lap from `now`'s bucket: window `k` covers
+    /// timestamps `[(start+k)·width, (start+k+1)·width)`; the first
+    /// bucket whose minimum falls inside its window holds the global
+    /// minimum (windows are disjoint and increasing, and the insert
+    /// invariant guarantees every bucketed event lies within one lap).
+    fn locate_min_bucket(&self) -> usize {
+        let start = self.core.now.as_millis() / self.width;
+        for k in 0..=self.buckets.len() as u64 {
+            let idx = (start + k) as usize & self.mask;
+            if let Some(tail) = self.buckets[idx].last() {
+                if tail.key.time.as_millis() < (start + k + 1) * self.width {
+                    return idx;
+                }
+            }
+        }
+        unreachable!("bucketed event outside its calendar year");
+    }
+
+    /// The minimum bucketed key. Requires `in_buckets > 0`.
+    fn locate_min(&self) -> SchedKey {
+        self.buckets[self.locate_min_bucket()].last().expect("nonempty bucket").key
+    }
+
+    /// Removes and returns the overall minimum entry.
+    fn remove_min(&mut self) -> Option<Entry<E>> {
+        self.migrate_overflow();
+        if self.in_buckets > 0 {
+            // Bucketed events are all < now + year; overflow events are
+            // all ≥ now + year, so the bucket minimum wins outright.
+            let idx = self.locate_min_bucket();
+            self.in_buckets -= 1;
+            self.buckets[idx].pop()
+        } else {
+            self.overflow.pop()
+        }
+    }
+
+    /// Rebuilds the calendar for the current occupancy: bucket count is
+    /// the next power of two ≥ `n`, width the mean gap between live
+    /// events (estimated from their spread), and every event re-hashed.
+    /// O(n), amortized O(1) per operation by the factor-of-two trigger.
+    fn resize(&mut self, n: usize) {
+        let count = n.next_power_of_two().max(MIN_BUCKETS);
+        let mut drained: Vec<Entry<E>> = Vec::with_capacity(n);
+        for bucket in &mut self.buckets {
+            drained.append(bucket);
+        }
+        drained.extend(self.overflow.drain());
+
+        // Deterministic width estimate in the style of Brown's original:
+        // twice the mean gap between the soonest events, so near-term
+        // buckets hold O(1) events even when a long tail (e.g. renewals
+        // days out) stretches the overall spread. Far-tail events simply
+        // ride the overflow year. Simultaneous bursts degenerate to the
+        // uniform-spread estimate, then to width 1.
+        const SAMPLE: usize = 32;
+        let mut soonest: Vec<u64> = Vec::with_capacity(SAMPLE);
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for e in &drained {
+            let t = e.key.time.as_millis();
+            lo = lo.min(t);
+            hi = hi.max(t);
+            match soonest.binary_search(&t) {
+                Ok(pos) | Err(pos) if pos < SAMPLE => {
+                    if soonest.len() == SAMPLE {
+                        soonest.pop();
+                    }
+                    soonest.insert(pos, t);
+                }
+                _ => {}
+            }
+        }
+        let head_spread = soonest.last().unwrap() - soonest[0];
+        self.width = if head_spread > 0 {
+            (2 * head_spread / soonest.len() as u64).max(1)
+        } else {
+            ((hi - lo) / n as u64).max(1)
+        };
+        self.mask = count - 1;
+        self.year = self.width.saturating_mul(count as u64);
+        if self.buckets.len() != count {
+            self.buckets.resize_with(count, Vec::new);
+        }
+        self.in_buckets = 0;
+        for entry in drained {
+            self.insert(entry);
+        }
     }
 }
 
@@ -169,6 +511,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn heap_queue_scheduling_into_the_past_panics() {
+        let mut q = BinaryHeapQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
     fn pop_until_respects_horizon() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(1), 'a');
@@ -185,5 +536,45 @@ mod tests {
         q.pop();
         q.schedule_in(SimTime::from_secs(3), 'y');
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn far_future_events_ride_the_overflow_year() {
+        let mut q = EventQueue::new();
+        // Tight cluster now, one event years of bucket-widths away.
+        for i in 0..8u64 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        q.schedule(SimTime::from_days(400), 99);
+        let mut order = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            order.push(e);
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7, 99]);
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_resizes() {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_millis(i * 37 % 50_000), i);
+        }
+        assert!(q.buckets.len() >= 4096, "grew with occupancy: {}", q.buckets.len());
+        let mut last = SimTime::ZERO;
+        let mut popped = 0u64;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        assert_eq!(popped, 10_000);
+    }
+
+    #[test]
+    fn sched_key_orders_by_time_then_seq() {
+        let a = SchedKey { time: SimTime::from_secs(1), seq: 9 };
+        let b = SchedKey { time: SimTime::from_secs(2), seq: 0 };
+        let c = SchedKey { time: SimTime::from_secs(1), seq: 10 };
+        assert!(a < b && a < c && c < b);
     }
 }

@@ -52,11 +52,26 @@ cargo test -q --release --offline --test tracing
 echo "==> cargo test -p whopay-core --release audit (invariant auditor unit suite)"
 cargo test -p whopay-core -q --release --offline --lib audit
 
+echo "==> cargo test -p whopay-sim --release --test queue_equiv (calendar queue ≡ binary heap props)"
+cargo test -p whopay-sim -q --release --offline --test queue_equiv
+
+echo "==> cargo test -p whopay-sim --release lifecycle (peer life-cycle transition matrix + churn equivalence)"
+cargo test -p whopay-sim -q --release --offline --lib lifecycle
+
+echo "==> cargo test -p whopay-eval --release (arena ≡ legacy differential + partitioned determinism)"
+cargo test -p whopay-eval -q --release --offline --test arena_equiv --test partitioned
+
+echo "==> cargo test -p whopay-eval --release --test scale_smoke (pinned-seed 100k-peer partitioned run, < 30 s budget)"
+cargo test -p whopay-eval -q --release --offline --test scale_smoke -- --ignored
+
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --offline
 
 echo "==> cargo build --release --bin bench_shard_json (shard-scaling bench stays buildable)"
 cargo build --release --offline -p whopay-bench --bin bench_shard_json
+
+echo "==> cargo build --release --bin bench_loadsim_json (load-sim scaling bench stays buildable)"
+cargo build --release --offline -p whopay-bench --bin bench_loadsim_json
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
