@@ -19,7 +19,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::types::CoinId;
+use crate::types::{ChainId, CoinId};
 
 /// One detected invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +42,12 @@ pub enum Invariant {
     /// A downtime binding committed with a sequence number not strictly
     /// above the last one committed for that coin.
     BindingSequence,
+    /// A micropayment chain redemption committed without advancing the
+    /// chain's settled total — the same value credited twice.
+    DoubleRedemption,
+    /// A micropayment chain's settled total committed past its signed
+    /// capacity — more value redeemed than was ever committed.
+    ChainOverCapacity,
 }
 
 impl Invariant {
@@ -51,6 +57,8 @@ impl Invariant {
             Invariant::ValueConservation => "value_conservation",
             Invariant::DoubleDeposit => "double_deposit",
             Invariant::BindingSequence => "binding_sequence",
+            Invariant::DoubleRedemption => "double_redemption",
+            Invariant::ChainOverCapacity => "chain_over_capacity",
         }
     }
 }
@@ -66,6 +74,9 @@ pub struct Auditor {
     deposited: u64,
     deposited_coins: HashSet<CoinId>,
     binding_seq: HashMap<CoinId, u64>,
+    /// Per-chain `(settled_total, capacity)` after the last committed
+    /// redemption.
+    chain_settled: HashMap<ChainId, (u64, u64)>,
     violations: Vec<Violation>,
 }
 
@@ -115,6 +126,38 @@ impl Auditor {
         self.binding_seq.insert(coin, seq);
     }
 
+    /// Records a committed chain redemption: the chain's new settled
+    /// total against its signed capacity. A committed redemption must
+    /// strictly advance the total (else the same value was credited
+    /// twice) and must never pass the capacity the payer signed.
+    pub fn on_chain_redeem(&mut self, chain: ChainId, total: u64, capacity: u64) {
+        if let Some(&(prev, _)) = self.chain_settled.get(&chain) {
+            if total <= prev {
+                self.record_chain(
+                    Invariant::DoubleRedemption,
+                    format!("chain {chain} settled total {total} after {prev}"),
+                );
+            }
+        }
+        if total > capacity {
+            self.record_chain(
+                Invariant::ChainOverCapacity,
+                format!("chain {chain} settled {total} > capacity {capacity}"),
+            );
+        }
+        self.chain_settled.insert(chain, (total, capacity));
+    }
+
+    /// Re-baselines the chain-redemption history from checkpoint state:
+    /// `chains` yields each chain's id, settled total, and capacity.
+    /// Call after [`Auditor::rebuild`], which clears chain state too.
+    pub fn rebuild_chains<I: IntoIterator<Item = (ChainId, u64, u64)>>(&mut self, chains: I) {
+        self.chain_settled.clear();
+        for (id, total, capacity) in chains {
+            self.chain_settled.insert(id, (total, capacity));
+        }
+    }
+
     /// Re-baselines the auditor from checkpoint state: `coins` yields
     /// each coin's id, whether it is deposited, and its downtime binding
     /// sequence if one is held. History before the checkpoint is
@@ -124,6 +167,7 @@ impl Auditor {
         self.deposited = 0;
         self.deposited_coins.clear();
         self.binding_seq.clear();
+        self.chain_settled.clear();
         for (id, deposited, seq) in coins {
             self.minted += 1;
             if deposited {
@@ -138,6 +182,10 @@ impl Auditor {
 
     fn record(&mut self, invariant: Invariant, coin: Option<CoinId>, detail: String) {
         self.violations.push(Violation { invariant, coin, detail });
+    }
+
+    fn record_chain(&mut self, invariant: Invariant, detail: String) {
+        self.violations.push(Violation { invariant, coin: None, detail });
     }
 
     /// Coins minted since the baseline.
@@ -209,6 +257,31 @@ mod tests {
         a.on_binding(coin(1), 3);
         assert_eq!(a.violations()[0].invariant, Invariant::BindingSequence);
         assert_eq!(a.violations()[0].detail, "binding seq 3 after 3");
+    }
+
+    #[test]
+    fn chain_redemptions_must_advance_within_capacity() {
+        let chain = ChainId([5; 32]);
+        let mut a = Auditor::new();
+        a.on_chain_redeem(chain, 10, 100);
+        a.on_chain_redeem(chain, 25, 100);
+        assert!(a.ok());
+        // Committing without advancing the total = value credited twice.
+        a.on_chain_redeem(chain, 25, 100);
+        assert_eq!(a.violations()[0].invariant, Invariant::DoubleRedemption);
+        // Passing the signed capacity = value minted from nothing.
+        a.on_chain_redeem(chain, 101, 100);
+        assert!(a.violations().iter().any(|v| v.invariant == Invariant::ChainOverCapacity));
+    }
+
+    #[test]
+    fn rebuild_chains_restores_the_monotonicity_floor() {
+        let chain = ChainId([6; 32]);
+        let mut a = Auditor::new();
+        a.rebuild(Vec::new());
+        a.rebuild_chains(vec![(chain, 40, 100)]);
+        a.on_chain_redeem(chain, 40, 100);
+        assert_eq!(a.violations()[0].invariant, Invariant::DoubleRedemption);
     }
 
     #[test]

@@ -12,20 +12,23 @@ use std::sync::Arc;
 use rand::Rng;
 use whopay_crypto::dsa::{DsaKeyPair, DsaPublicKey};
 use whopay_crypto::group_sig::{GroupPublicKey, GroupSignature};
+use whopay_crypto::payword::{Payword, SkipVerifier};
+use whopay_crypto::sha256::Digest;
 use whopay_num::{BigUint, SchnorrGroup};
 
 use crate::audit::Auditor;
 use crate::chain::BindingChain;
 use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
 use crate::error::CoreError;
-use crate::journal::{CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
+use crate::journal::{ChainSnapshot, CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
 use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, PurchaseRequest, RenewalRequest, TransferRequest,
 };
+use crate::micropay::{RedeemChainRequest, RedemptionReceipt};
 use crate::params::SystemParams;
 use crate::replay::ServedOp;
 use crate::sigcache::SigCache;
-use crate::types::{CoinId, PeerId, Timestamp};
+use crate::types::{ChainId, CoinId, PeerId, Timestamp};
 use crate::vpool::VerifyPool;
 
 /// Per-coin broker state.
@@ -38,6 +41,23 @@ struct CoinRecord {
     deposited: bool,
     /// The last mutating op served for this coin — the replay memo that
     /// makes re-delivered requests idempotent (see [`crate::replay`]).
+    last_served: Option<ServedOp>,
+}
+
+/// Per-chain broker state for streaming micropayment redemption.
+///
+/// The broker never replays the whole hash chain: it keeps the word at
+/// the settled frontier and resumes a [`SkipVerifier`] from it, so each
+/// incremental redemption costs `O(gap mod checkpoint_every + 1)`
+/// SHA-256 evaluations regardless of chain length.
+#[derive(Debug)]
+struct ChainRecord {
+    commitment: crate::micropay::ChainCommitment,
+    /// Units settled (credited) so far — the payword index frontier.
+    settled: u64,
+    /// The chain word at index `settled`, the verifier's resume anchor.
+    best_word: Digest,
+    /// The last redemption served — the replay memo (see [`crate::replay`]).
     last_served: Option<ServedOp>,
 }
 
@@ -74,6 +94,8 @@ pub struct BrokerStats {
     /// Duplicate requests answered from a replay memo instead of
     /// re-applying (the idempotency defence under retries/duplication).
     pub replays: u64,
+    /// Micropayment chain redemptions settled.
+    pub redemptions: u64,
 }
 
 /// The WhoPay broker.
@@ -84,6 +106,7 @@ pub struct Broker {
     gpk: GroupPublicKey,
     registered: HashMap<PeerId, DsaPublicKey>,
     coins: HashMap<CoinId, CoinRecord>,
+    chains: HashMap<ChainId, ChainRecord>,
     fraud: Vec<FraudCase>,
     stats: BrokerStats,
     /// Verdict cache; primed with own mint signatures so deposits hit.
@@ -116,6 +139,7 @@ impl Broker {
             gpk,
             registered: HashMap::new(),
             coins: HashMap::new(),
+            chains: HashMap::new(),
             fraud: Vec::new(),
             stats: BrokerStats::default(),
             sig_cache: Arc::new(SigCache::default()),
@@ -419,6 +443,113 @@ impl Broker {
             }
         }
         chain.verify_each(Some(&self.sig_cache), &self.vpool);
+    }
+
+    // --- micropayment redemption ---
+
+    /// Settles a micropayment chain redemption: credits the difference
+    /// between the presented payword's index and the chain's settled
+    /// frontier (§4.2's deposit, per chain instead of per coin).
+    ///
+    /// Only the *commitment's* group signature is ever verified (once,
+    /// then served from the verdict cache); advancing the frontier costs
+    /// a handful of SHA-256 evaluations via [`SkipVerifier::resume`].
+    /// A byte-identical re-delivery is answered from the replay memo.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ChainMismatch`] when a known chain id arrives under
+    /// a different commitment, [`CoreError::BadGroupSignature`] /
+    /// [`CoreError::Malformed`] for a bad commitment,
+    /// [`CoreError::ChainOverCapacity`] past the signed capacity,
+    /// [`CoreError::StaleBinding`] when the payword does not advance the
+    /// frontier, and [`CoreError::BadSignature`] when the payword fails
+    /// hash verification.
+    pub fn handle_redeem_chain(
+        &mut self,
+        request: &RedeemChainRequest,
+    ) -> Result<RedemptionReceipt, CoreError> {
+        let group = self.params.group().clone();
+        let commitment = &request.commitment;
+        let id = commitment.chain_id();
+        if let Some(record) = self.chains.get(&id) {
+            if record.commitment != *commitment {
+                return self.reject(CoreError::ChainMismatch(id));
+            }
+            // Exactly the redemption we already credited: a retried or
+            // duplicated delivery. Return the original receipt.
+            if let Some(receipt) =
+                record.last_served.as_ref().and_then(|s| s.replay_redeem_chain(request))
+            {
+                let receipt = *receipt;
+                self.stats.replays += 1;
+                self.jrecord(JournalOp::Counters);
+                return Ok(receipt);
+            }
+        }
+        if !commitment.shape_ok() {
+            return self.reject(CoreError::Malformed);
+        }
+        let key = commitment.cache_key(&self.gpk);
+        if !self.sig_cache.verify_with(key, || commitment.verify(&group, &self.gpk)) {
+            return self.reject(CoreError::BadGroupSignature);
+        }
+        if request.payword.index > commitment.capacity {
+            return self.reject(CoreError::ChainOverCapacity {
+                capacity: commitment.capacity,
+                presented: request.payword.index,
+            });
+        }
+        let best = match self.chains.get(&id) {
+            Some(record) => Payword { index: record.settled, word: record.best_word },
+            None => Payword { index: 0, word: commitment.root },
+        };
+        if request.payword.index <= best.index {
+            // A non-identical request at or below the frontier would
+            // re-credit value already paid out; the frontier is the
+            // monotonic sequence the redeemer must beat.
+            return self.reject(CoreError::StaleBinding {
+                expected_seq: best.index,
+                presented_seq: request.payword.index,
+            });
+        }
+        let mut verifier = SkipVerifier::resume(
+            commitment.root,
+            commitment.capacity,
+            commitment.checkpoint_every,
+            commitment.checkpoints.clone(),
+            best,
+        );
+        let Some(credited) = verifier.receive(request.payword) else {
+            return self.reject(CoreError::BadSignature);
+        };
+        let total = verifier.best().index;
+        let receipt = RedemptionReceipt { chain: id, credited, total };
+        let served = ServedOp::RedeemChain { request: request.clone(), receipt };
+        let record = self.chains.entry(id).or_insert_with(|| ChainRecord {
+            commitment: commitment.clone(),
+            settled: 0,
+            best_word: commitment.root,
+            last_served: None,
+        });
+        record.settled = total;
+        record.best_word = request.payword.word;
+        record.last_served = Some(served.clone());
+        self.stats.redemptions += 1;
+        self.audit.on_chain_redeem(id, total, commitment.capacity);
+        self.jrecord(JournalOp::ChainRedeem { chain: id, served });
+        Ok(receipt)
+    }
+
+    /// Units settled so far on a chain, if the broker has seen it.
+    pub fn chain_settled(&self, chain: &ChainId) -> Option<u64> {
+        self.chains.get(chain).map(|r| r.settled)
+    }
+
+    /// Total micropayment value credited across all chains — the number
+    /// the conservation checks compare against senders' spend totals.
+    pub fn settled_micropay_value(&self) -> u64 {
+        self.chains.values().map(|r| r.settled).sum()
     }
 
     // --- downtime protocol ---
@@ -753,7 +884,23 @@ impl Broker {
             })
             .collect();
         coins.sort_by_key(|(id, _)| id.0);
-        CheckpointState { registered, coins, fraud: self.fraud.clone() }
+        let mut chains: Vec<(ChainId, ChainSnapshot)> = self
+            .chains
+            .iter()
+            .map(|(id, r)| {
+                (
+                    *id,
+                    ChainSnapshot {
+                        commitment: r.commitment.clone(),
+                        settled: r.settled,
+                        best_word: r.best_word,
+                        last_served: r.last_served.clone(),
+                    },
+                )
+            })
+            .collect();
+        chains.sort_by_key(|(id, _)| id.0);
+        CheckpointState { registered, coins, fraud: self.fraud.clone(), chains }
     }
 
     /// Rebuilds a broker from its journal after a crash.
@@ -801,11 +948,26 @@ impl Broker {
                     );
                 }
                 self.fraud = state.fraud.clone();
+                self.chains.clear();
+                for (id, snap) in &state.chains {
+                    self.chains.insert(
+                        *id,
+                        ChainRecord {
+                            commitment: snap.commitment.clone(),
+                            settled: snap.settled,
+                            best_word: snap.best_word,
+                            last_served: snap.last_served.clone(),
+                        },
+                    );
+                }
                 // The auditor re-baselines on the checkpoint summary and
                 // then re-audits the tail of the journal as it replays.
                 self.audit.rebuild(state.coins.iter().map(|(id, snap)| {
                     (*id, snap.deposited, snap.downtime_binding.as_ref().map(Binding::seq))
                 }));
+                self.audit.rebuild_chains(
+                    state.chains.iter().map(|(id, snap)| (*id, snap.settled, snap.commitment.capacity)),
+                );
             }
             JournalOp::Register { peer, key } => {
                 self.registered.insert(*peer, key.clone());
@@ -838,6 +1000,20 @@ impl Broker {
                 }
             }
             JournalOp::Fraud { case } => self.fraud.push(case.clone()),
+            JournalOp::ChainRedeem { chain, served } => {
+                if let ServedOp::RedeemChain { request, receipt } = served {
+                    self.audit.on_chain_redeem(*chain, receipt.total, request.commitment.capacity);
+                    let record = self.chains.entry(*chain).or_insert_with(|| ChainRecord {
+                        commitment: request.commitment.clone(),
+                        settled: 0,
+                        best_word: request.commitment.root,
+                        last_served: None,
+                    });
+                    record.settled = receipt.total;
+                    record.best_word = request.payword.word;
+                    record.last_served = Some(served.clone());
+                }
+            }
             JournalOp::Counters => {}
         }
         self.stats = entry.stats;

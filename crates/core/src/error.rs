@@ -1,6 +1,6 @@
 //! Protocol errors.
 
-use crate::types::{CoinId, PeerId, Timestamp};
+use crate::types::{ChainId, CoinId, PeerId, Timestamp};
 
 /// Everything that can go wrong in a WhoPay protocol step.
 ///
@@ -53,6 +53,19 @@ pub enum CoreError {
         /// The configured maximum.
         max: usize,
     },
+    /// No open micropayment chain with this id (never opened here, or
+    /// already settled and closed).
+    UnknownChain(ChainId),
+    /// A micropayment commitment disagrees with the record already held
+    /// for the same chain id (root reuse with different parameters).
+    ChainMismatch(ChainId),
+    /// A payword or redemption exceeds the chain's committed capacity.
+    ChainOverCapacity {
+        /// The committed capacity.
+        capacity: u64,
+        /// The payword index presented.
+        presented: u64,
+    },
     /// A received message failed to decode.
     Malformed,
 }
@@ -80,6 +93,13 @@ impl std::fmt::Display for CoreError {
             CoreError::PublicBindingMissing => f.write_str("public binding not found in DHT"),
             CoreError::UnknownPeer(p) => write!(f, "unregistered peer {p}"),
             CoreError::TooManyLayers { max } => write!(f, "layered coin exceeds {max} layers"),
+            CoreError::UnknownChain(c) => write!(f, "unknown micropayment chain {c}"),
+            CoreError::ChainMismatch(c) => {
+                write!(f, "commitment disagrees with the record for chain {c}")
+            }
+            CoreError::ChainOverCapacity { capacity, presented } => {
+                write!(f, "payword index {presented} exceeds chain capacity {capacity}")
+            }
             CoreError::Malformed => f.write_str("malformed message"),
         }
     }

@@ -26,12 +26,17 @@ use crate::broker::{BrokerStats, FraudCase};
 use crate::codec::{DecodeError, Reader, Writer};
 use crate::coin::{Binding, MintedCoin};
 use crate::error::CoreError;
+use whopay_crypto::sha256::Digest;
+
 use crate::messages::{DepositReceipt, PurchaseRequest, RenewalRequest, TransferRequest};
+use crate::micropay::{ChainCommitment, RedeemChainRequest};
 use crate::replay::ServedOp;
-use crate::types::{CoinId, PeerId};
+use crate::types::{ChainId, CoinId, PeerId};
 use crate::wire::{
-    get_binding, get_deposit, get_grant, get_gsig, get_minted, get_nonce, get_owner_tag, get_sig,
-    put_binding, put_deposit, put_grant, put_gsig, put_minted, put_nonce, put_owner_tag, put_sig,
+    get_binding, get_commitment, get_deposit, get_digest32, get_grant, get_gsig, get_minted, get_nonce,
+    get_owner_tag, get_payword, get_redemption_receipt, get_sig, put_binding, put_commitment,
+    put_deposit, put_grant, put_gsig, put_minted, put_nonce, put_owner_tag, put_payword,
+    put_redemption_receipt, put_sig,
 };
 
 /// One coin's complete broker-side state, as frozen by a checkpoint.
@@ -47,6 +52,21 @@ pub struct CoinSnapshot {
     pub last_served: Option<ServedOp>,
 }
 
+/// One micropayment chain's complete broker-side state, as frozen by a
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSnapshot {
+    /// The group-signed commitment presented at first redemption.
+    pub commitment: ChainCommitment,
+    /// Units settled (credited) so far.
+    pub settled: u64,
+    /// The chain word at index `settled` — the resume anchor for the
+    /// next incremental redemption.
+    pub best_word: Digest,
+    /// The last redemption served for this chain (the replay memo).
+    pub last_served: Option<ServedOp>,
+}
+
 /// The broker's full state at a checkpoint, in canonical (sorted) order
 /// so two snapshots of identical state compare equal.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -57,6 +77,8 @@ pub struct CheckpointState {
     pub coins: Vec<(CoinId, CoinSnapshot)>,
     /// Fraud cases, in detection order.
     pub fraud: Vec<FraudCase>,
+    /// All micropayment chain records, sorted by chain id.
+    pub chains: Vec<(ChainId, ChainSnapshot)>,
 }
 
 /// One journalled broker mutation.
@@ -96,6 +118,14 @@ pub enum JournalOp {
     Fraud {
         /// The recorded case.
         case: FraudCase,
+    },
+    /// A micropayment chain redemption settled value.
+    ChainRedeem {
+        /// The redeemed chain.
+        chain: ChainId,
+        /// The replay memo set on the record (carries the commitment
+        /// and receipt, so recovery can rebuild the chain record).
+        served: ServedOp,
     },
     /// No structural change — only the stats snapshot riding on the
     /// entry matters (rejections, syncs, replays).
@@ -195,7 +225,8 @@ fn put_stats(w: &mut Writer, s: &BrokerStats) {
         .u64(s.downtime_renewals)
         .u64(s.syncs)
         .u64(s.rejections)
-        .u64(s.replays);
+        .u64(s.replays)
+        .u64(s.redemptions);
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<BrokerStats, DecodeError> {
@@ -207,6 +238,7 @@ fn get_stats(r: &mut Reader<'_>) -> Result<BrokerStats, DecodeError> {
         syncs: r.u64()?,
         rejections: r.u64()?,
         replays: r.u64()?,
+        redemptions: r.u64()?,
     })
 }
 
@@ -322,6 +354,12 @@ fn put_served(w: &mut Writer, op: &ServedOp) {
             put_deposit(w, request);
             put_receipt(w, receipt);
         }
+        ServedOp::RedeemChain { request, receipt } => {
+            w.u64(5);
+            put_commitment(w, &request.commitment);
+            put_payword(w, &request.payword);
+            put_redemption_receipt(w, receipt);
+        }
     }
 }
 
@@ -332,6 +370,10 @@ fn get_served(r: &mut Reader<'_>) -> Result<ServedOp, DecodeError> {
         2 => Ok(ServedOp::Transfer { request: get_transfer(r)?, grant: get_grant(r)? }),
         3 => Ok(ServedOp::Renewal { request: get_renewal(r)?, binding: get_binding(r)? }),
         4 => Ok(ServedOp::Deposit { request: get_deposit(r)?, receipt: get_receipt(r)? }),
+        5 => Ok(ServedOp::RedeemChain {
+            request: RedeemChainRequest { commitment: get_commitment(r)?, payword: get_payword(r)? },
+            receipt: get_redemption_receipt(r)?,
+        }),
         _ => Err(DecodeError),
     }
 }
@@ -401,6 +443,13 @@ fn put_checkpoint(w: &mut Writer, state: &CheckpointState) {
     for case in &state.fraud {
         put_fraud(w, case);
     }
+    w.u64(state.chains.len() as u64);
+    for (id, snap) in &state.chains {
+        w.bytes(&id.0);
+        put_commitment(w, &snap.commitment);
+        w.u64(snap.settled).bytes(&snap.best_word);
+        put_opt_served(w, &snap.last_served);
+    }
 }
 
 fn get_checkpoint(r: &mut Reader<'_>) -> Result<CheckpointState, DecodeError> {
@@ -434,7 +483,17 @@ fn get_checkpoint(r: &mut Reader<'_>) -> Result<CheckpointState, DecodeError> {
     for _ in 0..n {
         fraud.push(get_fraud(r)?);
     }
-    Ok(CheckpointState { registered, coins, fraud })
+    let n = r.u64()? as usize;
+    let mut chains = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let id = ChainId(get_digest32(r)?);
+        let commitment = get_commitment(r)?;
+        let settled = r.u64()?;
+        let best_word = get_digest32(r)?;
+        let last_served = get_opt_served(r)?;
+        chains.push((id, ChainSnapshot { commitment, settled, best_word, last_served }));
+    }
+    Ok(CheckpointState { registered, coins, fraud, chains })
 }
 
 fn put_op(w: &mut Writer, op: &JournalOp) {
@@ -469,6 +528,10 @@ fn put_op(w: &mut Writer, op: &JournalOp) {
             w.u64(6);
             put_checkpoint(w, state);
         }
+        JournalOp::ChainRedeem { chain, served } => {
+            w.u64(7).bytes(&chain.0);
+            put_served(w, served);
+        }
     }
 }
 
@@ -488,6 +551,7 @@ fn get_op(r: &mut Reader<'_>) -> Result<JournalOp, DecodeError> {
         4 => Ok(JournalOp::Fraud { case: get_fraud(r)? }),
         5 => Ok(JournalOp::Counters),
         6 => Ok(JournalOp::Checkpoint(get_checkpoint(r)?)),
+        7 => Ok(JournalOp::ChainRedeem { chain: ChainId(get_digest32(r)?), served: get_served(r)? }),
         _ => Err(DecodeError),
     }
 }

@@ -110,18 +110,22 @@ pub use broker::{Broker, BrokerStats, FraudCase};
 pub use chain::BindingChain;
 pub use coin::{Binding, BindingSigner, DoubleSpendEvidence, MintedCoin, OwnerTag, PublicBindingState};
 pub use error::CoreError;
-pub use journal::{CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
+pub use journal::{ChainSnapshot, CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
 pub use judge::{Judge, RevealedIdentity};
 pub use messages::{
     CoinGrant, DepositReceipt, DepositRequest, PaymentInvite, PurchaseRequest, ReceiveSession,
     RenewalRequest, TransferRequest,
 };
+pub use micropay::{
+    ChainCommitment, MicropayHost, MicropayReceiver, MicropaySender, RedeemChainRequest,
+    RedemptionReceipt,
+};
 pub use params::SystemParams;
 pub use peer::{HeldCoin, OwnedCoin, Peer, PendingPurchase, PurchaseMode};
 pub use replay::ServedOp;
-pub use shard::{shard_of, CrossStats, ShardedBroker};
+pub use shard::{shard_of, shard_of_chain, CrossStats, ShardedBroker};
 pub use shop::CoinShop;
 pub use sigcache::{CacheKeyer, SigCache};
-pub use types::{CoinId, PeerId, Timestamp};
+pub use types::{ChainId, CoinId, PeerId, Timestamp};
 pub use view::{RequestView, ResponseView};
 pub use vpool::VerifyPool;

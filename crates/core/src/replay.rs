@@ -21,6 +21,7 @@ use crate::coin::{Binding, MintedCoin};
 use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, Nonce, PurchaseRequest, RenewalRequest, TransferRequest,
 };
+use crate::micropay::{RedeemChainRequest, RedemptionReceipt};
 
 /// The last mutating operation a handler served for one coin: the
 /// honoured request plus the response it produced.
@@ -69,6 +70,13 @@ pub enum ServedOp {
         /// The receipt returned to the depositor.
         receipt: DepositReceipt,
     },
+    /// The broker settled this micropayment chain redemption.
+    RedeemChain {
+        /// The redemption request that was honoured.
+        request: RedeemChainRequest,
+        /// The receipt returned to the redeemer.
+        receipt: RedemptionReceipt,
+    },
 }
 
 impl ServedOp {
@@ -114,6 +122,15 @@ impl ServedOp {
     pub fn replay_deposit(&self, request: &DepositRequest) -> Option<&DepositReceipt> {
         match self {
             ServedOp::Deposit { request: served, receipt } if served == request => Some(receipt),
+            _ => None,
+        }
+    }
+
+    /// The memoised redemption receipt, if this memo records exactly
+    /// `request`.
+    pub fn replay_redeem_chain(&self, request: &RedeemChainRequest) -> Option<&RedemptionReceipt> {
+        match self {
+            ServedOp::RedeemChain { request: served, receipt } if served == request => Some(receipt),
             _ => None,
         }
     }

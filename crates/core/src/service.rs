@@ -34,13 +34,16 @@ use rand::SeedableRng;
 use whopay_net::{Classify, EndpointId, ErrorClass, Network, RequestError, RetryPolicy};
 use whopay_obs::{Event, Obs, OpKind, Role, Span, TraceContext};
 
+use whopay_crypto::payword::Payword;
+
 use crate::broker::Broker;
 use crate::codec;
 use crate::error::CoreError;
 use crate::messages::{CoinGrant, DepositReceipt, PaymentInvite, PurchaseRequest};
+use crate::micropay::{ChainCommitment, MicropayHost, RedeemChainRequest, RedemptionReceipt};
 use crate::peer::{Peer, PurchaseMode};
 use crate::shard::ShardedBroker;
-use crate::types::{CoinId, Timestamp};
+use crate::types::{ChainId, CoinId, Timestamp};
 use crate::view::RequestView;
 use crate::wire::{wire_kind, Request, Response};
 
@@ -188,6 +191,13 @@ pub fn attach_broker_obs(
                 // The challenge never leaves the wire buffer.
                 match broker.borrow_mut().sync_for_owner(peer, challenge, &response.to_sig()) {
                     Ok(bindings) => Response::Bindings(bindings),
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(RequestView::RedeemChain { commitment, payword }) => {
+                let request = RedeemChainRequest { commitment: commitment.to_commitment(), payword };
+                match broker.borrow_mut().handle_redeem_chain(&request) {
+                    Ok(receipt) => Response::Redeemed(receipt),
                     Err(e) => Response::Error(e.to_string()),
                 }
             }
@@ -339,6 +349,14 @@ pub fn attach_shard_endpoints_obs(
                                 Err(e) => Response::Error(e.to_string()),
                             }
                         }
+                        Ok(RequestView::RedeemChain { commitment, payword }) => {
+                            let request =
+                                RedeemChainRequest { commitment: commitment.to_commitment(), payword };
+                            match sharded.handle_redeem_chain(&request) {
+                                Ok(receipt) => Response::Redeemed(receipt),
+                                Err(e) => Response::Error(e.to_string()),
+                            }
+                        }
                         Ok(_) => Response::Error("request not handled by the broker".into()),
                     };
                     let reply = if caller.is_some() { span.context() } else { None };
@@ -354,6 +372,100 @@ pub fn attach_shard_endpoints_obs(
             id
         })
         .collect()
+}
+
+/// Attaches a micropayment host (the *payee* side of streaming PayWord
+/// channels) to the network: chain opens, single ticks, and batched
+/// ticks become available at the returned endpoint.
+pub fn attach_micropay_host(net: &mut Network, host: Rc<RefCell<MicropayHost>>) -> EndpointId {
+    attach_micropay_host_obs(net, host, Obs::disabled())
+}
+
+/// [`attach_micropay_host`] with an observability context. Beyond the
+/// usual dispatch spans, a metrics-backed `obs` gets the streaming
+/// counters: `micropay.opens`, `micropay.ticks`, `micropay.units`
+/// (value received), `micropay.rejections`, and the
+/// `micropay.tick_verify_hashes` histogram recording how many SHA-256
+/// evaluations each tick verification actually spent — the observable
+/// form of the checkpointed skip-verification bound.
+pub fn attach_micropay_host_obs(
+    net: &mut Network,
+    host: Rc<RefCell<MicropayHost>>,
+    obs: Obs,
+) -> EndpointId {
+    let metrics = obs.metrics().cloned();
+    let id = net.register_writer("micropay-host", move |_net, bytes: &[u8], out: &mut Vec<u8>| {
+        let (payload, caller) = TraceContext::split(bytes);
+        let mut span = match &caller {
+            Some(parent) => obs.child_span(Role::Peer, OpKind::Other, parent),
+            None => obs.span(Role::Peer, OpKind::Other),
+        };
+        let parsed = RequestView::parse(payload);
+        if let Ok(view) = &parsed {
+            span.set_op(view.op_kind());
+        }
+        // Hash cost per verification = the receiver's hash counter delta
+        // around the dispatch.
+        let hashes_before =
+            |host: &MicropayHost, chain: &ChainId| host.receiver(chain).map_or(0, |r| r.hashes());
+        let response = match parsed {
+            Err(e) => Response::Error(e.to_string()),
+            Ok(RequestView::OpenChain(c)) => match host.borrow_mut().open(&c.to_commitment()) {
+                Ok(chain) => {
+                    if let Some(m) = &metrics {
+                        m.counter("micropay.opens").inc();
+                    }
+                    Response::ChainAccepted(chain)
+                }
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Ok(RequestView::Tick { chain, payword }) => {
+                let mut h = host.borrow_mut();
+                let before = hashes_before(&h, &chain);
+                match h.tick(chain, payword) {
+                    Ok((gained, total)) => {
+                        if let Some(m) = &metrics {
+                            m.counter("micropay.ticks").inc();
+                            m.counter("micropay.units").add(gained);
+                            m.histogram("micropay.tick_verify_hashes")
+                                .record_nanos(hashes_before(&h, &chain) - before);
+                        }
+                        Response::TickAck { gained, total }
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(RequestView::TickBatch { chain, paywords }) => {
+                span.set_batch(paywords.len() as u64);
+                let mut h = host.borrow_mut();
+                let before = hashes_before(&h, &chain);
+                match h.tick_batch(chain, &paywords) {
+                    Ok((gained, total)) => {
+                        if let Some(m) = &metrics {
+                            m.counter("micropay.ticks").add(paywords.len() as u64);
+                            m.counter("micropay.units").add(gained);
+                            m.histogram("micropay.tick_verify_hashes")
+                                .record_nanos(hashes_before(&h, &chain) - before);
+                        }
+                        Response::TickAck { gained, total }
+                    }
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(_) => Response::Error("request not handled by a micropayment host".into()),
+        };
+        if let (Some(m), Response::Error(_)) = (&metrics, &response) {
+            m.counter("micropay.rejections").inc();
+        }
+        let reply = if caller.is_some() { span.context() } else { None };
+        finish_dispatch(span, &response);
+        response.encode_into(out);
+        if let Some(ctx) = reply {
+            ctx.append_to(out);
+        }
+    });
+    net.set_role(id, Role::Peer);
+    id
 }
 
 /// Attaches a peer's *owner-side* request loop to the network: issue
@@ -1131,4 +1243,217 @@ pub fn sync_via_retry<R: rand::Rng + ?Sized>(
         }
     }
     Ok(adopted)
+}
+
+// ---------------------------------------------------------------------
+// Streaming micropayments: the client side of the PayWord path.
+// ---------------------------------------------------------------------
+
+/// Opens a micropayment chain at a host endpoint: sends the group-signed
+/// commitment and returns the accepted chain id.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery, rejection, or a response naming a
+/// different chain than the commitment (a corrupted response).
+pub fn open_chain_via(
+    net: &mut Network,
+    me: EndpointId,
+    host_ep: EndpointId,
+    commitment: ChainCommitment,
+) -> Result<ChainId, CallError> {
+    open_chain_via_obs(net, me, host_ep, commitment, &Obs::disabled())
+}
+
+/// [`open_chain_via`] with an observability context.
+pub fn open_chain_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    host_ep: EndpointId,
+    commitment: ChainCommitment,
+    obs: &Obs,
+) -> Result<ChainId, CallError> {
+    let mut span = obs.span(Role::Peer, OpKind::MicropayOpen);
+    let expected = commitment.chain_id();
+    let result = match call_traced(net, me, host_ep, &Request::OpenChain(commitment), &mut span) {
+        Ok(Response::ChainAccepted(chain)) if chain == expected => Ok(chain),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
+}
+
+/// [`open_chain_via_obs`] with resilient retries: opening is idempotent
+/// on the host (re-presenting the identical commitment re-acks), so the
+/// commitment is encoded once and resent verbatim.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+pub fn open_chain_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    host_ep: EndpointId,
+    commitment: ChainCommitment,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<ChainId, CallError> {
+    let expected = commitment.chain_id();
+    let request = Request::OpenChain(commitment);
+    let mut prev = None;
+    policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, Role::Peer, OpKind::MicropayOpen, attempt, &prev);
+        let result = match call_traced(net, me, host_ep, &request, &mut span) {
+            Ok(Response::ChainAccepted(chain)) if chain == expected => Ok(chain),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        note_attempt_failure(&mut prev, &span, &result);
+        finish_call(span, &result);
+        result
+    })
+}
+
+/// Streams one payment tick to a host endpoint. Returns
+/// `(gained, total)`: the units this tick credited (0 for a duplicate —
+/// ticks are idempotent on the host) and the chain's received total.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection.
+pub fn tick_via(
+    net: &mut Network,
+    me: EndpointId,
+    host_ep: EndpointId,
+    chain: ChainId,
+    payword: Payword,
+) -> Result<(u64, u64), CallError> {
+    tick_via_obs(net, me, host_ep, chain, payword, &Obs::disabled())
+}
+
+/// [`tick_via`] with an observability context.
+pub fn tick_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    host_ep: EndpointId,
+    chain: ChainId,
+    payword: Payword,
+    obs: &Obs,
+) -> Result<(u64, u64), CallError> {
+    let mut span = obs.span(Role::Peer, OpKind::MicropayTick);
+    let result = match call_traced(net, me, host_ep, &Request::Tick { chain, payword }, &mut span) {
+        Ok(Response::TickAck { gained, total }) => Ok((gained, total)),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
+}
+
+/// Streams a batch of ticks in one exchange; the host settles the whole
+/// batch with (in the honest in-order case) a single skip-verification
+/// of the best payword. Returns `(gained, total)` over the batch.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection.
+pub fn tick_batch_via(
+    net: &mut Network,
+    me: EndpointId,
+    host_ep: EndpointId,
+    chain: ChainId,
+    paywords: Vec<Payword>,
+) -> Result<(u64, u64), CallError> {
+    tick_batch_via_obs(net, me, host_ep, chain, paywords, &Obs::disabled())
+}
+
+/// [`tick_batch_via`] with an observability context: one
+/// [`OpKind::MicropayTick`] span carrying the batch size.
+pub fn tick_batch_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    host_ep: EndpointId,
+    chain: ChainId,
+    paywords: Vec<Payword>,
+    obs: &Obs,
+) -> Result<(u64, u64), CallError> {
+    let mut span = obs.span(Role::Peer, OpKind::MicropayTick);
+    span.set_batch(paywords.len() as u64);
+    let request = Request::TickBatch { chain, paywords };
+    let result = match call_traced(net, me, host_ep, &request, &mut span) {
+        Ok(Response::TickAck { gained, total }) => Ok((gained, total)),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
+}
+
+/// Redeems a micropayment chain at the broker: presents the commitment
+/// plus the best received payword and returns the settlement receipt.
+///
+/// # Errors
+///
+/// [`CallError`] on delivery, rejection, or a receipt naming a different
+/// chain (a corrupted response).
+pub fn redeem_chain_via(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    request: RedeemChainRequest,
+) -> Result<RedemptionReceipt, CallError> {
+    redeem_chain_via_obs(net, me, broker_ep, request, &Obs::disabled())
+}
+
+/// [`redeem_chain_via`] with an observability context.
+pub fn redeem_chain_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    request: RedeemChainRequest,
+    obs: &Obs,
+) -> Result<RedemptionReceipt, CallError> {
+    let mut span = obs.span(Role::Broker, OpKind::MicropayRedeem);
+    let chain = request.commitment.chain_id();
+    let result = match call_traced(net, me, broker_ep, &Request::RedeemChain(request), &mut span) {
+        Ok(Response::Redeemed(receipt)) if receipt.chain == chain => Ok(receipt),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
+}
+
+/// [`redeem_chain_via_obs`] with resilient retries: a redemption whose
+/// receipt was lost in flight is resent byte-identically and answered
+/// from the broker's replay memo — credited exactly once.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+pub fn redeem_chain_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    request: RedeemChainRequest,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<RedemptionReceipt, CallError> {
+    let chain = request.commitment.chain_id();
+    let request = Request::RedeemChain(request);
+    let mut prev = None;
+    policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, Role::Broker, OpKind::MicropayRedeem, attempt, &prev);
+        let result = match call_traced(net, me, broker_ep, &request, &mut span) {
+            Ok(Response::Redeemed(receipt)) if receipt.chain == chain => Ok(receipt),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        note_attempt_failure(&mut prev, &span, &result);
+        finish_call(span, &result);
+        result
+    })
 }

@@ -48,8 +48,9 @@ use crate::journal::Journal;
 use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, PurchaseRequest, RenewalRequest, TransferRequest,
 };
+use crate::micropay::{RedeemChainRequest, RedemptionReceipt};
 use crate::params::SystemParams;
-use crate::types::{CoinId, PeerId, Timestamp};
+use crate::types::{ChainId, CoinId, PeerId, Timestamp};
 use crate::view::RequestView;
 
 /// The routing function: which of `shards` owns `coin`.
@@ -62,6 +63,16 @@ pub fn shard_of(coin: &CoinId, shards: usize) -> usize {
     debug_assert!(shards > 0);
     let mut prefix = [0u8; 8];
     prefix.copy_from_slice(&coin.0[..8]);
+    (u64::from_be_bytes(prefix) % shards as u64) as usize
+}
+
+/// The routing function for micropayment chains: same prefix-mod scheme
+/// as [`shard_of`], over the chain id (the chain's root digest — already
+/// uniform, so again no second hash).
+pub fn shard_of_chain(chain: &ChainId, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let mut prefix = [0u8; 8];
+    prefix.copy_from_slice(&chain.0[..8]);
     (u64::from_be_bytes(prefix) % shards as u64) as usize
 }
 
@@ -207,6 +218,9 @@ impl ShardedBroker {
                 let first = shards.next()?;
                 return shards.all(|s| s == first).then_some(first as u16);
             }
+            RequestView::RedeemChain { commitment, .. } => {
+                return Some(shard_of_chain(&commitment.chain_id(), n) as u16);
+            }
             _ => return None,
         };
         Some(shard_of(&coin, n) as u16)
@@ -272,6 +286,24 @@ impl ShardedBroker {
     ) -> Result<Binding, CoreError> {
         let s = self.shard_of_coin(&request.current.coin_id());
         self.lock_shard(s).handle_downtime_renewal(request, now, rng)
+    }
+
+    /// Settles a micropayment chain redemption on the shard the chain id
+    /// hashes to.
+    pub fn handle_redeem_chain(
+        &self,
+        request: &RedeemChainRequest,
+    ) -> Result<RedemptionReceipt, CoreError> {
+        let s = shard_of_chain(&request.commitment.chain_id(), self.shards.len());
+        self.lock_shard(s).handle_redeem_chain(request)
+    }
+
+    /// Total micropayment value credited across all shards.
+    pub fn settled_micropay_value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").settled_micropay_value())
+            .sum()
     }
 
     /// Proactive sync, fanned out read-only across every shard: each
@@ -387,6 +419,7 @@ impl ShardedBroker {
             total.syncs += s.syncs;
             total.rejections += s.rejections;
             total.replays += s.replays;
+            total.redemptions += s.redemptions;
         }
         total
     }
@@ -438,6 +471,7 @@ impl ShardedBroker {
                 ("syncs", s.syncs),
                 ("rejections", s.rejections),
                 ("replays", s.replays),
+                ("redemptions", s.redemptions),
             ] {
                 metrics.counter(&format!("broker.shard{i}.{op}")).add(value);
             }

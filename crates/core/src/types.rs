@@ -72,6 +72,30 @@ impl fmt::Display for CoinId {
     }
 }
 
+/// A micropayment chain's stable identifier: the chain's PayWord root
+/// digest `w_0`.
+///
+/// The root is already a SHA-256 output, so it doubles as the shard
+/// routing key without re-hashing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChainId(pub [u8; 32]);
+
+impl fmt::Debug for ChainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain:")?;
+        for b in &self.0[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+impl fmt::Display for ChainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

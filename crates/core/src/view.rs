@@ -42,8 +42,10 @@ use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest, RenewalRequest,
     TransferRequest,
 };
-use crate::types::{CoinId, PeerId, Timestamp};
-use crate::wire::{Request, Response};
+use crate::micropay::{ChainCommitment, RedeemChainRequest, RedemptionReceipt};
+use crate::types::{ChainId, CoinId, PeerId, Timestamp};
+use crate::wire::{Request, Response, MAX_WIRE_CHECKPOINTS};
+use whopay_crypto::payword::Payword;
 
 /// A big integer still sitting in the wire buffer: the minimal big-endian
 /// magnitude, with any (attacker-supplied) leading zero bytes stripped at
@@ -355,6 +357,71 @@ impl<'a> DepositRef<'a> {
     }
 }
 
+fn parse_digest32(r: &mut Reader<'_>) -> Result<[u8; 32], DecodeError> {
+    r.bytes()?.try_into().map_err(|_| DecodeError)
+}
+
+fn parse_payword(r: &mut Reader<'_>) -> Result<Payword, DecodeError> {
+    Ok(Payword { index: r.u64()?, word: parse_digest32(r)? })
+}
+
+/// A chain commitment by reference. Every field is fixed-width (digests
+/// and counters) except the group signature, which stays borrowed; the
+/// checkpoint digests are collected into a length-capped vector exactly
+/// like the other item lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitmentRef<'a> {
+    /// PayWord chain root `w_0`.
+    pub root: [u8; 32],
+    /// Units the chain can carry.
+    pub capacity: u64,
+    /// Checkpoint interval `k`.
+    pub checkpoint_every: u64,
+    /// Digests of every k-th link.
+    pub checkpoints: Vec<[u8; 32]>,
+    /// The payer's group signature.
+    pub group_sig: GroupSigRef<'a>,
+}
+
+impl<'a> CommitmentRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let root = parse_digest32(r)?;
+        let capacity = r.u64()?;
+        let checkpoint_every = r.u64()?;
+        let n = r.u64()? as usize;
+        if n > MAX_WIRE_CHECKPOINTS {
+            return Err(DecodeError); // same cap as the owned decoder
+        }
+        let mut checkpoints = Vec::with_capacity(n);
+        for _ in 0..n {
+            checkpoints.push(parse_digest32(r)?);
+        }
+        Ok(CommitmentRef {
+            root,
+            capacity,
+            checkpoint_every,
+            checkpoints,
+            group_sig: GroupSigRef::parse(r)?,
+        })
+    }
+
+    /// The chain's id (and shard routing key): its root digest.
+    pub fn chain_id(&self) -> ChainId {
+        ChainId(self.root)
+    }
+
+    /// Materializes the owned commitment.
+    pub fn to_commitment(&self) -> ChainCommitment {
+        ChainCommitment {
+            root: self.root,
+            capacity: self.capacity,
+            checkpoint_every: self.checkpoint_every,
+            checkpoints: self.checkpoints.clone(),
+            group_sig: self.group_sig.to_gsig(),
+        }
+    }
+}
+
 /// A [`Request`] parsed but not materialized: every big integer is still
 /// a slice of the input buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -415,6 +482,29 @@ pub enum RequestView<'a> {
         challenge: &'a [u8],
         /// Identity signature over the challenge.
         response: SigRef<'a>,
+    },
+    /// Open a micropayment chain.
+    OpenChain(CommitmentRef<'a>),
+    /// One payword tick on an open chain.
+    Tick {
+        /// The chain being paid on.
+        chain: ChainId,
+        /// The revealed payword.
+        payword: Payword,
+    },
+    /// A batch of payword ticks on one chain.
+    TickBatch {
+        /// The chain being paid on.
+        chain: ChainId,
+        /// The revealed paywords.
+        paywords: Vec<Payword>,
+    },
+    /// Redeem a micropayment chain at the broker.
+    RedeemChain {
+        /// The chain being redeemed.
+        commitment: CommitmentRef<'a>,
+        /// The best verified payword.
+        payword: Payword,
     },
 }
 
@@ -485,6 +575,24 @@ impl<'a> RequestView<'a> {
                 }
                 RequestView::DepositBatch(ds)
             }
+            7 => RequestView::OpenChain(CommitmentRef::parse(r)?),
+            8 => RequestView::Tick { chain: ChainId(parse_digest32(r)?), payword: parse_payword(r)? },
+            9 => {
+                let chain = ChainId(parse_digest32(r)?);
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError); // same cap as the owned decoder
+                }
+                let mut paywords = Vec::with_capacity(n);
+                for _ in 0..n {
+                    paywords.push(parse_payword(r)?);
+                }
+                RequestView::TickBatch { chain, paywords }
+            }
+            10 => RequestView::RedeemChain {
+                commitment: CommitmentRef::parse(r)?,
+                payword: parse_payword(r)?,
+            },
             _ => return Err(DecodeError),
         })
     }
@@ -502,6 +610,10 @@ impl<'a> RequestView<'a> {
             RequestView::Deposit(_) => "deposit",
             RequestView::DepositBatch(_) => "deposit_batch",
             RequestView::Sync { .. } => "sync",
+            RequestView::OpenChain(_) => "micropay_open",
+            RequestView::Tick { .. } => "micropay_tick",
+            RequestView::TickBatch { .. } => "micropay_tick_batch",
+            RequestView::RedeemChain { .. } => "micropay_redeem",
         }
     }
 
@@ -517,6 +629,9 @@ impl<'a> RequestView<'a> {
             RequestView::Renewal { downtime: true, .. } => OpKind::DowntimeRenewal,
             RequestView::Deposit(_) | RequestView::DepositBatch(_) => OpKind::Deposit,
             RequestView::Sync { .. } => OpKind::Sync,
+            RequestView::OpenChain(_) => OpKind::MicropayOpen,
+            RequestView::Tick { .. } | RequestView::TickBatch { .. } => OpKind::MicropayTick,
+            RequestView::RedeemChain { .. } => OpKind::MicropayRedeem,
         }
     }
 
@@ -569,6 +684,17 @@ impl<'a> RequestView<'a> {
                 challenge: challenge.to_vec(),
                 response: response.to_sig(),
             },
+            RequestView::OpenChain(c) => Request::OpenChain(c.to_commitment()),
+            RequestView::Tick { chain, payword } => Request::Tick { chain: *chain, payword: *payword },
+            RequestView::TickBatch { chain, paywords } => {
+                Request::TickBatch { chain: *chain, paywords: paywords.clone() }
+            }
+            RequestView::RedeemChain { commitment, payword } => {
+                Request::RedeemChain(RedeemChainRequest {
+                    commitment: commitment.to_commitment(),
+                    payword: *payword,
+                })
+            }
         }
     }
 }
@@ -602,6 +728,17 @@ pub enum ResponseView<'a> {
     Receipts(Vec<Result<(CoinId, u64), &'a [u8]>>),
     /// The request was refused (raw message bytes).
     Error(&'a [u8]),
+    /// A micropayment chain is open and accepted.
+    ChainAccepted(ChainId),
+    /// A tick (or batch) landed.
+    TickAck {
+        /// Units newly credited.
+        gained: u64,
+        /// The chain's verified running total.
+        total: u64,
+    },
+    /// A chain redemption settled.
+    Redeemed(RedemptionReceipt),
 }
 
 impl<'a> ResponseView<'a> {
@@ -660,6 +797,13 @@ impl<'a> ResponseView<'a> {
                 }
                 ResponseView::Receipts(rs)
             }
+            7 => ResponseView::ChainAccepted(ChainId(parse_digest32(r)?)),
+            8 => ResponseView::TickAck { gained: r.u64()?, total: r.u64()? },
+            9 => ResponseView::Redeemed(RedemptionReceipt {
+                chain: ChainId(parse_digest32(r)?),
+                credited: r.u64()?,
+                total: r.u64()?,
+            }),
             _ => return Err(DecodeError),
         })
     }
@@ -692,6 +836,11 @@ impl<'a> ResponseView<'a> {
                     .collect(),
             ),
             ResponseView::Error(e) => Response::Error(String::from_utf8_lossy(e).into_owned()),
+            ResponseView::ChainAccepted(c) => Response::ChainAccepted(*c),
+            ResponseView::TickAck { gained, total } => {
+                Response::TickAck { gained: *gained, total: *total }
+            }
+            ResponseView::Redeemed(rc) => Response::Redeemed(*rc),
         }
     }
 }
@@ -834,6 +983,55 @@ mod tests {
             bv2.cache_key(&keyer, broker.public()),
             crate::sigcache::cache_key(group, broker.public(), &msg2, &bsig2)
         );
+    }
+
+    #[test]
+    fn micropay_views_round_trip_and_classify() {
+        use crate::micropay::MicropaySender;
+        use whopay_crypto::group_sig::GroupManager;
+        use whopay_crypto::testing::{test_rng, tiny_group};
+
+        let group = tiny_group();
+        let mut rng = test_rng(63);
+        let mut judge: GroupManager<u8> = GroupManager::new(group.clone(), &mut rng);
+        let member = judge.enroll(4, &mut rng);
+        let gpk = judge.public_key().clone();
+        let (_, commitment) = MicropaySender::open(group, &gpk, &member, 12, 3, &mut rng);
+        let chain = commitment.chain_id();
+        let pw = Payword { index: 4, word: [7; 32] };
+
+        let reqs = [
+            Request::OpenChain(commitment.clone()),
+            Request::Tick { chain, payword: pw },
+            Request::TickBatch { chain, paywords: vec![pw, pw] },
+            Request::RedeemChain(RedeemChainRequest { commitment: commitment.clone(), payword: pw }),
+        ];
+        for req in &reqs {
+            let bytes = req.encode();
+            let view = RequestView::parse(&bytes).unwrap();
+            assert_eq!(view.kind(), wire_kind(&bytes));
+            assert_eq!(view.to_owned_request(), Request::decode(&bytes).unwrap());
+        }
+        assert_eq!(RequestView::parse(&reqs[0].encode()).unwrap().op_kind(), OpKind::MicropayOpen);
+        assert_eq!(RequestView::parse(&reqs[1].encode()).unwrap().op_kind(), OpKind::MicropayTick);
+        assert_eq!(RequestView::parse(&reqs[2].encode()).unwrap().op_kind(), OpKind::MicropayTick);
+        assert_eq!(RequestView::parse(&reqs[3].encode()).unwrap().op_kind(), OpKind::MicropayRedeem);
+        // The RedeemChain view routes by chain id without materializing.
+        match RequestView::parse(&reqs[3].encode()).unwrap() {
+            RequestView::RedeemChain { commitment: c, .. } => assert_eq!(c.chain_id(), chain),
+            other => panic!("wrong view {other:?}"),
+        }
+
+        let resps = [
+            Response::ChainAccepted(chain),
+            Response::TickAck { gained: 2, total: 4 },
+            Response::Redeemed(RedemptionReceipt { chain, credited: 4, total: 4 }),
+        ];
+        for resp in &resps {
+            let bytes = resp.encode();
+            let view = ResponseView::parse(&bytes).unwrap();
+            assert_eq!(view.to_owned_response(), Response::decode(&bytes).unwrap());
+        }
     }
 
     #[test]

@@ -19,7 +19,14 @@ use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest, RenewalRequest,
     TransferRequest,
 };
-use crate::types::{CoinId, PeerId, Timestamp};
+use crate::micropay::{ChainCommitment, RedeemChainRequest, RedemptionReceipt};
+use crate::types::{ChainId, CoinId, PeerId, Timestamp};
+use whopay_crypto::payword::Payword;
+
+/// Decode-time cap on a commitment's checkpoint vector (64 Ki digests =
+/// 2 MiB): far above any sane `capacity / checkpoint_every`, far below
+/// an allocation attack.
+pub const MAX_WIRE_CHECKPOINTS: usize = 1 << 16;
 
 /// A request any WhoPay entity can receive over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +68,26 @@ pub enum Request {
         /// Identity signature over the challenge.
         response: DsaSignature,
     },
+    /// Open a micropayment chain at a receiving peer (§7).
+    OpenChain(ChainCommitment),
+    /// One payword tick on an open chain (receiving peer).
+    Tick {
+        /// The chain being paid on.
+        chain: ChainId,
+        /// The revealed payword.
+        payword: Payword,
+    },
+    /// A batch of payword ticks on one chain (receiving peer): the
+    /// receiver skip-verifies the best candidate and settles the batch
+    /// in one-or-few hashes.
+    TickBatch {
+        /// The chain being paid on.
+        chain: ChainId,
+        /// The revealed paywords, any order, duplicates tolerated.
+        paywords: Vec<Payword>,
+    },
+    /// Redeem a micropayment chain's best payword for value (broker).
+    RedeemChain(RedeemChainRequest),
 }
 
 /// A response to a [`Request`].
@@ -82,6 +109,19 @@ pub enum Response {
     Receipts(Vec<Result<DepositReceipt, String>>),
     /// The request was refused.
     Error(String),
+    /// A micropayment chain is open and accepted.
+    ChainAccepted(ChainId),
+    /// A tick (or tick batch) landed: units newly credited and the
+    /// chain's verified running total. `gained == 0` marks an idempotent
+    /// duplicate/stale delivery.
+    TickAck {
+        /// Units newly credited by this exchange.
+        gained: u64,
+        /// The chain's verified running total.
+        total: u64,
+    },
+    /// A chain redemption settled at the broker.
+    Redeemed(RedemptionReceipt),
 }
 
 // --- primitive helpers ---
@@ -235,6 +275,49 @@ pub(crate) fn get_grant(r: &mut Reader<'_>) -> Result<CoinGrant, DecodeError> {
     Ok(CoinGrant { minted: get_minted(r)?, binding: get_binding(r)?, ownership_proof: get_sig(r)? })
 }
 
+pub(crate) fn get_digest32(r: &mut Reader<'_>) -> Result<[u8; 32], DecodeError> {
+    r.bytes()?.try_into().map_err(|_| DecodeError)
+}
+
+pub(crate) fn put_payword(w: &mut Writer, p: &Payword) {
+    w.u64(p.index).bytes(&p.word);
+}
+
+pub(crate) fn get_payword(r: &mut Reader<'_>) -> Result<Payword, DecodeError> {
+    Ok(Payword { index: r.u64()?, word: get_digest32(r)? })
+}
+
+pub(crate) fn put_commitment(w: &mut Writer, c: &ChainCommitment) {
+    w.bytes(&c.root).u64(c.capacity).u64(c.checkpoint_every).u64(c.checkpoints.len() as u64);
+    for ck in &c.checkpoints {
+        w.bytes(ck);
+    }
+    put_gsig(w, &c.group_sig);
+}
+
+pub(crate) fn get_commitment(r: &mut Reader<'_>) -> Result<ChainCommitment, DecodeError> {
+    let root = get_digest32(r)?;
+    let capacity = r.u64()?;
+    let checkpoint_every = r.u64()?;
+    let n = r.u64()? as usize;
+    if n > MAX_WIRE_CHECKPOINTS {
+        return Err(DecodeError); // refuse absurd allocations
+    }
+    let mut checkpoints = Vec::with_capacity(n);
+    for _ in 0..n {
+        checkpoints.push(get_digest32(r)?);
+    }
+    Ok(ChainCommitment { root, capacity, checkpoint_every, checkpoints, group_sig: get_gsig(r)? })
+}
+
+pub(crate) fn put_redemption_receipt(w: &mut Writer, rc: &RedemptionReceipt) {
+    w.bytes(&rc.chain.0).u64(rc.credited).u64(rc.total);
+}
+
+pub(crate) fn get_redemption_receipt(r: &mut Reader<'_>) -> Result<RedemptionReceipt, DecodeError> {
+    Ok(RedemptionReceipt { chain: ChainId(get_digest32(r)?), credited: r.u64()?, total: r.u64()? })
+}
+
 // --- request/response encoding ---
 
 /// Classifies an encoded request by its wire tag without fully decoding
@@ -259,6 +342,10 @@ pub fn wire_kind(bytes: &[u8]) -> &'static str {
         Ok(4) => "deposit",
         Ok(5) => "sync",
         Ok(6) => "deposit_batch",
+        Ok(7) => "micropay_open",
+        Ok(8) => "micropay_tick",
+        Ok(9) => "micropay_tick_batch",
+        Ok(10) => "micropay_redeem",
         Ok(_) | Err(_) => "malformed",
     }
 }
@@ -326,6 +413,25 @@ impl Request {
                 for d in ds {
                     put_deposit(&mut w, d);
                 }
+            }
+            Request::OpenChain(c) => {
+                w.u64(7);
+                put_commitment(&mut w, c);
+            }
+            Request::Tick { chain, payword } => {
+                w.u64(8).bytes(&chain.0);
+                put_payword(&mut w, payword);
+            }
+            Request::TickBatch { chain, paywords } => {
+                w.u64(9).bytes(&chain.0).u64(paywords.len() as u64);
+                for p in paywords {
+                    put_payword(&mut w, p);
+                }
+            }
+            Request::RedeemChain(req) => {
+                w.u64(10);
+                put_commitment(&mut w, &req.commitment);
+                put_payword(&mut w, &req.payword);
             }
         }
         *out = w.finish();
@@ -400,6 +506,24 @@ impl Request {
                 }
                 Request::DepositBatch(ds)
             }
+            7 => Request::OpenChain(get_commitment(r)?),
+            8 => Request::Tick { chain: ChainId(get_digest32(r)?), payword: get_payword(r)? },
+            9 => {
+                let chain = ChainId(get_digest32(r)?);
+                let n = r.u64()? as usize;
+                if n > 4096 {
+                    return Err(DecodeError); // refuse absurd allocations
+                }
+                let mut paywords = Vec::with_capacity(n);
+                for _ in 0..n {
+                    paywords.push(get_payword(r)?);
+                }
+                Request::TickBatch { chain, paywords }
+            }
+            10 => Request::RedeemChain(RedeemChainRequest {
+                commitment: get_commitment(r)?,
+                payword: get_payword(r)?,
+            }),
             _ => return Err(DecodeError),
         })
     }
@@ -455,6 +579,16 @@ impl Response {
                         }
                     }
                 }
+            }
+            Response::ChainAccepted(chain) => {
+                w.u64(7).bytes(&chain.0);
+            }
+            Response::TickAck { gained, total } => {
+                w.u64(8).u64(*gained).u64(*total);
+            }
+            Response::Redeemed(rc) => {
+                w.u64(9);
+                put_redemption_receipt(&mut w, rc);
             }
         }
         *out = w.finish();
@@ -513,6 +647,9 @@ impl Response {
                 }
                 Response::Receipts(rs)
             }
+            7 => Response::ChainAccepted(ChainId(get_digest32(r)?)),
+            8 => Response::TickAck { gained: r.u64()?, total: r.u64()? },
+            9 => Response::Redeemed(get_redemption_receipt(r)?),
             _ => return Err(DecodeError),
         })
     }
@@ -688,6 +825,16 @@ mod tests {
         assert_eq!(wire_kind(&sync.encode()), "sync");
         let batch = Request::DepositBatch(Vec::new());
         assert_eq!(wire_kind(&batch.encode()), "deposit_batch");
+        let commitment = sample_commitment();
+        let open = Request::OpenChain(commitment.clone());
+        assert_eq!(wire_kind(&open.encode()), "micropay_open");
+        let pw = Payword { index: 3, word: [4; 32] };
+        let tick = Request::Tick { chain: commitment.chain_id(), payword: pw };
+        assert_eq!(wire_kind(&tick.encode()), "micropay_tick");
+        let tb = Request::TickBatch { chain: commitment.chain_id(), paywords: vec![pw] };
+        assert_eq!(wire_kind(&tb.encode()), "micropay_tick_batch");
+        let redeem = Request::RedeemChain(RedeemChainRequest { commitment, payword: pw });
+        assert_eq!(wire_kind(&redeem.encode()), "micropay_redeem");
         assert_eq!(wire_kind(&[]), "malformed");
         assert_eq!(wire_kind(&[0xff; 16]), "malformed");
     }
@@ -774,5 +921,80 @@ mod tests {
         let mut w = Writer::new();
         w.u64(4).u64(u64::MAX);
         assert!(matches!(Response::decode(&w.finish()), Err(CoreError::Malformed)));
+    }
+
+    fn sample_commitment() -> ChainCommitment {
+        use crate::micropay::MicropaySender;
+        let group = tiny_group();
+        let mut rng = test_rng(61);
+        let mut judge: GroupManager<u8> = GroupManager::new(group.clone(), &mut rng);
+        let member = judge.enroll(2, &mut rng);
+        let gpk = judge.public_key().clone();
+        let (_, commitment) = MicropaySender::open(group, &gpk, &member, 24, 4, &mut rng);
+        commitment
+    }
+
+    #[test]
+    fn micropay_requests_round_trip() {
+        let commitment = sample_commitment();
+        let chain = commitment.chain_id();
+        let pw = Payword { index: 5, word: [0x3C; 32] };
+
+        match Request::decode(&Request::OpenChain(commitment.clone()).encode()).unwrap() {
+            Request::OpenChain(c) => assert_eq!(c, commitment),
+            other => panic!("wrong variant {other:?}"),
+        }
+        match Request::decode(&Request::Tick { chain, payword: pw }.encode()).unwrap() {
+            Request::Tick { chain: c, payword: p } => {
+                assert_eq!(c, chain);
+                assert_eq!(p, pw);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let paywords = vec![pw, Payword { index: 2, word: [9; 32] }];
+        let tb = Request::TickBatch { chain, paywords: paywords.clone() };
+        match Request::decode(&tb.encode()).unwrap() {
+            Request::TickBatch { chain: c, paywords: ps } => {
+                assert_eq!(c, chain);
+                assert_eq!(ps, paywords);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let redeem = RedeemChainRequest { commitment, payword: pw };
+        match Request::decode(&Request::RedeemChain(redeem.clone()).encode()).unwrap() {
+            Request::RedeemChain(r) => assert_eq!(r, redeem),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn micropay_responses_round_trip() {
+        let chain = ChainId([0xA1; 32]);
+        match Response::decode(&Response::ChainAccepted(chain).encode()).unwrap() {
+            Response::ChainAccepted(c) => assert_eq!(c, chain),
+            other => panic!("wrong variant {other:?}"),
+        }
+        match Response::decode(&Response::TickAck { gained: 3, total: 17 }.encode()).unwrap() {
+            Response::TickAck { gained, total } => {
+                assert_eq!(gained, 3);
+                assert_eq!(total, 17);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let rc = RedemptionReceipt { chain, credited: 9, total: 21 };
+        match Response::decode(&Response::Redeemed(rc).encode()).unwrap() {
+            Response::Redeemed(got) => assert_eq!(got, rc),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_checkpoint_and_tick_batch_lengths_rejected() {
+        let mut w = Writer::new();
+        w.u64(7).bytes(&[0; 32]).u64(8).u64(2).u64(u64::MAX);
+        assert!(matches!(Request::decode(&w.finish()), Err(CoreError::Malformed)));
+        let mut w = Writer::new();
+        w.u64(9).bytes(&[0; 32]).u64(u64::MAX);
+        assert!(matches!(Request::decode(&w.finish()), Err(CoreError::Malformed)));
     }
 }

@@ -1,0 +1,127 @@
+//! Differential properties of streaming tick delivery: a
+//! [`MicropayReceiver`] fed paywords in any order, with any duplication,
+//! credits each unit exactly once and lands on the same total as the
+//! naive running-maximum model — and every verification stays within the
+//! checkpointed hash bound.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use whopay_core::micropay::{ChainCommitment, MicropayReceiver, MicropaySender};
+use whopay_crypto::group_sig::{GroupManager, GroupPublicKey};
+use whopay_crypto::payword::Payword;
+use whopay_crypto::testing::{test_rng, tiny_group};
+use whopay_num::SchnorrGroup;
+
+const CAPACITY: u64 = 96;
+const EVERY: u64 = 8;
+
+struct Fixture {
+    group: SchnorrGroup,
+    gpk: GroupPublicKey,
+    commitment: ChainCommitment,
+    /// `words[i]` is the payword of index `i + 1`.
+    words: Vec<Payword>,
+}
+
+/// One signed chain shared by every proptest case: the properties are
+/// about delivery order, not key material, so the (slow) group signature
+/// is paid once.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = test_rng(90);
+        let group = tiny_group().clone();
+        let mut judge: GroupManager<u64> = GroupManager::new(group.clone(), &mut rng);
+        let gk = judge.enroll(1, &mut rng);
+        let gpk = judge.public_key().clone();
+        let (mut sender, commitment) =
+            MicropaySender::open(&group, &gpk, &gk, CAPACITY, EVERY, &mut rng);
+        let words: Vec<Payword> =
+            (0..CAPACITY).map(|_| sender.pay(1).expect("within capacity")).collect();
+        Fixture { group, gpk, commitment, words }
+    })
+}
+
+fn receiver() -> MicropayReceiver {
+    let f = fixture();
+    // Threshold far above capacity: settlement never interferes here.
+    MicropayReceiver::accept(&f.group, &f.gpk, &f.commitment, 1 << 20).expect("commitment verifies")
+}
+
+proptest! {
+    /// Any delivery order, any duplication: each delivered unit credits
+    /// exactly once (gains sum to the running maximum), duplicates and
+    /// stale ticks are free no-ops, and no verification spends more than
+    /// `EVERY` hashes thanks to the checkpoint anchors.
+    #[test]
+    fn delivery_order_and_duplication_never_change_the_credit(
+        seq in proptest::collection::vec(0usize..CAPACITY as usize, 1..48),
+    ) {
+        let f = fixture();
+        let mut r = receiver();
+        let mut naive_max = 0u64; // the model: best index seen so far
+        let mut gains = 0u64;
+        for &i in &seq {
+            let hashes_before = r.hashes();
+            let index = i as u64 + 1;
+            let gained = r.receive(f.words[i]).expect("genuine words never error");
+            let expected = index.saturating_sub(naive_max);
+            prop_assert_eq!(gained, expected);
+            naive_max = naive_max.max(index);
+            gains += gained;
+            prop_assert!(r.hashes() - hashes_before <= EVERY);
+        }
+        prop_assert_eq!(r.total(), naive_max);
+        prop_assert_eq!(gains, naive_max);
+    }
+
+    /// Batched ingestion is equivalent to sequential delivery: the same
+    /// ticks chunked arbitrarily land on the same total, and each chunk
+    /// gains exactly what its best fresh payword is worth.
+    #[test]
+    fn batches_are_equivalent_to_sequential_delivery(
+        seq in proptest::collection::vec(0usize..CAPACITY as usize, 1..48),
+        chunk in 1usize..8,
+    ) {
+        let f = fixture();
+        let mut sequential = receiver();
+        for &i in &seq {
+            sequential.receive(f.words[i]).unwrap();
+        }
+        let mut batched = receiver();
+        let mut best = 0u64;
+        for chunk in seq.chunks(chunk) {
+            let words: Vec<Payword> = chunk.iter().map(|&i| f.words[i]).collect();
+            let gained = batched.receive_batch(&words);
+            let chunk_max = chunk.iter().map(|&i| i as u64 + 1).max().unwrap();
+            prop_assert_eq!(gained, chunk_max.saturating_sub(best));
+            best = best.max(chunk_max);
+        }
+        prop_assert_eq!(batched.total(), sequential.total());
+    }
+
+    /// A corrupted word at a fresh index is rejected and leaves the
+    /// receiver's state untouched — the genuine word still lands after.
+    #[test]
+    fn corrupted_fresh_words_are_rejected_without_side_effects(
+        prefix in 0usize..32,
+        ahead in 1usize..16,
+        flip_byte in 0usize..32,
+    ) {
+        let f = fixture();
+        let mut r = receiver();
+        if prefix > 0 {
+            r.receive(f.words[prefix - 1]).unwrap();
+        }
+        let target = prefix + ahead; // a fresh, in-capacity index
+        prop_assume!(target <= CAPACITY as usize);
+        let mut corrupt = f.words[target - 1];
+        corrupt.word[flip_byte] ^= 0x5A;
+        let total_before = r.total();
+        prop_assert!(r.receive(corrupt).is_err());
+        prop_assert_eq!(r.total(), total_before);
+        let gained = r.receive(f.words[target - 1]).unwrap();
+        prop_assert_eq!(gained, target as u64 - total_before);
+    }
+}

@@ -6,6 +6,21 @@
 //! each payword with `i` hashes (or one hash incrementally) and later
 //! redeem the *highest* payword it holds for `i` units, aggregating many
 //! tiny payments into one redemption.
+//!
+//! # Checkpointed skip-verification
+//!
+//! Incremental verification costs `gap` hashes — fine for a steady
+//! stream, but a verifier that joins late (the broker at redemption, a
+//! receiver after a batch of lost ticks) would pay the whole gap. The
+//! payer therefore publishes *checkpoints* alongside the root: the
+//! domain-separated digest `H'(w_{m·k})` of every `k`-th chain link.
+//! Publishing `H'(w_i)` reveals nothing spendable (one-wayness hides
+//! `w_i` itself), but lets a verifier anchor a payword at index `j`
+//! against the nearest checkpoint at or below it: hash down
+//! `j mod k` steps, then one digest comparison — `O(g mod k + 1)` work
+//! for any gap `g` instead of `O(g)`. The protocol layer signs the
+//! checkpoints together with the root, so a payer publishing
+//! inconsistent checkpoints only sabotages its own chain.
 
 use rand::Rng;
 
@@ -75,6 +90,33 @@ impl PaywordChain {
         self.next = target + 1;
         Some(Payword { index: target as u64, word: self.chain[target] })
     }
+
+    /// Checkpoint digests `H'(w_k), H'(w_2k), …` of every `every`-th
+    /// chain link up to the capacity, for [`SkipVerifier`]. The digests
+    /// are safe to publish: recovering a spendable `w_i` from `H'(w_i)`
+    /// is a preimage search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn checkpoints(&self, every: u64) -> Vec<Digest> {
+        assert!(every > 0, "checkpoint interval must be positive");
+        (1..)
+            .map(|m| m * every)
+            .take_while(|&i| i <= self.capacity() as u64)
+            .map(|i| checkpoint_digest(&self.chain[i as usize]))
+            .collect()
+    }
+}
+
+/// The one-way digest a checkpoint stores for a chain link: domain
+/// separated from the chain's own `H` so a checkpoint can never be
+/// replayed as a payword (and vice versa).
+pub fn checkpoint_digest(word: &Digest) -> Digest {
+    let mut h = Sha256::new();
+    h.update(b"whopay/payword-ckpt/v1");
+    h.update(word);
+    h.finalize()
 }
 
 /// The payee's side: tracks the best payword seen for one payer chain.
@@ -135,6 +177,144 @@ pub fn verify_payword(root: &Digest, payword: &Payword) -> bool {
         cur = Sha256::digest(&cur);
     }
     cur == *root
+}
+
+/// The payee's (or broker's) side with checkpointed skip-verification:
+/// a payword at index `j` is anchored against the nearest committed
+/// checkpoint at or below `j` when that is closer than the best
+/// already-verified word, so any gap `g` costs `O(g mod every + 1)`
+/// hash evaluations instead of `O(g)`.
+///
+/// Accepts exactly the same paywords as [`PaywordReceiver`] over the
+/// same chain (the differential suite pins this), as long as the
+/// checkpoints are the chain's own (see [`PaywordChain::checkpoints`])
+/// and paywords beyond `capacity` are out of contract (the verifier
+/// rejects them without hashing, where the naive receiver would walk
+/// the full gap).
+#[derive(Debug, Clone)]
+pub struct SkipVerifier {
+    root: Digest,
+    capacity: u64,
+    /// Checkpoint interval `k` (checkpoint `m` covers index `m·k`).
+    every: u64,
+    /// `checkpoints[m-1] = H'(w_{m·k})`.
+    checkpoints: Vec<Digest>,
+    /// Highest verified payword so far (starts at the zero-value root).
+    best: Payword,
+    /// SHA-256 evaluations spent verifying, for instrumentation.
+    hashes: u64,
+}
+
+impl SkipVerifier {
+    /// Starts verifying a fresh chain from its signed commitment data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn new(root: Digest, capacity: u64, every: u64, checkpoints: Vec<Digest>) -> Self {
+        Self::resume(root, capacity, every, checkpoints, Payword { index: 0, word: root })
+    }
+
+    /// Resumes verification mid-chain from an already-verified best
+    /// payword — how the broker re-anchors a partially settled chain
+    /// from its journaled state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn resume(
+        root: Digest,
+        capacity: u64,
+        every: u64,
+        checkpoints: Vec<Digest>,
+        best: Payword,
+    ) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        SkipVerifier { root, capacity, every, checkpoints, best, hashes: 0 }
+    }
+
+    /// The root this verifier anchors to.
+    pub fn root(&self) -> Digest {
+        self.root
+    }
+
+    /// The chain capacity; paywords beyond it are rejected unhashed.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The checkpoint interval `k`.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// The highest verified payword.
+    pub fn best(&self) -> Payword {
+        self.best
+    }
+
+    /// Total SHA-256 evaluations spent verifying so far (checkpoint
+    /// digest comparisons count as one each).
+    pub fn hashes(&self) -> u64 {
+        self.hashes
+    }
+
+    /// Whether `payword` extends the chain, without recording it.
+    pub fn check(&mut self, payword: Payword) -> bool {
+        if payword.index <= self.best.index || payword.index > self.capacity {
+            return false;
+        }
+        // Anchor at the nearest checkpoint at or below the payword when
+        // it beats the best verified word; otherwise walk down to best.
+        let ck = payword.index / self.every;
+        let ck_index = ck * self.every;
+        if ck >= 1 && ck as usize <= self.checkpoints.len() && ck_index > self.best.index {
+            let mut cur = payword.word;
+            for _ in 0..payword.index - ck_index {
+                cur = Sha256::digest(&cur);
+            }
+            self.hashes += payword.index - ck_index + 1;
+            checkpoint_digest(&cur) == self.checkpoints[ck as usize - 1]
+        } else {
+            let mut cur = payword.word;
+            for _ in 0..payword.index - self.best.index {
+                cur = Sha256::digest(&cur);
+            }
+            self.hashes += payword.index - self.best.index;
+            cur == self.best.word
+        }
+    }
+
+    /// Verifies and records a payword. Returns the newly received units
+    /// (`payword.index - previous best`), or `None` if the payword is
+    /// invalid, over capacity, or not an improvement.
+    pub fn receive(&mut self, payword: Payword) -> Option<u64> {
+        if !self.check(payword) {
+            return None;
+        }
+        let gained = payword.index - self.best.index;
+        self.best = payword;
+        Some(gained)
+    }
+
+    /// Tolerant batch ingestion: verifies candidates from the highest
+    /// index down and stops at the first one that extends the chain —
+    /// in the honest case one skip-verification settles the whole
+    /// batch, and a corrupted best candidate only costs falling back to
+    /// the next. Duplicates and stale entries are skipped for free.
+    /// Returns the total units gained.
+    pub fn receive_batch(&mut self, paywords: &[Payword]) -> u64 {
+        let mut order: Vec<usize> = (0..paywords.len()).collect();
+        order.sort_by(|&a, &b| paywords[b].index.cmp(&paywords[a].index));
+        let mut gained = 0;
+        for i in order {
+            gained += self.receive(paywords[i]).unwrap_or(0);
+            if gained > 0 {
+                break;
+            }
+        }
+        gained
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +385,94 @@ mod tests {
         assert_eq!(chain.spend(0), None);
         assert_eq!(chain.spend(4), None);
         assert!(chain.spend(3).is_some());
+    }
+
+    #[test]
+    fn checkpoints_cover_every_kth_link() {
+        let mut rng = test_rng(56);
+        let chain = PaywordChain::generate(10, &mut rng);
+        assert_eq!(chain.checkpoints(4).len(), 2, "indices 4 and 8");
+        assert_eq!(chain.checkpoints(10).len(), 1);
+        assert_eq!(chain.checkpoints(11).len(), 0);
+        assert_eq!(chain.checkpoints(1).len(), 10);
+        // A checkpoint digest is not the link itself (domain separated).
+        let cks = chain.checkpoints(10);
+        let full = chain.clone();
+        let _ = full;
+        assert_ne!(cks[0], chain.root());
+    }
+
+    #[test]
+    fn skip_verifier_matches_naive_receiver() {
+        let mut rng = test_rng(57);
+        let mut chain = PaywordChain::generate(200, &mut rng);
+        let mut naive = PaywordReceiver::new(chain.root());
+        let mut skip = SkipVerifier::new(chain.root(), 200, 16, chain.checkpoints(16));
+        for units in [1, 5, 16, 17, 31, 64, 1, 2, 63] {
+            let pw = chain.spend(units).unwrap();
+            assert_eq!(skip.receive(pw), naive.receive(pw), "units {units}");
+            assert_eq!(skip.best(), naive.best());
+        }
+    }
+
+    #[test]
+    fn skip_verifier_gap_costs_are_bounded() {
+        let mut rng = test_rng(58);
+        let mut chain = PaywordChain::generate(1000, &mut rng);
+        let k = 32u64;
+        let mut skip = SkipVerifier::new(chain.root(), 1000, k, chain.checkpoints(k));
+        // A huge gap: 900 units in one payword.
+        let pw = chain.spend(900).unwrap();
+        assert_eq!(skip.receive(pw), Some(900));
+        // Cost is g mod k + 1, not g.
+        assert!(skip.hashes() <= k, "gap of 900 cost {} hashes (k = {k})", skip.hashes());
+    }
+
+    #[test]
+    fn skip_verifier_rejects_tampered_and_stale() {
+        let mut rng = test_rng(59);
+        let mut chain = PaywordChain::generate(64, &mut rng);
+        let mut skip = SkipVerifier::new(chain.root(), 64, 8, chain.checkpoints(8));
+        let p1 = chain.spend(10).unwrap();
+        assert_eq!(skip.receive(p1), Some(10));
+        assert_eq!(skip.receive(p1), None, "replay");
+        let forged = Payword { index: 40, word: [0xEE; 32] };
+        assert_eq!(skip.receive(forged), None, "forged word");
+        let over = Payword { index: 65, word: chain.spend(54).unwrap().word };
+        assert_eq!(skip.receive(over), None, "over capacity");
+        assert_eq!(skip.best().index, 10);
+    }
+
+    #[test]
+    fn skip_verifier_resumes_mid_chain() {
+        let mut rng = test_rng(60);
+        let mut chain = PaywordChain::generate(100, &mut rng);
+        let cks = chain.checkpoints(8);
+        let mut first = SkipVerifier::new(chain.root(), 100, 8, cks.clone());
+        let p1 = chain.spend(37).unwrap();
+        assert_eq!(first.receive(p1), Some(37));
+        // Resume from the settled point, as the broker does after a crash.
+        let mut resumed = SkipVerifier::resume(chain.root(), 100, 8, cks, first.best());
+        let p2 = chain.spend(50).unwrap();
+        assert_eq!(resumed.receive(p2), Some(50));
+        assert_eq!(resumed.best().index, 87);
+    }
+
+    #[test]
+    fn batch_ingestion_settles_on_the_best_candidate() {
+        let mut rng = test_rng(61);
+        let mut chain = PaywordChain::generate(50, &mut rng);
+        let paywords: Vec<Payword> = (0..5).map(|_| chain.spend(7).unwrap()).collect();
+        let mut skip = SkipVerifier::new(chain.root(), 50, 4, chain.checkpoints(4));
+        // Shuffled, duplicated, out of order: the batch is worth its max.
+        let batch = vec![paywords[2], paywords[4], paywords[0], paywords[4], paywords[1], paywords[3]];
+        assert_eq!(skip.receive_batch(&batch), 35);
+        assert_eq!(skip.best().index, 35);
+        // A tampered top candidate falls back to the next best.
+        let p6 = chain.spend(7).unwrap();
+        let mut forged = chain.spend(7).unwrap();
+        forged.word = [0xAA; 32];
+        assert_eq!(skip.receive_batch(&[forged, p6]), 7);
+        assert_eq!(skip.best().index, 42);
     }
 }

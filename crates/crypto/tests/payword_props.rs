@@ -1,0 +1,138 @@
+//! Differential properties: checkpointed skip-verification accepts and
+//! rejects exactly what naive hash iteration does, over random chain
+//! capacities, checkpoint intervals, gap patterns, and tampering.
+
+use proptest::prelude::*;
+
+use whopay_crypto::payword::{verify_payword, Payword, PaywordChain, PaywordReceiver, SkipVerifier};
+use whopay_crypto::testing::test_rng;
+
+/// A random walk of spend amounts that stays within `capacity`.
+fn gap_pattern(capacity: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1..capacity.max(1) + 1, 0..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Honest streams: skip-verify and naive iteration agree on every
+    /// accept, every gained amount, and the final best payword.
+    #[test]
+    fn skip_equals_naive_on_honest_streams(
+        seed in 0u64..1_000,
+        capacity in 1u64..400,
+        every in 1u64..64,
+        gaps in gap_pattern(400),
+    ) {
+        let mut rng = test_rng(seed);
+        let mut chain = PaywordChain::generate(capacity as usize, &mut rng);
+        let mut naive = PaywordReceiver::new(chain.root());
+        let mut skip = SkipVerifier::new(chain.root(), capacity, every, chain.checkpoints(every));
+        for units in gaps {
+            if let Some(pw) = chain.spend(units) {
+                prop_assert_eq!(skip.receive(pw), naive.receive(pw));
+                prop_assert_eq!(skip.best(), naive.best());
+            }
+        }
+        // Whatever was verified, one standalone walk confirms it.
+        prop_assert!(verify_payword(&skip.root(), &skip.best()) || skip.best().index == 0);
+    }
+
+    /// Tampered paywords: flipping any byte of the word, or shifting the
+    /// index, is rejected by both verifiers (within capacity, where the
+    /// naive receiver is defined).
+    #[test]
+    fn tampered_paywords_rejected_by_both(
+        seed in 0u64..1_000,
+        capacity in 2u64..300,
+        every in 1u64..32,
+        spent in 1u64..300,
+        flip_byte in 0usize..32,
+        index_shift in 1u64..5,
+    ) {
+        let spent = spent.min(capacity);
+        let mut rng = test_rng(seed);
+        let mut chain = PaywordChain::generate(capacity as usize, &mut rng);
+        let pw = chain.spend(spent).unwrap();
+
+        let mut naive = PaywordReceiver::new(chain.root());
+        let mut skip = SkipVerifier::new(chain.root(), capacity, every, chain.checkpoints(every));
+
+        let mut corrupt = pw;
+        corrupt.word[flip_byte] ^= 0x5A;
+        prop_assert_eq!(naive.receive(corrupt), None);
+        prop_assert_eq!(skip.receive(corrupt), None);
+
+        // A wrong index on a genuine word also fails (the word proves
+        // exactly its own index), as long as it stays within capacity.
+        let shifted = Payword { index: pw.index.saturating_sub(index_shift), word: pw.word };
+        if shifted.index > 0 && shifted.index != pw.index {
+            prop_assert_eq!(naive.receive(shifted), None);
+            prop_assert_eq!(skip.receive(shifted), None);
+        }
+
+        // After the rejections, the genuine payword still lands in both.
+        prop_assert_eq!(naive.receive(pw), Some(spent));
+        prop_assert_eq!(skip.receive(pw), Some(spent));
+    }
+
+    /// Skip-verification cost: a single gap of `g` costs at most
+    /// `(g mod every) + 1` hashes once a checkpoint is reachable, and
+    /// never more than the naive `g`.
+    #[test]
+    fn skip_cost_is_bounded(
+        seed in 0u64..1_000,
+        capacity in 8u64..500,
+        every in 1u64..48,
+        gap in 1u64..500,
+    ) {
+        let gap = gap.min(capacity);
+        let mut rng = test_rng(seed);
+        let mut chain = PaywordChain::generate(capacity as usize, &mut rng);
+        let mut skip = SkipVerifier::new(chain.root(), capacity, every, chain.checkpoints(every));
+        let pw = chain.spend(gap).unwrap();
+        prop_assert_eq!(skip.receive(pw), Some(gap));
+        let bound = if pw.index >= every { (pw.index % every) + 1 } else { pw.index };
+        prop_assert!(
+            skip.hashes() <= bound.max(pw.index.min(every)),
+            "gap {} cost {} hashes (every {})", gap, skip.hashes(), every
+        );
+        prop_assert!(skip.hashes() <= gap + 1, "never worse than naive");
+    }
+
+    /// Batch ingestion is worth exactly the maximum valid index in the
+    /// batch, regardless of order, duplication, or corrupted entries.
+    #[test]
+    fn batch_ingestion_is_order_and_duplicate_insensitive(
+        seed in 0u64..1_000,
+        capacity in 4u64..200,
+        every in 1u64..16,
+        n_ticks in 1usize..8,
+        corrupt_top in any::<bool>(),
+    ) {
+        let mut rng = test_rng(seed);
+        let mut chain = PaywordChain::generate(capacity as usize, &mut rng);
+        let step = (capacity / n_ticks as u64).max(1);
+        let mut ticks: Vec<Payword> = Vec::new();
+        for _ in 0..n_ticks {
+            if let Some(pw) = chain.spend(step) {
+                ticks.push(pw);
+            }
+        }
+        prop_assume!(!ticks.is_empty());
+        let best_valid = ticks.last().unwrap().index;
+        // Duplicate everything and reverse the order.
+        let mut batch = ticks.clone();
+        batch.extend(ticks.iter().rev().copied());
+        if corrupt_top {
+            let top = batch.iter().map(|p| p.index).max().unwrap();
+            // Corrupt only the *first* copy of the top candidate; the
+            // duplicate survives, so the batch is still worth its max.
+            let i = batch.iter().position(|p| p.index == top).unwrap();
+            batch[i].word = [0xDD; 32];
+        }
+        let mut skip = SkipVerifier::new(chain.root(), capacity, every, chain.checkpoints(every));
+        prop_assert_eq!(skip.receive_batch(&batch), best_valid);
+        prop_assert_eq!(skip.best().index, best_valid);
+    }
+}

@@ -18,6 +18,10 @@
 //!   partitioned parallel runner that scales to 10⁵–10⁶ peers;
 //! * [`legacy`] — the seed per-peer-object simulator, kept as the
 //!   differential-testing oracle and the measured performance baseline;
+//! * [`streaming`] — the relay-payment streaming workload over micropay
+//!   hash chains (§7): sessions, tick rate limits, budget exhaustion,
+//!   mid-stream churn, and periodic broker settlement, on the same
+//!   arena engine and partitioned runner;
 //! * [`report`] — figure-by-figure data series and text/CSV rendering.
 //!
 //! # Example
@@ -38,6 +42,7 @@ pub mod loadsim;
 pub mod ops;
 pub mod policy;
 pub mod report;
+pub mod streaming;
 
 pub use config::SimConfig;
 pub use cost::MicroWeights;
@@ -47,3 +52,7 @@ pub use loadsim::{
 };
 pub use ops::{Op, OpCounts};
 pub use policy::{PaymentMethod, Policy, SyncStrategy};
+pub use streaming::{
+    partition_stream_configs, run_stream, run_stream_partitioned, run_stream_partitioned_threads,
+    run_stream_with_obs, StreamConfig, StreamResult,
+};

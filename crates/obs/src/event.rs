@@ -109,13 +109,19 @@ pub enum OpKind {
     DhtNotify,
     /// One transport request/response exchange (`whopay-net`).
     NetRequest,
+    /// Opening (committing to) a micropayment hash chain (§7).
+    MicropayOpen,
+    /// A per-interval payword tick (single or batched) on a chain.
+    MicropayTick,
+    /// Broker redemption of a micropayment chain's best payword.
+    MicropayRedeem,
     /// Anything not covered above (label it via [`Event::detail`]).
     Other,
 }
 
 impl OpKind {
     /// All operation kinds, in reporting order.
-    pub const ALL: [OpKind; 19] = [
+    pub const ALL: [OpKind; 22] = [
         OpKind::Purchase,
         OpKind::Issue,
         OpKind::Transfer,
@@ -134,6 +140,9 @@ impl OpKind {
         OpKind::DhtLookup,
         OpKind::DhtNotify,
         OpKind::NetRequest,
+        OpKind::MicropayOpen,
+        OpKind::MicropayTick,
+        OpKind::MicropayRedeem,
         OpKind::Other,
     ];
 
@@ -158,6 +167,9 @@ impl OpKind {
             OpKind::DhtLookup => "dht_lookup",
             OpKind::DhtNotify => "dht_notify",
             OpKind::NetRequest => "net_request",
+            OpKind::MicropayOpen => "micropay_open",
+            OpKind::MicropayTick => "micropay_tick",
+            OpKind::MicropayRedeem => "micropay_redeem",
             OpKind::Other => "other",
         }
     }

@@ -327,14 +327,16 @@ impl<E> EventQueue<E> {
 
     /// The timestamp of the next event, if any.
     ///
-    /// Bucketed events always precede overflow events (they are within
-    /// one year of `now`, overflow events beyond it), so no migration is
-    /// needed to answer the question.
+    /// Overflow events migrate into buckets lazily (only on
+    /// [`Self::pop`]), so after the clock jumps an overflow event can
+    /// sit within the current year while a later arrival lands in a
+    /// bucket — the answer is the minimum over both stores.
     pub fn peek_time(&self) -> Option<SimTime> {
-        if self.in_buckets > 0 {
-            Some(self.locate_min().time)
-        } else {
-            self.overflow.peek().map(|e| e.key.time)
+        let bucketed = (self.in_buckets > 0).then(|| self.locate_min().time);
+        let overflow = self.overflow.peek().map(|e| e.key.time);
+        match (bucketed, overflow) {
+            (Some(b), Some(o)) => Some(b.min(o)),
+            (b, o) => b.or(o),
         }
     }
 

@@ -7,7 +7,7 @@ fn peek_after_overflow_pop() {
     q.schedule(SimTime::from_millis(100), 'a'); // overflow
     q.schedule(SimTime::from_millis(102), 'b'); // overflow
     assert_eq!(q.pop(), Some((SimTime::from_millis(100), 'a'))); // clock jumps to 100
-    // 103 - 100 = 3 < year(4) -> bucketed; 'b' at 102 still in overflow
+                                                                 // 103 - 100 = 3 < year(4) -> bucketed; 'b' at 102 still in overflow
     q.schedule(SimTime::from_millis(103), 'c');
     assert_eq!(q.peek_time(), Some(SimTime::from_millis(102)), "peek must see 'b'");
     // pop_until at horizon 102 must deliver 'b'

@@ -74,7 +74,7 @@ fn main() {
     // settled with one real WhoPay coin.
     let gk_alice = judge.enroll(PeerId(1), &mut rng); // fresh window credential
     let (mut window, commitment) =
-        MicropaySender::open(params.group(), judge.public_key(), &gk_alice, 100, &mut rng);
+        MicropaySender::open(params.group(), judge.public_key(), &gk_alice, 100, 10, &mut rng);
     let mut bob_window = MicropayReceiver::accept(params.group(), judge.public_key(), &commitment, 50)
         .expect("commitment verifies");
     println!("\npayword window open: capacity {}, settle every 50 units", window.remaining());

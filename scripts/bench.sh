@@ -4,8 +4,10 @@
 # (BENCH_*.json at the repository root). Record tracked values in
 # EXPERIMENTS.md when they move. Pass --ablation to also regenerate the
 # ablation/figure console logs under target/ablation/, --shard to run
-# only the sharded-broker scaling bench (BENCH_shard.json), or --loadsim
-# to run only the million-peer load-simulator bench (BENCH_loadsim.json).
+# only the sharded-broker scaling bench (BENCH_shard.json), --loadsim
+# to run only the million-peer load-simulator bench (BENCH_loadsim.json),
+# or --micropay to run only the streaming-micropayment bench
+# (BENCH_micropay.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,6 +78,15 @@ if [ "${1:-}" = "--loadsim" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "--micropay" ]; then
+    echo "==> bench_micropay_json (BENCH_micropay.json)"
+    cargo run --release --offline -q -p whopay-bench --bin bench_micropay_json
+    reassert_multicore_gates
+    unproven_summary
+    echo "==> bench.sh: done (--micropay)"
+    exit 0
+fi
+
 echo "==> cargo bench: table2_dsa (DSA-1024 keygen/sign/verify)"
 cargo bench -p whopay-bench --bench table2_dsa --offline
 
@@ -100,6 +111,9 @@ cargo run --release --offline -q -p whopay-bench --bin bench_shard_json
 echo "==> bench_loadsim_json (BENCH_loadsim.json)"
 cargo run --release --offline -q -p whopay-bench --bin bench_loadsim_json
 
+echo "==> bench_micropay_json (BENCH_micropay.json)"
+cargo run --release --offline -q -p whopay-bench --bin bench_micropay_json
+
 if [ "${1:-}" = "--ablation" ]; then
     # Console logs live under the (git-ignored) target tree; EXPERIMENTS.md
     # quotes numbers from these runs.
@@ -110,7 +124,7 @@ if [ "${1:-}" = "--ablation" ]; then
     echo "==> table3_report (target/ablation/table3_output.txt)"
     cargo run --release --offline -q -p whopay-bench --bin table3_report \
         | tee target/ablation/table3_output.txt
-    for ab in downtime policies real_messages vs_centralized; do
+    for ab in downtime lifecycle policies real_messages vs_centralized; do
         echo "==> ablation_${ab} (target/ablation/ablation_${ab}_output.txt)"
         cargo run --release --offline -q -p whopay-bench --bin "ablation_${ab}" \
             | tee "target/ablation/ablation_${ab}_output.txt"

@@ -37,6 +37,9 @@ echo "==> cargo test --release --test chaos sharded (sharded broker: shard crash
 cargo test -q --release --offline --test chaos sharded
 cargo test -q --release --offline --test chaos lost_cross_shard
 
+echo "==> cargo test --release --test chaos streaming (PayWord stream: faults + mid-stream shard crash)"
+cargo test -q --release --offline --test chaos streaming_micropay
+
 echo "==> WHOPAY_NET_THREADS=1 cargo test -q --release (event-queue single-thread equivalence pass)"
 WHOPAY_NET_THREADS=1 cargo test -q --release --offline
 
@@ -64,6 +67,15 @@ cargo test -p whopay-eval -q --release --offline --test arena_equiv --test parti
 echo "==> cargo test -p whopay-eval --release --test scale_smoke (pinned-seed 100k-peer partitioned run, < 30 s budget)"
 cargo test -p whopay-eval -q --release --offline --test scale_smoke -- --ignored
 
+echo "==> cargo test -p whopay-crypto --release --test payword_props (hash-chain / skip-verification differential props)"
+cargo test -p whopay-crypto -q --release --offline --test payword_props
+
+echo "==> cargo test -p whopay-core --release (micropay flow + differential props)"
+cargo test -p whopay-core -q --release --offline --test micropay_flow --test micropay_props
+
+echo "==> cargo test -p whopay-eval --release --lib streaming (pinned-seed streaming smoke: conservation, churn, partition invariance)"
+cargo test -p whopay-eval -q --release --offline --lib streaming
+
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --offline
 
@@ -72,6 +84,9 @@ cargo build --release --offline -p whopay-bench --bin bench_shard_json
 
 echo "==> cargo build --release --bin bench_loadsim_json (load-sim scaling bench stays buildable)"
 cargo build --release --offline -p whopay-bench --bin bench_loadsim_json
+
+echo "==> cargo build --release --bin bench_micropay_json (streaming-micropay bench stays buildable)"
+cargo build --release --offline -p whopay-bench --bin bench_micropay_json
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"

@@ -27,15 +27,17 @@ use std::rc::Rc;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use whopay::core::micropay::{MicropayHost, MicropaySender};
 use whopay::core::service::{
-    attach_broker, attach_client, attach_peer, attach_shard_endpoints, attach_shard_endpoints_obs,
-    clock, deposit_batch_via_obs, deposit_via_retry, install_wire_classifier, purchase_via_retry,
-    request_issue_via_retry, request_renewal_via_retry, request_transfer_via_retry, shared_clock,
-    SharedClock,
+    attach_broker, attach_client, attach_micropay_host, attach_peer, attach_shard_endpoints,
+    attach_shard_endpoints_obs, clock, deposit_batch_via_obs, deposit_via_retry,
+    install_wire_classifier, open_chain_via_retry, purchase_via_retry, redeem_chain_via,
+    redeem_chain_via_retry, request_issue_via_retry, request_renewal_via_retry,
+    request_transfer_via_retry, shared_clock, tick_via, SharedClock,
 };
 use whopay::core::{
-    Broker, CoinId, DepositRequest, Invariant, Journal, Judge, Peer, PeerId, PurchaseMode,
-    ShardedBroker, SystemParams, Timestamp,
+    shard_of_chain, Broker, CoinId, DepositRequest, Invariant, Journal, Judge, Peer, PeerId,
+    PurchaseMode, ShardedBroker, SystemParams, Timestamp,
 };
 use whopay::crypto::testing::{test_rng, tiny_group};
 use whopay::net::{EndpointId, FaultInjector, FaultPlan, FaultRates, Network, RetryPolicy};
@@ -674,6 +676,204 @@ fn lost_cross_shard_commit_raises_violation_and_dumps_flight() {
             && e.detail.as_deref().is_some_and(|d| d.contains("value_conservation"))),
         "violation event missing from flight record"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Streaming-micropay chaos: a PayWord stream over the same faulty wire —
+// ticks resent byte-identically until they land, periodic redemption at
+// the sharded broker, and a mid-stream crash+recovery of the shard that
+// owns the chain.
+// ---------------------------------------------------------------------------
+
+const STREAM_CAPACITY: u64 = 96;
+const STREAM_EVERY: u64 = 8;
+const STREAM_SETTLE: u64 = 16;
+const STREAM_CRASH_AT: u64 = 40;
+
+#[test]
+fn streaming_micropay_survives_faults_and_mid_stream_shard_crash() {
+    let seed = chaos_seed() ^ 0x571C;
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let gpk = judge.public_key().clone();
+    let sharded = Arc::new(ShardedBroker::new(params.clone(), gpk.clone(), SHARDS, &mut rng));
+    sharded.enable_journals();
+    let policy = RetryPolicy::new(8).backoff(10, 1_000).budget(100_000);
+    let obs = Obs::disabled();
+
+    let mut net = Network::new();
+    install_wire_classifier(&mut net);
+    let sclk = shared_clock(Timestamp(0));
+    let shard_eps = attach_shard_endpoints(&mut net, sharded.clone(), sclk, 1000 + seed);
+    let host =
+        Rc::new(RefCell::new(MicropayHost::new(params.group().clone(), gpk.clone(), STREAM_SETTLE)));
+    let host_ep = attach_micropay_host(&mut net, host.clone());
+    let sender_ep = attach_client(&mut net, "stream-sender");
+    let relay_ep = attach_client(&mut net, "relay");
+
+    // Full fault rates on every link, plus a severed tick path for one
+    // delivery window — the stream must ride it out by resending.
+    let plan = FaultPlan::new()
+        .with_default(FaultRates { drop: 0.02, duplicate: 0.02, corrupt: 0.02, timeout: 0.02 })
+        .partition(sender_ep, host_ep, 40, 80);
+    net.install_faults(FaultInjector::new(plan, seed ^ 0xFA17));
+
+    // The sender opens a group-signed chain with the relay over the wire;
+    // re-sending the identical commitment is answered idempotently.
+    let gk = judge.enroll(PeerId(9), &mut rng);
+    let (mut sender, commitment) =
+        MicropaySender::open(params.group(), &gpk, &gk, STREAM_CAPACITY, STREAM_EVERY, &mut rng);
+    let chain =
+        open_chain_via_retry(&mut net, sender_ep, host_ep, commitment.clone(), &policy, &mut rng, &obs)
+            .expect("chain opens under faults");
+    let reopened =
+        open_chain_via_retry(&mut net, sender_ep, host_ep, commitment, &policy, &mut rng, &obs)
+            .expect("replayed open answered");
+    assert_eq!(reopened, chain, "open is idempotent");
+
+    let owning = shard_of_chain(&chain, SHARDS);
+    let redeem_ep = shard_eps[owning];
+
+    let mut tick_resends = 0u64;
+    let mut redemptions = 0u64;
+    let mut crashed = false;
+
+    for i in 0..STREAM_CAPACITY {
+        // Ticks are idempotent (a duplicate credits zero), so the sender
+        // resends the *same* payword until the relay acknowledges it.
+        let word = sender.pay(1).expect("within capacity");
+        let mut acked = false;
+        for attempt in 0..200 {
+            // The ack itself crosses the faulty wire, so a "successful"
+            // reply may be garbage; the loop trusts only the relay's own
+            // books (which the sender would learn via the next good ack).
+            let _ = tick_via(&mut net, sender_ep, host_ep, chain, word);
+            if host.borrow().receiver(&chain).expect("open chain").total() == i + 1 {
+                tick_resends += attempt;
+                acked = true;
+                break;
+            }
+        }
+        assert!(acked, "tick {i} never landed after 200 resends");
+
+        // Periodic settlement: once the relay's unsettled balance crosses
+        // the threshold it redeems at the chain's owning shard, and a
+        // byte-identical re-presentation is answered from the replay memo
+        // without re-crediting.
+        if host.borrow().receiver(&chain).expect("open chain").settlement_due() {
+            let request = host.borrow().receiver(&chain).expect("open chain").redeem_request();
+            // The retry helper resends on retryable verdicts; the outer
+            // loop additionally absorbs corruption in *either* direction:
+            // a garbled request can draw a fatal verdict (a flipped index
+            // byte reads as stale), and a garbled receipt must not be
+            // trusted — only a receipt matching the frontier this request
+            // provably advances to is accepted. Replay memos make every
+            // resend safe.
+            let expect_total = request.payword.index;
+            let mut landed = None;
+            for _ in 0..16 {
+                match redeem_chain_via_retry(
+                    &mut net,
+                    relay_ep,
+                    redeem_ep,
+                    request.clone(),
+                    &policy,
+                    &mut rng,
+                    &obs,
+                ) {
+                    Ok(r) if r.chain == chain && r.total == expect_total => {
+                        landed = Some(r);
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+            let receipt = landed.expect("redemption lands under faults");
+            host.borrow_mut()
+                .receiver_mut(&chain)
+                .expect("open chain")
+                .mark_settled_upto(receipt.total);
+            redemptions += 1;
+
+            let commits_before = sharded.stats().redemptions;
+            let mut replayed = None;
+            for _ in 0..16 {
+                match redeem_chain_via_retry(
+                    &mut net,
+                    relay_ep,
+                    redeem_ep,
+                    request.clone(),
+                    &policy,
+                    &mut rng,
+                    &obs,
+                ) {
+                    Ok(r) if r == receipt => {
+                        replayed = Some(r);
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+            assert!(replayed.is_some(), "replay answered with the original receipt");
+            assert_eq!(
+                sharded.stats().redemptions,
+                commits_before,
+                "replay must not redeem the chain twice"
+            );
+        }
+
+        // Mid-stream, after value has settled, the owning shard crashes
+        // and rebuilds from its journal — bit-identically, per the
+        // snapshot equality inside the helper.
+        if i == STREAM_CRASH_AT {
+            assert!(redemptions > 0, "crash must land after at least one redemption");
+            crash_and_recover_shard(&sharded, owning);
+            crashed = true;
+        }
+    }
+
+    // The storm really hit: faults were injected, the partition window
+    // passed over the tick path, and resends absorbed the damage.
+    let injector = net.clear_faults().expect("injector installed");
+    let fstats = injector.stats();
+    assert!(fstats.total() > 0, "no faults injected: {fstats:?}");
+    assert!(fstats.partitions > 0, "partition window never hit: {fstats:?}");
+    assert!(tick_resends > 0, "no tick was ever resent");
+    assert!(crashed, "the mid-stream crash never ran");
+
+    // Fault-free drain: the tail of the stream settles.
+    let outstanding = host.borrow().receiver(&chain).expect("open chain").outstanding();
+    if outstanding > 0 {
+        let request = host.borrow().receiver(&chain).expect("open chain").redeem_request();
+        let receipt = redeem_chain_via(&mut net, relay_ep, redeem_ep, request)
+            .expect("final fault-free redemption");
+        host.borrow_mut().receiver_mut(&chain).expect("open chain").mark_settled_upto(receipt.total);
+        redemptions += 1;
+    }
+
+    // Value conservation, end to end: every unit the sender released was
+    // credited at the relay exactly once and settled at the broker
+    // exactly once — across drops, duplicates, corruption, a partition,
+    // and a shard crash.
+    let host_ref = host.borrow();
+    let receiver = host_ref.receiver(&chain).expect("open chain");
+    assert_eq!(receiver.total(), STREAM_CAPACITY, "every tick credited at the relay");
+    assert_eq!(receiver.outstanding(), 0, "no unsettled value left");
+    assert_eq!(
+        sharded.settled_micropay_value(),
+        STREAM_CAPACITY,
+        "broker books equal the sender's spend"
+    );
+    assert_eq!(
+        sharded.lock_shard(owning).chain_settled(&chain),
+        Some(STREAM_CAPACITY),
+        "the owning shard holds the whole settled frontier"
+    );
+    let stats = sharded.stats();
+    assert_eq!(stats.redemptions, redemptions, "each frontier advance committed exactly once");
+    assert!(stats.replays > 0, "replay memos never answered a duplicate");
+    assert!(sharded.audit_ok(), "violations: {:?}", sharded.violations());
 }
 
 #[test]
