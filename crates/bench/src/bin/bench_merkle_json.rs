@@ -1,0 +1,201 @@
+//! Machine-readable state-commitment benchmark: emits `BENCH_merkle.json`
+//! with three sections.
+//!
+//! * **tree** — the incremental [`MerkleTree`] against the
+//!   rebuild-from-scratch oracle [`root_of`]: a committed mutation costs
+//!   one O(log n) bubble instead of re-hashing every leaf, which is what
+//!   makes per-mutation `(root, seq)` journaling affordable at all.
+//! * **proof** — what a payee pays to check a served binding against the
+//!   broker's commitment: proof size on the wire (a
+//!   [`whopay_core::wire::Response::Proof`] frame) and verification
+//!   latency of the full [`BindingProof`] (signed root + sibling path).
+//! * **deposit_flood** — the headline overhead gate: the same seeded
+//!   deposit flood with the state ledger committing every mutation
+//!   versus with it off ([`whopay_core::Broker::set_ledger_enabled`]).
+//!   Tracked bar: `overhead.ratio >= 0.9` — tamper evidence may cost at
+//!   most 10% of deposit throughput.
+//!
+//! `scripts/bench.sh --merkle` regenerates the file.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use whopay_bench::time_it;
+use whopay_core::merkle::{root_of, MerkleTree};
+use whopay_core::wire::Response;
+use whopay_core::{Broker, Judge, Peer, PeerId, PurchaseMode, SystemParams, Timestamp};
+use whopay_crypto::testing::{test_rng, tiny_group};
+
+const TREE_LEAVES: usize = 10_000;
+const FLOOD_COINS: usize = 160;
+const FLOOD_ROUNDS: usize = 5;
+
+/// A deterministic coin-leaf-sized payload for leaf `i`.
+fn leaf_bytes(i: usize) -> Vec<u8> {
+    let mut v = vec![0u8; 96];
+    for (k, b) in v.iter_mut().enumerate() {
+        *b = (i.wrapping_mul(31).wrapping_add(k * 7)) as u8;
+    }
+    v
+}
+
+/// Builds a seeded broker with `FLOOD_COINS` coins minted by `owner` and
+/// issued to `holder`, plus the signed deposit requests — everything a
+/// deposit flood needs, constructed identically for each ledger mode.
+fn flood_world(
+    seed: u64,
+) -> (SystemParams, Broker, Vec<whopay_core::DepositRequest>, Vec<whopay_core::CoinId>) {
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let mk = |id: u64, judge: &mut Judge, broker: &mut Broker, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            broker.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        broker.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let mut owner = mk(1, &mut judge, &mut broker, &mut rng);
+    let mut holder = mk(2, &mut judge, &mut broker, &mut rng);
+    let now = Timestamp(0);
+    let mut coins = Vec::with_capacity(FLOOD_COINS);
+    let deposits = (0..FLOOD_COINS)
+        .map(|_| {
+            let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+            let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+            let coin = owner.complete_purchase(minted, pending, now, &mut rng).unwrap();
+            let (invite, session) = holder.begin_receive(&mut rng);
+            let grant = owner.issue_coin(coin, &invite, now, &mut rng).unwrap();
+            holder.accept_grant(grant, session, now).unwrap();
+            coins.push(coin);
+            holder.request_deposit(coin, &mut rng).unwrap()
+        })
+        .collect();
+    (params, broker, deposits, coins)
+}
+
+/// Wall-clock for applying every deposit in order.
+fn run_flood(broker: &mut Broker, deposits: &[whopay_core::DepositRequest]) -> std::time::Duration {
+    let now = Timestamp(1);
+    let start = Instant::now();
+    for dep in deposits {
+        broker.handle_deposit(dep, now).unwrap();
+    }
+    start.elapsed()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_merkle.json".to_string());
+
+    // --- tree: incremental update vs rebuild-from-scratch -----------------
+    let mut tree = MerkleTree::new();
+    let mut leaves: Vec<Vec<u8>> = (0..TREE_LEAVES).map(leaf_bytes).collect();
+    for leaf in &leaves {
+        tree.push(leaf);
+    }
+    let mut cursor = 0usize;
+    let update_ns = time_it(20_000, || {
+        cursor = (cursor * 7 + 11) % TREE_LEAVES;
+        tree.update(cursor, &leaf_bytes(cursor ^ 0x5A5A));
+    });
+    // Leave the driven tree and the oracle's leaf set in agreement, then
+    // check the differential once — a bench that drifted from the oracle
+    // would be timing the wrong thing.
+    for (i, leaf) in leaves.iter_mut().enumerate() {
+        tree.update(i, leaf);
+    }
+    assert_eq!(tree.root(), root_of(leaves.iter()), "incremental tree agrees with oracle");
+    let rebuild_ns = time_it(50, || {
+        std::hint::black_box(root_of(leaves.iter()));
+    });
+    let update_speedup = rebuild_ns.as_secs_f64() / update_ns.as_secs_f64();
+
+    let prove_ns = time_it(20_000, || {
+        cursor = (cursor * 7 + 11) % TREE_LEAVES;
+        std::hint::black_box(tree.prove(cursor));
+    });
+
+    // --- proof: wire size and payee-side verification ---------------------
+    let (params, broker, _, coins) = flood_world(0x3E27);
+    let mut rng = test_rng(0x3E28);
+    let coin = coins[0];
+    let proof = broker.binding_proof(&coin, &mut rng).expect("ledger on by default");
+    let wire_bytes = Response::Proof(Box::new(proof.clone())).encode().len();
+    let siblings = proof.proof.siblings.len();
+    let broker_pk = broker.public_key().clone();
+    let verify_ns = time_it(2_000, || {
+        proof.verify(params.group(), &broker_pk).expect("fresh proof verifies");
+    });
+
+    // --- deposit_flood: ledger on vs off ----------------------------------
+    // Identically seeded worlds; only the commitment knob differs. Ledger
+    // "on" is the default — the "off" leg exists only to price it. The
+    // legs alternate across rounds so slow drift (thermal, scheduler)
+    // cancels out of the ratio instead of landing on one side.
+    let mut on = std::time::Duration::ZERO;
+    let mut off = std::time::Duration::ZERO;
+    for round in 0..FLOOD_ROUNDS as u64 {
+        let (_, mut broker_on, deposits_on, _) = flood_world(0xF10D ^ round);
+        let (_, mut broker_off, deposits_off, _) = flood_world(0xF10D ^ round);
+        broker_off.set_ledger_enabled(false);
+        if round % 2 == 0 {
+            on += run_flood(&mut broker_on, &deposits_on);
+            off += run_flood(&mut broker_off, &deposits_off);
+        } else {
+            off += run_flood(&mut broker_off, &deposits_off);
+            on += run_flood(&mut broker_on, &deposits_on);
+        }
+        assert!(broker_on.committed_root().is_some(), "ledger-on flood committed roots");
+        assert!(broker_off.committed_root().is_none(), "ledger-off flood skipped commitment");
+    }
+    let total = (FLOOD_ROUNDS * FLOOD_COINS) as f64;
+    let per_sec_on = total / on.as_secs_f64();
+    let per_sec_off = total / off.as_secs_f64();
+    let ratio = per_sec_on / per_sec_off;
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"generated_by\": \"crates/bench/src/bin/bench_merkle_json.rs\",").unwrap();
+    writeln!(json, "  \"host_cpus\": {},", std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap();
+    writeln!(json, "  \"tree\": {{").unwrap();
+    writeln!(json, "    \"leaves\": {TREE_LEAVES},").unwrap();
+    writeln!(json, "    \"incremental_update_ns\": {},", update_ns.as_nanos()).unwrap();
+    writeln!(json, "    \"rebuild_ns\": {},", rebuild_ns.as_nanos()).unwrap();
+    writeln!(json, "    \"update_speedup\": {update_speedup:.1},").unwrap();
+    writeln!(json, "    \"prove_ns\": {}", prove_ns.as_nanos()).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"proof\": {{").unwrap();
+    writeln!(json, "    \"wire_bytes\": {wire_bytes},").unwrap();
+    writeln!(json, "    \"siblings\": {siblings},").unwrap();
+    writeln!(json, "    \"verify_ns\": {}", verify_ns.as_nanos()).unwrap();
+    writeln!(json, "  }},").unwrap();
+    writeln!(json, "  \"deposit_flood\": {{").unwrap();
+    writeln!(json, "    \"coins\": {FLOOD_COINS},").unwrap();
+    writeln!(json, "    \"rounds\": {FLOOD_ROUNDS},").unwrap();
+    writeln!(json, "    \"ledger_on_per_sec\": {per_sec_on:.0},").unwrap();
+    writeln!(json, "    \"ledger_off_per_sec\": {per_sec_off:.0},").unwrap();
+    writeln!(json, "    \"overhead_ratio\": {ratio:.3},").unwrap();
+    writeln!(json, "    \"gate\": \"overhead_ratio >= 0.9\"").unwrap();
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write BENCH_merkle.json");
+    println!("wrote {out_path}:\n{json}");
+
+    assert!(
+        update_speedup >= 10.0,
+        "tracked bar: incremental update beats rebuild by >= 10x (got {update_speedup:.1})"
+    );
+    assert!(
+        ratio >= 0.9,
+        "tracked bar: ledger overhead within 10% of uncommitted throughput (got {ratio:.3})"
+    );
+}

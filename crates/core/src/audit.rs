@@ -48,6 +48,11 @@ pub enum Invariant {
     /// A micropayment chain's settled total committed past its signed
     /// capacity — more value redeemed than was ever committed.
     ChainOverCapacity,
+    /// Replayed state failed Merkle-root verification against the
+    /// `(root, seq)` commitment recorded on a journal entry — the
+    /// journal (or snapshot) bytes were tampered with, or the recovered
+    /// state silently diverged from the committed one.
+    StateCommitment,
 }
 
 impl Invariant {
@@ -59,6 +64,7 @@ impl Invariant {
             Invariant::BindingSequence => "binding_sequence",
             Invariant::DoubleRedemption => "double_redemption",
             Invariant::ChainOverCapacity => "chain_over_capacity",
+            Invariant::StateCommitment => "state_commitment",
         }
     }
 }
@@ -180,6 +186,13 @@ impl Auditor {
         }
     }
 
+    /// Records a state-commitment failure: a replayed journal entry
+    /// whose recomputed Merkle `(root, seq)` disagrees with the recorded
+    /// one. Called from [`crate::Broker::recover`]'s verification pass.
+    pub fn on_root_mismatch(&mut self, detail: String) {
+        self.record(Invariant::StateCommitment, None, detail);
+    }
+
     fn record(&mut self, invariant: Invariant, coin: Option<CoinId>, detail: String) {
         self.violations.push(Violation { invariant, coin, detail });
     }
@@ -282,6 +295,14 @@ mod tests {
         a.rebuild_chains(vec![(chain, 40, 100)]);
         a.on_chain_redeem(chain, 40, 100);
         assert_eq!(a.violations()[0].invariant, Invariant::DoubleRedemption);
+    }
+
+    #[test]
+    fn root_mismatch_is_flagged_as_state_commitment() {
+        let mut a = Auditor::new();
+        a.on_root_mismatch("journal entry seq 3: root mismatch".into());
+        assert_eq!(a.violations()[0].invariant, Invariant::StateCommitment);
+        assert_eq!(Invariant::StateCommitment.label(), "state_commitment");
     }
 
     #[test]

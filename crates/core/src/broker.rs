@@ -21,6 +21,7 @@ use crate::chain::BindingChain;
 use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
 use crate::error::CoreError;
 use crate::journal::{ChainSnapshot, CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
+use crate::ledger::{coin_leaf, BindingProof, SignedRoot, StateLedger};
 use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, PurchaseRequest, RenewalRequest, TransferRequest,
 };
@@ -118,6 +119,10 @@ pub struct Broker {
     /// Always-on invariant auditor observing every committed mutation
     /// (see [`crate::audit`]).
     audit: Auditor,
+    /// Merkle commitment over the broker's state (see [`crate::ledger`]);
+    /// on by default, `None` only via the bench-only
+    /// [`Broker::set_ledger_enabled`] knob.
+    ledger: Option<StateLedger>,
 }
 
 impl Broker {
@@ -146,15 +151,46 @@ impl Broker {
             vpool: VerifyPool::serial(),
             journal: None,
             audit: Auditor::new(),
+            ledger: Some(StateLedger::new()),
         }
     }
 
-    /// Appends a journal entry (no-op while journalling is off). Every
-    /// entry carries the post-op stats, so recovery restores counters by
-    /// adopting the last entry's snapshot rather than re-deriving them.
+    /// Commits a mutation: advances the state ledger (post-op stats leaf
+    /// plus sequence number) and appends a journal entry carrying the
+    /// resulting `(root, seq)` pair. Every entry carries the post-op
+    /// stats, so recovery restores counters by adopting the last entry's
+    /// snapshot rather than re-deriving them — and recomputes the root
+    /// per entry, so tampered bytes never replay silently.
     fn jrecord(&mut self, op: JournalOp) {
+        let (root, seq) = match self.ledger.as_mut() {
+            Some(ledger) => ledger.commit_stats(&self.stats),
+            None => ([0u8; 32], 0),
+        };
         if let Some(journal) = &mut self.journal {
-            journal.append(JournalEntry { stats: self.stats, op });
+            journal.append(JournalEntry { seq, stats: self.stats, root, op });
+        }
+    }
+
+    /// Refreshes the ledger leaf for a coin from its current record.
+    /// Call after every committed coin mutation, before [`Broker::jrecord`].
+    fn ledger_coin(&mut self, id: CoinId) {
+        let Some(ledger) = self.ledger.as_mut() else { return };
+        if let Some(r) = self.coins.get(&id) {
+            ledger.upsert_coin(
+                id,
+                &r.minted,
+                r.downtime_binding.as_ref(),
+                r.deposited,
+                r.last_served.as_ref(),
+            );
+        }
+    }
+
+    /// Refreshes the ledger leaf for a micropayment chain.
+    fn ledger_chain(&mut self, id: ChainId) {
+        let Some(ledger) = self.ledger.as_mut() else { return };
+        if let Some(r) = self.chains.get(&id) {
+            ledger.upsert_chain(id, &r.commitment, r.settled, &r.best_word, r.last_served.as_ref());
         }
     }
 
@@ -209,6 +245,9 @@ impl Broker {
     /// and proactive sync).
     pub fn register_peer(&mut self, id: PeerId, key: DsaPublicKey) {
         self.registered.insert(id, key.clone());
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.upsert_peer(id, &key);
+        }
         self.jrecord(JournalOp::Register { peer: id, key });
     }
 
@@ -305,6 +344,7 @@ impl Broker {
         );
         self.stats.purchases += 1;
         self.audit.on_mint(id);
+        self.ledger_coin(id);
         self.jrecord(JournalOp::Mint { minted: minted.clone(), served });
         Ok(minted)
     }
@@ -379,6 +419,9 @@ impl Broker {
                 group_sigs: vec![request.group_sig.clone()],
             };
             self.fraud.push(case.clone());
+            if let Some(ledger) = self.ledger.as_mut() {
+                ledger.push_fraud(&case);
+            }
             self.stats.rejections += 1;
             self.jrecord(JournalOp::Fraud { case });
             return Err(CoreError::DoubleSpend(id));
@@ -391,6 +434,7 @@ impl Broker {
         record.last_served = Some(served.clone());
         self.stats.deposits += 1;
         self.audit.on_deposit(id);
+        self.ledger_coin(id);
         self.jrecord(JournalOp::Deposit { coin: id, served });
         Ok(receipt)
     }
@@ -537,6 +581,7 @@ impl Broker {
         record.last_served = Some(served.clone());
         self.stats.redemptions += 1;
         self.audit.on_chain_redeem(id, total, commitment.capacity);
+        self.ledger_chain(id);
         self.jrecord(JournalOp::ChainRedeem { chain: id, served });
         Ok(receipt)
     }
@@ -621,6 +666,7 @@ impl Broker {
         record.last_served = Some(served.clone());
         self.stats.downtime_transfers += 1;
         self.audit.on_binding(id, seq);
+        self.ledger_coin(id);
         self.jrecord(JournalOp::DowntimeBinding { coin: id, binding, served });
         Ok(grant)
     }
@@ -684,6 +730,7 @@ impl Broker {
         record.last_served = Some(served.clone());
         self.stats.downtime_renewals += 1;
         self.audit.on_binding(id, seq);
+        self.ledger_coin(id);
         self.jrecord(JournalOp::DowntimeBinding { coin: id, binding: binding.clone(), served });
         Ok(binding)
     }
@@ -822,18 +869,38 @@ impl Broker {
     pub fn report_fraud(&mut self, coin: CoinId, description: String, group_sigs: Vec<GroupSignature>) {
         let case = FraudCase { coin, description, group_sigs };
         self.fraud.push(case.clone());
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.push_fraud(&case);
+        }
         self.jrecord(JournalOp::Fraud { case });
     }
 
     // --- crash recovery ---
 
+    /// Canonicalizes the state ledger against a fresh snapshot and
+    /// commits the checkpoint mutation, returning the `(root, seq)` pair
+    /// the checkpoint entry records. Checkpoints are the points where
+    /// the live broker and a recovering one re-align on identical leaf
+    /// layouts (sorted order), so the root sequences they derive match.
+    fn ledger_checkpoint(&mut self, state: &CheckpointState) -> (Digest, u64) {
+        match self.ledger.as_mut() {
+            Some(ledger) => {
+                ledger.rebuild(&self.stats, state);
+                ledger.commit_stats(&self.stats)
+            }
+            None => ([0u8; 32], 0),
+        }
+    }
+
     /// Turns on journalling: records an initial checkpoint of the current
-    /// state, then appends an entry for every mutation. Pair with
-    /// [`Broker::recover`] after a crash.
+    /// state (carrying the canonical ledger `(root, seq)`), then appends
+    /// an entry for every mutation. Pair with [`Broker::recover`] after a
+    /// crash.
     pub fn enable_journal(&mut self) {
         let state = self.snapshot();
+        let (root, seq) = self.ledger_checkpoint(&state);
         let mut journal = Journal::new();
-        journal.checkpoint(self.stats, state);
+        journal.checkpoint(seq, self.stats, root, state);
         self.journal = Some(journal);
     }
 
@@ -842,9 +909,10 @@ impl Broker {
     pub fn checkpoint_journal(&mut self) {
         if self.journal.is_some() {
             let state = self.snapshot();
+            let (root, seq) = self.ledger_checkpoint(&state);
             let stats = self.stats;
             if let Some(journal) = &mut self.journal {
-                journal.checkpoint(stats, state);
+                journal.checkpoint(seq, stats, root, state);
             }
         }
     }
@@ -915,6 +983,16 @@ impl Broker {
     /// so recovery time is linear in the journal, not journal × cache.
     /// Journalling is re-enabled (with a fresh checkpoint) so a second
     /// crash recovers the same way.
+    ///
+    /// Replay is *verified*: every journal entry carries the `(root,
+    /// seq)` commitment the crashed broker produced, and recovery
+    /// recomputes both from the replayed state. Any disagreement —
+    /// tampered journal bytes, a forged snapshot, replay divergence —
+    /// is recorded as an [`crate::Invariant::StateCommitment`] auditor
+    /// violation (surfaced by the service layer as a failed event plus
+    /// flight-recorder dump) instead of silently resuming from forged
+    /// state. The recovered broker still materializes, so the operator
+    /// inspects the evidence rather than losing it.
     pub fn recover(
         params: SystemParams,
         gpk: GroupPublicKey,
@@ -929,8 +1007,10 @@ impl Broker {
         broker
     }
 
-    /// Applies one journal entry during recovery. Signature caches are
-    /// deliberately *not* primed here — see [`Broker::recover`].
+    /// Applies one journal entry during recovery, then verifies the
+    /// recomputed ledger `(root, seq)` against the entry's recorded
+    /// commitment. Signature caches are deliberately *not* primed here —
+    /// see [`Broker::recover`].
     fn apply(&mut self, entry: &JournalEntry) {
         match &entry.op {
             JournalOp::Checkpoint(state) => {
@@ -968,9 +1048,20 @@ impl Broker {
                 self.audit.rebuild_chains(
                     state.chains.iter().map(|(id, snap)| (*id, snap.settled, snap.commitment.capacity)),
                 );
+                // The ledger canonicalizes on the snapshot, exactly as
+                // the live broker did when it wrote this checkpoint, and
+                // re-bases its sequence counter so the commit below
+                // reproduces the checkpoint's own (root, seq).
+                if let Some(ledger) = self.ledger.as_mut() {
+                    ledger.rebuild(&entry.stats, state);
+                    ledger.set_seq(entry.seq.wrapping_sub(1));
+                }
             }
             JournalOp::Register { peer, key } => {
                 self.registered.insert(*peer, key.clone());
+                if let Some(ledger) = self.ledger.as_mut() {
+                    ledger.upsert_peer(*peer, key);
+                }
             }
             JournalOp::Mint { minted, served } => {
                 self.audit.on_mint(minted.id());
@@ -983,6 +1074,7 @@ impl Broker {
                         last_served: Some(served.clone()),
                     },
                 );
+                self.ledger_coin(minted.id());
             }
             JournalOp::Deposit { coin, served } => {
                 if let Some(record) = self.coins.get_mut(coin) {
@@ -990,6 +1082,7 @@ impl Broker {
                     record.downtime_binding = None;
                     record.last_served = Some(served.clone());
                     self.audit.on_deposit(*coin);
+                    self.ledger_coin(*coin);
                 }
             }
             JournalOp::DowntimeBinding { coin, binding, served } => {
@@ -997,9 +1090,15 @@ impl Broker {
                     record.downtime_binding = Some(binding.clone());
                     record.last_served = Some(served.clone());
                     self.audit.on_binding(*coin, binding.seq());
+                    self.ledger_coin(*coin);
                 }
             }
-            JournalOp::Fraud { case } => self.fraud.push(case.clone()),
+            JournalOp::Fraud { case } => {
+                self.fraud.push(case.clone());
+                if let Some(ledger) = self.ledger.as_mut() {
+                    ledger.push_fraud(case);
+                }
+            }
             JournalOp::ChainRedeem { chain, served } => {
                 if let ServedOp::RedeemChain { request, receipt } = served {
                     self.audit.on_chain_redeem(*chain, receipt.total, request.commitment.capacity);
@@ -1012,11 +1111,80 @@ impl Broker {
                     record.settled = receipt.total;
                     record.best_word = request.payword.word;
                     record.last_served = Some(served.clone());
+                    self.ledger_chain(*chain);
                 }
             }
             JournalOp::Counters => {}
         }
         self.stats = entry.stats;
+        if let Some(ledger) = self.ledger.as_mut() {
+            let (root, seq) = ledger.commit_stats(&self.stats);
+            if root != entry.root || seq != entry.seq {
+                self.audit.on_root_mismatch(format!(
+                    "replayed journal entry seq {} recomputed (root {:02x}{:02x}.., seq {}) \
+                     but the entry committed (root {:02x}{:02x}.., seq {})",
+                    entry.seq, root[0], root[1], seq, entry.root[0], entry.root[1], entry.seq,
+                ));
+            }
+        }
+    }
+
+    // --- state commitments (see `crate::ledger`) ---
+
+    /// The committed `(root, seq)` pair, `None` while the ledger is
+    /// disabled. `seq` counts committed mutations over the broker's
+    /// lifetime; `root` is the Merkle root over its full state.
+    pub fn committed_root(&self) -> Option<(Digest, u64)> {
+        self.ledger.as_ref().map(|l| (l.root(), l.seq()))
+    }
+
+    /// Signs the current `(root, seq)` commitment — the anchor payees
+    /// verify binding inclusion proofs against.
+    pub fn signed_root<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SignedRoot> {
+        let ledger = self.ledger.as_ref()?;
+        Some(SignedRoot::sign(self.params.group(), &self.keys, ledger.root(), ledger.seq(), rng))
+    }
+
+    /// Builds a payee-verifiable inclusion proof for a coin's committed
+    /// state: the public leaf, the Merkle path, and a freshly signed
+    /// root. `None` when the coin is unknown or the ledger is disabled.
+    pub fn binding_proof<R: Rng + ?Sized>(&self, coin: &CoinId, rng: &mut R) -> Option<BindingProof> {
+        let ledger = self.ledger.as_ref()?;
+        let record = self.coins.get(coin)?;
+        let proof = ledger.prove_coin(coin)?;
+        let leaf = coin_leaf(
+            *coin,
+            &record.minted,
+            record.downtime_binding.as_ref(),
+            record.deposited,
+            record.last_served.as_ref(),
+        );
+        let root = SignedRoot::sign(self.params.group(), &self.keys, ledger.root(), ledger.seq(), rng);
+        Some(BindingProof { leaf, proof, root })
+    }
+
+    /// The state ledger, when enabled.
+    pub fn ledger(&self) -> Option<&StateLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// Bench-only knob: turns the state-ledger commitment off (or back
+    /// on, re-baselining from a canonical snapshot with the sequence
+    /// counter restarted). With the ledger off, journal entries record a
+    /// zero root and verified recovery is unavailable — the knob exists
+    /// so `bench_merkle_json` can measure the deposit path's commitment
+    /// overhead, not for production use.
+    pub fn set_ledger_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.ledger.is_none() {
+                let state = self.snapshot();
+                let mut ledger = StateLedger::new();
+                ledger.rebuild(&self.stats, &state);
+                self.ledger = Some(ledger);
+            }
+        } else {
+            self.ledger = None;
+        }
     }
 
     /// Re-publishes every broker-managed downtime binding to the public

@@ -93,6 +93,110 @@ pub fn read_public_state(
     Binding::decode_public_state(&record.value).map_err(|_| CoreError::Malformed)
 }
 
+/// Verifies a served binding record against the broker's Merkle
+/// commitment, without trusting the node that served it. Four checks, in
+/// order:
+///
+/// 1. the inclusion proof itself — broker signature over `(root, seq)`,
+///    then the sibling path from the committed coin leaf
+///    ([`crate::ledger::BindingProof::verify`]);
+/// 2. the proof is *about this record's coin* — a valid proof for some
+///    other coin proves nothing here ([`CoreError::BadProof`]);
+/// 3. the record's own signature — [`read_public_state`] never checks
+///    it, so a node serving a forged owner would otherwise pass
+///    ([`CoreError::BadSignature`]), and the decoded state's sequence
+///    must match the version the signature covers
+///    ([`CoreError::Malformed`]);
+/// 4. freshness against the committed binding: a record older than what
+///    the broker committed is a stale replay
+///    ([`CoreError::StaleBinding`]); a record *at* the committed
+///    sequence must match the committed holder and expiry exactly
+///    ([`CoreError::PublicBindingMismatch`]); a record past the
+///    committed sequence post-dates the checkpoint (the owner
+///    re-published since), where the coin-key signature from step 3 is
+///    the authority.
+///
+/// # Errors
+///
+/// As itemized above.
+pub fn verify_published_record(
+    record: &SignedRecord,
+    proof: &crate::ledger::BindingProof,
+    group: &SchnorrGroup,
+    broker_pk: &DsaPublicKey,
+) -> Result<PublicBindingState, CoreError> {
+    proof.verify(group, broker_pk)?;
+    if CoinId::from_pk(&record.subject) != proof.leaf.coin {
+        return Err(CoreError::BadProof);
+    }
+    if !record.verify(group, broker_pk) {
+        return Err(CoreError::BadSignature);
+    }
+    let state = Binding::decode_public_state(&record.value).map_err(|_| CoreError::Malformed)?;
+    if state.seq != record.version {
+        return Err(CoreError::Malformed);
+    }
+    if let Some(committed) = &proof.leaf.binding {
+        if record.version < committed.seq {
+            return Err(CoreError::StaleBinding {
+                expected_seq: committed.seq,
+                presented_seq: record.version,
+            });
+        }
+        if record.version == committed.seq
+            && (state.holder_pk != committed.holder_pk || state.expires != committed.expires)
+        {
+            return Err(CoreError::PublicBindingMismatch);
+        }
+    }
+    Ok(state)
+}
+
+/// [`read_public_state`] hardened with a Merkle commitment check: the
+/// served record must pass [`verify_published_record`] against `proof`
+/// before its state is returned. This is the payee-side lookup to use
+/// when the serving DHT node is untrusted.
+///
+/// # Errors
+///
+/// [`CoreError::PublicBindingMissing`] if no record exists; otherwise
+/// as [`verify_published_record`].
+pub fn read_public_state_verified(
+    dht: &mut Dht,
+    entry: RingId,
+    coin_pk: &BigUint,
+    proof: &crate::ledger::BindingProof,
+    group: &SchnorrGroup,
+    broker_pk: &DsaPublicKey,
+) -> Result<PublicBindingState, CoreError> {
+    read_public_state_verified_obs(dht, entry, coin_pk, proof, group, broker_pk, &Obs::disabled())
+}
+
+/// [`read_public_state_verified`] with an observability context: the
+/// verified lookup is timed as a [`OpKind::DsdVerify`] span
+/// ([`Role::Peer`]), failing with the rejection detail when the served
+/// record does not check out against the commitment.
+pub fn read_public_state_verified_obs(
+    dht: &mut Dht,
+    entry: RingId,
+    coin_pk: &BigUint,
+    proof: &crate::ledger::BindingProof,
+    group: &SchnorrGroup,
+    broker_pk: &DsaPublicKey,
+    obs: &Obs,
+) -> Result<PublicBindingState, CoreError> {
+    let mut span = obs.span(Role::Peer, OpKind::DsdVerify);
+    let result = (|| {
+        let record = dht.get(entry, binding_key(coin_pk)).ok_or(CoreError::PublicBindingMissing)?;
+        verify_published_record(&record, proof, group, broker_pk)
+    })();
+    if let Err(e) = &result {
+        span.fail(e.to_string());
+    }
+    span.finish();
+    result
+}
+
 /// Owner-side binding re-sync after an offline window: for every owned
 /// coin with a public record, adopts the published state when it is
 /// newer than the local binding (lazy synchronization against the DHT

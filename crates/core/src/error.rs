@@ -68,6 +68,9 @@ pub enum CoreError {
     },
     /// A received message failed to decode.
     Malformed,
+    /// A Merkle inclusion proof failed verification against the signed
+    /// root — the serving node tampered with the record or the proof.
+    BadProof,
 }
 
 impl std::fmt::Display for CoreError {
@@ -101,6 +104,7 @@ impl std::fmt::Display for CoreError {
                 write!(f, "payword index {presented} exceeds chain capacity {capacity}")
             }
             CoreError::Malformed => f.write_str("malformed message"),
+            CoreError::BadProof => f.write_str("inclusion proof failed verification"),
         }
     }
 }

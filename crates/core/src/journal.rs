@@ -134,11 +134,19 @@ pub enum JournalOp {
     Checkpoint(CheckpointState),
 }
 
-/// One journal entry: the op plus the broker's counters *after* it.
+/// One journal entry: the op plus the broker's counters *after* it and
+/// the tamper-evidence pair — the state-ledger `(root, seq)` the broker
+/// committed to immediately after the op (see [`crate::ledger`]).
+/// Recovery recomputes the root per replayed entry and flags any
+/// mismatch, so no byte of the journal can change without detection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalEntry {
+    /// Global mutation sequence number (monotonic across checkpoints).
+    pub seq: u64,
     /// Counters after the op applied.
     pub stats: BrokerStats,
+    /// The state-ledger Merkle root after the op committed.
+    pub root: Digest,
     /// The mutation.
     pub op: JournalOp,
 }
@@ -161,10 +169,18 @@ impl Journal {
     }
 
     /// Folds the given full state into a single checkpoint entry and
-    /// drops everything recorded before it.
-    pub fn checkpoint(&mut self, stats: BrokerStats, state: CheckpointState) {
+    /// drops everything recorded before it. The checkpoint carries the
+    /// `(root, seq)` pair of the canonically rebuilt state ledger —
+    /// recovery verifies it before trusting the snapshot.
+    pub fn checkpoint(&mut self, seq: u64, stats: BrokerStats, root: Digest, state: CheckpointState) {
         self.entries.clear();
-        self.entries.push(JournalEntry { stats, op: JournalOp::Checkpoint(state) });
+        self.entries.push(JournalEntry { seq, stats, root, op: JournalOp::Checkpoint(state) });
+    }
+
+    /// The sequence number of the last entry (`None` when empty) — the
+    /// number the current `(root, seq)` commitment pairs with.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.seq)
     }
 
     /// The entries since the last checkpoint (inclusive).
@@ -183,42 +199,91 @@ impl Journal {
     }
 
     /// Serialises the journal with the repo's length-prefixed codec.
+    ///
+    /// Each entry is an independent length-prefixed *frame*, so a crash
+    /// mid-append leaves an incomplete trailing frame that decode can
+    /// distinguish from corruption *inside* a complete frame: the former
+    /// is a torn tail (tolerable), the latter is tampering (fatal).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.u64(self.entries.len() as u64);
         for entry in &self.entries {
-            put_stats(&mut w, &entry.stats);
-            put_op(&mut w, &entry.op);
+            let mut inner = Writer::new();
+            inner.u64(entry.seq);
+            put_stats(&mut inner, &entry.stats);
+            inner.bytes(&entry.root);
+            put_op(&mut inner, &entry.op);
+            w.bytes(&inner.finish());
         }
         w.finish()
     }
 
-    /// Decodes a journal produced by [`Journal::to_bytes`].
+    /// Decodes a journal produced by [`Journal::to_bytes`], rejecting
+    /// both corruption and a torn tail.
     ///
     /// # Errors
     ///
-    /// [`CoreError::Malformed`] on any decode failure.
+    /// [`CoreError::Malformed`] on any decode failure, including an
+    /// incomplete trailing frame. Use [`Journal::from_bytes_tolerant`]
+    /// when a crash mid-append must be survivable.
     pub fn from_bytes(bytes: &[u8]) -> Result<Journal, CoreError> {
-        decode_journal(bytes).map_err(|DecodeError| CoreError::Malformed)
+        match Journal::from_bytes_tolerant(bytes)? {
+            (journal, 0) => Ok(journal),
+            _ => Err(CoreError::Malformed),
+        }
+    }
+
+    /// Decodes a journal, tolerating a *torn tail*: a partially-written
+    /// final frame (the signature of a crash mid-append) is dropped and
+    /// reported as the number of trailing bytes discarded, and recovery
+    /// proceeds from the last complete entry. Corruption *inside* a
+    /// complete frame is still fatal.
+    ///
+    /// A torn tail means the recovered state is one entry behind the
+    /// crashed broker's — detectable by comparing the recovered
+    /// `(root, seq)` against the operator's out-of-band copy of the last
+    /// signed root, exactly like any other truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Malformed`] when a complete frame fails to decode.
+    pub fn from_bytes_tolerant(bytes: &[u8]) -> Result<(Journal, u64), CoreError> {
+        let mut entries = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            // Frame header: a u64 length prefix. Fewer than 8 bytes left,
+            // or fewer payload bytes than promised → torn tail.
+            let Some(head) = bytes.get(pos..pos + 8) else {
+                return Ok((Journal { entries }, (bytes.len() - pos) as u64));
+            };
+            let len = u64::from_be_bytes(head.try_into().expect("eight bytes")) as usize;
+            let Some(frame) = bytes
+                .len()
+                .checked_sub(pos + 8)
+                .filter(|&r| r >= len)
+                .map(|_| &bytes[pos + 8..pos + 8 + len])
+            else {
+                return Ok((Journal { entries }, (bytes.len() - pos) as u64));
+            };
+            entries.push(decode_entry(frame).map_err(|DecodeError| CoreError::Malformed)?);
+            pos += 8 + len;
+        }
+        Ok((Journal { entries }, 0))
     }
 }
 
-fn decode_journal(bytes: &[u8]) -> Result<Journal, DecodeError> {
-    let mut r = Reader::new(bytes);
-    let n = r.u64()? as usize;
-    let mut entries = Vec::with_capacity(n.min(1 << 16));
-    for _ in 0..n {
-        let stats = get_stats(&mut r)?;
-        let op = get_op(&mut r)?;
-        entries.push(JournalEntry { stats, op });
-    }
+fn decode_entry(frame: &[u8]) -> Result<JournalEntry, DecodeError> {
+    let mut r = Reader::new(frame);
+    let seq = r.u64()?;
+    let stats = get_stats(&mut r)?;
+    let root: Digest = r.bytes()?.try_into().map_err(|_| DecodeError)?;
+    let op = get_op(&mut r)?;
     r.finish()?;
-    Ok(Journal { entries })
+    Ok(JournalEntry { seq, stats, root, op })
 }
 
 // --- field encodings ---
 
-fn put_stats(w: &mut Writer, s: &BrokerStats) {
+pub(crate) fn put_stats(w: &mut Writer, s: &BrokerStats) {
     w.u64(s.purchases)
         .u64(s.deposits)
         .u64(s.downtime_transfers)
@@ -327,7 +392,7 @@ fn get_receipt(r: &mut Reader<'_>) -> Result<DepositReceipt, DecodeError> {
     Ok(DepositReceipt { coin: get_coin_id(r)?, value: r.u64()? })
 }
 
-fn put_served(w: &mut Writer, op: &ServedOp) {
+pub(crate) fn put_served(w: &mut Writer, op: &ServedOp) {
     match op {
         ServedOp::Purchase { request, minted } => {
             w.u64(0);
@@ -398,7 +463,7 @@ fn get_opt_served(r: &mut Reader<'_>) -> Result<Option<ServedOp>, DecodeError> {
     }
 }
 
-fn put_fraud(w: &mut Writer, case: &FraudCase) {
+pub(crate) fn put_fraud(w: &mut Writer, case: &FraudCase) {
     put_coin_id(w, &case.coin);
     w.bytes(case.description.as_bytes());
     w.u64(case.group_sigs.len() as u64);

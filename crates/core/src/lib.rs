@@ -91,6 +91,8 @@ pub mod error;
 pub mod journal;
 pub mod judge;
 pub mod layered;
+pub mod ledger;
+pub mod merkle;
 pub mod messages;
 pub mod micropay;
 pub mod params;
@@ -112,6 +114,8 @@ pub use coin::{Binding, BindingSigner, DoubleSpendEvidence, MintedCoin, OwnerTag
 pub use error::CoreError;
 pub use journal::{ChainSnapshot, CheckpointState, CoinSnapshot, Journal, JournalEntry, JournalOp};
 pub use judge::{Judge, RevealedIdentity};
+pub use ledger::{BindingProof, CoinLeaf, SignedRoot, StateLedger};
+pub use merkle::{InclusionProof, MerkleTree};
 pub use messages::{
     CoinGrant, DepositReceipt, DepositRequest, PaymentInvite, PurchaseRequest, ReceiveSession,
     RenewalRequest, TransferRequest,

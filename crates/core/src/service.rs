@@ -39,6 +39,7 @@ use whopay_crypto::payword::Payword;
 use crate::broker::Broker;
 use crate::codec;
 use crate::error::CoreError;
+use crate::ledger::BindingProof;
 use crate::messages::{CoinGrant, DepositReceipt, PaymentInvite, PurchaseRequest};
 use crate::micropay::{ChainCommitment, MicropayHost, RedeemChainRequest, RedemptionReceipt};
 use crate::peer::{Peer, PurchaseMode};
@@ -99,6 +100,21 @@ fn surface_violations(broker: &Broker, obs: &Obs, seen: &Cell<usize>) {
         eprintln!("--- flight recorder: invariant violation ---");
         eprint!("{dump}");
     }
+}
+
+/// Surfaces every auditor violation a broker carries — the
+/// post-[`Broker::recover`] form of the per-dispatch surfacing an
+/// attached endpoint does automatically. Each violation becomes a failed
+/// broker event on `obs` (so a flight-recorder-backed `Obs` dumps the
+/// run), and the number of violations surfaced is returned. An operator
+/// recovering from a journal calls this right after [`Broker::recover`]:
+/// a non-zero return means replay verification caught tampering (a
+/// [`crate::audit::Invariant::StateCommitment`] root mismatch) or a
+/// replayed double-commit.
+pub fn surface_recovery_violations(broker: &Broker, obs: &Obs) -> usize {
+    let seen = Cell::new(0);
+    surface_violations(broker, obs, &seen);
+    seen.get()
 }
 
 /// Attaches a broker to the network. All broker-side operations
@@ -199,6 +215,12 @@ pub fn attach_broker_obs(
                 match broker.borrow_mut().handle_redeem_chain(&request) {
                     Ok(receipt) => Response::Redeemed(receipt),
                     Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Ok(RequestView::BindingProof { coin }) => {
+                match broker.borrow().binding_proof(&coin, &mut rng) {
+                    Some(proof) => Response::Proof(Box::new(proof)),
+                    None => Response::Error(CoreError::UnknownCoin(coin).to_string()),
                 }
             }
             Ok(_) => Response::Error("request not handled by the broker".into()),
@@ -355,6 +377,12 @@ pub fn attach_shard_endpoints_obs(
                             match sharded.handle_redeem_chain(&request) {
                                 Ok(receipt) => Response::Redeemed(receipt),
                                 Err(e) => Response::Error(e.to_string()),
+                            }
+                        }
+                        Ok(RequestView::BindingProof { coin }) => {
+                            match sharded.binding_proof(&coin, &mut rng) {
+                                Some(proof) => Response::Proof(Box::new(proof)),
+                                None => Response::Error(CoreError::UnknownCoin(coin).to_string()),
                             }
                         }
                         Ok(_) => Response::Error("request not handled by the broker".into()),
@@ -925,6 +953,44 @@ pub fn deposit_batch_via_obs(
     result
 }
 
+/// Fetches a Merkle inclusion proof for a coin's committed state from
+/// the broker. The returned proof carries the coin leaf, its sibling
+/// path, and the broker's signed `(root, seq)` — enough for any party
+/// to check the coin's published state against the broker's commitment
+/// without trusting whoever relayed it (see `BindingProof::verify`).
+///
+/// # Errors
+///
+/// [`CallError`] on delivery or rejection (including an unknown coin or
+/// a proof naming a different coin than the one requested, which can
+/// only be a corrupted or misdirected response).
+pub fn binding_proof_via(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    coin: CoinId,
+) -> Result<BindingProof, CallError> {
+    binding_proof_via_obs(net, me, broker_ep, coin, &Obs::disabled())
+}
+
+/// [`binding_proof_via`] with an observability context.
+pub fn binding_proof_via_obs(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    coin: CoinId,
+    obs: &Obs,
+) -> Result<BindingProof, CallError> {
+    let mut span = obs.span(Role::Broker, OpKind::BindingProof);
+    let result = match call_traced(net, me, broker_ep, &Request::BindingProof { coin }, &mut span) {
+        Ok(Response::Proof(proof)) if proof.leaf.coin == coin => Ok(*proof),
+        Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+        Err(e) => Err(e),
+    };
+    finish_call(span, &result);
+    result
+}
+
 /// Proactively synchronizes a peer with the broker over the network,
 /// adopting every returned binding.
 ///
@@ -1194,6 +1260,38 @@ pub fn deposit_via_retry<R: rand::Rng + ?Sized>(
         let mut span = attempt_span(obs, Role::Broker, OpKind::Deposit, attempt, &prev);
         let result = match call_traced(net, me, broker_ep, &request, &mut span) {
             Ok(Response::Receipt(receipt)) if receipt.coin == coin => Ok(receipt),
+            Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
+            Err(e) => Err(e),
+        };
+        note_attempt_failure(&mut prev, &span, &result);
+        finish_call(span, &result);
+        result
+    })
+}
+
+/// [`binding_proof_via_obs`] with resilient retries: proof fetches are
+/// read-only on the broker, so re-asking is always safe; a proof naming
+/// a different coin is treated as a corrupted response and retried.
+///
+/// # Errors
+///
+/// The terminal [`CallError`] of an abandoned call.
+#[allow(clippy::too_many_arguments)]
+pub fn binding_proof_via_retry<R: rand::Rng + ?Sized>(
+    net: &mut Network,
+    me: EndpointId,
+    broker_ep: EndpointId,
+    coin: CoinId,
+    policy: &RetryPolicy,
+    rng: &mut R,
+    obs: &Obs,
+) -> Result<BindingProof, CallError> {
+    let request = Request::BindingProof { coin };
+    let mut prev = None;
+    policy.run(rng, |attempt| {
+        let mut span = attempt_span(obs, Role::Broker, OpKind::BindingProof, attempt, &prev);
+        let result = match call_traced(net, me, broker_ep, &request, &mut span) {
+            Ok(Response::Proof(proof)) if proof.leaf.coin == coin => Ok(*proof),
             Ok(_) => Err(CallError::Protocol(CoreError::Malformed)),
             Err(e) => Err(e),
         };

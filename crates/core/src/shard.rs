@@ -221,6 +221,7 @@ impl ShardedBroker {
             RequestView::RedeemChain { commitment, .. } => {
                 return Some(shard_of_chain(&commitment.chain_id(), n) as u16);
             }
+            RequestView::BindingProof { coin } => *coin,
             _ => return None,
         };
         Some(shard_of(&coin, n) as u16)
@@ -286,6 +287,19 @@ impl ShardedBroker {
     ) -> Result<Binding, CoreError> {
         let s = self.shard_of_coin(&request.current.coin_id());
         self.lock_shard(s).handle_downtime_renewal(request, now, rng)
+    }
+
+    /// Builds an inclusion proof for a coin's committed state on its
+    /// owning shard (each shard commits to its own ledger root; the
+    /// proof's signed root is the owning shard's). `None` when the coin
+    /// is unknown there or the shard's ledger is disabled.
+    pub fn binding_proof<R: Rng + ?Sized>(
+        &self,
+        coin: &CoinId,
+        rng: &mut R,
+    ) -> Option<crate::ledger::BindingProof> {
+        let s = self.shard_of_coin(coin);
+        self.lock_shard(s).binding_proof(coin, rng)
     }
 
     /// Settles a micropayment chain redemption on the shard the chain id

@@ -36,15 +36,17 @@ use whopay_num::BigUint;
 use whopay_obs::OpKind;
 
 use crate::codec::{DecodeError, Reader};
-use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
+use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag, PublicBindingState};
 use crate::error::CoreError;
+use crate::ledger::{BindingProof, CoinLeaf, SignedRoot};
+use crate::merkle::InclusionProof;
 use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest, RenewalRequest,
     TransferRequest,
 };
 use crate::micropay::{ChainCommitment, RedeemChainRequest, RedemptionReceipt};
 use crate::types::{ChainId, CoinId, PeerId, Timestamp};
-use crate::wire::{Request, Response, MAX_WIRE_CHECKPOINTS};
+use crate::wire::{Request, Response, MAX_WIRE_CHECKPOINTS, MAX_WIRE_SIBLINGS};
 use whopay_crypto::payword::Payword;
 
 /// A big integer still sitting in the wire buffer: the minimal big-endian
@@ -422,6 +424,104 @@ impl<'a> CommitmentRef<'a> {
     }
 }
 
+/// A committed coin leaf by reference: only the downtime binding's
+/// holder key is a big integer, and it stays borrowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoinLeafRef<'a> {
+    /// The committed coin.
+    pub coin: CoinId,
+    /// Whether the coin has been redeemed.
+    pub deposited: bool,
+    /// Public downtime-binding state: `(holder key, seq, expires)`.
+    pub binding: Option<(IntRef<'a>, u64, Timestamp)>,
+    /// Digest of the leaf's non-public fields.
+    pub aux: [u8; 32],
+}
+
+impl<'a> CoinLeafRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let coin = CoinId(parse_digest32(r)?);
+        let deposited = match r.u64()? {
+            0 => false,
+            1 => true,
+            _ => return Err(DecodeError),
+        };
+        let binding = match r.u64()? {
+            0 => None,
+            1 => Some((IntRef::parse(r)?, r.u64()?, Timestamp(r.u64()?))),
+            _ => return Err(DecodeError),
+        };
+        Ok(CoinLeafRef { coin, deposited, binding, aux: parse_digest32(r)? })
+    }
+
+    /// Materializes the owned leaf.
+    pub fn to_leaf(&self) -> CoinLeaf {
+        CoinLeaf {
+            coin: self.coin,
+            deposited: self.deposited,
+            binding: self.binding.as_ref().map(|(pk, seq, expires)| PublicBindingState {
+                holder_pk: pk.to_biguint(),
+                seq: *seq,
+                expires: *expires,
+            }),
+            aux: self.aux,
+        }
+    }
+}
+
+/// A binding proof by reference: the leaf's holder key and the root
+/// signature stay borrowed; the sibling path is a length-capped digest
+/// vector like the other item lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofRef<'a> {
+    /// The committed coin leaf.
+    pub leaf: CoinLeafRef<'a>,
+    /// Total leaves in the committed tree.
+    pub leaves: u64,
+    /// The proven leaf's index.
+    pub index: u64,
+    /// Sibling hashes, leaf level first.
+    pub siblings: Vec<[u8; 32]>,
+    /// The committed root.
+    pub root: [u8; 32],
+    /// The root's mutation sequence number.
+    pub root_seq: u64,
+    /// Broker signature over `(root, seq)`.
+    pub root_sig: SigRef<'a>,
+}
+
+impl<'a> ProofRef<'a> {
+    fn parse(r: &mut Reader<'a>) -> Result<Self, DecodeError> {
+        let leaf = CoinLeafRef::parse(r)?;
+        let leaves = r.u64()?;
+        let index = r.u64()?;
+        let n = r.u64()? as usize;
+        if n > MAX_WIRE_SIBLINGS {
+            return Err(DecodeError); // same cap as the owned decoder
+        }
+        let mut siblings = Vec::with_capacity(n);
+        for _ in 0..n {
+            siblings.push(parse_digest32(r)?);
+        }
+        let root = parse_digest32(r)?;
+        let root_seq = r.u64()?;
+        Ok(ProofRef { leaf, leaves, index, siblings, root, root_seq, root_sig: SigRef::parse(r)? })
+    }
+
+    /// Materializes the owned proof.
+    pub fn to_proof(&self) -> BindingProof {
+        BindingProof {
+            leaf: self.leaf.to_leaf(),
+            proof: InclusionProof {
+                leaves: self.leaves,
+                index: self.index,
+                siblings: self.siblings.clone(),
+            },
+            root: SignedRoot { root: self.root, seq: self.root_seq, sig: self.root_sig.to_sig() },
+        }
+    }
+}
+
 /// A [`Request`] parsed but not materialized: every big integer is still
 /// a slice of the input buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -505,6 +605,11 @@ pub enum RequestView<'a> {
         commitment: CommitmentRef<'a>,
         /// The best verified payword.
         payword: Payword,
+    },
+    /// Fetch an inclusion proof for a coin's committed state.
+    BindingProof {
+        /// The coin whose committed leaf is requested.
+        coin: CoinId,
     },
 }
 
@@ -593,6 +698,7 @@ impl<'a> RequestView<'a> {
                 commitment: CommitmentRef::parse(r)?,
                 payword: parse_payword(r)?,
             },
+            11 => RequestView::BindingProof { coin: CoinId(parse_digest32(r)?) },
             _ => return Err(DecodeError),
         })
     }
@@ -614,6 +720,7 @@ impl<'a> RequestView<'a> {
             RequestView::Tick { .. } => "micropay_tick",
             RequestView::TickBatch { .. } => "micropay_tick_batch",
             RequestView::RedeemChain { .. } => "micropay_redeem",
+            RequestView::BindingProof { .. } => "binding_proof",
         }
     }
 
@@ -632,6 +739,7 @@ impl<'a> RequestView<'a> {
             RequestView::OpenChain(_) => OpKind::MicropayOpen,
             RequestView::Tick { .. } | RequestView::TickBatch { .. } => OpKind::MicropayTick,
             RequestView::RedeemChain { .. } => OpKind::MicropayRedeem,
+            RequestView::BindingProof { .. } => OpKind::BindingProof,
         }
     }
 
@@ -695,6 +803,7 @@ impl<'a> RequestView<'a> {
                     payword: *payword,
                 })
             }
+            RequestView::BindingProof { coin } => Request::BindingProof { coin: *coin },
         }
     }
 }
@@ -739,6 +848,8 @@ pub enum ResponseView<'a> {
     },
     /// A chain redemption settled.
     Redeemed(RedemptionReceipt),
+    /// A coin's committed leaf with its inclusion path and signed root.
+    Proof(ProofRef<'a>),
 }
 
 impl<'a> ResponseView<'a> {
@@ -804,6 +915,7 @@ impl<'a> ResponseView<'a> {
                 credited: r.u64()?,
                 total: r.u64()?,
             }),
+            10 => ResponseView::Proof(ProofRef::parse(r)?),
             _ => return Err(DecodeError),
         })
     }
@@ -841,6 +953,7 @@ impl<'a> ResponseView<'a> {
                 Response::TickAck { gained: *gained, total: *total }
             }
             ResponseView::Redeemed(rc) => Response::Redeemed(*rc),
+            ResponseView::Proof(p) => Response::Proof(Box::new(p.to_proof())),
         }
     }
 }
@@ -1031,6 +1144,46 @@ mod tests {
             let bytes = resp.encode();
             let view = ResponseView::parse(&bytes).unwrap();
             assert_eq!(view.to_owned_response(), Response::decode(&bytes).unwrap());
+        }
+    }
+
+    #[test]
+    fn binding_proof_views_round_trip_and_classify() {
+        use whopay_crypto::dsa::DsaKeyPair;
+        use whopay_crypto::testing::{test_rng, tiny_group};
+
+        let group = tiny_group();
+        let mut rng = test_rng(64);
+        let broker = DsaKeyPair::generate(group, &mut rng);
+        let coin = CoinId([0x77; 32]);
+
+        let req = Request::BindingProof { coin };
+        let bytes = req.encode();
+        let view = RequestView::parse(&bytes).unwrap();
+        assert_eq!(view.kind(), wire_kind(&bytes));
+        assert_eq!(view.op_kind(), OpKind::BindingProof);
+        assert_eq!(view.to_owned_request(), Request::decode(&bytes).unwrap());
+
+        let proof = BindingProof {
+            leaf: CoinLeaf {
+                coin,
+                deposited: false,
+                binding: Some(PublicBindingState {
+                    holder_pk: BigUint::from(31u64),
+                    seq: 2,
+                    expires: Timestamp(90),
+                }),
+                aux: [0xCD; 32],
+            },
+            proof: InclusionProof { leaves: 5, index: 1, siblings: vec![[8; 32]] },
+            root: SignedRoot::sign(group, &broker, [9; 32], 40, &mut rng),
+        };
+        let bytes = Response::Proof(Box::new(proof.clone())).encode();
+        let view = ResponseView::parse(&bytes).unwrap();
+        assert_eq!(view.to_owned_response(), Response::decode(&bytes).unwrap());
+        match view {
+            ResponseView::Proof(p) => assert_eq!(p.to_proof(), proof),
+            other => panic!("wrong view {other:?}"),
         }
     }
 

@@ -13,8 +13,10 @@ use whopay_crypto::group_sig::GroupSignature;
 use whopay_net::Handle;
 
 use crate::codec::{DecodeError, Reader, Writer};
-use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag};
+use crate::coin::{Binding, BindingSigner, MintedCoin, OwnerTag, PublicBindingState};
 use crate::error::CoreError;
+use crate::ledger::{BindingProof, CoinLeaf, SignedRoot};
+use crate::merkle::InclusionProof;
 use crate::messages::{
     CoinGrant, DepositReceipt, DepositRequest, Nonce, PaymentInvite, PurchaseRequest, RenewalRequest,
     TransferRequest,
@@ -27,6 +29,11 @@ use whopay_crypto::payword::Payword;
 /// 2 MiB): far above any sane `capacity / checkpoint_every`, far below
 /// an allocation attack.
 pub const MAX_WIRE_CHECKPOINTS: usize = 1 << 16;
+
+/// Decode-time cap on a Merkle inclusion path's sibling count. A path
+/// holds at most one sibling per tree level, so 64 covers any tree with
+/// up to `2^64` leaves; anything longer is an allocation attack.
+pub const MAX_WIRE_SIBLINGS: usize = 64;
 
 /// A request any WhoPay entity can receive over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +95,13 @@ pub enum Request {
     },
     /// Redeem a micropayment chain's best payword for value (broker).
     RedeemChain(RedeemChainRequest),
+    /// Fetch an inclusion proof for a coin's committed state against the
+    /// broker's signed Merkle root (broker). Payees use the proof to
+    /// verify DHT-served bindings without trusting the serving node.
+    BindingProof {
+        /// The coin whose committed leaf is requested.
+        coin: CoinId,
+    },
 }
 
 /// A response to a [`Request`].
@@ -122,6 +136,9 @@ pub enum Response {
     },
     /// A chain redemption settled at the broker.
     Redeemed(RedemptionReceipt),
+    /// A coin's committed leaf with its inclusion path and signed root
+    /// (boxed — the sibling path and signature dwarf the other variants).
+    Proof(Box<BindingProof>),
 }
 
 // --- primitive helpers ---
@@ -310,6 +327,82 @@ pub(crate) fn get_commitment(r: &mut Reader<'_>) -> Result<ChainCommitment, Deco
     Ok(ChainCommitment { root, capacity, checkpoint_every, checkpoints, group_sig: get_gsig(r)? })
 }
 
+pub(crate) fn put_coin_leaf(w: &mut Writer, leaf: &CoinLeaf) {
+    w.bytes(&leaf.coin.0).u64(u64::from(leaf.deposited));
+    match &leaf.binding {
+        Some(state) => {
+            w.u64(1).int(&state.holder_pk).u64(state.seq).u64(state.expires.0);
+        }
+        None => {
+            w.u64(0);
+        }
+    }
+    w.bytes(&leaf.aux);
+}
+
+pub(crate) fn get_coin_leaf(r: &mut Reader<'_>) -> Result<CoinLeaf, DecodeError> {
+    let coin = CoinId(get_digest32(r)?);
+    let deposited = match r.u64()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError),
+    };
+    let binding = match r.u64()? {
+        0 => None,
+        1 => Some(PublicBindingState {
+            holder_pk: r.int()?,
+            seq: r.u64()?,
+            expires: Timestamp(r.u64()?),
+        }),
+        _ => return Err(DecodeError),
+    };
+    Ok(CoinLeaf { coin, deposited, binding, aux: get_digest32(r)? })
+}
+
+pub(crate) fn put_inclusion_proof(w: &mut Writer, p: &InclusionProof) {
+    w.u64(p.leaves).u64(p.index).u64(p.siblings.len() as u64);
+    for sib in &p.siblings {
+        w.bytes(sib);
+    }
+}
+
+pub(crate) fn get_inclusion_proof(r: &mut Reader<'_>) -> Result<InclusionProof, DecodeError> {
+    let leaves = r.u64()?;
+    let index = r.u64()?;
+    let n = r.u64()? as usize;
+    if n > MAX_WIRE_SIBLINGS {
+        return Err(DecodeError); // refuse absurd allocations
+    }
+    let mut siblings = Vec::with_capacity(n);
+    for _ in 0..n {
+        siblings.push(get_digest32(r)?);
+    }
+    Ok(InclusionProof { leaves, index, siblings })
+}
+
+pub(crate) fn put_signed_root(w: &mut Writer, s: &SignedRoot) {
+    w.bytes(&s.root).u64(s.seq);
+    put_sig(w, &s.sig);
+}
+
+pub(crate) fn get_signed_root(r: &mut Reader<'_>) -> Result<SignedRoot, DecodeError> {
+    Ok(SignedRoot { root: get_digest32(r)?, seq: r.u64()?, sig: get_sig(r)? })
+}
+
+pub(crate) fn put_binding_proof(w: &mut Writer, p: &BindingProof) {
+    put_coin_leaf(w, &p.leaf);
+    put_inclusion_proof(w, &p.proof);
+    put_signed_root(w, &p.root);
+}
+
+pub(crate) fn get_binding_proof(r: &mut Reader<'_>) -> Result<BindingProof, DecodeError> {
+    Ok(BindingProof {
+        leaf: get_coin_leaf(r)?,
+        proof: get_inclusion_proof(r)?,
+        root: get_signed_root(r)?,
+    })
+}
+
 pub(crate) fn put_redemption_receipt(w: &mut Writer, rc: &RedemptionReceipt) {
     w.bytes(&rc.chain.0).u64(rc.credited).u64(rc.total);
 }
@@ -346,6 +439,7 @@ pub fn wire_kind(bytes: &[u8]) -> &'static str {
         Ok(8) => "micropay_tick",
         Ok(9) => "micropay_tick_batch",
         Ok(10) => "micropay_redeem",
+        Ok(11) => "binding_proof",
         Ok(_) | Err(_) => "malformed",
     }
 }
@@ -432,6 +526,9 @@ impl Request {
                 w.u64(10);
                 put_commitment(&mut w, &req.commitment);
                 put_payword(&mut w, &req.payword);
+            }
+            Request::BindingProof { coin } => {
+                w.u64(11).bytes(&coin.0);
             }
         }
         *out = w.finish();
@@ -524,6 +621,7 @@ impl Request {
                 commitment: get_commitment(r)?,
                 payword: get_payword(r)?,
             }),
+            11 => Request::BindingProof { coin: CoinId(get_digest32(r)?) },
             _ => return Err(DecodeError),
         })
     }
@@ -590,6 +688,10 @@ impl Response {
                 w.u64(9);
                 put_redemption_receipt(&mut w, rc);
             }
+            Response::Proof(p) => {
+                w.u64(10);
+                put_binding_proof(&mut w, p);
+            }
         }
         *out = w.finish();
     }
@@ -650,6 +752,7 @@ impl Response {
             7 => Response::ChainAccepted(ChainId(get_digest32(r)?)),
             8 => Response::TickAck { gained: r.u64()?, total: r.u64()? },
             9 => Response::Redeemed(get_redemption_receipt(r)?),
+            10 => Response::Proof(Box::new(get_binding_proof(r)?)),
             _ => return Err(DecodeError),
         })
     }
@@ -986,6 +1089,47 @@ mod tests {
             Response::Redeemed(got) => assert_eq!(got, rc),
             other => panic!("wrong variant {other:?}"),
         }
+    }
+
+    #[test]
+    fn binding_proof_messages_round_trip() {
+        let group = tiny_group();
+        let mut rng = test_rng(62);
+        let broker = DsaKeyPair::generate(group, &mut rng);
+        let coin = CoinId([0x5E; 32]);
+
+        let req = Request::BindingProof { coin };
+        assert_eq!(wire_kind(&req.encode()), "binding_proof");
+        match Request::decode(&req.encode()).unwrap() {
+            Request::BindingProof { coin: c } => assert_eq!(c, coin),
+            other => panic!("wrong variant {other:?}"),
+        }
+
+        for binding in [
+            None,
+            Some(crate::coin::PublicBindingState {
+                holder_pk: whopay_num::BigUint::from(99u64),
+                seq: 4,
+                expires: Timestamp(70),
+            }),
+        ] {
+            let leaf = CoinLeaf { coin, deposited: binding.is_none(), binding, aux: [0xAB; 32] };
+            let proof = InclusionProof { leaves: 9, index: 3, siblings: vec![[1; 32], [2; 32]] };
+            let root = SignedRoot::sign(group, &broker, [3; 32], 17, &mut rng);
+            let bp = BindingProof { leaf, proof, root };
+            match Response::decode(&Response::Proof(Box::new(bp.clone())).encode()).unwrap() {
+                Response::Proof(got) => assert_eq!(*got, bp),
+                other => panic!("wrong variant {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_sibling_path_length_rejected() {
+        // A proof claiming more siblings than any 2^64-leaf tree can have.
+        let mut w = Writer::new();
+        w.u64(10).bytes(&[0; 32]).u64(0).u64(0).bytes(&[0; 32]).u64(1).u64(0).u64(u64::MAX);
+        assert!(matches!(Response::decode(&w.finish()), Err(CoreError::Malformed)));
     }
 
     #[test]

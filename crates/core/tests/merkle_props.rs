@@ -1,0 +1,116 @@
+//! Differential properties of the incremental Merkle tree: a
+//! [`MerkleTree`] driven by an arbitrary interleaving of pushes and
+//! in-place updates must agree, after *every* operation, with the
+//! rebuild-from-scratch oracle [`root_of`] over the same leaf sequence —
+//! and every inclusion proof it hands out must verify exactly for its
+//! own `(leaf, root)` pair and for nothing else.
+
+use proptest::prelude::*;
+use whopay_core::merkle::{root_of, MerkleTree};
+
+/// One step of the driven tree, decoded from parallel generated vectors
+/// (the vendored proptest stand-in has no `prop_oneof`): `tag % 5 < 3`
+/// appends a leaf, otherwise rewrites an existing one. Indices are
+/// reduced modulo the current length at apply time, so every generated
+/// case is valid for every prefix.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, usize, Vec<u8>)>> {
+    proptest::collection::vec(any::<u8>(), 1..80).prop_map(|tags| {
+        // Derive index and payload deterministically from the tag vector
+        // so one generated vector encodes the whole op sequence.
+        tags.iter()
+            .enumerate()
+            .map(|(at, &tag)| {
+                let i = (tag as usize).wrapping_mul(31).wrapping_add(at * 7);
+                let data: Vec<u8> =
+                    (0..(tag % 24)).map(|k| tag.wrapping_mul(13).wrapping_add(k + at as u8)).collect();
+                (tag, i, data)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incremental root equals the oracle rebuild after every single
+    /// operation — O(log n) bubbling never diverges from a from-scratch
+    /// construction, at any length (including the empty tree and the
+    /// odd-width promoted-tail cases every length transition exercises).
+    #[test]
+    fn incremental_root_matches_rebuild_oracle(ops in ops_strategy()) {
+        let mut tree = MerkleTree::new();
+        let mut leaves: Vec<Vec<u8>> = Vec::new();
+        prop_assert_eq!(tree.root(), root_of(leaves.iter()));
+        for (tag, i, data) in ops {
+            if tag % 5 < 3 || leaves.is_empty() {
+                let at = tree.push(&data);
+                prop_assert_eq!(at, leaves.len());
+                leaves.push(data);
+            } else {
+                let i = i % leaves.len();
+                tree.update(i, &data);
+                leaves[i] = data;
+            }
+            prop_assert_eq!(tree.len(), leaves.len());
+            prop_assert_eq!(tree.root(), root_of(leaves.iter()));
+        }
+    }
+
+    /// Every leaf of a driven tree proves, and the proof is *exact*: it
+    /// verifies only against its own leaf bytes and the current root —
+    /// not against a sibling leaf's bytes, a stale root, or a mutated
+    /// leaf payload.
+    #[test]
+    fn proofs_verify_exactly(
+        seed_leaves in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..16), 1..40),
+        extra in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut tree = MerkleTree::new();
+        for leaf in &seed_leaves {
+            tree.push(leaf);
+        }
+        let root = tree.root();
+        for (i, leaf) in seed_leaves.iter().enumerate() {
+            let proof = tree.prove(i);
+            prop_assert!(proof.verify(leaf, &root), "leaf {i} fails its own proof");
+            // A different leaf payload must not verify at this position
+            // (unless it is byte-identical to the real leaf).
+            if extra != *leaf {
+                prop_assert!(!proof.verify(&extra, &root), "foreign payload verified at {i}");
+            }
+            // A stale root (the tree after one more push) must reject
+            // the old proof.
+            let mut grown = tree.clone();
+            grown.push(&extra);
+            prop_assert!(!proof.verify(leaf, &grown.root()), "stale proof verified at {i}");
+        }
+    }
+
+    /// Sibling-path malleability is rejected: truncating or extending a
+    /// valid proof's path never verifies, because `verify` re-derives the
+    /// expected path length from the claimed leaf count.
+    #[test]
+    fn sibling_path_length_is_enforced(
+        leaves in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..8), 2..32),
+        index in any::<usize>(),
+    ) {
+        let mut tree = MerkleTree::new();
+        for leaf in &leaves {
+            tree.push(leaf);
+        }
+        let i = index % leaves.len();
+        let root = tree.root();
+        let proof = tree.prove(i);
+        prop_assert!(proof.verify(&leaves[i], &root));
+        if !proof.siblings.is_empty() {
+            let mut truncated = proof.clone();
+            truncated.siblings.pop();
+            prop_assert!(!truncated.verify(&leaves[i], &root), "truncated path verified");
+        }
+        let mut padded = proof.clone();
+        padded.siblings.push([0u8; 32]);
+        prop_assert!(!padded.verify(&leaves[i], &root), "padded path verified");
+    }
+}

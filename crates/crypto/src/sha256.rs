@@ -2,6 +2,13 @@
 //!
 //! Used throughout the WhoPay reproduction for message digests, Fiat–Shamir
 //! challenges, DHT keys, and PayWord hash chains.
+//!
+//! On x86-64 hosts with the SHA extensions the compression function runs
+//! on the `SHA256RNDS2`/`SHA256MSG*` instructions (runtime-detected, with
+//! the portable implementation as the fallback and differential oracle).
+//! The broker's Merkle-committed state ledger hashes a handful of small
+//! blocks per committed mutation, so compression throughput is directly
+//! the price of tamper evidence — see `bench_merkle_json`.
 
 /// A 32-byte SHA-256 digest.
 pub type Digest = [u8; 32];
@@ -58,10 +65,31 @@ impl Sha256 {
     }
 
     /// One-shot digest of `data`.
+    ///
+    /// Compresses straight from the input slice — no block buffer, no
+    /// length bookkeeping — so the small hashes the Merkle ledger and
+    /// PayWord chains live on pay only the compression function itself.
     pub fn digest(data: &[u8]) -> Digest {
-        let mut h = Self::new();
-        h.update(data);
-        h.finalize()
+        let mut state = H0;
+        let mut blocks = data.chunks_exact(64);
+        for block in blocks.by_ref() {
+            Self::compress_state(&mut state, block.try_into().unwrap());
+        }
+        let rem = blocks.remainder();
+        let mut block = [0u8; 64];
+        block[..rem.len()].copy_from_slice(rem);
+        block[rem.len()] = 0x80;
+        if rem.len() >= 56 {
+            Self::compress_state(&mut state, &block);
+            block = [0; 64];
+        }
+        block[56..].copy_from_slice(&(data.len() as u64).wrapping_mul(8).to_be_bytes());
+        Self::compress_state(&mut state, &block);
+        let mut out = [0u8; 32];
+        for (i, word) in state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
     }
 
     /// Absorbs more input.
@@ -95,13 +123,20 @@ impl Sha256 {
     /// Pads and returns the digest, consuming the hasher state.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
-        self.update_padding(&[0x80]);
-        while self.buf_len != 56 {
-            self.update_padding(&[0]);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length —
+        // written straight into the block buffer (one or two compressions,
+        // never a byte-at-a-time loop).
+        let mut block = self.buf;
+        block[self.buf_len] = 0x80;
+        if self.buf_len < 56 {
+            block[self.buf_len + 1..56].fill(0);
+        } else {
+            block[self.buf_len + 1..].fill(0);
+            self.compress(&block);
+            block = [0; 64];
         }
-        self.update_padding(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buf_len, 0);
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
@@ -109,14 +144,29 @@ impl Sha256 {
         out
     }
 
-    /// `update` without advancing the message length (for padding bytes).
-    fn update_padding(&mut self, data: &[u8]) {
-        let saved = self.len;
-        self.update(data);
-        self.len = saved;
+    fn compress(&mut self, block: &[u8; 64]) {
+        Self::compress_state(&mut self.state, block);
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// One compression round, dispatching to the hardware path when the
+    /// host has it.
+    fn compress_state(state: &mut [u32; 8], block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            // SAFETY: `ni::available()` checked the cpu features the
+            // intrinsics require.
+            unsafe { ni::compress(state, block) };
+            return;
+        }
+        Self::compress_portable_state(state, block);
+    }
+
+    #[cfg(test)]
+    fn compress_portable(&mut self, block: &[u8; 64]) {
+        Self::compress_portable_state(&mut self.state, block);
+    }
+
+    fn compress_portable_state(state: &mut [u32; 8], block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
             w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
@@ -127,7 +177,7 @@ impl Sha256 {
             w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
         }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
         for i in 0..64 {
             let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
             let ch = (e & f) ^ (!e & g);
@@ -145,9 +195,83 @@ impl Sha256 {
             a = t1.wrapping_add(t2);
         }
 
-        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
             *s = s.wrapping_add(v);
         }
+    }
+}
+
+/// The x86-64 SHA-extensions compression path.
+///
+/// Lane bookkeeping follows the canonical `SHA256RNDS2` layout: the
+/// working state lives in two vectors packed as `ABEF` / `CDGH`, the
+/// message schedule advances four words at a time through
+/// `SHA256MSG1`/`SHA256MSG2`, and each four-round group feeds the low
+/// then high halves of `w + K` to `SHA256RNDS2`.
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use core::arch::x86_64::*;
+
+    use super::K;
+
+    /// Whether the host supports every instruction this path issues
+    /// (`is_x86_feature_detected!` caches, so this is a load + test).
+    #[inline]
+    pub fn available() -> bool {
+        is_x86_feature_detected!("sha")
+            && is_x86_feature_detected!("sse4.1")
+            && is_x86_feature_detected!("ssse3")
+    }
+
+    /// Runs one compression round on `state`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified [`available`].
+    #[target_feature(enable = "sha,sse4.1,ssse3,sse2")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Big-endian words -> little-endian lanes, one 32-bit lane at a
+        // time.
+        let swap = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+        // Pack [a,b,c,d,e,f,g,h] into ABEF / CDGH.
+        let dcba = _mm_loadu_si128(state.as_ptr().cast());
+        let hgfe = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let badc = _mm_shuffle_epi32(dcba, 0xB1);
+        let efgh = _mm_shuffle_epi32(hgfe, 0x1B);
+        let mut abef = _mm_alignr_epi8(badc, efgh, 8);
+        let mut cdgh = _mm_blend_epi16(efgh, badc, 0xF0);
+        let (abef_save, cdgh_save) = (abef, cdgh);
+
+        // Sixteen four-round groups. Groups 0-3 load the block; groups
+        // 4-15 extend the schedule: w[g] = msg2(msg1(w[g-4], w[g-3]) +
+        // alignr(w[g-1], w[g-2], 4), w[g-1]), all mod-4 in `msgs`.
+        let mut msgs = [_mm_setzero_si128(); 4];
+        for g in 0..16 {
+            let w = if g < 4 {
+                let raw = _mm_loadu_si128(block.as_ptr().add(16 * g).cast());
+                _mm_shuffle_epi8(raw, swap)
+            } else {
+                let shifted = _mm_alignr_epi8(msgs[(g + 3) % 4], msgs[(g + 2) % 4], 4);
+                let fed = _mm_sha256msg1_epu32(msgs[g % 4], msgs[(g + 1) % 4]);
+                _mm_sha256msg2_epu32(_mm_add_epi32(fed, shifted), msgs[(g + 3) % 4])
+            };
+            msgs[g % 4] = w;
+            let wk = _mm_add_epi32(w, _mm_loadu_si128(K.as_ptr().add(4 * g).cast()));
+            cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+            abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32(wk, 0x0E));
+        }
+
+        abef = _mm_add_epi32(abef, abef_save);
+        cdgh = _mm_add_epi32(cdgh, cdgh_save);
+
+        // Unpack ABEF / CDGH back to [a..=d], [e..=h].
+        let feba = _mm_shuffle_epi32(abef, 0x1B);
+        let dchg = _mm_shuffle_epi32(cdgh, 0xB1);
+        let dcba = _mm_blend_epi16(feba, dchg, 0xF0);
+        let hgfe = _mm_alignr_epi8(dchg, feba, 8);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), dcba);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), hgfe);
     }
 }
 
@@ -190,6 +314,34 @@ mod tests {
             hex(&Sha256::digest(&data)),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
         );
+    }
+
+    /// Differential check: the SHA-extensions compression and the
+    /// portable one must walk identical state sequences over random
+    /// chained blocks. (The NIST vectors above pin whichever path the
+    /// host dispatches to; this pins the two paths to each other.)
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn hardware_and_portable_compress_agree() {
+        if !ni::available() {
+            return;
+        }
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            x = x.wrapping_mul(0xD120_2E87_92A9_623B).wrapping_add(0x2545_F491_4F6C_DD1D);
+            x
+        };
+        let mut portable = Sha256::new();
+        let mut state_hw = H0;
+        for trial in 0..256 {
+            let mut block = [0u8; 64];
+            for chunk in block.chunks_mut(8) {
+                chunk.copy_from_slice(&next().to_le_bytes());
+            }
+            portable.compress_portable(&block);
+            unsafe { ni::compress(&mut state_hw, &block) };
+            assert_eq!(portable.state, state_hw, "diverged at block {trial}");
+        }
     }
 
     #[test]

@@ -387,6 +387,22 @@ impl Dht {
         Ok(())
     }
 
+    /// Test-only Byzantine hook: plants `record` on every replica for
+    /// its key with *no* validation — no signature check, no version
+    /// monotonicity, no access control. This models a compromised node
+    /// answering lookups with whatever it likes (a stale replay, a
+    /// forged binding, bit-rotted bytes); honest writes must go through
+    /// [`Dht::put`]. Exists so proof-checked lookups can be shown to
+    /// catch exactly what the cluster's own write validation would have
+    /// refused to store (see `tests/byzantine_dht.rs` and the
+    /// adversarial corruption chaos in `tests/chaos.rs`).
+    pub fn inject_byzantine_record(&mut self, record: SignedRecord) {
+        let key = record.key();
+        for node_id in self.replica_set(&key) {
+            self.nodes.get_mut(&node_id).expect("replica exists").store.insert(key, record.clone());
+        }
+    }
+
     /// Routed read of the latest record under `key`.
     pub fn get(&mut self, entry: RingId, key: RingId) -> Option<SignedRecord> {
         let (primary, _hops) = self.lookup_from(entry, key)?;

@@ -229,7 +229,7 @@ const DRAWS_PER_DECISION: usize = 6;
 /// per-event draws. Chosen for its full-avalanche finalizer: consecutive
 /// event ids decorrelate completely, and the vendored RNG stays out of
 /// the schedule's dependency set.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -343,13 +343,13 @@ impl FaultInjector {
 
 /// Maps a raw draw to a uniform `[0, 1)` value and compares against `p`
 /// (the 53-bit mantissa construction the vendored RNG uses).
-fn chance(draw: u64, p: f64) -> bool {
+pub(crate) fn chance(draw: u64, p: f64) -> bool {
     p > 0.0 && ((draw >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
 }
 
 /// Flips one bit of `buf` in place (`bit` reduced modulo the bit length;
 /// empty buffers are left untouched).
-pub(crate) fn flip_bit(buf: &mut [u8], bit: u64) {
+pub fn flip_bit(buf: &mut [u8], bit: u64) {
     if buf.is_empty() {
         return;
     }

@@ -54,12 +54,15 @@ mod network;
 pub mod queue;
 pub mod retry;
 mod stats;
+pub mod tamper;
 
 pub use faults::{
-    FaultInjector, FaultKind, FaultPlan, FaultRates, FaultStats, InjectedFault, PartitionWindow,
+    flip_bit, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultStats, InjectedFault,
+    PartitionWindow,
 };
 pub use indirection::{Handle, IndirectionLayer};
 pub use network::{Classifier, EndpointId, Network, ParallelHandler, RequestError};
 pub use queue::{Delivery, EventId, NET_THREADS_ENV};
 pub use retry::{Classify, ErrorClass, RetryPolicy, RetryStats};
 pub use stats::{TrafficBreakdown, TrafficStats};
+pub use tamper::{InjectedTamper, TamperInjector, TamperPlan, TamperTarget};

@@ -1,0 +1,263 @@
+//! Deterministic at-rest tamper injection: the storage-side sibling of
+//! [`crate::faults`].
+//!
+//! Where the fault injector corrupts messages *in flight*, the tamper
+//! injector corrupts *durable artifacts* — journal bytes, checkpoint
+//! snapshots, DHT-served binding records — to exercise the
+//! tamper-evidence machinery (Merkle-committed ledger roots, verified
+//! recovery, proof-checked binding lookups). An adversarial chaos run
+//! asserts that **every** injected tamper is detected: either the strict
+//! decoder rejects the bytes, or the recomputed ledger root disagrees
+//! with the committed `(root, seq)` checkpoint, or a served record fails
+//! its inclusion proof.
+//!
+//! Decisions follow the same keyed-draw discipline as
+//! [`crate::faults::FaultInjector`]: the draws for object `k` of a
+//! target are a pure function of `(seed, target, k)`, derived by keyed
+//! hashing rather than a sequential RNG walk. Whether one artifact gets
+//! tampered is therefore independent of how many others were examined
+//! before it and of inspection order — a chaos run and its fault-free
+//! control stay comparable artifact by artifact.
+
+use crate::faults::{chance, flip_bit, splitmix64};
+
+/// Which durable artifact class a tamper decision is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TamperTarget {
+    /// The broker's operation journal (framed entry bytes).
+    Journal,
+    /// A checkpoint snapshot embedded in the journal.
+    Snapshot,
+    /// A binding record served from the DHT.
+    Record,
+}
+
+impl TamperTarget {
+    /// Stable label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TamperTarget::Journal => "journal",
+            TamperTarget::Snapshot => "snapshot",
+            TamperTarget::Record => "record",
+        }
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            TamperTarget::Journal => 1,
+            TamperTarget::Snapshot => 2,
+            TamperTarget::Record => 3,
+        }
+    }
+}
+
+/// Per-target tamper probabilities in `[0, 1]`, applied per examined
+/// artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TamperPlan {
+    /// Probability an examined journal byte-range gets one bit flipped.
+    pub journal: f64,
+    /// Probability an examined snapshot gets one bit flipped.
+    pub snapshot: f64,
+    /// Probability a served DHT record gets one bit flipped.
+    pub record: f64,
+}
+
+impl TamperPlan {
+    /// A plan that tampers with nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The same probability for every target class.
+    pub fn uniform(p: f64) -> Self {
+        TamperPlan { journal: p, snapshot: p, record: p }
+    }
+
+    fn rate(&self, target: TamperTarget) -> f64 {
+        match target {
+            TamperTarget::Journal => self.journal,
+            TamperTarget::Snapshot => self.snapshot,
+            TamperTarget::Record => self.record,
+        }
+    }
+}
+
+/// One injected tamper, recorded in the injector's history — the ground
+/// truth a chaos run reconciles detections against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedTamper {
+    /// Artifact class hit.
+    pub target: TamperTarget,
+    /// Caller-assigned object id within the class (journal entry index,
+    /// snapshot ordinal, record lookup index, ...).
+    pub object: u64,
+    /// Bit position flipped (already reduced modulo the buffer length).
+    pub bit: u64,
+}
+
+/// The seeded at-rest tamper engine: a [`TamperPlan`] plus a draw seed,
+/// an examined-artifact counter, and the full history of injected flips.
+#[derive(Debug)]
+pub struct TamperInjector {
+    plan: TamperPlan,
+    seed: u64,
+    examined: u64,
+    history: Vec<InjectedTamper>,
+}
+
+impl TamperInjector {
+    /// Builds an injector for `plan`, seeded deterministically.
+    pub fn new(plan: TamperPlan, seed: u64) -> Self {
+        TamperInjector { plan, seed, examined: 0, history: Vec::new() }
+    }
+
+    /// Examines object `object` of `target` and, with the plan's
+    /// per-target probability, flips one keyed-drawn bit of `buf` in
+    /// place. The decision and the bit position are a pure function of
+    /// `(seed, target, object)` — not of call order. Returns the bit
+    /// flipped, or `None` when the artifact was left intact (including
+    /// when the draw fired on an empty buffer, which has no bit to
+    /// flip).
+    pub fn tamper(&mut self, target: TamperTarget, object: u64, buf: &mut [u8]) -> Option<u64> {
+        self.examined += 1;
+        let draws = keyed_draws(self.seed, target, object);
+        if buf.is_empty() || !chance(draws[0], self.plan.rate(target)) {
+            return None;
+        }
+        let bit = draws[1] % (buf.len() as u64 * 8);
+        flip_bit(buf, bit);
+        self.history.push(InjectedTamper { target, object, bit });
+        Some(bit)
+    }
+
+    /// Unconditionally flips the keyed-drawn bit for `(target, object)`
+    /// in `buf` — the deterministic "this artifact, definitely" form a
+    /// Byzantine-node test uses. Recorded in the history like any other
+    /// injection. Returns `None` only for an empty buffer.
+    pub fn force(&mut self, target: TamperTarget, object: u64, buf: &mut [u8]) -> Option<u64> {
+        self.examined += 1;
+        if buf.is_empty() {
+            return None;
+        }
+        let draws = keyed_draws(self.seed, target, object);
+        let bit = draws[1] % (buf.len() as u64 * 8);
+        flip_bit(buf, bit);
+        self.history.push(InjectedTamper { target, object, bit });
+        Some(bit)
+    }
+
+    /// Every injected tamper, in injection order.
+    pub fn history(&self) -> &[InjectedTamper] {
+        &self.history
+    }
+
+    /// Number of injections so far.
+    pub fn injected(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Artifacts examined so far (tampered or not).
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+}
+
+/// Number of keyed draws derived per examined artifact: fire? which bit?
+const DRAWS_PER_OBJECT: usize = 2;
+
+/// The draws for one artifact, keyed on `(seed, target, object)` with
+/// the same odd-multiplier mixing as the fault injector's per-delivery
+/// draws (distinct multipliers keep the two schedules uncorrelated even
+/// under equal seeds).
+fn keyed_draws(seed: u64, target: TamperTarget, object: u64) -> [u64; DRAWS_PER_OBJECT] {
+    let mut state = seed
+        ^ object.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+        ^ target.tag().wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    let mut draws = [0u64; DRAWS_PER_OBJECT];
+    for d in &mut draws {
+        *d = splitmix64(&mut state);
+    }
+    draws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = TamperPlan::uniform(0.3);
+        let mut a = TamperInjector::new(plan, 11);
+        let mut b = TamperInjector::new(plan, 11);
+        for i in 0..300 {
+            let mut buf_a = vec![0u8; 16];
+            let mut buf_b = vec![0u8; 16];
+            assert_eq!(
+                a.tamper(TamperTarget::Journal, i, &mut buf_a),
+                b.tamper(TamperTarget::Journal, i, &mut buf_b)
+            );
+            assert_eq!(buf_a, buf_b);
+        }
+        assert_eq!(a.history(), b.history());
+        assert!(a.injected() > 0, "30% over 300 artifacts injects something");
+    }
+
+    #[test]
+    fn draws_key_on_object_id_not_call_order() {
+        let plan = TamperPlan::uniform(0.4);
+        let mut fwd = TamperInjector::new(plan, 5);
+        let mut bwd = TamperInjector::new(plan, 5);
+        let forward: Vec<_> = (0..100)
+            .map(|i| {
+                let mut buf = vec![0u8; 8];
+                (fwd.tamper(TamperTarget::Snapshot, i, &mut buf), buf)
+            })
+            .collect();
+        let mut backward: Vec<_> = (0..100)
+            .rev()
+            .map(|i| {
+                let mut buf = vec![0u8; 8];
+                (i, bwd.tamper(TamperTarget::Snapshot, i, &mut buf), buf)
+            })
+            .collect();
+        backward.sort_by_key(|(i, ..)| *i);
+        assert_eq!(forward, backward.into_iter().map(|(_, t, b)| (t, b)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn targets_draw_independently() {
+        // The same (seed, object) pair must not force identical verdicts
+        // across targets — the per-target tag decorrelates the streams.
+        let plan = TamperPlan::uniform(0.5);
+        let mut inj = TamperInjector::new(plan, 123);
+        let mut differs = false;
+        for i in 0..64 {
+            let mut a = vec![0u8; 8];
+            let mut b = vec![0u8; 8];
+            let ta = inj.tamper(TamperTarget::Journal, i, &mut a).is_some();
+            let tb = inj.tamper(TamperTarget::Record, i, &mut b).is_some();
+            differs |= ta != tb;
+        }
+        assert!(differs, "journal and record schedules are distinct streams");
+    }
+
+    #[test]
+    fn zero_rates_tamper_nothing_and_force_always_fires() {
+        let mut inj = TamperInjector::new(TamperPlan::new(), 9);
+        let mut buf = vec![0xAA; 32];
+        for i in 0..50 {
+            assert_eq!(inj.tamper(TamperTarget::Record, i, &mut buf), None);
+        }
+        assert_eq!(buf, vec![0xAA; 32]);
+        assert_eq!(inj.injected(), 0);
+        assert_eq!(inj.examined(), 50);
+        let bit = inj.force(TamperTarget::Record, 0, &mut buf).expect("non-empty buffer");
+        assert!(bit < 32 * 8);
+        assert_ne!(buf, vec![0xAA; 32]);
+        assert_eq!(inj.injected(), 1);
+        // Empty buffers have no bit to flip, even under force.
+        let mut empty: Vec<u8> = Vec::new();
+        assert_eq!(inj.force(TamperTarget::Journal, 1, &mut empty), None);
+    }
+}

@@ -115,13 +115,15 @@ pub enum OpKind {
     MicropayTick,
     /// Broker redemption of a micropayment chain's best payword.
     MicropayRedeem,
+    /// Fetching a Merkle inclusion proof for a coin's committed state.
+    BindingProof,
     /// Anything not covered above (label it via [`Event::detail`]).
     Other,
 }
 
 impl OpKind {
     /// All operation kinds, in reporting order.
-    pub const ALL: [OpKind; 22] = [
+    pub const ALL: [OpKind; 23] = [
         OpKind::Purchase,
         OpKind::Issue,
         OpKind::Transfer,
@@ -143,6 +145,7 @@ impl OpKind {
         OpKind::MicropayOpen,
         OpKind::MicropayTick,
         OpKind::MicropayRedeem,
+        OpKind::BindingProof,
         OpKind::Other,
     ];
 
@@ -170,6 +173,7 @@ impl OpKind {
             OpKind::MicropayOpen => "micropay_open",
             OpKind::MicropayTick => "micropay_tick",
             OpKind::MicropayRedeem => "micropay_redeem",
+            OpKind::BindingProof => "binding_proof",
             OpKind::Other => "other",
         }
     }

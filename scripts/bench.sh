@@ -6,8 +6,9 @@
 # ablation/figure console logs under target/ablation/, --shard to run
 # only the sharded-broker scaling bench (BENCH_shard.json), --loadsim
 # to run only the million-peer load-simulator bench (BENCH_loadsim.json),
-# or --micropay to run only the streaming-micropayment bench
-# (BENCH_micropay.json).
+# --micropay to run only the streaming-micropayment bench
+# (BENCH_micropay.json), or --merkle to run only the state-commitment
+# bench (BENCH_merkle.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,6 +79,15 @@ if [ "${1:-}" = "--loadsim" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "--merkle" ]; then
+    echo "==> bench_merkle_json (BENCH_merkle.json)"
+    cargo run --release --offline -q -p whopay-bench --bin bench_merkle_json
+    reassert_multicore_gates
+    unproven_summary
+    echo "==> bench.sh: done (--merkle)"
+    exit 0
+fi
+
 if [ "${1:-}" = "--micropay" ]; then
     echo "==> bench_micropay_json (BENCH_micropay.json)"
     cargo run --release --offline -q -p whopay-bench --bin bench_micropay_json
@@ -113,6 +123,9 @@ cargo run --release --offline -q -p whopay-bench --bin bench_loadsim_json
 
 echo "==> bench_micropay_json (BENCH_micropay.json)"
 cargo run --release --offline -q -p whopay-bench --bin bench_micropay_json
+
+echo "==> bench_merkle_json (BENCH_merkle.json)"
+cargo run --release --offline -q -p whopay-bench --bin bench_merkle_json
 
 if [ "${1:-}" = "--ablation" ]; then
     # Console logs live under the (git-ignored) target tree; EXPERIMENTS.md

@@ -76,6 +76,15 @@ cargo test -p whopay-core -q --release --offline --test micropay_flow --test mic
 echo "==> cargo test -p whopay-eval --release --lib streaming (pinned-seed streaming smoke: conservation, churn, partition invariance)"
 cargo test -p whopay-eval -q --release --offline --lib streaming
 
+echo "==> cargo test -p whopay-core --release (Merkle differential props + journal tamper/torn-tail evidence props)"
+cargo test -p whopay-core -q --release --offline --test merkle_props --test tamper_props
+
+echo "==> cargo test --release --test byzantine_dht (proof-checked lookups vs Byzantine DHT nodes)"
+cargo test -q --release --offline --test byzantine_dht
+
+echo "==> cargo test --release --test chaos adversarial (adversarial corruption chaos: journal/snapshot/record tampering)"
+cargo test -q --release --offline --test chaos adversarial
+
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --no-run --offline
 
@@ -87,6 +96,9 @@ cargo build --release --offline -p whopay-bench --bin bench_loadsim_json
 
 echo "==> cargo build --release --bin bench_micropay_json (streaming-micropay bench stays buildable)"
 cargo build --release --offline -p whopay-bench --bin bench_micropay_json
+
+echo "==> cargo build --release --bin bench_merkle_json (state-commitment bench stays buildable)"
+cargo build --release --offline -p whopay-bench --bin bench_merkle_json
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "==> cargo fmt --check"

@@ -33,14 +33,20 @@ use whopay::core::service::{
     attach_shard_endpoints_obs, clock, deposit_batch_via_obs, deposit_via_retry,
     install_wire_classifier, open_chain_via_retry, purchase_via_retry, redeem_chain_via,
     redeem_chain_via_retry, request_issue_via_retry, request_renewal_via_retry,
-    request_transfer_via_retry, shared_clock, tick_via, SharedClock,
+    request_transfer_via_retry, shared_clock, surface_recovery_violations, tick_via, SharedClock,
 };
 use whopay::core::{
-    shard_of_chain, Broker, CoinId, DepositRequest, Invariant, Journal, Judge, Peer, PeerId,
-    PurchaseMode, ShardedBroker, SystemParams, Timestamp,
+    dsd, shard_of_chain, Broker, CheckpointState, CoinId, DepositRequest, Invariant, Journal,
+    JournalOp, Judge, Peer, PeerId, PurchaseMode, ShardedBroker, SystemParams, Timestamp,
 };
+use whopay::crypto::dsa::DsaKeyPair;
+use whopay::crypto::group_sig::GroupPublicKey;
 use whopay::crypto::testing::{test_rng, tiny_group};
-use whopay::net::{EndpointId, FaultInjector, FaultPlan, FaultRates, Network, RetryPolicy};
+use whopay::dht::{Dht, DhtConfig, RingId};
+use whopay::net::{
+    EndpointId, FaultInjector, FaultPlan, FaultRates, Network, RetryPolicy, TamperInjector, TamperPlan,
+    TamperTarget,
+};
 use whopay::obs::{install_panic_hook, FlightRecorder, Obs, Outcome, Tracer};
 
 const LIFECYCLES: u64 = 24;
@@ -910,4 +916,312 @@ fn same_seed_same_outcome() {
     }
     assert_eq!(run(7), run(7));
     assert_eq!(run(8), run(8));
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial corruption chaos: a seeded TamperInjector bit-rots the
+// broker's durable artifacts — journal frames, the embedded checkpoint
+// snapshot, DHT-served binding records — and the tamper-evidence
+// machinery must catch every single injection (strict decode rejection,
+// a recovered-seq shortfall against the out-of-band `(root, seq)`
+// commitment, a StateCommitment violation from replay verification, or
+// a proof-checked lookup failure), while an identically-seeded clean run
+// raises nothing at all.
+// ---------------------------------------------------------------------------
+
+/// The durable leftovers of a crashed journalling broker, plus what the
+/// operator keeps out of band (keys, the last `(root, seq)`), plus the
+/// pre-crash snapshot the clean control reconverges to.
+struct DurableWorld {
+    params: SystemParams,
+    gpk: GroupPublicKey,
+    keys: DsaKeyPair,
+    journal_bytes: Vec<u8>,
+    last_seq: u64,
+    snapshot: CheckpointState,
+}
+
+/// Runs a journalling broker through enough lifecycle to leave a journal
+/// with a mid-stream checkpoint *and* a live tail, then "crashes" it by
+/// keeping only its durable bytes.
+fn durable_world(seed: u64) -> DurableWorld {
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let gpk = judge.public_key().clone();
+    let mut broker = Broker::new(params.clone(), gpk.clone(), &mut rng);
+    broker.enable_journal();
+    let mk = |id: u64, judge: &mut Judge, broker: &mut Broker, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p =
+            Peer::new(PeerId(id), params.clone(), broker.public_key().clone(), gpk.clone(), gk, rng);
+        broker.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let mut owner = mk(1, &mut judge, &mut broker, &mut rng);
+    let mut holder = mk(2, &mut judge, &mut broker, &mut rng);
+    let now = Timestamp(0);
+    let coins: Vec<CoinId> = (0..6u64)
+        .map(|i| {
+            let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+            let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+            let coin = owner.complete_purchase(minted, pending, now, &mut rng).unwrap();
+            let (invite, session) = holder.begin_receive(&mut rng);
+            let grant = owner.issue_coin(coin, &invite, now, &mut rng).unwrap();
+            holder.accept_grant(grant, session, now).unwrap();
+            if i == 3 {
+                broker.checkpoint_journal();
+            }
+            coin
+        })
+        .collect();
+    let dep = holder.request_deposit(coins[0], &mut rng).unwrap();
+    broker.handle_deposit(&dep, now).unwrap();
+    let journal = broker.journal().expect("journalling enabled");
+    assert!(journal.len() > 1, "journal must keep a live tail after the checkpoint");
+    let (_, last_seq) = broker.committed_root().expect("ledger is on");
+    DurableWorld {
+        params,
+        gpk,
+        keys: broker.export_keys(),
+        journal_bytes: journal.to_bytes(),
+        last_seq,
+        snapshot: broker.snapshot(),
+    }
+}
+
+/// Byte spans of each journal frame, in entry order.
+fn frame_spans(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let len = u64::from_be_bytes(bytes[pos..pos + 8].try_into().expect("framed journal")) as usize;
+        spans.push(pos..pos + 8 + len);
+        pos += 8 + len;
+    }
+    assert_eq!(pos, bytes.len(), "journal is well framed");
+    spans
+}
+
+/// Walks the tamper injector over every journal frame: checkpoint frames
+/// draw from the snapshot stream, ordinary entries from the journal
+/// stream. Returns the (possibly corrupted) bytes.
+fn tamper_journal(w: &DurableWorld, inj: &mut TamperInjector) -> Vec<u8> {
+    let journal = Journal::from_bytes(&w.journal_bytes).expect("clean journal decodes");
+    let mut bytes = w.journal_bytes.clone();
+    for (i, span) in frame_spans(&w.journal_bytes).into_iter().enumerate() {
+        let target = match journal.entries()[i].op {
+            JournalOp::Checkpoint(_) => TamperTarget::Snapshot,
+            _ => TamperTarget::Journal,
+        };
+        inj.tamper(target, i as u64, &mut bytes[span]);
+    }
+    bytes
+}
+
+#[test]
+fn adversarial_journal_corruption_is_always_detected_with_flight_dumps() {
+    let seed = chaos_seed() ^ 0x7A3B;
+    let w = durable_world(seed);
+
+    // Clean control: an identically-seeded zero-rate sweep leaves the
+    // bytes untouched, recovery reconverges exactly, and nothing — not
+    // one violation, not one failed event — is raised. Zero false alarms.
+    {
+        let mut inj = TamperInjector::new(TamperPlan::new(), seed);
+        let bytes = tamper_journal(&w, &mut inj);
+        assert_eq!(inj.injected(), 0, "zero-rate plan must not tamper");
+        assert_eq!(bytes, w.journal_bytes);
+        let flight = Arc::new(FlightRecorder::new());
+        let obs = Obs::with_tracer(Tracer::new(flight.clone()));
+        let (clean, dropped) = Journal::from_bytes_tolerant(&bytes).unwrap();
+        assert_eq!(dropped, 0);
+        assert_eq!(clean.last_seq(), Some(w.last_seq));
+        let recovered = Broker::recover(w.params.clone(), w.gpk.clone(), w.keys.clone(), &clean);
+        assert_eq!(surface_recovery_violations(&recovered, &obs), 0, "clean-run false alarm");
+        assert_eq!(recovered.snapshot(), w.snapshot, "clean recovery reconverges exactly");
+        assert!(
+            flight.snapshot().iter().all(|e| e.outcome != Outcome::Error),
+            "clean run left failure events in the flight record"
+        );
+    }
+
+    // Adversarial sweep: every variant whose injector fired must be
+    // detected by *some* layer — and when the detector is replay root
+    // verification, the violation must surface into the flight recorder.
+    let mut corrupted_runs = 0usize;
+    let mut detected_by = [0usize; 3]; // [decode, seq shortfall, root mismatch]
+    for variant in 0..24u64 {
+        let plan = TamperPlan { journal: 0.35, snapshot: 0.6, record: 0.0 };
+        let mut inj = TamperInjector::new(plan, seed ^ (variant << 8));
+        let bytes = tamper_journal(&w, &mut inj);
+        if inj.injected() == 0 {
+            continue;
+        }
+        corrupted_runs += 1;
+        let flight = Arc::new(FlightRecorder::new());
+        let obs = Obs::with_tracer(Tracer::new(flight.clone()));
+        let detected = match Journal::from_bytes_tolerant(&bytes) {
+            Err(_) => {
+                detected_by[0] += 1;
+                true
+            }
+            Ok((journal, dropped)) => {
+                if dropped > 0 || journal.last_seq() != Some(w.last_seq) {
+                    detected_by[1] += 1;
+                    true
+                } else {
+                    let recovered =
+                        Broker::recover(w.params.clone(), w.gpk.clone(), w.keys.clone(), &journal);
+                    let surfaced = surface_recovery_violations(&recovered, &obs);
+                    let flagged = recovered
+                        .audit()
+                        .violations()
+                        .iter()
+                        .any(|v| v.invariant == Invariant::StateCommitment);
+                    if flagged {
+                        detected_by[2] += 1;
+                        assert!(surfaced > 0, "violations must surface as events");
+                        let events = flight.snapshot();
+                        assert!(
+                            events.iter().any(|e| e.outcome == Outcome::Error
+                                && e.detail.as_deref().is_some_and(|d| d.contains("state_commitment"))),
+                            "variant {variant}: state_commitment event missing from flight record"
+                        );
+                        true
+                    } else {
+                        // Nothing alarmed: the only acceptable outcome is
+                        // bit-identical reconvergence, and a run with
+                        // injections must not get here at all.
+                        assert_eq!(
+                            recovered.snapshot(),
+                            w.snapshot,
+                            "variant {variant}: recovery silently diverged"
+                        );
+                        false
+                    }
+                }
+            }
+        };
+        assert!(
+            detected,
+            "variant {variant}: {} injected tampers left no trace (history: {:?})",
+            inj.injected(),
+            inj.history()
+        );
+    }
+    assert!(corrupted_runs >= 12, "plan must corrupt most variants, got {corrupted_runs}");
+    assert_eq!(
+        detected_by.iter().sum::<usize>(),
+        corrupted_runs,
+        "every corrupted run detected exactly once: {detected_by:?}"
+    );
+    assert!(
+        detected_by[2] >= 1,
+        "at least one variant must survive decoding and be caught by root verification: {detected_by:?}"
+    );
+}
+
+#[test]
+fn adversarial_record_corruption_is_always_detected_and_clean_lookups_pass() {
+    let seed = chaos_seed() ^ 0x0D47;
+    let mut rng = test_rng(seed);
+    let params = SystemParams::new(tiny_group().clone());
+    let mut judge = Judge::new(params.group().clone(), &mut rng);
+    let mut broker = Broker::new(params.clone(), judge.public_key().clone(), &mut rng);
+    let mk = |id: u64, judge: &mut Judge, broker: &mut Broker, rng: &mut rand::rngs::StdRng| {
+        let gk = judge.enroll(PeerId(id), rng);
+        let p = Peer::new(
+            PeerId(id),
+            params.clone(),
+            broker.public_key().clone(),
+            judge.public_key().clone(),
+            gk,
+            rng,
+        );
+        broker.register_peer(PeerId(id), p.public_key().clone());
+        p
+    };
+    let mut owner = mk(0, &mut judge, &mut broker, &mut rng);
+    let mut payer = mk(1, &mut judge, &mut broker, &mut rng);
+    let mut payee = mk(2, &mut judge, &mut broker, &mut rng);
+    let mut dht = Dht::new(params.group().clone(), broker.public_key().clone(), DhtConfig::default());
+    for _ in 0..16 {
+        dht.join(RingId::random(&mut rng));
+    }
+    let entry = dht.node_ids()[0];
+
+    // One coin driven to a broker-committed downtime rebinding, so the
+    // proof's leaf carries the committed binding the freshness and
+    // equality checks anchor on.
+    let now = Timestamp(0);
+    let (req, pending) = owner.create_purchase_request(PurchaseMode::Identified, &mut rng);
+    let minted = broker.handle_purchase(&req, &mut rng).unwrap();
+    let coin = owner.complete_purchase(minted, pending, now, &mut rng).unwrap();
+    let (invite, session) = payer.begin_receive(&mut rng);
+    let grant = owner.issue_coin(coin, &invite, now, &mut rng).unwrap();
+    payer.accept_grant(grant, session, now).unwrap();
+    dsd::publish_owner_binding(&owner, coin, &mut dht, entry, &mut rng).unwrap();
+    let (invite2, session2) = payee.begin_receive(&mut rng);
+    let treq = payer.request_transfer(coin, &invite2, &mut rng).unwrap();
+    let grant2 = broker.handle_downtime_transfer(&treq, Timestamp(10), &mut rng).unwrap();
+    broker.publish_binding(&grant2.binding, &mut dht, entry, &mut rng).unwrap();
+    payee.accept_grant(grant2, session2, Timestamp(10)).unwrap();
+    payer.complete_transfer(coin);
+
+    let coin_pk = owner.owned_coin(&coin).unwrap().minted.coin_pk().clone();
+    let proof = broker.binding_proof(&coin, &mut rng).expect("ledger is on by default");
+    let committed = proof.leaf.binding.clone().expect("downtime rebinding committed");
+    let honest = dht.get(entry, dsd::binding_key(&coin_pk)).expect("record published");
+
+    // A storm of lookups against a node that bit-rots a fraction of the
+    // records it serves. Detection must reconcile *exactly* with the
+    // injector's ground-truth history: every tampered serve fails the
+    // proof check (and leaves a failed DsdVerify event in the flight
+    // record), every clean serve returns the committed state.
+    let plan = TamperPlan { journal: 0.0, snapshot: 0.0, record: 0.25 };
+    let mut inj = TamperInjector::new(plan, seed);
+    let flight = Arc::new(FlightRecorder::new());
+    let obs = Obs::with_tracer(Tracer::new(flight.clone()));
+    let mut tampered_serves = 0usize;
+    let mut clean_serves = 0usize;
+    for lookup in 0..48u64 {
+        let mut served = honest.clone();
+        let hit = inj.tamper(TamperTarget::Record, lookup, &mut served.value).is_some();
+        dht.inject_byzantine_record(served);
+        let result = dsd::read_public_state_verified_obs(
+            &mut dht,
+            entry,
+            &coin_pk,
+            &proof,
+            params.group(),
+            broker.public_key(),
+            &obs,
+        );
+        if hit {
+            tampered_serves += 1;
+            assert!(result.is_err(), "lookup {lookup}: corrupted record accepted as state");
+        } else {
+            clean_serves += 1;
+            let state = result.expect("clean serve must verify");
+            assert_eq!(state, committed, "lookup {lookup}: clean serve returns committed state");
+        }
+    }
+    assert_eq!(tampered_serves, inj.injected(), "detections reconcile with injector history");
+    assert!(tampered_serves >= 5, "storm must actually tamper: {tampered_serves}");
+    assert!(clean_serves >= 5, "storm must leave clean serves: {clean_serves}");
+    let failures = flight.snapshot().iter().filter(|e| e.outcome == Outcome::Error).count();
+    assert_eq!(
+        failures, tampered_serves,
+        "failed DsdVerify events reconcile one-to-one with injected tampers"
+    );
+
+    // The schedule is pure state: an identically-seeded injector re-draws
+    // the exact same tamper history, so the run is replayable bit for bit.
+    let mut replay = TamperInjector::new(plan, seed);
+    for lookup in 0..48u64 {
+        let mut buf = honest.value.clone();
+        replay.tamper(TamperTarget::Record, lookup, &mut buf);
+    }
+    assert_eq!(replay.history(), inj.history());
 }
